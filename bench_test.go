@@ -1,0 +1,88 @@
+// Package vesta_test hosts the paper-level benchmark harness: one testing.B
+// entry per table/figure of the evaluation (plus the DESIGN.md ablations),
+// each regenerating its experiment end to end. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Use -bench 'Fig06' etc. to regenerate one experiment; the rendered tables
+// are printed once per benchmark via b.Logf under -v, or by cmd/vestabench.
+package vesta_test
+
+import (
+	"testing"
+
+	"vesta/internal/bench"
+)
+
+// runExperiment executes one registered experiment b.N times, reporting the
+// number of table rows produced as a sanity metric.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		env := bench.NewEnv(1)
+		table := exp.Run(env)
+		rows = len(table.Rows)
+		if rows == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// Figures 1-3: motivation experiments.
+
+func BenchmarkFig01Heatmaps(b *testing.B)    { runExperiment(b, "fig1") }
+func BenchmarkFig02NaiveReuse(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFig03ScratchCost(b *testing.B) { runExperiment(b, "fig3") }
+
+// Figures 6-13: evaluation experiments.
+
+func BenchmarkFig06PredictionError(b *testing.B)    { runExperiment(b, "fig6") }
+func BenchmarkFig07SparkLR(b *testing.B)            { runExperiment(b, "fig7") }
+func BenchmarkFig08TrainingOverhead(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig09PCAImportance(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10CorrelationScatter(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11KMeansTuning(b *testing.B)       { runExperiment(b, "fig11") }
+func BenchmarkFig12TimeProgression(b *testing.B)    { runExperiment(b, "fig12") }
+func BenchmarkFig13Budget(b *testing.B)             { runExperiment(b, "fig13") }
+
+// DESIGN.md ablation benches.
+
+func BenchmarkAblationLambda(b *testing.B)   { runExperiment(b, "ablation-lambda") }
+func BenchmarkAblationInitRuns(b *testing.B) { runExperiment(b, "ablation-initruns") }
+func BenchmarkAblationPCA(b *testing.B)      { runExperiment(b, "ablation-pca") }
+func BenchmarkAblationFeatures(b *testing.B) { runExperiment(b, "ablation-features") }
+func BenchmarkAblationK(b *testing.B)        { runExperiment(b, "ablation-k") }
+
+// Extension experiments (beyond the paper's evaluation; see EXPERIMENTS.md).
+
+func BenchmarkExtLatency(b *testing.B) { runExperiment(b, "ext-latency") }
+func BenchmarkExtScaling(b *testing.B) { runExperiment(b, "ext-scaling") }
+func BenchmarkExtSearch(b *testing.B)  { runExperiment(b, "ext-search") }
+
+func BenchmarkExtInterference(b *testing.B) { runExperiment(b, "ext-interference") }
+
+func BenchmarkExtDataSize(b *testing.B) { runExperiment(b, "ext-datasize") }
+
+// TestAllExperimentsProduceTables is the harness smoke test: every
+// registered experiment must run and render.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are expensive; skipped in -short mode")
+	}
+	env := bench.NewEnv(1)
+	for _, exp := range bench.Registry() {
+		table := exp.Run(env)
+		if len(table.Rows) == 0 {
+			t.Errorf("%s produced no rows", exp.ID)
+		}
+		if table.Render() == "" {
+			t.Errorf("%s rendered empty", exp.ID)
+		}
+	}
+}

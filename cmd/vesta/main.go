@@ -1,0 +1,32 @@
+// Command vesta is the CLI front-end of the Vesta VM-type selector.
+//
+// Subcommands:
+//
+//	vesta catalog  [-category C] [-family F]   list the VM type catalog
+//	vesta workloads [-set S] [-framework F]    list the Table 3 applications
+//	vesta simulate -app A -vm V [-nodes N]     profile one app on one VM type
+//	vesta inspect  -app A [-vm V]              render a run's trace (sparklines)
+//	vesta profile  -out knowledge.json         run the offline phase, save knowledge
+//	vesta predict  -knowledge K -app A         predict the best VM for a target
+//	vesta heatmap  -app A                      Figure 1 style budget heat map
+//	vesta collect  -store DIR -app A [...]     profile and persist measurements
+//	vesta history  -store DIR [-app A]         query persisted measurements
+//	vesta clustersize -knowledge K -app A      recommend a cluster size
+//	vesta knowledge -knowledge K               inspect a knowledge file
+//	vesta plan     -knowledge K -apps A,B,...  portfolio-plan several applications
+//	vesta compare  -app A -vms V1,V2,...       compare VM types side by side
+//
+// All measurements run against the deterministic cluster simulator (see
+// DESIGN.md); real EC2 is substituted by the synthetic catalog and the BSP
+// execution model. The implementation lives in internal/cli.
+package main
+
+import (
+	"os"
+
+	"vesta/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

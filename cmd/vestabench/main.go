@@ -1,0 +1,119 @@
+// Command vestabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vestabench                      # run every experiment
+//	vestabench -exp fig6,fig8      # run a subset
+//	vestabench -list               # list experiment ids
+//	vestabench -seed 42            # change the deterministic seed
+//	vestabench -o results.txt      # also write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"vesta/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		listFlag = flag.Bool("list", false, "list available experiments and exit")
+		seedFlag = flag.Uint64("seed", 1, "deterministic experiment seed")
+		outFlag  = flag.String("o", "", "also write the report to this file")
+		mdFlag   = flag.String("md", "", "also write a markdown report to this file")
+		parFlag  = flag.Int("parallel", 1, "experiments run concurrently (each gets its own environment)")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.Registry()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	var md io.Writer
+	if *mdFlag != "" {
+		f, err := os.Create(*mdFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		md = f
+		fmt.Fprintf(md, "# Vesta experiment report (seed %d)\n\n", *seedFlag)
+	}
+
+	fmt.Fprintf(out, "Vesta experiment harness (seed %d, %d VM types, parallel %d)\n\n",
+		*seedFlag, len(bench.NewEnv(*seedFlag).Catalog), *parFlag)
+
+	// Experiments are independent and deterministic; with -parallel each
+	// gets a private environment (the env's ground-truth cache is not
+	// shared across goroutines) and results print in registry order.
+	type outcome struct {
+		table   *bench.Table
+		elapsed float64
+	}
+	results := make([]outcome, len(selected))
+	sem := make(chan struct{}, max(1, *parFlag))
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		wg.Add(1)
+		go func(i int, e bench.Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			env := bench.NewEnv(*seedFlag)
+			results[i] = outcome{table: e.Run(env), elapsed: time.Since(start).Seconds()}
+		}(i, e)
+	}
+	wg.Wait()
+
+	for i, e := range selected {
+		fmt.Fprint(out, results[i].table.Render())
+		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.ID, results[i].elapsed)
+		if md != nil {
+			fmt.Fprint(md, results[i].table.RenderMarkdown())
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

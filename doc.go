@@ -1,0 +1,33 @@
+// Package vesta is the module root of a complete Go reproduction of
+// "Best VM Selection for Big Data Applications across Multiple Frameworks
+// by Transfer Learning" (Wu et al., ICPP '21): the Vesta system, its
+// baselines (PARIS, Ernest), and the simulated EC2 + Hadoop/Hive/Spark
+// substrate its evaluation ran on.
+//
+// Layout:
+//
+//	internal/core       Vesta itself: offline knowledge abstraction, online
+//	                    transfer prediction, cluster-size recommendation
+//	internal/cloud      the 120-type EC2 catalog of Table 4
+//	internal/workload   the 30 applications of Table 3 (+ synthesis)
+//	internal/sim        deterministic BSP cluster simulator (the testbed)
+//	internal/metrics    the 20 low-level metrics and Table 1 correlations
+//	internal/oracle     exhaustive ground truth + run-overhead metering
+//	internal/bipartite  the two-layer knowledge graph of Figure 4
+//	internal/{mat,stats,rng,kmeans,pca,cmf,forest,nnls}
+//	                    from-scratch numeric and ML substrates
+//	internal/baselines  PARIS, PARIS-from-scratch, Ernest, Random,
+//	                    CherryPick-lite, Arrow-lite
+//	internal/bench      the experiment harness: Figures 1-3 and 6-13,
+//	                    ablations, and extension experiments
+//	internal/{store,traceview,latency,portfolio}
+//	                    collector storage, trace inspection, and the
+//	                    latency/fleet extensions
+//	cmd/vesta           the user-facing CLI
+//	cmd/vestabench      regenerates every table and figure
+//	examples/...        five runnable scenarios
+//
+// Start with README.md, DESIGN.md (system inventory and substitutions) and
+// EXPERIMENTS.md (paper-vs-measured results). bench_test.go in this
+// directory exposes each experiment as a testing.B benchmark.
+package vesta

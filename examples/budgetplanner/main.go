@@ -1,0 +1,94 @@
+// Budgetplanner: the practical-metrics scenario of Section 5.2. For a mix of
+// applications across all three frameworks, find the cheapest VM type whose
+// execution time stays within a tolerated slowdown of the fastest option,
+// using Vesta's budget-objective sequential optimizer under a small run
+// budget.
+//
+// Run with:
+//
+//	go run ./examples/budgetplanner
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// slowdownTolerance is how much slower than the fastest-found configuration
+// we accept in exchange for a lower bill.
+const slowdownTolerance = 1.25
+
+// runBudget is the number of cluster deployments we are willing to pay for
+// per application while deciding.
+const runBudget = 10
+
+func main() {
+	catalog := cloud.Catalog120()
+	simulator := sim.New(sim.DefaultConfig())
+	byName := cloud.ByName(catalog)
+
+	vesta, err := core.New(core.Config{Seed: 21}, catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vesta.TrainOffline(workload.BySet(workload.SourceTraining), oracle.NewMeter(simulator, 21)); err != nil {
+		log.Fatal(err)
+	}
+
+	apps := []string{
+		"Hadoop-kmeans", "Hive-aggregation", "Spark-lr",
+		"Spark-sort", "Spark-page-rank", "Spark-count",
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "APPLICATION\tCHOSEN VM\tTIME(s)\tBUDGET($)\tFASTEST SEEN(s)\tSAVING vs FASTEST")
+	for _, name := range apps {
+		app, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		steps, _, err := vesta.OptimizeFor(app, runBudget, core.MinimizeBudget, oracle.NewMeter(simulator, 22))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The fastest configuration seen within the budget.
+		fastestSec := steps[0].ObservedSec
+		for _, st := range steps {
+			if st.ObservedSec < fastestSec {
+				fastestSec = st.ObservedSec
+			}
+		}
+		// The cheapest configuration within the slowdown tolerance.
+		bestVM, bestSec, bestUSD := "", 0.0, -1.0
+		for _, st := range steps {
+			if st.ObservedSec > fastestSec*slowdownTolerance {
+				continue
+			}
+			if bestUSD < 0 || st.ObservedUSD < bestUSD {
+				bestVM, bestSec, bestUSD = st.VM, st.ObservedSec, st.ObservedUSD
+			}
+		}
+		// Cost of always taking the fastest configuration instead.
+		fastestUSD := 0.0
+		for _, st := range steps {
+			if st.ObservedSec == fastestSec {
+				fastestUSD = st.ObservedUSD
+			}
+		}
+		saving := (1 - bestUSD/fastestUSD) * 100
+		fmt.Fprintf(w, "%s\t%s (%s)\t%.1f\t%.4f\t%.1f\t%.0f%%\n",
+			name, bestVM, byName[bestVM].Category, bestSec, bestUSD, fastestSec, saving)
+	}
+	w.Flush()
+	fmt.Printf("\npolicy: cheapest VM within %.0f%% of the fastest found, %d deployments per app\n",
+		(slowdownTolerance-1)*100, runBudget)
+}

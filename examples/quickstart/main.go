@@ -1,0 +1,76 @@
+// Quickstart: train Vesta's offline knowledge on the Hadoop+Hive source
+// workloads, then pick the best VM type for one new Spark workload with only
+// four profiling runs.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+func main() {
+	// The 120-type EC2 catalog of the paper's Table 4 and the deterministic
+	// cluster simulator standing in for the real testbed.
+	catalog := cloud.Catalog120()
+	simulator := sim.New(sim.DefaultConfig())
+	meter := oracle.NewMeter(simulator, 1)
+
+	// 1. Build a Vesta system with the paper's defaults (k=9 labels,
+	//    lambda=0.75, 3 random initialization runs).
+	vesta, err := core.New(core.Config{Seed: 1}, catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Offline phase: abstract knowledge from the 13 Hadoop+Hive training
+	//    workloads (Table 3's source training set).
+	sources := workload.BySet(workload.SourceTraining)
+	fmt.Printf("offline: profiling %d source workloads on %d VM types...\n", len(sources), len(catalog))
+	if err := vesta.TrainOffline(sources, meter); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline: done (%d reference-VM profilings, one-time cost)\n\n", vesta.Knowledge().OfflineRuns)
+
+	// 3. Online phase: a brand-new Spark workload arrives. Vesta runs it on
+	//    one sandbox VM plus 3 random VM types, transfers the Hadoop/Hive
+	//    knowledge through the bipartite graph, and ranks all 120 types.
+	target, err := workload.ByName("Spark-lr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter.Reset()
+	pred, err := vesta.PredictOnline(target, meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("online: target %s\n", target)
+	fmt.Printf("online: charged only %d reference VMs (vs ~100 to train from scratch)\n", pred.OnlineRuns)
+	fmt.Printf("online: predicted best VM type: %s\n", pred.Best)
+	fmt.Printf("online: predicted execution time there: %.1f s\n\n", pred.PredictedSec[pred.Best.Name])
+
+	// 4. Check against exhaustive ground truth (the paper's brute-force
+	//    definition of "best", feasible only in simulation).
+	truth := oracle.Build(simulator, []workload.App{target}, catalog, 999)
+	bestVM, bestSec, err := truth.BestByTime(target.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pickedSec, err := truth.Time(target.Name, pred.Best.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ground truth best: %s at %.1f s\n", bestVM.Name, bestSec)
+	fmt.Printf("Vesta's pick runs at %.1f s -> %.1f%% from optimal\n",
+		pickedSec, (pickedSec-bestSec)/bestSec*100)
+}

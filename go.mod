@@ -1,0 +1,3 @@
+module vesta
+
+go 1.22

@@ -1,0 +1,76 @@
+package baselines
+
+import (
+	"testing"
+
+	"vesta/internal/oracle"
+	"vesta/internal/workload"
+)
+
+func TestArrowSelect(t *testing.T) {
+	m := newMeter()
+	a := NewArrowLite(catalog, 21)
+	sel, err := a.Select(target(t, "Spark-bayes"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelection(t, sel)
+	if sel.OnlineRuns != a.Budget {
+		t.Fatalf("arrow online runs = %d, want %d", sel.OnlineRuns, a.Budget)
+	}
+	if len(sel.Observed) != a.Budget {
+		t.Fatalf("arrow observed %d VMs", len(sel.Observed))
+	}
+}
+
+func TestArrowInvalidConfig(t *testing.T) {
+	a := NewArrowLite(catalog, 1)
+	a.Budget = 1
+	a.InitRuns = 3
+	if _, err := a.Select(target(t, "Spark-lr"), newMeter()); err == nil {
+		t.Fatal("budget < init accepted")
+	}
+}
+
+func TestArrowDeterministic(t *testing.T) {
+	tgt := target(t, "Spark-pca")
+	s1, err := NewArrowLite(catalog, 5).Select(tgt, newMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewArrowLite(catalog, 5).Select(tgt, newMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Best.Name != s2.Best.Name {
+		t.Fatalf("non-deterministic arrow: %s vs %s", s1.Best.Name, s2.Best.Name)
+	}
+}
+
+func TestArrowCompetitiveWithCherryPick(t *testing.T) {
+	// Summed over the targets, the fingerprint-augmented search should not
+	// be clearly worse than the blind surrogate at the same budget.
+	m := newMeter()
+	truth := oracle.Build(m.Sim, workload.TargetSet(), catalog, 99)
+	var arrowReg, cpReg float64
+	for _, tgt := range workload.TargetSet() {
+		ar := NewArrowLite(catalog, 31)
+		cp := NewCherryPickLite(catalog, 31)
+		as, err := ar.Select(tgt, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := cp.Select(tgt, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bestSec, _ := truth.BestByTime(tgt.Name)
+		aSec, _ := truth.Time(tgt.Name, as.Best.Name)
+		cSec, _ := truth.Time(tgt.Name, cs.Best.Name)
+		arrowReg += (aSec - bestSec) / bestSec
+		cpReg += (cSec - bestSec) / bestSec
+	}
+	if arrowReg > cpReg*1.4 {
+		t.Fatalf("arrow regret %.2f clearly worse than cherrypick %.2f", arrowReg, cpReg)
+	}
+}

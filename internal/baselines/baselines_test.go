@@ -1,0 +1,373 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/cloud"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+var catalog = cloud.Catalog120()
+
+func newMeter() *oracle.Meter {
+	return oracle.NewMeter(sim.New(sim.Config{Repeats: 3}), 7)
+}
+
+func target(t *testing.T, name string) workload.App {
+	t.Helper()
+	a, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func checkSelection(t *testing.T, sel *Selection) {
+	t.Helper()
+	if sel.Best.Name == "" {
+		t.Fatal("no best VM")
+	}
+	if len(sel.Ranking) != len(catalog) {
+		t.Fatalf("ranking has %d entries, want %d", len(sel.Ranking), len(catalog))
+	}
+	if sel.Ranking[0] != sel.Best.Name {
+		t.Fatal("best is not first in ranking")
+	}
+	seen := map[string]bool{}
+	for _, vm := range sel.Ranking {
+		if seen[vm] {
+			t.Fatalf("duplicate VM %s in ranking", vm)
+		}
+		seen[vm] = true
+	}
+	for i := 1; i < len(sel.Ranking); i++ {
+		if sel.PredictedSec[sel.Ranking[i]] < sel.PredictedSec[sel.Ranking[i-1]] {
+			t.Fatal("ranking not sorted by predicted time")
+		}
+	}
+	for vm, sec := range sel.Observed {
+		if sel.PredictedSec[vm] != sec {
+			t.Fatalf("observed VM %s prediction %v != measurement %v", vm, sel.PredictedSec[vm], sec)
+		}
+	}
+}
+
+func TestParisTrainAndSelect(t *testing.T) {
+	m := newMeter()
+	p := NewParis(catalog, 1)
+	if _, err := p.Select(target(t, "Spark-lr"), m); err == nil {
+		t.Fatal("Select before Train should error")
+	}
+	sources := workload.BySet(workload.SourceTraining)[:4]
+	if err := p.Train(sources, m); err != nil {
+		t.Fatal(err)
+	}
+	// Training cost: per source, 2 fingerprint runs + 120 catalog runs.
+	want := len(sources) * (2 + len(catalog))
+	if p.TrainRuns() != want {
+		t.Fatalf("TrainRuns = %d, want %d", p.TrainRuns(), want)
+	}
+	m.Reset()
+	sel, err := p.Select(target(t, "Spark-lr"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelection(t, sel)
+	if sel.OnlineRuns != 2 {
+		t.Fatalf("PARIS online runs = %d, want 2 (fingerprint only)", sel.OnlineRuns)
+	}
+}
+
+func TestParisTrainEmpty(t *testing.T) {
+	p := NewParis(catalog, 1)
+	if err := p.Train(nil, newMeter()); err == nil {
+		t.Fatal("empty Train accepted")
+	}
+}
+
+func TestParisInFrameworkAccuracy(t *testing.T) {
+	// Trained and tested within Hadoop/Hive, PARIS should pick a VM whose
+	// true time is within 2x of optimal — the in-framework case it is
+	// designed for.
+	m := newMeter()
+	p := NewParis(catalog, 2)
+	if err := p.Train(workload.BySet(workload.SourceTraining), m); err != nil {
+		t.Fatal(err)
+	}
+	tgt := target(t, "Hadoop-kmeans") // source-testing set, same frameworks
+	sel, err := p.Select(tgt, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := oracle.Build(m.Sim, []workload.App{tgt}, catalog, 99)
+	_, bestSec, _ := truth.BestByTime(tgt.Name)
+	pickedSec, _ := truth.Time(tgt.Name, sel.Best.Name)
+	if pickedSec > 2*bestSec {
+		t.Fatalf("in-framework PARIS pick %s is %.1fx optimal", sel.Best.Name, pickedSec/bestSec)
+	}
+}
+
+func TestParisScratch(t *testing.T) {
+	m := newMeter()
+	p := NewParisScratch(catalog, 3)
+	p.SampleVMs = 30
+	sel, err := p.Select(target(t, "Spark-kmeans"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelection(t, sel)
+	if sel.OnlineRuns != 30 {
+		t.Fatalf("scratch online runs = %d, want 30", sel.OnlineRuns)
+	}
+	if len(sel.Observed) != 30 {
+		t.Fatalf("scratch observed %d VMs", len(sel.Observed))
+	}
+}
+
+func TestParisScratchDefaultsTo100(t *testing.T) {
+	p := NewParisScratch(catalog, 1)
+	if p.SampleVMs != 100 {
+		t.Fatalf("default SampleVMs = %d, want 100 (Figure 8)", p.SampleVMs)
+	}
+}
+
+func TestParisScratchInvalid(t *testing.T) {
+	p := NewParisScratch(catalog, 1)
+	p.SampleVMs = 1
+	if _, err := p.Select(target(t, "Spark-lr"), newMeter()); err == nil {
+		t.Fatal("SampleVMs=1 accepted")
+	}
+}
+
+func TestParisScratchBeatsCrossFrameworkOnSpark(t *testing.T) {
+	// The reason the paper charges PARIS 100 runs for a new framework:
+	// trained from scratch on the target it is much more accurate than the
+	// reused cross-framework model.
+	m := newMeter()
+	cross := NewParis(catalog, 4)
+	if err := cross.Train(workload.SourceSet(), m); err != nil {
+		t.Fatal(err)
+	}
+	scratch := NewParisScratch(catalog, 4)
+	truth := oracle.Build(m.Sim, workload.TargetSet(), catalog, 99)
+
+	var crossReg, scratchReg float64
+	for _, tgt := range workload.TargetSet() {
+		cs, err := cross.Select(tgt, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := scratch.Select(tgt, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bestSec, _ := truth.BestByTime(tgt.Name)
+		cSec, _ := truth.Time(tgt.Name, cs.Best.Name)
+		sSec, _ := truth.Time(tgt.Name, ss.Best.Name)
+		crossReg += (cSec - bestSec) / bestSec
+		scratchReg += (sSec - bestSec) / bestSec
+	}
+	if scratchReg >= crossReg {
+		t.Fatalf("scratch regret %.2f not below cross-framework regret %.2f", scratchReg, crossReg)
+	}
+}
+
+func TestErnestSelect(t *testing.T) {
+	m := newMeter()
+	e := NewErnest(catalog, 5)
+	sel, err := e.Select(target(t, "Spark-lr"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelection(t, sel)
+	if sel.OnlineRuns != len(e.TrainVMs) {
+		t.Fatalf("Ernest online runs = %d, want %d", sel.OnlineRuns, len(e.TrainVMs))
+	}
+	// Predictions must be non-negative (NNLS coefficients).
+	for vm, sec := range sel.PredictedSec {
+		if sec < 0 || math.IsNaN(sec) {
+			t.Fatalf("Ernest predicted %v for %s", sec, vm)
+		}
+	}
+}
+
+func TestErnestBetterOnSparkThanHadoop(t *testing.T) {
+	// Table 5: Ernest "only works well on Spark workloads". Compare its
+	// selection regret on the same kernel across frameworks.
+	m := newMeter()
+	e := NewErnest(catalog, 6)
+	apps := []workload.App{target(t, "Spark-lr"), target(t, "Hadoop-terasort"), target(t, "Hive-full-join")}
+	truth := oracle.Build(m.Sim, apps, catalog, 99)
+	reg := func(a workload.App) float64 {
+		sel, err := e.Select(a, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bestSec, _ := truth.BestByTime(a.Name)
+		sec, _ := truth.Time(a.Name, sel.Best.Name)
+		return (sec - bestSec) / bestSec
+	}
+	spark := reg(apps[0])
+	hadoop := reg(apps[1])
+	hive := reg(apps[2])
+	if spark > hadoop+hive {
+		t.Fatalf("Ernest regret on Spark (%.2f) not clearly below Hadoop(%.2f)+Hive(%.2f)",
+			spark, hadoop, hive)
+	}
+}
+
+func TestErnestUnknownTrainVM(t *testing.T) {
+	e := NewErnest(catalog, 1)
+	e.TrainVMs = []string{"bogus.vm"}
+	if _, err := e.Select(target(t, "Spark-lr"), newMeter()); err == nil {
+		t.Fatal("unknown training VM accepted")
+	}
+}
+
+func TestRandomSearch(t *testing.T) {
+	m := newMeter()
+	r := NewRandomSearch(catalog, 7)
+	sel, err := r.Select(target(t, "Spark-sort"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelection(t, sel)
+	if sel.OnlineRuns != 10 {
+		t.Fatalf("random online runs = %d, want 10", sel.OnlineRuns)
+	}
+	// Best must be one of the observed VMs (no extrapolation).
+	if _, ok := sel.Observed[sel.Best.Name]; !ok {
+		t.Fatal("random search picked an unobserved VM")
+	}
+}
+
+func TestRandomSearchInvalidBudget(t *testing.T) {
+	r := NewRandomSearch(catalog, 1)
+	r.Budget = 0
+	if _, err := r.Select(target(t, "Spark-lr"), newMeter()); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestCherryPickLite(t *testing.T) {
+	m := newMeter()
+	c := NewCherryPickLite(catalog, 8)
+	sel, err := c.Select(target(t, "Spark-kmeans"), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSelection(t, sel)
+	if sel.OnlineRuns != c.Budget {
+		t.Fatalf("cherrypick online runs = %d, want %d", sel.OnlineRuns, c.Budget)
+	}
+}
+
+func TestCherryPickBeatsRandomOnAverage(t *testing.T) {
+	// With the same budget, the model-based search should find a better or
+	// equal VM than uniform random, summed over targets.
+	m := newMeter()
+	truth := oracle.Build(m.Sim, workload.TargetSet(), catalog, 99)
+	var cpReg, rndReg float64
+	for _, tgt := range workload.TargetSet() {
+		cp := NewCherryPickLite(catalog, 9)
+		rnd := NewRandomSearch(catalog, 9)
+		cs, err := cp.Select(tgt, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := rnd.Select(tgt, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bestSec, _ := truth.BestByTime(tgt.Name)
+		cSec, _ := truth.Time(tgt.Name, cs.Best.Name)
+		rSec, _ := truth.Time(tgt.Name, rs.Best.Name)
+		cpReg += (cSec - bestSec) / bestSec
+		rndReg += (rSec - bestSec) / bestSec
+	}
+	if cpReg > rndReg*1.1 {
+		t.Fatalf("CherryPick-lite regret %.2f clearly worse than random %.2f", cpReg, rndReg)
+	}
+}
+
+func TestCherryPickInvalidConfig(t *testing.T) {
+	c := NewCherryPickLite(catalog, 1)
+	c.Budget = 2
+	c.InitRuns = 5
+	if _, err := c.Select(target(t, "Spark-lr"), newMeter()); err == nil {
+		t.Fatal("budget < init accepted")
+	}
+}
+
+func TestSequentialSearch(t *testing.T) {
+	m := newMeter()
+	e := NewErnest(catalog, 10)
+	tgt := target(t, "Spark-lr")
+	steps, err := SequentialSearch(e, tgt, catalog, 15, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 15 {
+		t.Fatalf("got %d steps, want 15", len(steps))
+	}
+	for i, st := range steps {
+		if st.Run != i+1 {
+			t.Fatalf("step %d has Run=%d", i, st.Run)
+		}
+		if st.ObservedSec <= 0 || st.BestSec <= 0 {
+			t.Fatalf("bad step %+v", st)
+		}
+		if i > 0 && st.BestSec > steps[i-1].BestSec {
+			t.Fatal("best-so-far time increased")
+		}
+		if i > 0 && st.BestUSD > steps[i-1].BestUSD {
+			t.Fatal("best-so-far budget increased")
+		}
+		if st.BestSec > st.ObservedSec {
+			t.Fatal("best-so-far above observation")
+		}
+	}
+	// No VM tried twice.
+	seen := map[string]bool{}
+	for _, st := range steps {
+		if seen[st.VM] {
+			t.Fatalf("VM %s tried twice", st.VM)
+		}
+		seen[st.VM] = true
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range []Selector{
+		NewParis(catalog, 1), NewParisScratch(catalog, 1),
+		NewErnest(catalog, 1), NewRandomSearch(catalog, 1), NewCherryPickLite(catalog, 1),
+	} {
+		if s.Name() == "" || names[s.Name()] {
+			t.Fatalf("bad or duplicate selector name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}
+
+func TestVMFeaturesShape(t *testing.T) {
+	f := vmFeatures(catalog[0])
+	if len(f) != 8 {
+		t.Fatalf("vmFeatures has %d dims, want 8", len(f))
+	}
+}
+
+func BenchmarkErnestSelect(b *testing.B) {
+	m := newMeter()
+	e := NewErnest(catalog, 1)
+	a, _ := workload.ByName("Spark-lr")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Select(a, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Figures 1-3 and 6-13) plus the ablation
+// studies called out in DESIGN.md, printing the same rows/series the paper
+// reports so shapes can be compared side by side.
+//
+// Every experiment is a pure function of an Env (simulator + catalog +
+// seed), so all outputs are deterministic and regenerate byte-identically.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"vesta/internal/cloud"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// Env is the shared laboratory environment for all experiments.
+type Env struct {
+	Sim     *sim.Simulator
+	Catalog []cloud.VMType
+	Seed    uint64
+
+	// truth caches exhaustive ground-truth tables keyed by app-set label.
+	truth map[string]*oracle.Table
+}
+
+// NewEnv builds the default environment: the paper's measurement protocol
+// (4 nodes, 10 repeats, 5 s sampling) over the 120-type catalog.
+func NewEnv(seed uint64) *Env {
+	return &Env{
+		Sim:     sim.New(sim.DefaultConfig()),
+		Catalog: cloud.Catalog120(),
+		Seed:    seed,
+		truth:   map[string]*oracle.Table{},
+	}
+}
+
+// Truth returns (building and caching on first use) the exhaustive
+// ground-truth table for a named application set.
+func (e *Env) Truth(label string, apps []workload.App) *oracle.Table {
+	if t, ok := e.truth[label]; ok {
+		return t
+	}
+	t := oracle.Build(e.Sim, apps, e.Catalog, e.Seed+0x7177)
+	e.truth[label] = t
+	return t
+}
+
+// Meter returns a fresh measurement meter for one system run.
+func (e *Env) Meter(offset uint64) *oracle.Meter {
+	return oracle.NewMeter(e.Sim, e.Seed+offset)
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // e.g. "fig6"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries paper-vs-measured commentary appended to the render.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render produces an aligned ASCII table.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// RenderMarkdown produces a GitHub-flavored markdown rendering of the table
+// (used by vestabench -md to regenerate report documents).
+func (t *Table) RenderMarkdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n> %s\n", n)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(*Env) *Table
+}
+
+// Registry lists every reproducible experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Budget heat maps across frameworks (Figure 1)", Fig1Heatmaps},
+		{"fig2", "Prediction error of naive cross-framework model reuse (Figure 2)", Fig2NaiveReuse},
+		{"fig3", "Training overhead vs error when training from scratch (Figure 3)", Fig3ScratchCost},
+		{"fig6", "Prediction error (MAPE) vs PARIS and Ernest (Figure 6)", Fig6PredictionError},
+		{"fig7", "Predicting Spark-lr execution time on 10 VM types (Figure 7)", Fig7SparkLR},
+		{"fig8", "Training overhead in reference VMs (Figure 8)", Fig8TrainingOverhead},
+		{"fig9", "PCA importance of the correlations per framework (Figure 9)", Fig9PCAImportance},
+		{"fig10", "Correlation popularity vs VM-type consistency (Figure 10)", Fig10CorrelationScatter},
+		{"fig11", "Tuning k in K-Means by 10-fold cross validation (Figure 11)", Fig11KMeansTuning},
+		{"fig12", "Execution-time optimization progression (Figure 12)", Fig12TimeProgression},
+		{"fig13", "Budget optimization comparison (Figure 13)", Fig13Budget},
+		{"ablation-lambda", "CMF tradeoff lambda sweep (DESIGN ablation)", AblationLambda},
+		{"ablation-initruns", "Number of random initialization runs (DESIGN ablation)", AblationInitRuns},
+		{"ablation-pca", "PCA feature pruning on/off (DESIGN ablation)", AblationPCA},
+		{"ablation-features", "Correlation features vs raw metric levels (DESIGN ablation)", AblationFeatures},
+		{"ablation-k", "K-Means k sensitivity on target regret (DESIGN ablation)", AblationK},
+		{"ext-latency", "Latency-objective selection for streaming workloads (extension)", ExtLatency},
+		{"ext-scaling", "Transfer quality vs knowledge-base breadth (extension)", ExtScaling},
+		{"ext-search", "Search baselines (Random/CherryPick/Arrow) vs transfer (extension)", ExtSearch},
+		{"ext-interference", "Selection quality under multi-tenant interference (extension)", ExtInterference},
+		{"ext-datasize", "Generalization across input data scales (extension)", ExtDataSize},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}

@@ -1,0 +1,228 @@
+// Figures 1-3: the motivation experiments of Sections 1-2.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vesta/internal/baselines"
+	"vesta/internal/oracle"
+	"vesta/internal/stats"
+	"vesta/internal/workload"
+)
+
+// Fig1Heatmaps reproduces Figure 1: budget heat maps of one application per
+// framework over the CPU-cores x memory plane. Each cell holds the lowest
+// budget among catalog VMs with that (vCPU count, GiB-per-vCPU) shape,
+// rendered as a 0-9 digit normalized per application (0 = cheapest, 9 = most
+// expensive, '.' = no such VM shape). The paper's observation to verify:
+// the cheap (low-digit) region sits at a similar CPU-to-memory ratio across
+// all three frameworks even though the maps look different overall.
+func Fig1Heatmaps(env *Env) *Table {
+	apps := []string{"Hadoop-terasort", "Hive-aggregation", "Spark-page-rank"}
+	t := &Table{
+		ID:    "fig1",
+		Title: "budget heat maps (rows: GiB/vCPU; cols: total vCPUs; digit 0=cheapest)",
+	}
+	// Axis buckets.
+	cpuCols := []int{2, 4, 8, 16, 32, 48, 64, 96}
+	ratioRows := []float64{1, 2, 4, 8, 15.25}
+	t.Columns = append([]string{"app", "GiB/vCPU"}, intsToStrings(cpuCols)...)
+
+	for _, name := range apps {
+		app, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		truth := env.Truth("all30", workload.All())
+		// Min budget per (ratio, cpus) cell.
+		grid := make([][]float64, len(ratioRows))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for r := range grid {
+			grid[r] = make([]float64, len(cpuCols))
+			for c := range grid[r] {
+				grid[r][c] = math.Inf(1)
+			}
+		}
+		for _, vm := range env.Catalog {
+			r := closestIndex(ratioRows, vm.MemPerVCPU())
+			c := closestIndexInt(cpuCols, vm.VCPUs)
+			cost, err := truth.Cost(app.Name, vm.Name)
+			if err != nil {
+				panic(err)
+			}
+			if cost < grid[r][c] {
+				grid[r][c] = cost
+			}
+			if cost < lo {
+				lo = cost
+			}
+			if cost > hi {
+				hi = cost
+			}
+		}
+		for r := len(ratioRows) - 1; r >= 0; r-- {
+			cells := []interface{}{app.Name, fmt.Sprintf("%.1f", ratioRows[r])}
+			for c := range cpuCols {
+				if math.IsInf(grid[r][c], 1) {
+					cells = append(cells, ".")
+					continue
+				}
+				// Log-scaled 0-9 digit.
+				d := int(9 * (math.Log(grid[r][c]) - math.Log(lo)) / (math.Log(hi) - math.Log(lo)))
+				cells = append(cells, fmt.Sprintf("%d", d))
+			}
+			t.AddRow(cells...)
+		}
+		t.AddRow("")
+	}
+	t.Notes = append(t.Notes,
+		"paper: maps look completely different per framework, but the best (low-digit) region follows a similar CPU-to-memory ratio",
+	)
+	return t
+}
+
+// Fig2NaiveReuse reproduces Figure 2: a low-level-metric model (PARIS)
+// trained on Hadoop+Hive and reused verbatim on Spark targets. The paper
+// reports nearly 80% of workloads suffering high prediction error.
+func Fig2NaiveReuse(env *Env) *Table {
+	meter := env.Meter(0x21)
+	paris := baselines.NewParis(env.Catalog, env.Seed+2)
+	if err := paris.Train(workload.SourceSet(), meter); err != nil {
+		panic(err)
+	}
+	truth := env.Truth("targets", workload.TargetSet())
+
+	t := &Table{
+		ID:      "fig2",
+		Title:   "prediction error of reusing a Hadoop+Hive low-level-metric model on Spark",
+		Columns: []string{"workload", "MAPE(%)", "high error (>50%)"},
+	}
+	high := 0
+	for _, tgt := range workload.TargetSet() {
+		sel, err := paris.Select(tgt, meter)
+		if err != nil {
+			panic(err)
+		}
+		mape := selectionMAPE(truth, tgt.Name, sel.Best.Name, sel.PredictedSec[sel.Best.Name])
+		flag := ""
+		if mape > 50 {
+			flag = "yes"
+			high++
+		}
+		t.AddRow(tgt.Name, mape, flag)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured: %d/12 (%.0f%%) Spark workloads above 50%% error; paper: nearly 80%%",
+			high, float64(high)/12*100),
+	)
+	return t
+}
+
+// Fig3ScratchCost reproduces Figure 3: prediction error as a function of
+// training overhead when a model is trained from scratch for the new
+// framework, sweeping the number of reference VMs.
+func Fig3ScratchCost(env *Env) *Table {
+	truth := env.Truth("targets", workload.TargetSet())
+	t := &Table{
+		ID:      "fig3",
+		Title:   "training overhead vs prediction error, training from scratch for Spark",
+		Columns: []string{"reference VMs", "mean MAPE(%)", "p90 MAPE(%)"},
+	}
+	for _, n := range []int{5, 10, 20, 40, 60, 80, 100, 120} {
+		var mapes []float64
+		for _, tgt := range workload.TargetSet() {
+			meter := env.Meter(0x31)
+			scratch := baselines.NewParisScratch(env.Catalog, env.Seed+3)
+			scratch.SampleVMs = n
+			sel, err := scratch.Select(tgt, meter)
+			if err != nil {
+				panic(err)
+			}
+			mapes = append(mapes, selectionMAPE(truth, tgt.Name, sel.Best.Name, sel.PredictedSec[sel.Best.Name]))
+		}
+		t.AddRow(n, stats.Mean(mapes), stats.P90(mapes))
+	}
+	t.Notes = append(t.Notes,
+		"paper: error falls as overhead grows; acceptable error needs on the order of a hundred reference VMs (hundreds of hours)",
+	)
+	return t
+}
+
+// selectionMAPE is the paper's Equation 7 metric for one workload: the
+// absolute percentage error between the system's predicted result (its
+// predicted execution time on the VM it selected) and the ground-truth best
+// result (the true execution time on the true best VM).
+func selectionMAPE(truth *oracle.Table, app, pickedVM string, predictedSec float64) float64 {
+	_, bestSec, err := truth.BestByTime(app)
+	if err != nil {
+		panic(err)
+	}
+	if math.IsInf(predictedSec, 0) || math.IsNaN(predictedSec) {
+		// A system that predicts nothing useful for its own pick is charged
+		// the error of its pick's true time instead.
+		sec, err := truth.Time(app, pickedVM)
+		if err != nil {
+			panic(err)
+		}
+		predictedSec = sec
+	}
+	return stats.AbsPercentErr(predictedSec, bestSec)
+}
+
+// regretPct is the pure selection error: how much slower the picked VM is
+// than the true best, in percent.
+func regretPct(truth *oracle.Table, app, pickedVM string) float64 {
+	_, bestSec, err := truth.BestByTime(app)
+	if err != nil {
+		panic(err)
+	}
+	sec, err := truth.Time(app, pickedVM)
+	if err != nil {
+		panic(err)
+	}
+	return (sec - bestSec) / bestSec * 100
+}
+
+func closestIndex(buckets []float64, v float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, b := range buckets {
+		if d := math.Abs(math.Log(v) - math.Log(b)); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func closestIndexInt(buckets []int, v int) int {
+	best, bestD := 0, math.MaxInt
+	for i, b := range buckets {
+		d := b - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func intsToStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}
+
+// sortedKeys returns the sorted keys of a string-keyed map.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

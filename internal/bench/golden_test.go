@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files from current output")
+
+// TestFig9Golden pins the cheapest experiment's full rendering against a
+// golden file, guarding the determinism promise end to end (simulator,
+// metrics, PCA, table formatting). Regenerate with:
+//
+//	go test ./internal/bench -run TestFig9Golden -update-golden
+func TestFig9Golden(t *testing.T) {
+	got := Fig9PCAImportance(NewEnv(1)).Render()
+	path := filepath.Join("testdata", "fig9.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("fig9 output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,62 @@
+package bipartite
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON verifies the knowledge-graph deserializer never panics and
+// that every accepted payload produces an internally consistent graph.
+func FuzzGraphJSON(f *testing.F) {
+	// Seed with a valid graph and several corruptions.
+	g, err := New([]string{"l1", "l2"}, []string{"vmA", "vmB"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := g.AddWorkload("w1", SourceEdge, []float64{1, 0}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"labels":["l"],"vms":["v"],"workloads":["w"],"is_source":[true],"workload_label":[[1,2]],"label_vm":[[0]]}`))
+	f.Add([]byte(`{"labels":["l","l"],"vms":["v"]}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return // rejection is fine
+		}
+		// Accepted: the graph must be internally consistent.
+		labels := back.Labels()
+		vms := back.VMs()
+		if len(labels) == 0 || len(vms) == 0 {
+			t.Fatal("accepted graph without labels or VMs")
+		}
+		for _, w := range back.Workloads() {
+			row, err := back.WorkloadLabels(w)
+			if err != nil {
+				t.Fatalf("listed workload %q not queryable: %v", w, err)
+			}
+			if len(row) != len(labels) {
+				t.Fatalf("workload %q row has %d weights, want %d", w, len(row), len(labels))
+			}
+			if _, err := back.IsSource(w); err != nil {
+				t.Fatalf("IsSource(%q): %v", w, err)
+			}
+		}
+		// Scoring must work for any accepted graph.
+		weights := make([]float64, len(labels))
+		for i := range weights {
+			weights[i] = 1
+		}
+		scores := back.ScoreVMsFromWeights(weights)
+		if len(scores) != len(vms) {
+			t.Fatalf("scored %d VMs, want %d", len(scores), len(vms))
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run invokes the CLI capturing both streams.
+func run(args ...string) (code int, stdout, stderr string) {
+	var outB, errB bytes.Buffer
+	code = Run(args, &outB, &errB)
+	return code, outB.String(), errB.String()
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	code, _, stderr := run()
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage: vesta") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	code, _, stderr := run("frobnicate")
+	if code != 2 || !strings.Contains(stderr, "unknown subcommand") {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	code, _, stderr := run("help")
+	if code != 0 || !strings.Contains(stderr, "subcommands:") {
+		t.Fatalf("exit=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	code, stdout, _ := run("catalog", "-family", "C5n")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "c5n.large") || strings.Contains(stdout, "m5.large") {
+		t.Fatalf("catalog filter output wrong:\n%s", stdout)
+	}
+	if code, _, _ := run("catalog", "-family", "NOPE"); code != 1 {
+		t.Fatal("empty filter result should fail")
+	}
+}
+
+func TestWorkloads(t *testing.T) {
+	code, stdout, _ := run("workloads", "-set", "target")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "Spark-svd++") || strings.Contains(stdout, "Hadoop-terasort") {
+		t.Fatalf("workloads filter wrong:\n%s", stdout)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	code, stdout, _ := run("simulate", "-app", "Spark-lr", "-vm", "z1d.xlarge", "-repeats", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"P90 execution time", "budget", "CPU-to-memory"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("simulate output missing %q:\n%s", want, stdout)
+		}
+	}
+	if code, _, stderr := run("simulate"); code != 1 || !strings.Contains(stderr, "-app is required") {
+		t.Fatalf("missing -app not rejected: %d %q", code, stderr)
+	}
+	if code, _, _ := run("simulate", "-app", "Nope-app"); code != 1 {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestInspect(t *testing.T) {
+	code, stdout, _ := run("inspect", "-app", "Hadoop-terasort", "-width", "20")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"phase timeline:", "cpu.user", "correlation similarities"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("inspect output missing %q", want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	code, stdout, _ := run("compare", "-app", "Spark-kmeans", "-vms", "c5.large, r5.large", "-repeats", "3")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "c5.large") || !strings.Contains(stdout, "vs BEST") {
+		t.Fatalf("compare output wrong:\n%s", stdout)
+	}
+	// Memory-starved c5 must not be the top (fastest-first) row for kmeans.
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if !strings.HasPrefix(lines[2], "r5.large") {
+		t.Fatalf("expected r5.large first:\n%s", stdout)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	code, stdout, _ := run("heatmap", "-app", "Spark-page-rank")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "GiB/vCPU") || !strings.Contains(stdout, "total vCPUs") {
+		t.Fatalf("heatmap output wrong:\n%s", stdout)
+	}
+}
+
+func TestCollectHistoryFlow(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, _ := run("collect", "-store", dir, "-app", "Spark-lr", "-vm", "m5.xlarge", "-repeats", "3")
+	if code != 0 {
+		t.Fatalf("collect exit = %d", code)
+	}
+	if !strings.Contains(stdout, "1 records") {
+		t.Fatalf("collect output: %q", stdout)
+	}
+	code, stdout, _ = run("history", "-store", dir)
+	if code != 0 || !strings.Contains(stdout, "Spark-lr") {
+		t.Fatalf("history exit=%d output=%q", code, stdout)
+	}
+	code, stdout, _ = run("history", "-store", dir, "-best")
+	if code != 0 || !strings.Contains(stdout, "BEST VM") {
+		t.Fatalf("history -best exit=%d output=%q", code, stdout)
+	}
+	if code, _, _ := run("history", "-store", dir, "-app", "Nope"); code != 1 {
+		t.Fatal("empty history query should fail")
+	}
+}
+
+// TestProfilePredictFlow exercises the full knowledge lifecycle through the
+// CLI: profile -> knowledge -> predict -> clustersize -> plan.
+func TestProfilePredictFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full offline phase is expensive")
+	}
+	kfile := filepath.Join(t.TempDir(), "k.json")
+	code, stdout, stderr := run("profile", "-out", kfile, "-k", "9")
+	if code != 0 {
+		t.Fatalf("profile exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "offline phase complete") {
+		t.Fatalf("profile output: %q", stdout)
+	}
+
+	code, stdout, _ = run("knowledge", "-knowledge", kfile)
+	if code != 0 || !strings.Contains(stdout, "label-0") {
+		t.Fatalf("knowledge exit=%d output=%q", code, stdout)
+	}
+
+	code, stdout, _ = run("predict", "-knowledge", kfile, "-app", "Spark-kmeans", "-top", "5")
+	if code != 0 {
+		t.Fatalf("predict exit = %d", code)
+	}
+	if !strings.Contains(stdout, "predicted best VM type") || !strings.Contains(stdout, "RANK") {
+		t.Fatalf("predict output: %q", stdout)
+	}
+
+	code, stdout, _ = run("clustersize", "-knowledge", kfile, "-app", "Spark-lr")
+	if code != 0 || !strings.Contains(stdout, "recommended:") {
+		t.Fatalf("clustersize exit=%d output=%q", code, stdout)
+	}
+
+	code, stdout, _ = run("plan", "-knowledge", kfile, "-apps", "Spark-lr,Hive-aggregation", "-deadline", "600")
+	if code != 0 || !strings.Contains(stdout, "portfolio: 2 applications") {
+		t.Fatalf("plan exit=%d output=%q", code, stdout)
+	}
+
+	// Missing knowledge file.
+	if code, _, _ := run("predict", "-knowledge", "/nonexistent.json", "-app", "Spark-lr"); code != 1 {
+		t.Fatal("missing knowledge file accepted")
+	}
+}
+
+func TestFlagParseErrorDoesNotExitProcess(t *testing.T) {
+	// ContinueOnError flag sets must surface as an error code, not os.Exit.
+	code, _, _ := run("simulate", "-definitely-not-a-flag")
+	if code != 1 {
+		t.Fatalf("bad flag exit = %d, want 1", code)
+	}
+}

@@ -1,0 +1,228 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogSize(t *testing.T) {
+	if got := len(Catalog()); got != 100 {
+		t.Fatalf("Catalog has %d types, want 100 (Table 4 as printed)", got)
+	}
+	if got := len(Catalog120()); got != 120 {
+		t.Fatalf("Catalog120 has %d types, want 120 (paper text)", got)
+	}
+}
+
+func TestCatalogUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, v := range Catalog120() {
+		if seen[v.Name] {
+			t.Fatalf("duplicate VM type name %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+}
+
+func TestCatalogFamilies(t *testing.T) {
+	fams := Families(Catalog120())
+	if len(fams) != 20 {
+		t.Fatalf("catalog has %d families, want 20", len(fams))
+	}
+	want := []string{"T3", "T3a", "M5", "M5a", "M5n", "C4", "C5", "C5n", "C5d",
+		"C4n", "R4", "R5", "R5a", "R5n", "X1", "z1d", "G3", "G4", "I3", "I3en"}
+	for i, f := range want {
+		if fams[i] != f {
+			t.Fatalf("family[%d] = %q, want %q", i, fams[i], f)
+		}
+	}
+}
+
+func TestCatalogCategories(t *testing.T) {
+	counts := map[Category]int{}
+	for _, v := range Catalog120() {
+		counts[v.Category]++
+	}
+	// 6 sizes per family in Catalog120.
+	want := map[Category]int{
+		GeneralPurpose:       5 * 6,
+		ComputeOptimized:     5 * 6,
+		MemoryOptimized:      6 * 6,
+		AcceleratedComputing: 2 * 6,
+		StorageOptimized:     2 * 6,
+	}
+	for c, n := range want {
+		if counts[c] != n {
+			t.Fatalf("category %q has %d types, want %d", c, counts[c], n)
+		}
+	}
+}
+
+func TestKnownSpecs(t *testing.T) {
+	cat := Catalog120()
+	m5l, err := Find(cat, "m5.large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m5l.VCPUs != 2 || m5l.MemoryGiB != 8 {
+		t.Fatalf("m5.large = %d vCPU / %v GiB, want 2/8", m5l.VCPUs, m5l.MemoryGiB)
+	}
+	if m5l.PriceHour != 0.096 {
+		t.Fatalf("m5.large price = %v, want 0.096", m5l.PriceHour)
+	}
+	t3s, _ := Find(cat, "t3.small")
+	if t3s.VCPUs != 2 || t3s.MemoryGiB != 2 || !t3s.Burstable {
+		t.Fatalf("t3.small = %+v", t3s)
+	}
+	r5x, _ := Find(cat, "r5.xlarge")
+	if r5x.MemPerVCPU() != 8 {
+		t.Fatalf("r5.xlarge mem ratio = %v, want 8", r5x.MemPerVCPU())
+	}
+	c5x, _ := Find(cat, "c5.xlarge")
+	if c5x.MemPerVCPU() != 2 {
+		t.Fatalf("c5.xlarge mem ratio = %v, want 2", c5x.MemPerVCPU())
+	}
+}
+
+func TestCategoryResourceShape(t *testing.T) {
+	cat := Catalog120()
+	// Memory-optimized families must have higher mem/vCPU than compute ones.
+	var memAvg, cpuAvg float64
+	var nm, nc int
+	for _, v := range cat {
+		switch v.Category {
+		case MemoryOptimized:
+			memAvg += v.MemPerVCPU()
+			nm++
+		case ComputeOptimized:
+			cpuAvg += v.MemPerVCPU()
+			nc++
+		}
+	}
+	memAvg /= float64(nm)
+	cpuAvg /= float64(nc)
+	if memAvg <= 2*cpuAvg {
+		t.Fatalf("memory-optimized ratio %v not clearly above compute-optimized %v", memAvg, cpuAvg)
+	}
+	// Storage-optimized types must dominate the disk bandwidth of their
+	// size peers in every other category.
+	for _, v := range FilterCategory(cat, StorageOptimized) {
+		for _, w := range cat {
+			if w.Category != StorageOptimized && w.Size == v.Size && w.DiskMBps >= v.DiskMBps {
+				t.Fatalf("%s (%v MB/s) not above %s (%v MB/s)", v.Name, v.DiskMBps, w.Name, w.DiskMBps)
+			}
+		}
+	}
+}
+
+func TestPricesPositiveAndMonotoneInSize(t *testing.T) {
+	cat := Catalog120()
+	for _, v := range cat {
+		if v.PriceHour <= 0 {
+			t.Fatalf("%s price %v not positive", v.Name, v.PriceHour)
+		}
+		if v.VCPUs <= 0 || v.MemoryGiB <= 0 || v.DiskMBps <= 0 || v.NetworkGbps <= 0 {
+			t.Fatalf("%s has non-positive resources: %+v", v.Name, v)
+		}
+	}
+	for _, fam := range Families(cat) {
+		types := FilterFamily(cat, fam)
+		for i := 1; i < len(types); i++ {
+			if types[i].PriceHour < types[i-1].PriceHour {
+				t.Fatalf("family %s price not monotone: %s ($%v) after %s ($%v)",
+					fam, types[i].Name, types[i].PriceHour, types[i-1].Name, types[i-1].PriceHour)
+			}
+		}
+	}
+}
+
+func TestGPUFamiliesPremium(t *testing.T) {
+	cat := Catalog120()
+	g3, _ := Find(cat, "g3.xlarge")
+	m5, _ := Find(cat, "m5.xlarge")
+	if !g3.GPU || g3.PriceHour <= 2*m5.PriceHour {
+		t.Fatalf("g3.xlarge ($%v) should carry a large premium over m5.xlarge ($%v)", g3.PriceHour, m5.PriceHour)
+	}
+}
+
+func TestFindErrors(t *testing.T) {
+	if _, err := Find(Catalog(), "nope.large"); err == nil {
+		t.Fatal("Find of unknown type should error")
+	}
+	if !strings.Contains(Find2Err().Error(), "no VM type") {
+		t.Fatal("error message should mention the missing type")
+	}
+}
+
+// Find2Err is a tiny helper so the error-path formatting stays covered.
+func Find2Err() error {
+	_, err := Find(Catalog(), "bogus.type")
+	return err
+}
+
+func TestByName(t *testing.T) {
+	idx := ByName(Catalog120())
+	if len(idx) != 120 {
+		t.Fatalf("ByName has %d entries", len(idx))
+	}
+	if idx["c5.large"].Family != "C5" {
+		t.Fatal("ByName lookup wrong")
+	}
+}
+
+func TestSortByPrice(t *testing.T) {
+	sorted := SortByPrice(Catalog120())
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].PriceHour < sorted[i-1].PriceHour {
+			t.Fatal("SortByPrice not sorted")
+		}
+	}
+	// Original must be untouched (first entry of Catalog120 is t3.small).
+	if Catalog120()[0].Name != "t3.small" {
+		t.Fatal("SortByPrice mutated the source ordering assumption")
+	}
+}
+
+func TestResourceVectorNormalization(t *testing.T) {
+	cat := Catalog120()
+	m5x, _ := Find(cat, "m5.xlarge")
+	rv := m5x.ResourceVector()
+	if len(rv) != 5 {
+		t.Fatalf("ResourceVector length %d, want 5", len(rv))
+	}
+	// M5 is the baseline: first four components should be 1.0.
+	for i := 0; i < 4; i++ {
+		if rv[i] < 0.99 || rv[i] > 1.01 {
+			t.Fatalf("m5 baseline component %d = %v, want about 1", i, rv[i])
+		}
+	}
+}
+
+func TestTypicalTen(t *testing.T) {
+	ten := TypicalTen(Catalog120())
+	if len(ten) != 10 {
+		t.Fatalf("TypicalTen returned %d types", len(ten))
+	}
+	cats := map[Category]bool{}
+	for _, v := range ten {
+		cats[v.Category] = true
+	}
+	if len(cats) != 5 {
+		t.Fatalf("TypicalTen spans %d categories, want all 5", len(cats))
+	}
+}
+
+func TestExtensionSizesLarger(t *testing.T) {
+	cat100 := ByName(Catalog())
+	for _, v := range Catalog120() {
+		if _, inTable := cat100[v.Name]; !inTable {
+			// Extension types must be the largest in their family.
+			for _, w := range FilterFamily(Catalog120(), v.Family) {
+				if w.VCPUs > v.VCPUs {
+					t.Fatalf("extension %s (%d vCPU) is not the family max (%s has %d)",
+						v.Name, v.VCPUs, w.Name, w.VCPUs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package cmf implements Collective Matrix Factorization (Singh & Gordon,
+// KDD'08) solved by alternating Stochastic Gradient Descent, the transfer
+// mechanism of Vesta's online phase (Section 3.3, Algorithm 1 lines 5-12).
+//
+// Three relationship matrices share one label factor matrix L:
+//
+//	U  ~ X  L^T   source workload-label relationships  (dense, observed)
+//	V  ~ T  L^T   label-VM relationships               (dense, observed)
+//	U* ~ X* L^T   target workload-label relationships  (sparse: a new
+//	              workload has only a sandbox run plus 3 random VM runs)
+//
+// Because L is shared, the dense source knowledge constrains the label
+// geometry, and the few observed U* entries suffice to place the target
+// workloads in that geometry — after which Completed = X* L^T fills the
+// missing entries (Algorithm 1 line 12: "a full representation of U* by
+// filling data from U"). The paper's tradeoff parameter lambda weights the
+// target reconstruction against the source knowledge; the paper uses 0.75.
+//
+// Non-convergence is a first-class outcome: the paper reports that Spark-CF
+// "does not converge in the SGD algorithm", handled by a convergence
+// limitation in the online phase. Solve reports Converged=false when the
+// epoch budget is exhausted before the loss stabilizes.
+package cmf
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/mat"
+	"vesta/internal/rng"
+)
+
+// Problem bundles the observed matrices. All must share the label dimension
+// j (columns). Mask marks observed entries of UStar (1 = observed); a nil
+// Mask means UStar is fully observed.
+type Problem struct {
+	U     *mat.Matrix // i x j source workload-label
+	V     *mat.Matrix // k x j label-VM
+	UStar *mat.Matrix // n x j target workload-label (sparse)
+	Mask  *mat.Matrix // n x j observation mask for UStar
+}
+
+// Config tunes the factorization.
+type Config struct {
+	// LatentDim is g, the shared latent feature dimension. Default 6.
+	LatentDim int
+	// Lambda in [0,1] trades target reconstruction (lambda) against source
+	// knowledge (1-lambda); Equation 6. Default 0.75 (the paper's choice).
+	Lambda float64
+	// Reg is the L2 regularization weight R(U, V, U*). Default 0.02.
+	Reg float64
+	// LearnRate is the SGD step size. Default 0.02.
+	LearnRate float64
+	// MaxEpochs bounds training; reaching it without stabilizing marks the
+	// result non-converged. Default 400.
+	MaxEpochs int
+	// Tol is the relative improvement threshold: an epoch that fails to
+	// improve the best loss by this fraction counts as stagnant. Default
+	// 1e-4.
+	Tol float64
+	// LRDecay shrinks the learning rate as 1/(1 + LRDecay*epoch) so the
+	// stochastic loss settles. Default 0.01.
+	LRDecay float64
+	// Patience is how many consecutive stagnant epochs declare convergence.
+	// Default 10.
+	Patience int
+}
+
+func (c *Config) fillDefaults() {
+	if c.LatentDim <= 0 {
+		c.LatentDim = 6
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.75
+	}
+	if c.Reg <= 0 {
+		c.Reg = 0.02
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.02
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 400
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-4
+	}
+	if c.LRDecay <= 0 {
+		c.LRDecay = 0.01
+	}
+	if c.Patience <= 0 {
+		c.Patience = 10
+	}
+}
+
+// Result is a fitted factorization.
+type Result struct {
+	X, XStar, T, L *mat.Matrix
+	// Completed is XStar * L^T: the filled-in target workload-label matrix.
+	Completed *mat.Matrix
+	Converged bool
+	Epochs    int
+	Loss      []float64 // loss per epoch
+}
+
+// Validate checks dimension consistency of the problem.
+func (p Problem) Validate() error {
+	if p.U == nil || p.V == nil || p.UStar == nil {
+		return fmt.Errorf("cmf: U, V and UStar are all required")
+	}
+	j := p.U.Cols
+	if p.V.Cols != j || p.UStar.Cols != j {
+		return fmt.Errorf("cmf: label dimension mismatch: U has %d, V has %d, UStar has %d",
+			j, p.V.Cols, p.UStar.Cols)
+	}
+	if p.Mask != nil && (p.Mask.Rows != p.UStar.Rows || p.Mask.Cols != p.UStar.Cols) {
+		return fmt.Errorf("cmf: mask shape %dx%d does not match UStar %dx%d",
+			p.Mask.Rows, p.Mask.Cols, p.UStar.Rows, p.UStar.Cols)
+	}
+	if p.U.Rows == 0 || p.V.Rows == 0 || p.UStar.Rows == 0 || j == 0 {
+		return fmt.Errorf("cmf: empty matrix in problem")
+	}
+	return nil
+}
+
+// Solve runs the alternating SGD of Algorithm 1: each epoch fixes all factor
+// matrices but one and sweeps SGD updates over the relevant observed cells,
+// cycling X* -> X -> T -> L until the total loss stabilizes.
+func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("cmf: lambda %v out of [0,1]", cfg.Lambda)
+	}
+
+	g := cfg.LatentDim
+	j := p.U.Cols
+	res := &Result{
+		X:     randomFactor(p.U.Rows, g, src),
+		XStar: randomFactor(p.UStar.Rows, g, src),
+		T:     randomFactor(p.V.Rows, g, src),
+		L:     randomFactor(j, g, src),
+	}
+
+	best := math.Inf(1)
+	stagnant := 0
+	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
+		// Decayed step size keeps late epochs from oscillating.
+		cfgE := cfg
+		cfgE.LearnRate = cfg.LearnRate / (1 + cfg.LRDecay*float64(epoch))
+		// Line 8: fix U (X) and V (T), update U*'s factors.
+		sweep(p.UStar, p.Mask, res.XStar, res.L, cfg.Lambda, cfgE, src, true, false)
+		// Line 9: fix U* and V, update U's factors.
+		sweep(p.U, nil, res.X, res.L, 1-cfg.Lambda, cfgE, src, true, false)
+		// Line 10: fix U and U*, update V's factors.
+		sweep(p.V, nil, res.T, res.L, 1-cfg.Lambda, cfgE, src, true, false)
+		// Shared label factors see every relation.
+		sweep(p.UStar, p.Mask, res.XStar, res.L, cfg.Lambda, cfgE, src, false, true)
+		sweep(p.U, nil, res.X, res.L, 1-cfg.Lambda, cfgE, src, false, true)
+		sweep(p.V, nil, res.T, res.L, 1-cfg.Lambda, cfgE, src, false, true)
+
+		loss := totalLoss(p, res, cfg)
+		res.Loss = append(res.Loss, loss)
+		res.Epochs = epoch + 1
+		if loss < best*(1-cfg.Tol) {
+			best = loss
+			stagnant = 0
+		} else {
+			if loss < best {
+				best = loss
+			}
+			stagnant++
+			if stagnant >= cfg.Patience {
+				res.Converged = true
+				break
+			}
+		}
+	}
+
+	res.Completed = res.XStar.Mul(res.L.T())
+	return res, nil
+}
+
+// randomFactor initializes a rows x g factor with small random values.
+func randomFactor(rows, g int, src *rng.Source) *mat.Matrix {
+	m := mat.New(rows, g)
+	for i := range m.Data {
+		m.Data[i] = src.Norm(0, 0.1)
+	}
+	return m
+}
+
+// sweep performs one SGD pass over the observed cells of target ~ row * L^T,
+// updating the row factors and/or L according to the flags. Cell order is
+// shuffled each pass for well-behaved SGD.
+func sweep(target, mask, rows, l *mat.Matrix, weight float64, cfg Config, src *rng.Source, updateRows, updateL bool) {
+	if weight == 0 {
+		return
+	}
+	n, j := target.Rows, target.Cols
+	cells := make([]int, 0, n*j)
+	for idx := 0; idx < n*j; idx++ {
+		if mask == nil || mask.Data[idx] != 0 {
+			cells = append(cells, idx)
+		}
+	}
+	src.Shuffle(len(cells), func(a, b int) { cells[a], cells[b] = cells[b], cells[a] })
+
+	g := rows.Cols
+	lr := cfg.LearnRate * weight
+	for _, idx := range cells {
+		r, c := idx/j, idx%j
+		// Prediction and residual.
+		pred := 0.0
+		for f := 0; f < g; f++ {
+			pred += rows.Data[r*g+f] * l.Data[c*g+f]
+		}
+		e := target.Data[idx] - pred
+		for f := 0; f < g; f++ {
+			rv := rows.Data[r*g+f]
+			lv := l.Data[c*g+f]
+			if updateRows {
+				rows.Data[r*g+f] += lr * (e*lv - cfg.Reg*rv)
+			}
+			if updateL {
+				l.Data[c*g+f] += lr * (e*rv - cfg.Reg*lv)
+			}
+		}
+	}
+}
+
+// totalLoss evaluates Equation 6 plus regularization.
+func totalLoss(p Problem, res *Result, cfg Config) float64 {
+	loss := cfg.Lambda * maskedSSE(p.UStar, p.Mask, res.XStar, res.L)
+	loss += (1 - cfg.Lambda) * (maskedSSE(p.U, nil, res.X, res.L) + maskedSSE(p.V, nil, res.T, res.L))
+	reg := sq(res.X) + sq(res.XStar) + sq(res.T) + sq(res.L)
+	return loss + cfg.Reg*reg
+}
+
+func sq(m *mat.Matrix) float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return s
+}
+
+// maskedSSE returns the squared reconstruction error of target ~ rows * L^T
+// over observed cells.
+func maskedSSE(target, mask, rows, l *mat.Matrix) float64 {
+	n, j, g := target.Rows, target.Cols, rows.Cols
+	s := 0.0
+	for r := 0; r < n; r++ {
+		for c := 0; c < j; c++ {
+			idx := r*j + c
+			if mask != nil && mask.Data[idx] == 0 {
+				continue
+			}
+			pred := 0.0
+			for f := 0; f < g; f++ {
+				pred += rows.Data[r*g+f] * l.Data[c*g+f]
+			}
+			d := target.Data[idx] - pred
+			s += d * d
+		}
+	}
+	return s
+}
+
+// RMSEObserved reports the root-mean-square reconstruction error of the
+// completed U* against a reference matrix over the given mask (1 = compare).
+// A nil mask compares every cell. Useful for held-out evaluation.
+func (r *Result) RMSEObserved(ref, mask *mat.Matrix) float64 {
+	if ref.Rows != r.Completed.Rows || ref.Cols != r.Completed.Cols {
+		panic("cmf: RMSE shape mismatch")
+	}
+	s, n := 0.0, 0
+	for idx, v := range ref.Data {
+		if mask != nil && mask.Data[idx] == 0 {
+			continue
+		}
+		d := v - r.Completed.Data[idx]
+		s += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(n))
+}

@@ -1,0 +1,279 @@
+package cmf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vesta/internal/mat"
+	"vesta/internal/rng"
+)
+
+// synthProblem builds a ground-truth low-rank problem: factors are drawn,
+// matrices constructed from them, and a fraction of UStar hidden.
+func synthProblem(src *rng.Source, i, n, k, j, g int, observedFrac float64) (Problem, *mat.Matrix) {
+	factor := func(rows int) *mat.Matrix {
+		m := mat.New(rows, g)
+		for idx := range m.Data {
+			m.Data[idx] = src.Range(-1, 1)
+		}
+		return m
+	}
+	x, xs, tt, l := factor(i), factor(n), factor(k), factor(j)
+	u := x.Mul(l.T())
+	us := xs.Mul(l.T())
+	v := tt.Mul(l.T())
+	mask := mat.New(n, j)
+	for idx := range mask.Data {
+		if src.Float64() < observedFrac {
+			mask.Data[idx] = 1
+		}
+	}
+	// Guarantee at least one observation per target row.
+	for r := 0; r < n; r++ {
+		any := false
+		for c := 0; c < j; c++ {
+			if mask.At(r, c) == 1 {
+				any = true
+			}
+		}
+		if !any {
+			mask.Set(r, src.Intn(j), 1)
+		}
+	}
+	observed := mat.New(n, j)
+	for idx := range observed.Data {
+		if mask.Data[idx] == 1 {
+			observed.Data[idx] = us.Data[idx]
+		}
+	}
+	return Problem{U: u, V: v, UStar: observed, Mask: mask}, us
+}
+
+func TestValidate(t *testing.T) {
+	src := rng.New(1)
+	p, _ := synthProblem(src, 5, 3, 6, 4, 2, 0.5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.V = mat.New(6, 5) // wrong label dim
+	if err := bad.Validate(); err == nil {
+		t.Fatal("label-dim mismatch passed validation")
+	}
+	bad = p
+	bad.Mask = mat.New(1, 1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mask shape mismatch passed validation")
+	}
+	bad = p
+	bad.U = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil U passed validation")
+	}
+}
+
+func TestSolveRecoversHiddenEntries(t *testing.T) {
+	src := rng.New(2)
+	p, truth := synthProblem(src, 12, 6, 10, 8, 3, 0.6)
+	res, err := Solve(p, Config{LatentDim: 3, MaxEpochs: 2000, Reg: 0.002, LearnRate: 0.03, Tol: 1e-3}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d epochs (final loss %v)", res.Epochs, res.Loss[len(res.Loss)-1])
+	}
+	// Error on the *hidden* cells must be small relative to signal scale.
+	hidden := mat.New(p.Mask.Rows, p.Mask.Cols)
+	for idx, v := range p.Mask.Data {
+		if v == 0 {
+			hidden.Data[idx] = 1
+		}
+	}
+	rmse := res.RMSEObserved(truth, hidden)
+	scale := truth.Frobenius() / math.Sqrt(float64(len(truth.Data)))
+	if rmse > 0.35*scale {
+		t.Fatalf("hidden-cell RMSE %v too high (signal scale %v)", rmse, scale)
+	}
+}
+
+func TestSolveLossDecreases(t *testing.T) {
+	src := rng.New(4)
+	p, _ := synthProblem(src, 10, 5, 8, 6, 3, 0.6)
+	res, err := Solve(p, Config{LatentDim: 3, MaxEpochs: 100}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loss) < 2 {
+		t.Fatal("no loss history")
+	}
+	first, last := res.Loss[0], res.Loss[len(res.Loss)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	src := rng.New(6)
+	p, _ := synthProblem(src, 8, 4, 6, 5, 2, 0.5)
+	r1, err := Solve(p, Config{MaxEpochs: 50}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(p, Config{MaxEpochs: 50}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Completed.Equal(r2.Completed, 0) {
+		t.Fatal("same seed produced different completions")
+	}
+}
+
+func TestNonConvergenceReported(t *testing.T) {
+	// A tiny epoch budget with a strict tolerance cannot converge.
+	src := rng.New(8)
+	p, _ := synthProblem(src, 10, 5, 8, 6, 3, 0.5)
+	res, err := Solve(p, Config{MaxEpochs: 3, Tol: 1e-12, Patience: 50}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("3-epoch run reported convergence against 1e-12 tolerance")
+	}
+	if res.Epochs != 3 {
+		t.Fatalf("Epochs = %d, want 3", res.Epochs)
+	}
+}
+
+func TestLambdaOutOfRange(t *testing.T) {
+	src := rng.New(10)
+	p, _ := synthProblem(src, 4, 2, 3, 3, 2, 1)
+	if _, err := Solve(p, Config{Lambda: 1.5}, rng.New(1)); err == nil {
+		t.Fatal("lambda > 1 accepted")
+	}
+	if _, err := Solve(p, Config{Lambda: -0.5}, rng.New(1)); err == nil {
+		t.Fatal("lambda < 0 accepted")
+	}
+}
+
+func TestNilMaskMeansFullyObserved(t *testing.T) {
+	src := rng.New(11)
+	p, truth := synthProblem(src, 6, 3, 5, 4, 2, 1)
+	p.Mask = nil
+	res, err := Solve(p, Config{LatentDim: 2, MaxEpochs: 400}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := res.RMSEObserved(truth, nil)
+	scale := truth.Frobenius() / math.Sqrt(float64(len(truth.Data)))
+	if rmse > 0.2*scale {
+		t.Fatalf("fully observed reconstruction RMSE %v too high", rmse)
+	}
+}
+
+func TestSharedLabelFactorsTransfer(t *testing.T) {
+	// The transfer property: with only 2 of 8 label columns observed for a
+	// target row, completion must still beat a column-mean baseline, because
+	// the shared L carries source geometry.
+	src := rng.New(13)
+	p, truth := synthProblem(src, 20, 8, 12, 8, 3, 0.25)
+	res, err := Solve(p, Config{LatentDim: 3, MaxEpochs: 800}, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := mat.New(p.Mask.Rows, p.Mask.Cols)
+	for idx, v := range p.Mask.Data {
+		if v == 0 {
+			hidden.Data[idx] = 1
+		}
+	}
+	cmfRMSE := res.RMSEObserved(truth, hidden)
+
+	// Baseline: predict each hidden cell with the observed mean of its row.
+	base := mat.New(truth.Rows, truth.Cols)
+	for r := 0; r < truth.Rows; r++ {
+		sum, n := 0.0, 0
+		for c := 0; c < truth.Cols; c++ {
+			if p.Mask.At(r, c) == 1 {
+				sum += p.UStar.At(r, c)
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		for c := 0; c < truth.Cols; c++ {
+			base.Set(r, c, mean)
+		}
+	}
+	baseRes := &Result{Completed: base}
+	baseRMSE := baseRes.RMSEObserved(truth, hidden)
+	if cmfRMSE >= baseRMSE {
+		t.Fatalf("CMF RMSE %v not better than row-mean baseline %v; transfer broken", cmfRMSE, baseRMSE)
+	}
+}
+
+func TestRMSEPanicsOnShapeMismatch(t *testing.T) {
+	res := &Result{Completed: mat.New(2, 2)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched RMSE did not panic")
+		}
+	}()
+	res.RMSEObserved(mat.New(3, 3), nil)
+}
+
+func BenchmarkSolve(b *testing.B) {
+	src := rng.New(1)
+	p, _ := synthProblem(src, 18, 12, 120, 9, 4, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Config{MaxEpochs: 100}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPropCompletionShape(t *testing.T) {
+	// For any solvable problem, Completed has UStar's shape and finite
+	// entries, and convergence is reported consistently with the history.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		i, n, k, j, g := 3+src.Intn(8), 1+src.Intn(5), 3+src.Intn(10), 3+src.Intn(6), 1+src.Intn(3)
+		p, _ := synthProblem(src, i, n, k, j, g, 0.4+0.4*src.Float64())
+		res, err := Solve(p, Config{LatentDim: g, MaxEpochs: 40}, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		if res.Completed.Rows != n || res.Completed.Cols != j {
+			return false
+		}
+		for _, v := range res.Completed.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return len(res.Loss) == res.Epochs && res.Epochs >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropLossNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		p, _ := synthProblem(src, 4, 3, 5, 4, 2, 0.7)
+		res, err := Solve(p, Config{MaxEpochs: 25}, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		for _, l := range res.Loss {
+			if l < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

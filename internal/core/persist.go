@@ -1,0 +1,81 @@
+// Knowledge persistence: the offline phase is expensive (every source
+// workload on every VM type), so its result — the abstracted knowledge — is
+// serializable. The paper stores collector output in MySQL; we persist the
+// distilled knowledge as JSON (DESIGN.md substitution).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vesta/internal/bipartite"
+	"vesta/internal/kmeans"
+)
+
+// knowledgeJSON is the serialization schema for Knowledge. The PCA result is
+// not persisted: prediction only needs the kept feature indices.
+type knowledgeJSON struct {
+	Labels            []string                      `json:"labels"`
+	Kept              []int                         `json:"kept_features"`
+	Centroids         [][]float64                   `json:"kmeans_centroids"`
+	Graph             *bipartite.Graph              `json:"graph"`
+	SourceNames       []string                      `json:"source_names"`
+	SourceVecs        [][]float64                   `json:"source_vectors"`
+	SourceMemberships [][]float64                   `json:"source_memberships"`
+	Sigma             float64                       `json:"sigma"`
+	BestTimes         map[string]float64            `json:"best_times"`
+	Times             map[string]map[string]float64 `json:"times"`
+	OfflineRuns       int                           `json:"offline_runs"`
+}
+
+// SaveKnowledge writes the trained knowledge to w as JSON. It fails if the
+// system has not been trained.
+func (s *System) SaveKnowledge(w io.Writer) error {
+	k := s.knowledge
+	if k == nil {
+		return fmt.Errorf("vesta: SaveKnowledge before TrainOffline")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(knowledgeJSON{
+		Labels: k.Labels, Kept: k.Kept, Centroids: k.KM.Centroids,
+		Graph: k.Graph, SourceNames: k.SourceNames, SourceVecs: k.SourceVecs,
+		SourceMemberships: k.SourceMemberships, Sigma: k.Sigma,
+		BestTimes: k.BestTimes, Times: k.Times, OfflineRuns: k.OfflineRuns,
+	})
+}
+
+// LoadKnowledge restores previously saved knowledge into the system,
+// replacing any trained state. The system's catalog must contain every VM
+// the knowledge references.
+func (s *System) LoadKnowledge(r io.Reader) error {
+	var kj knowledgeJSON
+	if err := json.NewDecoder(r).Decode(&kj); err != nil {
+		return fmt.Errorf("vesta: decoding knowledge: %w", err)
+	}
+	if len(kj.Labels) == 0 || len(kj.Centroids) == 0 || kj.Graph == nil {
+		return fmt.Errorf("vesta: knowledge file is incomplete")
+	}
+	if len(kj.SourceNames) != len(kj.SourceVecs) || len(kj.SourceNames) != len(kj.SourceMemberships) {
+		return fmt.Errorf("vesta: knowledge source rows are inconsistent")
+	}
+	for _, vm := range kj.Graph.VMs() {
+		if _, ok := s.byName[vm]; !ok {
+			return fmt.Errorf("vesta: knowledge references VM %q not in this catalog", vm)
+		}
+	}
+	if len(kj.Centroids) != len(kj.Labels) {
+		return fmt.Errorf("vesta: %d centroids for %d labels", len(kj.Centroids), len(kj.Labels))
+	}
+	km := &kmeans.Model{K: len(kj.Centroids), Centroids: kj.Centroids}
+	s.knowledge = &Knowledge{
+		Labels: kj.Labels, Kept: kj.Kept, KM: km, Graph: kj.Graph,
+		SourceNames: kj.SourceNames, SourceVecs: kj.SourceVecs,
+		SourceMemberships: kj.SourceMemberships, Sigma: kj.Sigma,
+		BestTimes: kj.BestTimes, Times: kj.Times, OfflineRuns: kj.OfflineRuns,
+	}
+	// Keep the configured K consistent with the loaded model.
+	s.cfg.K = km.K
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys, meter := trainedSystem(t)
+	var buf bytes.Buffer
+	if err := sys.SaveKnowledge(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(Config{Seed: 1}, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadKnowledge(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored system must predict identically.
+	tgt := mustApp(t, "Spark-lr")
+	p1, err := sys.PredictOnline(tgt, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := fresh.PredictOnline(tgt, oracle.NewMeter(meter.Sim, meter.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Best.Name != p2.Best.Name {
+		t.Fatalf("restored system picked %s, original picked %s", p2.Best.Name, p1.Best.Name)
+	}
+	if p1.Converged != p2.Converged {
+		t.Fatal("restored system convergence flag differs")
+	}
+	k := fresh.Knowledge()
+	if len(k.SourceNames) != 13 || len(k.Labels) != 9 {
+		t.Fatalf("restored knowledge shape wrong: %d sources, %d labels", len(k.SourceNames), len(k.Labels))
+	}
+}
+
+func TestSaveBeforeTrain(t *testing.T) {
+	sys, _ := New(Config{}, catalog)
+	if err := sys.SaveKnowledge(&bytes.Buffer{}); err == nil {
+		t.Fatal("SaveKnowledge before training accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	sys, _ := New(Config{}, catalog)
+	cases := map[string]string{
+		"malformed":         `{not json`,
+		"empty":             `{}`,
+		"inconsistent":      `{"labels":["l"],"kmeans_centroids":[[0.1]],"graph":{"labels":["l"],"vms":["m5.large"],"workloads":["w"],"is_source":[true],"workload_label":[[1]],"label_vm":[[0.5]]},"source_names":["a","b"],"source_vectors":[[1]],"source_memberships":[[1]]}`,
+		"centroid-mismatch": `{"labels":["l1","l2"],"kmeans_centroids":[[0.1]],"graph":{"labels":["l1","l2"],"vms":["m5.large"],"workloads":[],"is_source":[],"workload_label":[],"label_vm":[[0],[0]]},"source_names":[],"source_vectors":[],"source_memberships":[]}`,
+	}
+	for name, payload := range cases {
+		if err := sys.LoadKnowledge(strings.NewReader(payload)); err == nil {
+			t.Fatalf("case %q: corrupt knowledge accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsForeignVM(t *testing.T) {
+	// Knowledge referencing a VM outside the system's catalog must fail.
+	s := sim.New(sim.Config{Repeats: 2})
+	meter := oracle.NewMeter(s, 1)
+	small := catalog[:40] // excludes large types
+	sys, err := New(Config{K: 3}, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainOffline(workload.BySet(workload.SourceTraining)[:6], meter); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveKnowledge(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := New(Config{SandboxVM: catalog[0].Name}, catalog[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tiny.LoadKnowledge(&buf); err == nil {
+		t.Fatal("knowledge with foreign VMs accepted")
+	}
+}
+
+func TestLoadUpdatesK(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	var buf bytes.Buffer
+	if err := sys.SaveKnowledge(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := New(Config{K: 5, Seed: 1}, catalog)
+	if err := other.LoadKnowledge(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if other.Config().K != 9 {
+		t.Fatalf("loaded K = %d, want 9", other.Config().K)
+	}
+}

@@ -1,0 +1,778 @@
+// Package core implements Vesta, the paper's primary contribution: a
+// transfer-learning VM-type selector for big data applications across
+// frameworks (Sections 3 and 4).
+//
+// Offline phase (Data Collector + Correlation Analyzer):
+//
+//  1. Profile every source workload on every VM type through the metered
+//     measurement service (Algorithm 1 line 1).
+//  2. Derive each workload's Table 1 correlation-similarity vector, prune
+//     irrelevant features with PCA (Figure 9), and group workloads into k
+//     labels with K-Means (k = 9 after Figure 11's tuning).
+//  3. Build the two-layer bipartite graph: workload-label memberships (U)
+//     and label-VM affinities (V) aggregated from normalized performance.
+//
+// Online phase (Online Predictor):
+//
+//  1. Run the target on a sandbox VM plus 3 randomly picked VM types
+//     (Section 4.2) — the only measurements charged to the new framework.
+//  2. Place the target in label space via CMF with shared label factors,
+//     treating the noisy single-run memberships as sparse observations
+//     (Algorithm 1 lines 5-12).
+//  3. Walk the bipartite graph to rank VM types, calibrate absolute time
+//     predictions with the observed runs, and return the best VM.
+//
+// A convergence limitation (Section 5.3) guards targets that cannot match
+// the offline knowledge — the Spark-CF case — by falling back to the raw
+// sandbox memberships.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vesta/internal/bipartite"
+	"vesta/internal/cloud"
+	"vesta/internal/cmf"
+	"vesta/internal/kmeans"
+	"vesta/internal/mat"
+	"vesta/internal/metrics"
+	"vesta/internal/oracle"
+	"vesta/internal/pca"
+	"vesta/internal/rng"
+	"vesta/internal/sim"
+	"vesta/internal/stats"
+	"vesta/internal/workload"
+)
+
+// Config tunes the Vesta system. Zero values take the paper's defaults.
+type Config struct {
+	// K is the number of K-Means labels; the paper tunes k = 9 (Figure 11).
+	K int
+	// Lambda is the CMF tradeoff; the paper's best practice is 0.75.
+	Lambda float64
+	// LatentDim is the CMF latent feature count g. Default 4.
+	LatentDim int
+	// PCAThreshold is the importance cut (multiple of mean importance) for
+	// feature pruning. Default 0.8.
+	PCAThreshold float64
+	// SandboxVM is the VM type used for the target's initialization run
+	// (footnote 3: any type satisfying the workload's resource needs).
+	// Default "m5.xlarge".
+	SandboxVM string
+	// InitRandomVMs is the number of randomly picked VM types profiled to
+	// initialize the CMF model. The paper uses 3.
+	InitRandomVMs int
+	// ObservedLabels is how many of the strongest sandbox memberships are
+	// treated as observed entries of the sparse U* row. Default 3.
+	ObservedLabels int
+	// MatchThreshold is the convergence limitation: a target whose pruned
+	// correlation vector is farther than this from every source workload
+	// cannot match the offline knowledge and falls back to sandbox-only
+	// prediction. Default 0.80 (calibrated so the paper's two outliers,
+	// Spark-svd++ and Spark-CF, trip it while the other targets transfer;
+	// the margin to the worst-matched regular target is comfortable).
+	MatchThreshold float64
+	// CMFEpochs bounds online SGD. Default 300.
+	CMFEpochs int
+	// UseRawFeatures replaces the Table 1 correlation vectors with raw mean
+	// metric levels as the workload representation. Exists only for the
+	// feature ablation in DESIGN.md — it reproduces the fragile naive-reuse
+	// behaviour of Figure 2.
+	UseRawFeatures bool
+	// Seed drives all of Vesta's randomness.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.K <= 0 {
+		c.K = 9
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.75
+	}
+	if c.LatentDim <= 0 {
+		c.LatentDim = 4
+	}
+	if c.PCAThreshold <= 0 {
+		c.PCAThreshold = 0.8
+	}
+	if c.SandboxVM == "" {
+		c.SandboxVM = "m5.xlarge"
+	}
+	if c.InitRandomVMs <= 0 {
+		c.InitRandomVMs = 3
+	}
+	if c.ObservedLabels <= 0 {
+		c.ObservedLabels = 3
+	}
+	if c.MatchThreshold <= 0 {
+		c.MatchThreshold = 0.80
+	}
+	if c.CMFEpochs <= 0 {
+		c.CMFEpochs = 300
+	}
+}
+
+// Knowledge is the abstracted offline knowledge (Section 3.1-3.2).
+type Knowledge struct {
+	Labels []string
+	// Kept are the PCA-selected correlation feature indices.
+	Kept []int
+	PCA  *pca.Result
+	KM   *kmeans.Model
+	// Graph is the two-layer bipartite graph with source (blue) edges.
+	Graph *bipartite.Graph
+	// SourceNames, SourceVecs and SourceMemberships are row-aligned.
+	SourceNames       []string
+	SourceVecs        [][]float64 // pruned correlation vectors
+	SourceMemberships [][]float64 // soft label memberships (U rows)
+	// Sigma is the membership kernel bandwidth (the clustering's own
+	// dispersion scale).
+	Sigma float64
+	// BestTimes[app] is the source app's best observed P90 time.
+	BestTimes map[string]float64
+	// Times[app][vm] are the profiled P90 times.
+	Times map[string]map[string]float64
+	// OfflineRuns is the reference-VM count charged during training.
+	OfflineRuns int
+}
+
+// Prediction is the outcome of the online phase for one target workload.
+type Prediction struct {
+	Target string
+	// Best is the predicted best VM type.
+	Best cloud.VMType
+	// Ranking lists every VM, best first.
+	Ranking []bipartite.VMScore
+	// PredictedSec maps VM name to predicted execution time.
+	PredictedSec map[string]float64
+	// LabelWeights is the (completed) U* row used for the graph walk.
+	LabelWeights []float64
+	// Converged is false when the SGD did not converge or the target could
+	// not match the offline knowledge (Spark-CF case).
+	Converged bool
+	// MatchDistance is the distance to the closest source in label space.
+	MatchDistance float64
+	// OnlineRuns is the reference-VM count charged for this target.
+	OnlineRuns int
+	// ObservedSec holds the measurements taken (sandbox + random VMs).
+	ObservedSec map[string]float64
+	// ObservedLatencyMS holds the P90 streaming latency of the same runs
+	// (zero entries for batch workloads). Used by the latency extension.
+	ObservedLatencyMS map[string]float64
+}
+
+// System is a Vesta instance bound to a VM catalog.
+type System struct {
+	cfg       Config
+	catalog   []cloud.VMType
+	byName    map[string]cloud.VMType
+	knowledge *Knowledge
+}
+
+// New creates a Vesta system over the given catalog.
+func New(cfg Config, catalog []cloud.VMType) (*System, error) {
+	cfg.fillDefaults()
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("vesta: empty catalog")
+	}
+	byName := cloud.ByName(catalog)
+	if _, ok := byName[cfg.SandboxVM]; !ok {
+		return nil, fmt.Errorf("vesta: sandbox VM %q not in catalog", cfg.SandboxVM)
+	}
+	return &System{cfg: cfg, catalog: append([]cloud.VMType(nil), catalog...), byName: byName}, nil
+}
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Knowledge returns the trained offline knowledge, or nil before training.
+func (s *System) Knowledge() *Knowledge { return s.knowledge }
+
+// OfflineData holds the raw measurements of the offline profiling phase,
+// decoupled from model building so that experiments (e.g. Figure 11's
+// cross-validation) can re-train models on subsets without re-profiling.
+type OfflineData struct {
+	Sources []workload.App
+	// Times[app][vm] is the profiled P90 execution time.
+	Times map[string]map[string]float64
+	// RawVecs[i] is source i's full 10-dimensional correlation vector.
+	RawVecs [][]float64
+	// Runs is the reference-VM count charged while collecting.
+	Runs int
+}
+
+// Subset returns the offline data restricted to the sources at the given
+// indices (for cross-validation folds).
+func (d *OfflineData) Subset(idx []int) *OfflineData {
+	out := &OfflineData{Times: map[string]map[string]float64{}}
+	for _, i := range idx {
+		app := d.Sources[i]
+		out.Sources = append(out.Sources, app)
+		out.Times[app.Name] = d.Times[app.Name]
+		out.RawVecs = append(out.RawVecs, d.RawVecs[i])
+	}
+	return out
+}
+
+// CollectOffline performs Algorithm 1 line 1: run every source workload on
+// every VM type through the meter and collect the metrics. The correlation
+// vectors are taken at the common sandbox VM so that source and target
+// vectors are measured under comparable conditions; every run's time feeds
+// the label-VM performance layer.
+func (s *System) CollectOffline(sources []workload.App, meter *oracle.Meter) *OfflineData {
+	startRuns := meter.Runs()
+	data := &OfflineData{
+		Sources: append([]workload.App(nil), sources...),
+		Times:   make(map[string]map[string]float64, len(sources)),
+		RawVecs: make([][]float64, len(sources)),
+	}
+	// Each source's profiling sweep is independent (fixed per-(app, VM)
+	// seeds), so the collection fans out one worker per source. Results are
+	// byte-identical to a sequential sweep; only the meter's log order
+	// varies.
+	type appResult struct {
+		times map[string]float64
+		vec   []float64
+	}
+	results := make([]appResult, len(sources))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				app := sources[i]
+				r := appResult{times: make(map[string]float64, len(s.catalog))}
+				for _, vm := range s.catalog {
+					p := meter.Profile(app, vm)
+					r.times[vm.Name] = p.P90Seconds
+					if vm.Name == s.cfg.SandboxVM {
+						r.vec = s.featureVector(p)
+					}
+				}
+				if r.vec == nil {
+					// Sandbox VM not in the profiling catalog: profile it
+					// explicitly.
+					p := meter.Profile(app, s.byName[s.cfg.SandboxVM])
+					r.vec = s.featureVector(p)
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range sources {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, app := range sources {
+		data.Times[app.Name] = results[i].times
+		data.RawVecs[i] = results[i].vec
+	}
+	data.Runs = meter.Runs() - startRuns
+	return data
+}
+
+// featureVector extracts the workload representation from a profile: the
+// Table 1 correlation-similarity vector by default, or (for the ablation in
+// DESIGN.md) the raw mean metric levels when UseRawFeatures is set.
+func (s *System) featureVector(p sim.Profile) []float64 {
+	if !s.cfg.UseRawFeatures {
+		return p.Corr.Slice()
+	}
+	out := make([]float64, 0, int(metrics.NumSeries))
+	for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
+		sum := 0.0
+		for _, v := range p.Trace.Series[id] {
+			sum += v
+		}
+		out = append(out, sum/float64(p.Trace.Len()))
+	}
+	return out
+}
+
+// TrainOffline runs the offline profiling phase on the source workloads
+// (Algorithm 1 lines 1, 3-5). All measurements go through the meter.
+func (s *System) TrainOffline(sources []workload.App, meter *oracle.Meter) error {
+	if len(sources) < 2 {
+		return fmt.Errorf("vesta: need at least 2 source workloads, got %d", len(sources))
+	}
+	if s.cfg.K > len(sources) {
+		return fmt.Errorf("vesta: k=%d exceeds %d source workloads", s.cfg.K, len(sources))
+	}
+	return s.TrainFromData(s.CollectOffline(sources, meter))
+}
+
+// TrainFromData builds the offline model (Algorithm 1 lines 3-5) from
+// already-collected measurements.
+func (s *System) TrainFromData(data *OfflineData) error {
+	sources := data.Sources
+	times := data.Times
+	rawVecs := data.RawVecs
+	if len(sources) < 2 {
+		return fmt.Errorf("vesta: need at least 2 source workloads, got %d", len(sources))
+	}
+	if s.cfg.K > len(sources) {
+		return fmt.Errorf("vesta: k=%d exceeds %d source workloads", s.cfg.K, len(sources))
+	}
+
+	// Line 3: correlation analysis + PCA importance pruning.
+	pcaRes, err := pca.Fit(rawVecs)
+	if err != nil {
+		return fmt.Errorf("vesta: PCA failed: %w", err)
+	}
+	kept := pcaRes.SelectFeatures(s.cfg.PCAThreshold)
+	if len(kept) == 0 {
+		return fmt.Errorf("vesta: PCA pruned every feature")
+	}
+	sort.Ints(kept)
+	vecs := make([][]float64, len(sources))
+	for i, rv := range rawVecs {
+		vecs[i] = project(rv, kept)
+	}
+
+	// Line 4: group relationships via K-Means.
+	km, err := kmeans.Fit(vecs, kmeans.Config{K: s.cfg.K, Restarts: 6}, rng.New(s.cfg.Seed+101))
+	if err != nil {
+		return fmt.Errorf("vesta: K-Means failed: %w", err)
+	}
+
+	labels := make([]string, s.cfg.K)
+	for j := range labels {
+		labels[j] = fmt.Sprintf("label-%d", j)
+	}
+	vmNames := make([]string, len(s.catalog))
+	for i, v := range s.catalog {
+		vmNames[i] = v.Name
+	}
+	graph, err := bipartite.New(labels, vmNames)
+	if err != nil {
+		return err
+	}
+
+	// Membership kernel bandwidth: the clustering's own dispersion plus a
+	// floor so exact-centroid hits still spread a little.
+	sigma := math.Sqrt(km.Inertia/float64(len(sources))) + 0.05
+
+	// Workload-label layer: soft memberships (the blue edges).
+	memberships := make([][]float64, len(sources))
+	best := make(map[string]float64, len(sources))
+	for i, app := range sources {
+		memberships[i] = sharpMemberships(km, vecs[i], sigma)
+		if err := graph.AddWorkload(app.Name, bipartite.SourceEdge, memberships[i]); err != nil {
+			return err
+		}
+		b := math.Inf(1)
+		for _, sec := range times[app.Name] {
+			if sec < b {
+				b = sec
+			}
+		}
+		best[app.Name] = b
+	}
+
+	// Label-VM layer: membership-weighted normalized performance.
+	for j := 0; j < s.cfg.K; j++ {
+		for _, vm := range s.catalog {
+			num, den := 0.0, 0.0
+			for i, app := range sources {
+				w := memberships[i][j]
+				perf := best[app.Name] / times[app.Name][vm.Name] // 1.0 = best
+				num += w * perf
+				den += w
+			}
+			if den > 0 {
+				if err := graph.SetLabelVM(labels[j], vm.Name, num/den); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	names := make([]string, len(sources))
+	for i, app := range sources {
+		names[i] = app.Name
+	}
+	s.knowledge = &Knowledge{
+		Labels: labels, Kept: kept, PCA: pcaRes, KM: km, Graph: graph,
+		SourceNames: names, SourceVecs: vecs, SourceMemberships: memberships,
+		Sigma: sigma, BestTimes: best, Times: times,
+		OfflineRuns: data.Runs,
+	}
+	return nil
+}
+
+// sharpMemberships maps a pruned correlation vector to label weights with a
+// Gaussian kernel over centroid distances. Unlike plain inverse-distance
+// weights, the kernel concentrates mass on nearby labels, so a target that
+// clearly resembles one source group inherits that group's VM preferences
+// instead of the catalog-wide average.
+func sharpMemberships(km *kmeans.Model, vec []float64, sigma float64) []float64 {
+	w := make([]float64, km.K)
+	total := 0.0
+	for c := 0; c < km.K; c++ {
+		d := km.DistanceTo(vec, c)
+		w[c] = math.Exp(-(d * d) / (2 * sigma * sigma))
+		total += w[c]
+	}
+	if total <= 0 {
+		// All distances astronomically large: fall back to the nearest.
+		w[km.Predict(vec)] = 1
+		return w
+	}
+	for c := range w {
+		w[c] /= total
+	}
+	return w
+}
+
+// project selects the kept feature indices from a full vector.
+func project(v []float64, kept []int) []float64 {
+	out := make([]float64, len(kept))
+	for i, j := range kept {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// PredictOnline runs the online predicting phase for one target workload
+// (Section 4.2, Algorithm 1 lines 2, 5-14).
+func (s *System) PredictOnline(target workload.App, meter *oracle.Meter) (*Prediction, error) {
+	k := s.knowledge
+	if k == nil {
+		return nil, fmt.Errorf("vesta: PredictOnline before TrainOffline")
+	}
+	startRuns := meter.Runs()
+	src := rng.New(s.cfg.Seed ^ hashString(target.Name))
+
+	observed := map[string]float64{}
+	observedLat := map[string]float64{}
+
+	// Line 2: sandbox initialization run.
+	sandbox := s.byName[s.cfg.SandboxVM]
+	sp := meter.Profile(target, sandbox)
+	observed[sandbox.Name] = sp.P90Seconds
+	observedLat[sandbox.Name] = sp.P90LatencyMS
+	targetVec := project(s.featureVector(sp), k.Kept)
+	rawMembership := sharpMemberships(k.KM, targetVec, k.Sigma)
+
+	// 3 randomly picked VM types initialize the CMF model (Section 4.2).
+	pickable := make([]int, 0, len(s.catalog))
+	for i, vm := range s.catalog {
+		if vm.Name != sandbox.Name {
+			pickable = append(pickable, i)
+		}
+	}
+	for _, pi := range src.Sample(len(pickable), min(s.cfg.InitRandomVMs, len(pickable))) {
+		vm := s.catalog[pickable[pi]]
+		p := meter.Profile(target, vm)
+		observed[vm.Name] = p.P90Seconds
+		observedLat[vm.Name] = p.P90LatencyMS
+	}
+
+	// Lines 5-12: CMF with shared label factors over U, V, and sparse U*.
+	weights, converged := s.transfer(rawMembership, src)
+
+	// Convergence limitation (Section 5.3): measure how well the target
+	// matches the offline knowledge in correlation space. A target far from
+	// every source (Spark-CF's situation) "can hardly match with current
+	// knowledge", so the online process stops and falls back to the raw
+	// sandbox memberships.
+	matchDist := math.Inf(1)
+	for _, sv := range k.SourceVecs {
+		if d := mat.Distance(targetVec, sv); d < matchDist {
+			matchDist = d
+		}
+	}
+	if !converged || matchDist > s.cfg.MatchThreshold {
+		weights = rawMembership
+		converged = false
+	}
+
+	// Line 14: rank VM types through the label-VM layer.
+	ranking := k.Graph.ScoreVMsFromWeights(weights)
+
+	predicted := s.calibrate(ranking, observed)
+
+	// Pick the best-scoring VM (deterministic tie-break inside ScoreVMs).
+	bestVM := s.byName[ranking[0].VM]
+
+	return &Prediction{
+		Target: target.Name, Best: bestVM, Ranking: ranking,
+		PredictedSec: predicted, LabelWeights: weights,
+		Converged: converged, MatchDistance: matchDist,
+		OnlineRuns:        meter.Runs() - startRuns,
+		ObservedSec:       observed,
+		ObservedLatencyMS: observedLat,
+	}, nil
+}
+
+// transfer builds and solves the CMF problem for one target membership row,
+// returning the completed, re-normalized label weights.
+func (s *System) transfer(rawMembership []float64, src *rng.Source) ([]float64, bool) {
+	k := s.knowledge
+	nLabels := len(k.Labels)
+
+	u := mat.FromRows(k.SourceMemberships)
+	lv := k.Graph.LV() // labels x vms
+	v := lv.T()        // vms x labels
+
+	ustar := mat.New(1, nLabels)
+	mask := mat.New(1, nLabels)
+	// Observe only the strongest memberships: a single noisy sandbox run
+	// reliably reveals the dominant label affinities, not the tail.
+	type wi struct {
+		w float64
+		i int
+	}
+	order := make([]wi, nLabels)
+	for i, w := range rawMembership {
+		order[i] = wi{w, i}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].w != order[b].w {
+			return order[a].w > order[b].w
+		}
+		return order[a].i < order[b].i
+	})
+	for n := 0; n < min(s.cfg.ObservedLabels, nLabels); n++ {
+		idx := order[n].i
+		ustar.Set(0, idx, rawMembership[idx])
+		mask.Set(0, idx, 1)
+	}
+
+	res, err := cmf.Solve(cmf.Problem{U: u, V: v, UStar: ustar, Mask: mask}, cmf.Config{
+		LatentDim: s.cfg.LatentDim,
+		Lambda:    s.cfg.Lambda,
+		MaxEpochs: s.cfg.CMFEpochs,
+	}, src.Split())
+	if err != nil {
+		return rawMembership, false
+	}
+
+	completed := res.Completed.Row(0)
+	// Clamp negatives and re-normalize to a membership distribution; keep
+	// the observed entries authoritative.
+	for i := range completed {
+		if mask.At(0, i) == 1 {
+			completed[i] = rawMembership[i]
+		}
+		if completed[i] < 0 {
+			completed[i] = 0
+		}
+	}
+	total := 0.0
+	for _, w := range completed {
+		total += w
+	}
+	if total <= 0 {
+		return rawMembership, false
+	}
+	for i := range completed {
+		completed[i] /= total
+	}
+	return completed, res.Converged
+}
+
+// calibrate turns graph scores into absolute time predictions using the
+// observed runs. The label-VM score is proportional to normalized
+// performance (best/time), so time follows a power law t = a * score^(-b);
+// a and b are fit in log space from the sandbox and random-VM measurements
+// (b = 1 when the observations cannot identify a slope). This is how Vesta
+// anchors the transferred ranking to the new framework's absolute time
+// scale with only 4 runs.
+func (s *System) calibrate(ranking []bipartite.VMScore, observed map[string]float64) map[string]float64 {
+	scoreOf := make(map[string]float64, len(ranking))
+	for _, r := range ranking {
+		scoreOf[r.VM] = r.Score
+	}
+	// Collect (log score, log time) pairs from the measurements.
+	var lx, ly []float64
+	for vm, sec := range observed {
+		if sc := scoreOf[vm]; sc > 1e-9 && sec > 0 {
+			lx = append(lx, math.Log(sc))
+			ly = append(ly, math.Log(sec))
+		}
+	}
+	a, b := 1.0, 1.0
+	switch {
+	case len(lx) >= 2 && stats.StdDev(lx) > 1e-6:
+		// Least-squares slope, clamped to a physically sensible range.
+		b = -stats.Covariance(lx, ly) / stats.Variance(lx)
+		b = math.Max(0.5, math.Min(3, b))
+		a = math.Exp(stats.Mean(ly) + b*stats.Mean(lx))
+	case len(lx) >= 1:
+		a = math.Exp(ly[0] + lx[0]) // single observation: b = 1 fallback
+	}
+	out := make(map[string]float64, len(ranking))
+	for _, r := range ranking {
+		if r.Score > 1e-9 {
+			out[r.VM] = a * math.Pow(r.Score, -b)
+		} else {
+			out[r.VM] = math.Inf(1)
+		}
+	}
+	// Observed VMs report their measured time exactly.
+	for vm, sec := range observed {
+		out[vm] = sec
+	}
+	return out
+}
+
+// PredictTime returns the predicted execution time of target on vm from an
+// existing prediction.
+func (p *Prediction) PredictTime(vm string) (float64, error) {
+	sec, ok := p.PredictedSec[vm]
+	if !ok {
+		return 0, fmt.Errorf("vesta: no prediction for VM %q", vm)
+	}
+	return sec, nil
+}
+
+// AbsorbTarget records a completed target into the knowledge graph (the red
+// edges of Figure 4) and retrains the K-Means model including the target's
+// correlation vector (Algorithm 1 line 13) at low cost.
+func (s *System) AbsorbTarget(name string, labelWeights []float64, prunedVec []float64) error {
+	k := s.knowledge
+	if k == nil {
+		return fmt.Errorf("vesta: AbsorbTarget before TrainOffline")
+	}
+	if err := k.Graph.AddWorkload(name, bipartite.TargetEdge, labelWeights); err != nil {
+		return err
+	}
+	if len(prunedVec) != len(k.SourceVecs[0]) {
+		return fmt.Errorf("vesta: pruned vector has dim %d, want %d", len(prunedVec), len(k.SourceVecs[0]))
+	}
+	all := append(append([][]float64(nil), k.SourceVecs...), prunedVec)
+	km, err := kmeans.Fit(all, kmeans.Config{K: s.cfg.K, Restarts: 2, MaxIters: 20},
+		rng.New(s.cfg.Seed+997))
+	if err != nil {
+		return err
+	}
+	k.KM = km
+	return nil
+}
+
+// Objective selects what a sequential optimization minimizes.
+type Objective int
+
+// Optimization objectives: the paper's two practical metrics (Section 5.2).
+const (
+	MinimizeTime Objective = iota
+	MinimizeBudget
+)
+
+// Optimize performs the Figure 12 protocol: after the online
+// initialization, Vesta tries VM types in ranking order, recording the
+// best-so-far execution time and budget per run. budget counts total
+// reference runs including the sandbox and random initialization.
+func (s *System) Optimize(target workload.App, budget int, meter *oracle.Meter) ([]oracle.Step, *Prediction, error) {
+	return s.OptimizeFor(target, budget, MinimizeTime, meter)
+}
+
+// OptimizeFor is Optimize with an explicit objective: for MinimizeBudget
+// (Figure 13) the exploitation order follows predicted cost (predicted time
+// x cluster price) instead of predicted time.
+func (s *System) OptimizeFor(target workload.App, budget int, objective Objective, meter *oracle.Meter) ([]oracle.Step, *Prediction, error) {
+	pred, err := s.PredictOnline(target, meter)
+	if err != nil {
+		return nil, nil, err
+	}
+	order := make([]string, 0, len(pred.Ranking))
+	for _, r := range pred.Ranking {
+		order = append(order, r.VM)
+	}
+	if objective == MinimizeBudget {
+		nodes := float64(meter.Sim.Config().Nodes)
+		costOf := func(vm string) float64 {
+			return pred.PredictedSec[vm] * s.byName[vm].PriceHour * nodes
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := costOf(order[a]), costOf(order[b])
+			if ca != cb {
+				return ca < cb
+			}
+			return order[a] < order[b]
+		})
+	}
+	var steps []oracle.Step
+	bestSec, bestUSD := math.Inf(1), math.Inf(1)
+	runIdx := 0
+	record := func(vmName string, sec float64) {
+		runIdx++
+		vm := s.byName[vmName]
+		usd := sec / 3600 * vm.PriceHour * float64(meter.Sim.Config().Nodes)
+		if sec < bestSec {
+			bestSec = sec
+		}
+		if usd < bestUSD {
+			bestUSD = usd
+		}
+		steps = append(steps, oracle.Step{Run: runIdx, VM: vmName, ObservedSec: sec,
+			ObservedUSD: usd, BestSec: bestSec, BestUSD: bestUSD})
+	}
+	// The initialization runs count toward the budget, in a deterministic
+	// order (sandbox first, then the random picks sorted by name).
+	record(s.cfg.SandboxVM, pred.ObservedSec[s.cfg.SandboxVM])
+	var initVMs []string
+	for vm := range pred.ObservedSec {
+		if vm != s.cfg.SandboxVM {
+			initVMs = append(initVMs, vm)
+		}
+	}
+	sort.Strings(initVMs)
+	for _, vm := range initVMs {
+		if runIdx >= budget {
+			break
+		}
+		record(vm, pred.ObservedSec[vm])
+	}
+	// Exploit the objective-ordered ranking.
+	tried := map[string]bool{}
+	for vm := range pred.ObservedSec {
+		tried[vm] = true
+	}
+	for _, vm := range order {
+		if runIdx >= budget {
+			break
+		}
+		if tried[vm] {
+			continue
+		}
+		tried[vm] = true
+		p := meter.Profile(target, s.byName[vm])
+		record(vm, p.P90Seconds)
+	}
+	pred.OnlineRuns = len(steps)
+	return steps, pred, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// hashString gives a stable 64-bit FNV-1a hash for seed mixing.
+func hashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

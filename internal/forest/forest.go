@@ -1,0 +1,294 @@
+// Package forest implements CART regression trees and Random Forests
+// (bootstrap aggregation with per-split feature subsampling). It is the
+// model substrate of the PARIS baseline (Yadwadkar et al., SoCC'17), which
+// predicts workload performance on a VM type from low-level metrics.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vesta/internal/rng"
+)
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	threshold   float64
+	left, right *node
+	value       float64 // leaf prediction (mean of targets)
+	count       int     // training rows in this node
+}
+
+// Tree is a fitted CART regression tree.
+type Tree struct {
+	root *node
+	dim  int
+}
+
+// TreeConfig tunes a single tree fit.
+type TreeConfig struct {
+	MaxDepth    int     // default 12
+	MinLeaf     int     // minimum samples per leaf, default 2
+	FeatureSub  int     // features considered per split; <=0 means all
+	MinImpurity float64 // stop splitting below this variance, default 1e-9
+}
+
+func (c *TreeConfig) fillDefaults() {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.MinImpurity <= 0 {
+		c.MinImpurity = 1e-9
+	}
+}
+
+// FitTree grows a regression tree on (xs, ys). src is used only when
+// FeatureSub limits the features considered per split; it may be nil
+// otherwise.
+func FitTree(xs [][]float64, ys []float64, cfg TreeConfig, src *rng.Source) (*Tree, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("forest: no training rows")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("forest: %d rows but %d targets", len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("forest: zero-dimensional rows")
+	}
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("forest: row %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+	cfg.fillDefaults()
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{dim: dim}
+	t.root = grow(xs, ys, idx, cfg, src, 0)
+	return t, nil
+}
+
+func grow(xs [][]float64, ys []float64, idx []int, cfg TreeConfig, src *rng.Source, depth int) *node {
+	n := &node{feature: -1, count: len(idx)}
+	sum := 0.0
+	for _, i := range idx {
+		sum += ys[i]
+	}
+	n.value = sum / float64(len(idx))
+
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
+		return n
+	}
+	// Variance of this node.
+	variance := 0.0
+	for _, i := range idx {
+		d := ys[i] - n.value
+		variance += d * d
+	}
+	if variance/float64(len(idx)) < cfg.MinImpurity {
+		return n
+	}
+
+	feats := featureCandidates(len(xs[0]), cfg.FeatureSub, src)
+	bestFeat, bestThresh, bestScore := -1, 0.0, variance
+	for _, f := range feats {
+		// Sort indices by feature value to scan split points in one pass.
+		order := append([]int(nil), idx...)
+		sort.SliceStable(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
+
+		leftSum, leftSq := 0.0, 0.0
+		totSum, totSq := 0.0, 0.0
+		for _, i := range order {
+			totSum += ys[i]
+			totSq += ys[i] * ys[i]
+		}
+		for pos := 0; pos < len(order)-1; pos++ {
+			y := ys[order[pos]]
+			leftSum += y
+			leftSq += y * y
+			if xs[order[pos]][f] == xs[order[pos+1]][f] {
+				continue // cannot split between equal values
+			}
+			nl := pos + 1
+			nr := len(order) - nl
+			if nl < cfg.MinLeaf || nr < cfg.MinLeaf {
+				continue
+			}
+			rightSum := totSum - leftSum
+			rightSq := totSq - leftSq
+			// Weighted child SSE.
+			sse := (leftSq - leftSum*leftSum/float64(nl)) + (rightSq - rightSum*rightSum/float64(nr))
+			if sse < bestScore-1e-12 {
+				bestScore = sse
+				bestFeat = f
+				bestThresh = (xs[order[pos]][f] + xs[order[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat == -1 {
+		return n
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if xs[i][bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return n
+	}
+	n.feature = bestFeat
+	n.threshold = bestThresh
+	n.left = grow(xs, ys, leftIdx, cfg, src, depth+1)
+	n.right = grow(xs, ys, rightIdx, cfg, src, depth+1)
+	return n
+}
+
+func featureCandidates(dim, sub int, src *rng.Source) []int {
+	if sub <= 0 || sub >= dim || src == nil {
+		all := make([]int, dim)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return src.Sample(dim, sub)
+}
+
+// Predict returns the tree's prediction for x.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(x) != t.dim {
+		panic(fmt.Sprintf("forest: input dim %d, tree dim %d", len(x), t.dim))
+	}
+	n := t.root
+	for n.feature != -1 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.feature == -1 {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return leavesOf(t.root) }
+
+func leavesOf(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.feature == -1 {
+		return 1
+	}
+	return leavesOf(n.left) + leavesOf(n.right)
+}
+
+// Forest is a fitted random forest.
+type Forest struct {
+	Trees []*Tree
+}
+
+// ForestConfig tunes the ensemble.
+type ForestConfig struct {
+	NumTrees int // default 50
+	Tree     TreeConfig
+	// SampleFrac is the bootstrap fraction per tree, default 1.0.
+	SampleFrac float64
+}
+
+// FitForest trains a random forest. FeatureSub defaults to dim/3 (at least
+// 1) per the usual regression-forest heuristic when unset.
+func FitForest(xs [][]float64, ys []float64, cfg ForestConfig, src *rng.Source) (*Forest, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("forest: no training rows")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("forest: %d rows but %d targets", len(xs), len(ys))
+	}
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 50
+	}
+	if cfg.SampleFrac <= 0 || cfg.SampleFrac > 1 {
+		cfg.SampleFrac = 1
+	}
+	if cfg.Tree.FeatureSub == 0 {
+		cfg.Tree.FeatureSub = max(1, len(xs[0])/3)
+	}
+
+	f := &Forest{}
+	n := len(xs)
+	m := int(math.Ceil(cfg.SampleFrac * float64(n)))
+	for t := 0; t < cfg.NumTrees; t++ {
+		bx := make([][]float64, m)
+		by := make([]float64, m)
+		for i := 0; i < m; i++ {
+			j := src.Intn(n)
+			bx[i] = xs[j]
+			by[i] = ys[j]
+		}
+		tree, err := FitTree(bx, by, cfg.Tree, src)
+		if err != nil {
+			return nil, err
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict returns the ensemble mean prediction.
+func (f *Forest) Predict(x []float64) float64 {
+	s := 0.0
+	for _, t := range f.Trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// PredictWithSpread returns the ensemble mean and the standard deviation
+// across trees (PARIS uses the spread as a confidence signal).
+func (f *Forest) PredictWithSpread(x []float64) (mean, std float64) {
+	preds := make([]float64, len(f.Trees))
+	for i, t := range f.Trees {
+		preds[i] = t.Predict(x)
+		mean += preds[i]
+	}
+	mean /= float64(len(f.Trees))
+	for _, p := range preds {
+		std += (p - mean) * (p - mean)
+	}
+	std = math.Sqrt(std / float64(len(f.Trees)))
+	return mean, std
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,244 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+// stepData: y = 10 when x0 > 0.5 else 2, plus a distractor feature.
+func stepData(src *rng.Source, n int) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x0 := src.Float64()
+		xs[i] = []float64{x0, src.Float64()}
+		if x0 > 0.5 {
+			ys[i] = 10
+		} else {
+			ys[i] = 2
+		}
+	}
+	return xs, ys
+}
+
+// smoothData: y = 3*x0 + 2*x1^2 with noise.
+func smoothData(src *rng.Source, n int, noise float64) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x0, x1 := src.Float64(), src.Float64()
+		xs[i] = []float64{x0, x1}
+		ys[i] = 3*x0 + 2*x1*x1 + src.Norm(0, noise)
+	}
+	return xs, ys
+}
+
+func TestFitTreeErrors(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeConfig{}, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, TreeConfig{}, nil); err == nil {
+		t.Fatal("row/target mismatch accepted")
+	}
+	if _, err := FitTree([][]float64{{1}, {2, 3}}, []float64{1, 2}, TreeConfig{}, nil); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := FitTree([][]float64{{}, {}}, []float64{1, 2}, TreeConfig{}, nil); err == nil {
+		t.Fatal("zero-dim rows accepted")
+	}
+}
+
+func TestTreeLearnsStepFunction(t *testing.T) {
+	src := rng.New(1)
+	xs, ys := stepData(src, 200)
+	tree, err := FitTree(xs, ys, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tree.Predict([]float64{0.9, 0.5}); math.Abs(p-10) > 0.5 {
+		t.Fatalf("Predict(high) = %v, want about 10", p)
+	}
+	if p := tree.Predict([]float64{0.1, 0.5}); math.Abs(p-2) > 0.5 {
+		t.Fatalf("Predict(low) = %v, want about 2", p)
+	}
+}
+
+func TestTreePerfectFitOnTrainWithDeepTree(t *testing.T) {
+	src := rng.New(2)
+	xs, ys := smoothData(src, 60, 0)
+	tree, err := FitTree(xs, ys, TreeConfig{MaxDepth: 30, MinLeaf: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if math.Abs(tree.Predict(x)-ys[i]) > 1e-6 {
+			t.Fatalf("deep tree failed to memorize row %d: %v vs %v", i, tree.Predict(x), ys[i])
+		}
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	src := rng.New(3)
+	xs, ys := smoothData(src, 300, 0.1)
+	tree, err := FitTree(xs, ys, TreeConfig{MaxDepth: 3, MinLeaf: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 3 {
+		t.Fatalf("depth %d exceeds max 3", d)
+	}
+	if l := tree.Leaves(); l > 8 {
+		t.Fatalf("%d leaves from depth-3 tree", l)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	src := rng.New(4)
+	xs, ys := smoothData(src, 100, 0.1)
+	tree, err := FitTree(xs, ys, TreeConfig{MaxDepth: 20, MinLeaf: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLeafCounts(t, tree.root, 10)
+}
+
+func checkLeafCounts(t *testing.T, n *node, minLeaf int) {
+	t.Helper()
+	if n == nil {
+		return
+	}
+	if n.feature == -1 {
+		if n.count < minLeaf {
+			t.Fatalf("leaf with %d rows, min %d", n.count, minLeaf)
+		}
+		return
+	}
+	checkLeafCounts(t, n.left, minLeaf)
+	checkLeafCounts(t, n.right, minLeaf)
+}
+
+func TestConstantTargetSingleLeaf(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{7, 7, 7, 7}
+	tree, err := FitTree(xs, ys, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 0 {
+		t.Fatalf("constant target grew depth %d", tree.Depth())
+	}
+	if tree.Predict([]float64{99}) != 7 {
+		t.Fatal("constant prediction wrong")
+	}
+}
+
+func TestPredictDimPanics(t *testing.T) {
+	tree, _ := FitTree([][]float64{{1, 2}, {3, 4}}, []float64{1, 2}, TreeConfig{}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch did not panic")
+		}
+	}()
+	tree.Predict([]float64{1})
+}
+
+func TestForestBeatsNothing(t *testing.T) {
+	src := rng.New(5)
+	xs, ys := smoothData(src, 400, 0.2)
+	f, err := FitForest(xs, ys, ForestConfig{NumTrees: 30}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out evaluation.
+	tx, ty := smoothData(rng.New(6), 100, 0.2)
+	sse, sseMean := 0.0, 0.0
+	meanY := 0.0
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	for i, x := range tx {
+		d := f.Predict(x) - ty[i]
+		sse += d * d
+		dm := meanY - ty[i]
+		sseMean += dm * dm
+	}
+	if sse > 0.3*sseMean {
+		t.Fatalf("forest SSE %v not far below mean-predictor SSE %v", sse, sseMean)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	xs, ys := smoothData(rng.New(7), 100, 0.1)
+	f1, _ := FitForest(xs, ys, ForestConfig{NumTrees: 10}, rng.New(8))
+	f2, _ := FitForest(xs, ys, ForestConfig{NumTrees: 10}, rng.New(8))
+	probe := []float64{0.3, 0.7}
+	if f1.Predict(probe) != f2.Predict(probe) {
+		t.Fatal("same seed produced different forests")
+	}
+}
+
+func TestForestErrors(t *testing.T) {
+	src := rng.New(9)
+	if _, err := FitForest(nil, nil, ForestConfig{}, src); err == nil {
+		t.Fatal("empty forest input accepted")
+	}
+	if _, err := FitForest([][]float64{{1}}, []float64{1, 2}, ForestConfig{}, src); err == nil {
+		t.Fatal("mismatched forest input accepted")
+	}
+}
+
+func TestPredictWithSpread(t *testing.T) {
+	src := rng.New(10)
+	xs, ys := stepData(src, 300)
+	f, err := FitForest(xs, ys, ForestConfig{NumTrees: 25}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep inside a region: low spread. Near the boundary: higher spread.
+	_, stdCore := f.PredictWithSpread([]float64{0.95, 0.5})
+	_, stdEdge := f.PredictWithSpread([]float64{0.50, 0.5})
+	if stdEdge < stdCore {
+		t.Fatalf("spread at boundary (%v) below spread in core (%v)", stdEdge, stdCore)
+	}
+	mean, _ := f.PredictWithSpread([]float64{0.95, 0.5})
+	if math.Abs(mean-f.Predict([]float64{0.95, 0.5})) > 1e-12 {
+		t.Fatal("PredictWithSpread mean differs from Predict")
+	}
+}
+
+func TestFeatureSubsampling(t *testing.T) {
+	src := rng.New(11)
+	xs, ys := smoothData(src, 200, 0.1)
+	f, err := FitForest(xs, ys, ForestConfig{NumTrees: 10, Tree: TreeConfig{FeatureSub: 1}}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 10 {
+		t.Fatalf("forest has %d trees", len(f.Trees))
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	src := rng.New(1)
+	xs, ys := smoothData(src, 300, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitForest(xs, ys, ForestConfig{NumTrees: 20}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	src := rng.New(1)
+	xs, ys := smoothData(src, 300, 0.2)
+	f, _ := FitForest(xs, ys, ForestConfig{NumTrees: 50}, src)
+	probe := []float64{0.4, 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Predict(probe)
+	}
+}

@@ -1,0 +1,196 @@
+// Package gp implements Gaussian Process regression with an RBF kernel —
+// the surrogate model behind CherryPick's Bayesian optimization (Alipourfard
+// et al., NSDI'17), which the paper's related work discusses as the main
+// black-box-search alternative to Vesta's transfer learning.
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/mat"
+)
+
+// Kernel is a positive-definite covariance function over feature vectors.
+type Kernel func(a, b []float64) float64
+
+// RBF returns the squared-exponential kernel with the given length scale
+// and signal variance.
+func RBF(lengthScale, variance float64) Kernel {
+	if lengthScale <= 0 || variance <= 0 {
+		panic("gp: RBF parameters must be positive")
+	}
+	return func(a, b []float64) float64 {
+		d := mat.Distance(a, b)
+		return variance * math.Exp(-d*d/(2*lengthScale*lengthScale))
+	}
+}
+
+// Matern52 returns the Matern 5/2 kernel, CherryPick's documented choice —
+// rougher than RBF, which suits performance surfaces with kinks (memory
+// cliffs, burst throttles).
+func Matern52(lengthScale, variance float64) Kernel {
+	if lengthScale <= 0 || variance <= 0 {
+		panic("gp: Matern52 parameters must be positive")
+	}
+	return func(a, b []float64) float64 {
+		d := mat.Distance(a, b) / lengthScale
+		s5 := math.Sqrt(5) * d
+		return variance * (1 + s5 + 5*d*d/3) * math.Exp(-s5)
+	}
+}
+
+// GP is a fitted Gaussian Process regressor.
+type GP struct {
+	kernel Kernel
+	noise  float64
+	x      [][]float64
+	alpha  []float64 // (K + noise I)^-1 y
+	chol   *mat.Cholesky
+	meanY  float64
+}
+
+// Fit conditions a GP on the observations. Targets are internally centered
+// on their mean; noise is the observation noise variance added to the
+// kernel diagonal (also the jitter that keeps the factorization stable).
+func Fit(x [][]float64, y []float64, kernel Kernel, noise float64) (*GP, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("gp: no observations")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gp: %d inputs but %d targets", n, len(y))
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("gp: input %d has dim %d, want %d", i, len(xi), dim)
+		}
+	}
+	if noise <= 0 {
+		noise = 1e-6
+	}
+
+	meanY := 0.0
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= float64(n)
+
+	k := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := kernel(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Add(i, i, noise)
+	}
+	chol, err := mat.NewCholesky(k)
+	if err != nil {
+		return nil, fmt.Errorf("gp: kernel matrix not PD: %w", err)
+	}
+	centered := make([]float64, n)
+	for i, v := range y {
+		centered[i] = v - meanY
+	}
+	alpha, err := chol.Solve(centered)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([][]float64, n)
+	for i := range x {
+		xs[i] = append([]float64(nil), x[i]...)
+	}
+	return &GP{kernel: kernel, noise: noise, x: xs, alpha: alpha, chol: chol, meanY: meanY}, nil
+}
+
+// Predict returns the posterior mean and variance at a query point.
+func (g *GP) Predict(x []float64) (mean, variance float64) {
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i := range g.x {
+		kstar[i] = g.kernel(g.x[i], x)
+	}
+	mean = g.meanY + mat.Dot(kstar, g.alpha)
+	v, err := g.chol.Solve(kstar)
+	if err != nil {
+		// Factorization already validated at fit time; a failure here means
+		// a dimension mismatch, surfaced as prior variance.
+		return mean, g.kernel(x, x)
+	}
+	variance = g.kernel(x, x) - mat.Dot(kstar, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// ExpectedImprovement computes EI for minimization at x against the current
+// best observed value. xi is the exploration margin (CherryPick uses a small
+// positive value).
+func (g *GP) ExpectedImprovement(x []float64, bestY, xi float64) float64 {
+	mean, variance := g.Predict(x)
+	sd := math.Sqrt(variance)
+	if sd < 1e-12 {
+		if improvement := bestY - xi - mean; improvement > 0 {
+			return improvement
+		}
+		return 0
+	}
+	z := (bestY - xi - mean) / sd
+	return (bestY-xi-mean)*stdNormCDF(z) + sd*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// LogMarginalLikelihood evaluates the fit's evidence, used to compare kernel
+// hyperparameters.
+func (g *GP) LogMarginalLikelihood(y []float64) (float64, error) {
+	n := len(g.x)
+	if len(y) != n {
+		return 0, fmt.Errorf("gp: %d targets for %d observations", len(y), n)
+	}
+	centered := make([]float64, n)
+	for i, v := range y {
+		centered[i] = v - g.meanY
+	}
+	fit := mat.Dot(centered, g.alpha)
+	return -0.5*fit - 0.5*g.chol.LogDet() - float64(n)/2*math.Log(2*math.Pi), nil
+}
+
+// SelectMatern fits one GP per (lengthScale, variance) candidate pair and
+// returns the model with the highest log marginal likelihood — the standard
+// evidence-maximization hyperparameter choice CherryPick relies on.
+func SelectMatern(x [][]float64, y []float64, lengthScales, variances []float64, noise float64) (*GP, error) {
+	if len(lengthScales) == 0 || len(variances) == 0 {
+		return nil, fmt.Errorf("gp: empty hyperparameter grid")
+	}
+	var best *GP
+	bestLML := math.Inf(-1)
+	for _, ls := range lengthScales {
+		for _, v := range variances {
+			g, err := Fit(x, y, Matern52(ls, v), noise)
+			if err != nil {
+				continue
+			}
+			lml, err := g.LogMarginalLikelihood(y)
+			if err != nil {
+				continue
+			}
+			if lml > bestLML {
+				best, bestLML = g, lml
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gp: no hyperparameter candidate produced a valid fit")
+	}
+	return best, nil
+}

@@ -1,0 +1,230 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+func grid1D(lo, hi float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{lo + (hi-lo)*float64(i)/float64(n-1)}
+	}
+	return out
+}
+
+func TestFitValidation(t *testing.T) {
+	k := RBF(1, 1)
+	if _, err := Fit(nil, nil, k, 0.01); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, k, 0.01); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}, k, 0.01); err == nil {
+		t.Fatal("ragged inputs accepted")
+	}
+}
+
+func TestKernelPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { RBF(0, 1) },
+		func() { RBF(1, -1) },
+		func() { Matern52(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid kernel params accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestInterpolatesTrainingPoints(t *testing.T) {
+	x := grid1D(0, 4, 5)
+	y := []float64{0, 1, 4, 9, 16}
+	g, err := Fit(x, y, RBF(1, 10), 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, xi := range x {
+		mean, variance := g.Predict(xi)
+		if math.Abs(mean-y[i]) > 1e-3 {
+			t.Fatalf("mean at training point %v = %v, want %v", xi, mean, y[i])
+		}
+		if variance > 1e-4 {
+			t.Fatalf("variance at training point = %v, want ~0", variance)
+		}
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	y := []float64{0, 1}
+	g, err := Fit(x, y, RBF(0.5, 1), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Predict([]float64{0.5})
+	_, vFar := g.Predict([]float64{5})
+	if vFar <= vNear {
+		t.Fatalf("variance far (%v) not above near (%v)", vFar, vNear)
+	}
+	// Far from data, the mean reverts to the observation mean.
+	mFar, _ := g.Predict([]float64{100})
+	if math.Abs(mFar-0.5) > 1e-6 {
+		t.Fatalf("far mean = %v, want prior mean 0.5", mFar)
+	}
+}
+
+func TestSmoothInterpolation(t *testing.T) {
+	// Fit sin(x) on a grid; prediction between points must be close.
+	var x [][]float64
+	var y []float64
+	for i := 0; i <= 20; i++ {
+		v := float64(i) * math.Pi / 10
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	g, err := Fit(x, y, RBF(0.8, 1), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.4, 1.7, 3.3, 5.1} {
+		mean, _ := g.Predict([]float64{q})
+		if math.Abs(mean-math.Sin(q)) > 0.05 {
+			t.Fatalf("sin(%v): predicted %v, want %v", q, mean, math.Sin(q))
+		}
+	}
+}
+
+func TestMatern52Behaves(t *testing.T) {
+	k := Matern52(1, 2)
+	same := k([]float64{1, 2}, []float64{1, 2})
+	if math.Abs(same-2) > 1e-12 {
+		t.Fatalf("k(x,x) = %v, want variance 2", same)
+	}
+	near := k([]float64{0}, []float64{0.1})
+	far := k([]float64{0}, []float64{3})
+	if !(same > near && near > far && far > 0) {
+		t.Fatalf("Matern52 not monotone: %v %v %v", same, near, far)
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	x := [][]float64{{0}, {2}}
+	y := []float64{5, 1}
+	g, err := Fit(x, y, RBF(1, 4), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 1.0
+	// EI at the best observed point is ~0 (no variance, no improvement).
+	if ei := g.ExpectedImprovement([]float64{2}, best, 0); ei > 1e-3 {
+		t.Fatalf("EI at best point = %v", ei)
+	}
+	// EI in unexplored territory beyond the good point must be positive.
+	if ei := g.ExpectedImprovement([]float64{3.5}, best, 0); ei <= 0 {
+		t.Fatalf("EI in unexplored region = %v", ei)
+	}
+	// EI is never negative anywhere.
+	src := rng.New(1)
+	for i := 0; i < 200; i++ {
+		if ei := g.ExpectedImprovement([]float64{src.Range(-5, 8)}, best, 0.01); ei < 0 {
+			t.Fatalf("negative EI at sample %d", i)
+		}
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersTrueScale(t *testing.T) {
+	// Data drawn from a smooth function: a sensible length scale must have
+	// higher evidence than a wildly wrong one.
+	var x [][]float64
+	var y []float64
+	for i := 0; i <= 15; i++ {
+		v := float64(i) / 3
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	good, err := Fit(x, y, RBF(1, 1), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Fit(x, y, RBF(0.01, 1), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := good.LogMarginalLikelihood(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := bad.LogMarginalLikelihood(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg <= lb {
+		t.Fatalf("evidence of sensible scale (%v) not above overfit scale (%v)", lg, lb)
+	}
+	if _, err := good.LogMarginalLikelihood([]float64{1}); err == nil {
+		t.Fatal("mismatched target length accepted")
+	}
+}
+
+func TestPredictDoesNotAliasTrainingData(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	g, err := Fit(x, y, RBF(1, 1), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x[0][0] = 99 // mutate the caller's slice
+	mean, _ := g.Predict([]float64{1})
+	if math.Abs(mean-1) > 0.1 {
+		t.Fatalf("GP aliased caller data: mean at x=1 is %v", mean)
+	}
+}
+
+func BenchmarkFitPredict(b *testing.B) {
+	src := rng.New(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 30; i++ {
+		x = append(x, []float64{src.Range(0, 10), src.Range(0, 10)})
+		y = append(y, src.Range(0, 5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := Fit(x, y, Matern52(2, 1), 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = g.Predict([]float64{5, 5})
+	}
+}
+
+func TestSelectMatern(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i <= 15; i++ {
+		v := float64(i) / 3
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	g, err := SelectMatern(x, y, []float64{0.05, 1, 5}, []float64{0.5, 1}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selected model must interpolate sensibly.
+	mean, _ := g.Predict([]float64{2.5})
+	if math.Abs(mean-math.Sin(2.5)) > 0.1 {
+		t.Fatalf("selected model predicts %v at 2.5, want %v", mean, math.Sin(2.5))
+	}
+	if _, err := SelectMatern(x, y, nil, []float64{1}, 1e-4); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package kmeans implements Lloyd's K-Means clustering with kmeans++
+// initialization. Vesta's Correlation Analyzer uses it to group VM types
+// into label categories (Section 3.1), and the online predictor retrains it
+// cheaply after transfer (Algorithm 1, line 13). The hyperparameter k is
+// tuned by 10-fold cross validation in the Figure 11 experiment.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/mat"
+	"vesta/internal/rng"
+)
+
+// Model is a fitted K-Means clustering.
+type Model struct {
+	K         int
+	Centroids [][]float64
+	// Assign[i] is the cluster of training point i.
+	Assign []int
+	// Inertia is the summed squared distance of points to their centroids.
+	Inertia float64
+	// Iterations actually performed before convergence.
+	Iterations int
+}
+
+// Config tunes the fit.
+type Config struct {
+	K        int
+	MaxIters int     // default 100
+	Tol      float64 // centroid-movement convergence tolerance, default 1e-6
+	Restarts int     // kmeans++ restarts, best inertia kept; default 4
+}
+
+// Fit clusters the points (each a feature vector of equal length) into k
+// groups. It returns an error for degenerate inputs (no points, k < 1,
+// k > len(points), ragged rows).
+func Fit(points [][]float64, cfg Config, src *rng.Source) (*Model, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("kmeans: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("kmeans: k=%d invalid for %d points", cfg.K, n)
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 100
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 1e-6
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 4
+	}
+
+	var best *Model
+	for r := 0; r < cfg.Restarts; r++ {
+		m := fitOnce(points, cfg, src)
+		if best == nil || m.Inertia < best.Inertia {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+func fitOnce(points [][]float64, cfg Config, src *rng.Source) *Model {
+	n, dim := len(points), len(points[0])
+	cents := seedPlusPlus(points, cfg.K, src)
+	assign := make([]int, n)
+
+	iters := 0
+	for ; iters < cfg.MaxIters; iters++ {
+		// Assignment step.
+		for i, p := range points {
+			assign[i] = nearest(cents, p)
+		}
+		// Update step.
+		moved := 0.0
+		counts := make([]int, cfg.K)
+		sums := make([][]float64, cfg.K)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			mat.AXPY(1, p, sums[assign[i]])
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid — standard empty-cluster repair, deterministic.
+				far, farDist := 0, -1.0
+				for i, p := range points {
+					d := mat.Distance(p, cents[assign[i]])
+					if d > farDist {
+						far, farDist = i, d
+					}
+				}
+				moved += mat.Distance(cents[c], points[far])
+				copy(cents[c], points[far])
+				continue
+			}
+			newC := make([]float64, dim)
+			for j := range newC {
+				newC[j] = sums[c][j] / float64(counts[c])
+			}
+			moved += mat.Distance(cents[c], newC)
+			copy(cents[c], newC)
+		}
+		if moved < cfg.Tol {
+			iters++
+			break
+		}
+	}
+	// Final assignment + inertia.
+	inertia := 0.0
+	for i, p := range points {
+		assign[i] = nearest(cents, p)
+		d := mat.Distance(p, cents[assign[i]])
+		inertia += d * d
+	}
+	return &Model{K: cfg.K, Centroids: cents, Assign: assign, Inertia: inertia, Iterations: iters}
+}
+
+// seedPlusPlus chooses k initial centroids with the kmeans++ D^2 weighting.
+func seedPlusPlus(points [][]float64, k int, src *rng.Source) [][]float64 {
+	n := len(points)
+	cents := make([][]float64, 0, k)
+	first := src.Intn(n)
+	cents = append(cents, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(cents) < k {
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range cents {
+				if d := mat.Distance(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+		}
+		pick := src.Pick(d2)
+		cents = append(cents, append([]float64(nil), points[pick]...))
+	}
+	return cents
+}
+
+func nearest(cents [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range cents {
+		if d := mat.Distance(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Predict returns the cluster of a new point.
+func (m *Model) Predict(p []float64) int {
+	if len(p) != len(m.Centroids[0]) {
+		panic(fmt.Sprintf("kmeans: point dim %d, model dim %d", len(p), len(m.Centroids[0])))
+	}
+	return nearest(m.Centroids, p)
+}
+
+// DistanceTo returns the Euclidean distance from p to centroid c.
+func (m *Model) DistanceTo(p []float64, c int) float64 {
+	return mat.Distance(p, m.Centroids[c])
+}
+
+// Memberships returns soft assignment weights of p to every cluster
+// (inverse-distance normalized; an exact centroid hit gets weight 1).
+func (m *Model) Memberships(p []float64) []float64 {
+	w := make([]float64, m.K)
+	for c := range w {
+		d := mat.Distance(p, m.Centroids[c])
+		if d == 0 {
+			for j := range w {
+				w[j] = 0
+			}
+			w[c] = 1
+			return w
+		}
+		w[c] = 1 / d
+	}
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	for c := range w {
+		w[c] /= total
+	}
+	return w
+}
+
+// Silhouette returns the mean silhouette coefficient of the training
+// clustering in [-1, 1]; higher is better separated. Single-cluster models
+// return 0.
+func Silhouette(points [][]float64, m *Model) float64 {
+	if m.K < 2 {
+		return 0
+	}
+	total, counted := 0.0, 0
+	for i, p := range points {
+		a, b := 0.0, math.Inf(1)
+		sameN := 0
+		otherSum := make([]float64, m.K)
+		otherCnt := make([]int, m.K)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			d := mat.Distance(p, q)
+			if m.Assign[j] == m.Assign[i] {
+				a += d
+				sameN++
+			} else {
+				otherSum[m.Assign[j]] += d
+				otherCnt[m.Assign[j]]++
+			}
+		}
+		if sameN == 0 {
+			continue
+		}
+		a /= float64(sameN)
+		for c := 0; c < m.K; c++ {
+			if otherCnt[c] > 0 {
+				if v := otherSum[c] / float64(otherCnt[c]); v < b {
+					b = v
+				}
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

@@ -1,0 +1,249 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vesta/internal/mat"
+	"vesta/internal/rng"
+)
+
+// blobs generates k well-separated Gaussian clusters.
+func blobs(src *rng.Source, k, perCluster, dim int, spread float64) ([][]float64, []int) {
+	var points [][]float64
+	var truth []int
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		for j := range center {
+			center[j] = float64(c*10) + float64(j)
+		}
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = center[j] + src.Norm(0, spread)
+			}
+			points = append(points, p)
+			truth = append(truth, c)
+		}
+	}
+	return points, truth
+}
+
+func TestFitSeparatedBlobs(t *testing.T) {
+	src := rng.New(1)
+	points, truth := blobs(src, 3, 30, 4, 0.5)
+	m, err := Fit(points, Config{K: 3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clusters must match ground truth up to relabeling: every predicted
+	// cluster maps to exactly one true cluster.
+	mapping := map[int]int{}
+	for i := range points {
+		if prev, ok := mapping[m.Assign[i]]; ok {
+			if prev != truth[i] {
+				t.Fatalf("cluster %d spans true clusters %d and %d", m.Assign[i], prev, truth[i])
+			}
+		} else {
+			mapping[m.Assign[i]] = truth[i]
+		}
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("found %d clusters, want 3", len(mapping))
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, err := Fit(nil, Config{K: 2}, src); err == nil {
+		t.Fatal("empty points should error")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, Config{K: 3}, src); err == nil {
+		t.Fatal("k > n should error")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, Config{K: 0}, src); err == nil {
+		t.Fatal("k = 0 should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, Config{K: 1}, src); err == nil {
+		t.Fatal("ragged points should error")
+	}
+	if _, err := Fit([][]float64{{}, {}}, Config{K: 1}, src); err == nil {
+		t.Fatal("zero-dim points should error")
+	}
+}
+
+func TestAssignmentsAreNearestCentroid(t *testing.T) {
+	// Lloyd invariant: every point is assigned to its nearest centroid.
+	src := rng.New(2)
+	points, _ := blobs(src, 4, 20, 3, 1.0)
+	m, err := Fit(points, Config{K: 4}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		d := mat.Distance(p, m.Centroids[m.Assign[i]])
+		for c := range m.Centroids {
+			if mat.Distance(p, m.Centroids[c]) < d-1e-9 {
+				t.Fatalf("point %d assigned to %d but %d is closer", i, m.Assign[i], c)
+			}
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	src := rng.New(3)
+	points, _ := blobs(src, 5, 20, 3, 2.0)
+	prev := math.Inf(1)
+	for k := 1; k <= 8; k++ {
+		m, err := Fit(points, Config{K: k, Restarts: 6}, rng.New(uint64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow slight non-monotonicity from local optima, but the trend
+		// over doubling k must hold strongly.
+		if k > 1 && m.Inertia > prev*1.05 {
+			t.Fatalf("inertia rose from %v (k=%d) to %v (k=%d)", prev, k-1, m.Inertia, k)
+		}
+		prev = m.Inertia
+	}
+}
+
+func TestKEqualsNZeroInertia(t *testing.T) {
+	src := rng.New(4)
+	points := [][]float64{{0, 0}, {5, 5}, {10, 0}}
+	m, err := Fit(points, Config{K: 3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Inertia > 1e-12 {
+		t.Fatalf("k=n inertia = %v, want 0", m.Inertia)
+	}
+}
+
+func TestPredictConsistentWithAssign(t *testing.T) {
+	src := rng.New(5)
+	points, _ := blobs(src, 3, 15, 2, 0.8)
+	m, err := Fit(points, Config{K: 3}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if got := m.Predict(p); got != m.Assign[i] {
+			t.Fatalf("Predict(points[%d]) = %d, Assign = %d", i, got, m.Assign[i])
+		}
+	}
+}
+
+func TestPredictDimPanics(t *testing.T) {
+	src := rng.New(6)
+	m, _ := Fit([][]float64{{1, 2}, {3, 4}}, Config{K: 2}, src)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim-mismatched Predict did not panic")
+		}
+	}()
+	m.Predict([]float64{1})
+}
+
+func TestMembershipsSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		points, _ := blobs(src, 3, 10, 2, 1.0)
+		m, err := Fit(points, Config{K: 3}, src)
+		if err != nil {
+			return false
+		}
+		w := m.Memberships([]float64{src.Range(-5, 25), src.Range(-5, 25)})
+		sum := 0.0
+		for _, v := range w {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembershipsExactHit(t *testing.T) {
+	src := rng.New(7)
+	points := [][]float64{{0, 0}, {10, 10}}
+	m, _ := Fit(points, Config{K: 2}, src)
+	w := m.Memberships(m.Centroids[1])
+	if w[1] != 1 || w[0] != 0 {
+		t.Fatalf("exact centroid hit weights = %v", w)
+	}
+}
+
+func TestSilhouetteSeparatedHigh(t *testing.T) {
+	src := rng.New(8)
+	points, _ := blobs(src, 3, 20, 3, 0.3)
+	m, _ := Fit(points, Config{K: 3}, src)
+	s := Silhouette(points, m)
+	if s < 0.8 {
+		t.Fatalf("silhouette of well-separated blobs = %v, want > 0.8", s)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	src := rng.New(9)
+	points, _ := blobs(src, 2, 10, 2, 0.5)
+	m, _ := Fit(points, Config{K: 1}, src)
+	if Silhouette(points, m) != 0 {
+		t.Fatal("single-cluster silhouette should be 0")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	points, _ := blobs(rng.New(10), 4, 15, 3, 1.0)
+	m1, _ := Fit(points, Config{K: 4}, rng.New(77))
+	m2, _ := Fit(points, Config{K: 4}, rng.New(77))
+	if m1.Inertia != m2.Inertia {
+		t.Fatalf("same seed, different inertia: %v vs %v", m1.Inertia, m2.Inertia)
+	}
+	for i := range m1.Assign {
+		if m1.Assign[i] != m2.Assign[i] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+}
+
+func TestEmptyClusterRepair(t *testing.T) {
+	// Duplicated points force potential empty clusters; Fit must still
+	// return k centroids and a consistent assignment.
+	points := [][]float64{{0, 0}, {0, 0}, {0, 0}, {0, 0}, {100, 100}}
+	m, err := Fit(points, Config{K: 3, Restarts: 2}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Centroids) != 3 {
+		t.Fatalf("%d centroids, want 3", len(m.Centroids))
+	}
+	for _, a := range m.Assign {
+		if a < 0 || a >= 3 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+}
+
+func TestDistanceTo(t *testing.T) {
+	m := &Model{K: 1, Centroids: [][]float64{{3, 4}}}
+	if d := m.DistanceTo([]float64{0, 0}, 0); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("DistanceTo = %v, want 5", d)
+	}
+}
+
+func BenchmarkFitK9(b *testing.B) {
+	src := rng.New(1)
+	points, _ := blobs(src, 9, 15, 10, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(points, Config{K: 9}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

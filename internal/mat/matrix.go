@@ -1,0 +1,514 @@
+// Package mat implements the dense linear algebra needed by Vesta's learning
+// components: matrix arithmetic, Gaussian-elimination solves, and a Jacobi
+// symmetric eigendecomposition used by PCA.
+//
+// Matrices are small in this problem (tens of workloads x tens of features x
+// about a hundred VM types), so the implementation favours clarity and exact
+// determinism over cache-blocked performance.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero-initialized rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds for %dx%d matrix", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic("mat: row index out of bounds")
+	}
+	out := make([]float64, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic("mat: col index out of bounds")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Matrix) SetRow(i int, v []float64) {
+	if len(v) != m.Cols {
+		panic("mat: SetRow length mismatch")
+	}
+	copy(m.Data[i*m.Cols:(i+1)*m.Cols], v)
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := New(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v as a new vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// AddM returns m + b element-wise.
+func (m *Matrix) AddM(b *Matrix) *Matrix {
+	m.sameShape(b, "AddM")
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// SubM returns m - b element-wise.
+func (m *Matrix) SubM(b *Matrix) *Matrix {
+	m.sameShape(b, "SubM")
+	out := m.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s * m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+func (m *Matrix) sameShape(b *Matrix, op string) {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Frobenius returns the Frobenius norm of m.
+func (m *Matrix) Frobenius() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	best := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Equal reports whether m and b have the same shape and all elements within
+// tol of each other.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%8.4f", m.At(i, j))
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// Solve solves the linear system a*x = b for x using Gaussian elimination
+// with partial pivoting. a must be square; b is a vector of length a.Rows.
+// It returns an error when a is singular (to working precision).
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mat: Solve requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Solve rhs length %d, want %d", len(b), n)
+	}
+	// Work on copies.
+	aa := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(aa.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aa.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("mat: singular matrix in Solve (pivot %d)", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := aa.At(col, j)
+				aa.Set(col, j, aa.At(pivot, j))
+				aa.Set(pivot, j, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		// Eliminate below.
+		inv := 1 / aa.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aa.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				aa.Add(r, j, -f*aa.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= aa.At(i, j) * x[j]
+		}
+		x[i] = s / aa.At(i, i)
+	}
+	return x, nil
+}
+
+// Eigen holds the result of a symmetric eigendecomposition: Values[i] is the
+// eigenvalue for the unit eigenvector stored in column i of Vectors.
+// Values are sorted in descending order.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. The input is not modified. It panics if a is
+// not square; symmetry is assumed (the lower triangle is ignored).
+func SymEigen(a *Matrix) Eigen {
+	n := a.Rows
+	if a.Cols != n {
+		panic("mat: SymEigen requires a square matrix")
+	}
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort eigenvalues (and vectors) descending with a simple selection sort,
+	// keeping determinism.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] > vals[best] {
+				best = j
+			}
+		}
+		if best != i {
+			vals[i], vals[best] = vals[best], vals[i]
+			for r := 0; r < n; r++ {
+				tmp := v.At(r, i)
+				v.Set(r, i, v.At(r, best))
+				v.Set(r, best, tmp)
+			}
+		}
+	}
+	return Eigen{Values: vals, Vectors: v}
+}
+
+// rotate applies a Jacobi rotation with cosine c and sine s in the (p,q)
+// plane to the working matrix w, accumulating the rotation into v.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip := w.At(i, p)
+		wiq := w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj := w.At(p, j)
+		wqj := w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip := v.At(i, p)
+		viq := v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+// Dot returns the dot product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Distance returns the Euclidean distance between equal-length vectors.
+func Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Distance length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L L^T.
+type Cholesky struct {
+	L *Matrix
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. It returns
+// an error when a is not (numerically) positive definite.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("mat: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("mat: matrix not positive definite (pivot %d = %v)", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// Solve solves A x = b using the factorization (forward then backward
+// substitution).
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.L.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: Cholesky solve rhs length %d, want %d", len(b), n)
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	// Backward: L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x, nil
+}
+
+// LogDet returns the log-determinant of A from the factorization.
+func (c *Cholesky) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}

@@ -1,0 +1,434 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vesta/internal/rng"
+)
+
+func randomMatrix(s *rng.Source, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = s.Range(-5, 5)
+	}
+	return m
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New matrix not zeroed")
+		}
+	}
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("FromRows stored wrong values: %v", m.Data)
+	}
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := m.Col(0)
+	if c[0] != 1 || c[1] != 3 || c[2] != 5 {
+		t.Fatalf("Col(0) = %v", c)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds At did not panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestIdentityMul(t *testing.T) {
+	s := rng.New(1)
+	m := randomMatrix(s, 4, 4)
+	if !m.Mul(Identity(4)).Equal(m, 1e-12) {
+		t.Fatal("m * I != m")
+	}
+	if !Identity(4).Mul(m).Equal(m, 1e-12) {
+		t.Fatal("I * m != m")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape-mismatched Mul did not panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		m := randomMatrix(s, 2+s.Intn(5), 2+s.Intn(5))
+		return m.T().T().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeMulProperty(t *testing.T) {
+	// (A*B)^T == B^T * A^T
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n, m, p := 2+s.Intn(4), 2+s.Intn(4), 2+s.Intn(4)
+		a := randomMatrix(s, n, m)
+		b := randomMatrix(s, m, p)
+		return a.Mul(b).T().Equal(b.T().Mul(a.T()), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	s := rng.New(2)
+	a := randomMatrix(s, 3, 3)
+	b := randomMatrix(s, 3, 3)
+	if !a.AddM(b).SubM(b).Equal(a, 1e-12) {
+		t.Fatal("(a+b)-b != a")
+	}
+	if !a.Scale(2).SubM(a).Equal(a, 1e-12) {
+		t.Fatal("2a - a != a")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	s := rng.New(3)
+	a := randomMatrix(s, 4, 3)
+	v := []float64{1, -2, 0.5}
+	got := a.MulVec(v)
+	col := New(3, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want := a.Mul(col)
+	for i := range got {
+		if math.Abs(got[i]-want.At(i, 0)) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestFrobenius(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.Frobenius(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v, want 5", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-7, 2}, {3, 6}})
+	if got := m.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+	if got := New(0, 0).MaxAbs(); got != 0 {
+		t.Fatalf("empty MaxAbs = %v, want 0", got)
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveResidualProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 2 + s.Intn(6)
+		a := randomMatrix(s, n, n)
+		// Make strongly diagonally dominant to guarantee non-singularity.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 20)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = s.Range(-3, 3)
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("Solve of singular matrix did not error")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	orig := a.Clone()
+	b := []float64{1, 2}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(orig, 0) {
+		t.Fatal("Solve mutated its matrix argument")
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Fatal("Solve mutated its rhs argument")
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	e := SymEigen(a)
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if math.Abs(e.Values[i]-v) > 1e-9 {
+			t.Fatalf("eigenvalues = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	e := SymEigen(a)
+	if math.Abs(e.Values[0]-3) > 1e-9 || math.Abs(e.Values[1]-1) > 1e-9 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	// A == V * diag(values) * V^T for a random symmetric matrix.
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 2 + s.Intn(6)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := s.Range(-2, 2)
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		e := SymEigen(a)
+		d := New(n, n)
+		for i, v := range e.Values {
+			d.Set(i, i, v)
+		}
+		recon := e.Vectors.Mul(d).Mul(e.Vectors.T())
+		return recon.Equal(a, 1e-7)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigenOrthonormalVectors(t *testing.T) {
+	s := rng.New(9)
+	n := 5
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := s.Range(-1, 1)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	e := SymEigen(a)
+	vtv := e.Vectors.T().Mul(e.Vectors)
+	if !vtv.Equal(Identity(n), 1e-8) {
+		t.Fatalf("V^T V != I:\n%v", vtv)
+	}
+}
+
+func TestSymEigenTraceInvariant(t *testing.T) {
+	s := rng.New(10)
+	n := 6
+	a := New(n, n)
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := s.Range(-1, 1)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		trace += a.At(i, i)
+	}
+	e := SymEigen(a)
+	sum := 0.0
+	for _, v := range e.Values {
+		sum += v
+	}
+	if math.Abs(sum-trace) > 1e-8 {
+		t.Fatalf("sum of eigenvalues %v != trace %v", sum, trace)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm2 wrong")
+	}
+	if math.Abs(Distance([]float64{1, 1}, []float64{4, 5})-5) > 1e-12 {
+		t.Fatal("Distance wrong")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	if m.At(1, 2) != 9 || m.At(0, 0) != 0 {
+		t.Fatal("SetRow wrong")
+	}
+}
+
+func BenchmarkMul32(b *testing.B) {
+	s := rng.New(1)
+	a := randomMatrix(s, 32, 32)
+	c := randomMatrix(s, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Mul(c)
+	}
+}
+
+func BenchmarkSymEigen16(b *testing.B) {
+	s := rng.New(1)
+	n := 16
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := s.Range(-1, 1)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SymEigen(a)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	s := rng.New(21)
+	n := 6
+	// Build SPD matrix A = B B^T + n*I.
+	b := randomMatrix(s, n, n)
+	a := b.Mul(b.T())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L L^T must reconstruct A.
+	if !chol.L.Mul(chol.L.T()).Equal(a, 1e-8) {
+		t.Fatal("L L^T != A")
+	}
+	// Solve matches the direct solver.
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = s.Range(-2, 2)
+	}
+	x1, err := chol.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := Solve(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("Cholesky solve diverges from Gaussian solve at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("indefinite matrix factored")
+	}
+	if _, err := NewCholesky(New(2, 3)); err == nil {
+		t.Fatal("non-square matrix factored")
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	chol, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chol.LogDet()-math.Log(36)) > 1e-10 {
+		t.Fatalf("LogDet = %v, want ln 36", chol.LogDet())
+	}
+}
+
+func TestCholeskySolveRHSMismatch(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 2}})
+	chol, _ := NewCholesky(a)
+	if _, err := chol.Solve([]float64{1}); err == nil {
+		t.Fatal("mismatched rhs accepted")
+	}
+}

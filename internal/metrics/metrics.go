@@ -1,0 +1,257 @@
+// Package metrics defines the low-level metrics Vesta's Data Collector
+// gathers during a workload run, and derives from them the high-level
+// "correlation similarity" features of the paper's Table 1.
+//
+// The paper collects 20 low-level metrics. We reproduce the inventory as 17
+// sampled time series (resource utilizations plus per-step task activity,
+// sampled every 5 seconds like the paper's collector) and 3 scalar execution
+// ratios:
+//
+//	CPU      : user, system, idle, iowait rates        (4 series)
+//	memory   : RAM, buffer, cache usage, swap rate     (4 series)
+//	disk     : read rate, write rate, utilization      (3 series)
+//	network  : send, receive, drop rates               (3 series)
+//	steps    : tasks active in computation /
+//	           communication / synchronization steps   (3 series)
+//	ratios   : data-to-cycles, data-to-iterations,
+//	           data-to-parallelism                     (3 scalars)
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/stats"
+)
+
+// SeriesID identifies one sampled low-level metric time series.
+type SeriesID int
+
+// The 17 sampled series.
+const (
+	CPUUser SeriesID = iota
+	CPUSystem
+	CPUIdle
+	CPUIOWait
+	RAMUsed
+	BufferUsed
+	CacheUsed
+	SwapRate
+	DiskRead
+	DiskWrite
+	DiskUtil
+	NetSend
+	NetRecv
+	NetDrop
+	TasksComputeStep
+	TasksCommStep
+	TasksSyncStep
+	NumSeries // sentinel
+)
+
+// seriesNames is indexed by SeriesID.
+var seriesNames = [NumSeries]string{
+	"cpu.user", "cpu.system", "cpu.idle", "cpu.iowait",
+	"mem.ram", "mem.buffer", "mem.cache", "mem.swap",
+	"disk.read", "disk.write", "disk.util",
+	"net.send", "net.recv", "net.drop",
+	"tasks.compute", "tasks.comm", "tasks.sync",
+}
+
+// String returns the collector name of the series.
+func (s SeriesID) String() string {
+	if s < 0 || s >= NumSeries {
+		return fmt.Sprintf("series(%d)", int(s))
+	}
+	return seriesNames[s]
+}
+
+// Trace is the sampled record of one workload run, as stored by the paper's
+// Data Collector (5-second average resource utilizations).
+type Trace struct {
+	SampleSec float64
+	Series    [NumSeries][]float64
+}
+
+// Len returns the number of samples in the trace.
+func (t *Trace) Len() int { return len(t.Series[0]) }
+
+// Duration returns the wall-clock span covered by the trace.
+func (t *Trace) Duration() float64 { return float64(t.Len()) * t.SampleSec }
+
+// Validate checks internal consistency: equal series lengths, utilization
+// series within [0, 1], and at least one sample.
+func (t *Trace) Validate() error {
+	n := t.Len()
+	if n == 0 {
+		return fmt.Errorf("metrics: empty trace")
+	}
+	if t.SampleSec <= 0 {
+		return fmt.Errorf("metrics: non-positive sample interval %v", t.SampleSec)
+	}
+	for id := SeriesID(0); id < NumSeries; id++ {
+		if len(t.Series[id]) != n {
+			return fmt.Errorf("metrics: series %v has %d samples, want %d", id, len(t.Series[id]), n)
+		}
+		for i, v := range t.Series[id] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("metrics: series %v sample %d is %v", id, i, v)
+			}
+			if v < -1e-9 {
+				return fmt.Errorf("metrics: series %v sample %d negative (%v)", id, i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ExecStats are the scalar execution metrics of a run: the step task counts
+// aggregated over the job plus the three data-size ratios from Section 3.1.
+type ExecStats struct {
+	TasksCompute float64 // total tasks across computation steps
+	TasksComm    float64 // total tasks across communication steps
+	TasksSync    float64 // total synchronization barriers entered
+	// DataPerCycle is input GB per billion CPU cycles consumed.
+	DataPerCycle float64
+	// DataPerIteration is input GB per BSP superstep.
+	DataPerIteration float64
+	// DataPerParallelism is input GB per parallel task slot used.
+	DataPerParallelism float64
+}
+
+// sum returns a pointwise sum of two series.
+func sum(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Correlation feature indices — the 10 high-level similarities of Table 1.
+const (
+	CPUToMemory = iota
+	MemoryToDisk
+	DiskToNetwork
+	BufferToCache
+	CPUToNetwork
+	IterationToParallelism
+	DataToComputation
+	DataToCycle
+	DiskToSync
+	NetworkToSync
+	NumCorrelations // sentinel
+)
+
+// CorrelationNames lists the Table 1 feature names, indexed like CorrVector.
+var CorrelationNames = [NumCorrelations]string{
+	"CPU-to-memory",
+	"memory-to-disk",
+	"disk-to-network",
+	"buffer-to-cache",
+	"CPU-to-network",
+	"iteration-to-parallelism",
+	"data-to-computation",
+	"data-to-cycle",
+	"disk-to-synchronization",
+	"network-to-synchronization",
+}
+
+// CorrVector is the 10-dimensional correlation-similarity feature vector,
+// every component normalized to [-1, 1] (Section 3.1).
+type CorrVector [NumCorrelations]float64
+
+// Slice returns the vector as a []float64 (a copy).
+func (c CorrVector) Slice() []float64 {
+	out := make([]float64, NumCorrelations)
+	copy(out, c[:])
+	return out
+}
+
+// Valid reports whether every component is inside [-1, 1].
+func (c CorrVector) Valid() bool {
+	for _, v := range c {
+		if math.IsNaN(v) || v < -1 || v > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector with feature names.
+func (c CorrVector) String() string {
+	s := ""
+	for i, v := range c {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s=%.2f", CorrelationNames[i], v)
+	}
+	return s
+}
+
+// boundedRatio maps the balance between two non-negative quantities onto
+// [-1, 1]: +1 when a dominates, -1 when b dominates, 0 when equal or both
+// are zero.
+func boundedRatio(a, b float64) float64 {
+	if a <= 0 && b <= 0 {
+		return 0
+	}
+	return (a - b) / (a + b)
+}
+
+// Correlations derives the Table 1 feature vector from a run trace and its
+// execution stats. Resource correlations are Pearson coefficients between
+// the relevant sampled series; execution correlations are bounded ratios of
+// the scalar execution metrics (both normalized to [-1, 1] like the paper's
+// correlation values).
+func Correlations(tr *Trace, ex ExecStats) CorrVector {
+	disk := sum(tr.Series[DiskRead], tr.Series[DiskWrite])
+	net := sum(tr.Series[NetSend], tr.Series[NetRecv])
+
+	var c CorrVector
+	c[CPUToMemory] = stats.Pearson(tr.Series[CPUUser], tr.Series[RAMUsed])
+	c[MemoryToDisk] = stats.Pearson(tr.Series[RAMUsed], disk)
+	c[DiskToNetwork] = stats.Pearson(disk, net)
+	c[BufferToCache] = stats.Pearson(tr.Series[BufferUsed], tr.Series[CacheUsed])
+	c[CPUToNetwork] = stats.Pearson(tr.Series[CPUUser], net)
+
+	// iteration-to-parallelism: positive = prefers a "thin" cluster (many
+	// iterations), negative = prefers a "fat" cluster (wide parallelism).
+	iterations := ex.TasksSync // one barrier per superstep
+	parallelism := 0.0
+	if ex.DataPerParallelism > 0 {
+		parallelism = ex.DataPerIteration / ex.DataPerParallelism // tasks per superstep
+	}
+	c[IterationToParallelism] = boundedRatio(iterations, parallelism)
+
+	// data-to-computation: positive = many computation phases relative to
+	// data movement.
+	c[DataToComputation] = boundedRatio(ex.TasksCompute, ex.TasksComm)
+
+	// data-to-cycle: positive = data-starved (lots of cycles per byte),
+	// negative = scan-dominated. DataPerCycle around 1 GB per billion cycles
+	// is the neutral point.
+	c[DataToCycle] = boundedRatio(1, ex.DataPerCycle)
+
+	c[DiskToSync] = stats.Pearson(disk, tr.Series[TasksSyncStep])
+	c[NetworkToSync] = stats.Pearson(net, tr.Series[TasksSyncStep])
+	return c
+}
+
+// Distance returns the Euclidean distance between two correlation vectors,
+// the measure used in Figure 10's VM-type consistency analysis.
+func Distance(a, b CorrVector) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Interval buckets a correlation value into the paper's 0.05-wide intervals
+// (Section 5.3, Figure 10), returning the lower bound of the bucket.
+func Interval(v float64) float64 {
+	return math.Floor(v/0.05) * 0.05
+}

@@ -1,0 +1,177 @@
+// Package nnls implements Non-Negative Least Squares via the Lawson-Hanson
+// active-set algorithm. It is the fitting substrate of the Ernest baseline
+// (Venkataraman et al., NSDI'16), whose performance-cost model is a linear
+// combination of communication-pattern terms with non-negative coefficients.
+package nnls
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/mat"
+)
+
+// Solve finds x >= 0 minimizing ||A x - b||_2 using Lawson-Hanson.
+// A is m x n with m >= 1, b has length m. It returns an error on dimension
+// mismatch or if the inner least-squares subproblem is degenerate beyond
+// repair.
+func Solve(a *mat.Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("nnls: b has length %d, want %d", len(b), m)
+	}
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("nnls: empty problem")
+	}
+
+	x := make([]float64, n)
+	passive := make([]bool, n) // P set: variables allowed nonzero
+	w := make([]float64, n)    // gradient A^T (b - A x)
+
+	residual := func() []float64 {
+		r := make([]float64, m)
+		copy(r, b)
+		ax := a.MulVec(x)
+		for i := range r {
+			r[i] -= ax[i]
+		}
+		return r
+	}
+
+	const maxOuter = 3 * 64
+	tol := 1e-10 * a.Frobenius() * mat.Norm2(b)
+	if tol == 0 {
+		tol = 1e-12
+	}
+
+	for outer := 0; outer < maxOuter+3*n; outer++ {
+		// Compute gradient over the active (zero) set.
+		r := residual()
+		at := a.T()
+		grad := at.MulVec(r)
+		copy(w, grad)
+
+		// Find the most promising active variable.
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best == -1 {
+			break // KKT satisfied
+		}
+		passive[best] = true
+
+		// Inner loop: solve unconstrained LS on the passive set, clipping
+		// variables that go negative.
+		for inner := 0; inner < 3*n+10; inner++ {
+			z, err := lsOnPassive(a, b, passive)
+			if err != nil {
+				// Degenerate subproblem: drop the most recently added
+				// variable and stop trying it.
+				passive[best] = false
+				break
+			}
+			allPos := true
+			for j := 0; j < n; j++ {
+				if passive[j] && z[j] <= 0 {
+					allPos = false
+				}
+			}
+			if allPos {
+				copy(x, z)
+				break
+			}
+			// Step from x toward z as far as feasibility allows.
+			alpha := math.Inf(1)
+			for j := 0; j < n; j++ {
+				if passive[j] && z[j] <= 0 {
+					if d := x[j] - z[j]; d > 0 {
+						if a := x[j] / d; a < alpha {
+							alpha = a
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					x[j] += alpha * (z[j] - x[j])
+					if x[j] < 1e-12 {
+						x[j] = 0
+						passive[j] = false
+					}
+				}
+			}
+		}
+	}
+	// Clean tiny negatives from numeric error.
+	for j := range x {
+		if x[j] < 0 {
+			x[j] = 0
+		}
+	}
+	return x, nil
+}
+
+// lsOnPassive solves the unconstrained least squares over the passive
+// columns via normal equations, returning a full-length vector with zeros on
+// the active set.
+func lsOnPassive(a *mat.Matrix, b []float64, passive []bool) ([]float64, error) {
+	var cols []int
+	for j, p := range passive {
+		if p {
+			cols = append(cols, j)
+		}
+	}
+	k := len(cols)
+	if k == 0 {
+		return make([]float64, len(passive)), nil
+	}
+	// Normal equations: (A_P^T A_P) z = A_P^T b, with a tiny ridge for
+	// numerical robustness on collinear designs.
+	ata := mat.New(k, k)
+	atb := make([]float64, k)
+	m := a.Rows
+	for ci, j := range cols {
+		for cj := ci; cj < k; cj++ {
+			s := 0.0
+			for r := 0; r < m; r++ {
+				s += a.At(r, j) * a.At(r, cols[cj])
+			}
+			ata.Set(ci, cj, s)
+			ata.Set(cj, ci, s)
+		}
+		s := 0.0
+		for r := 0; r < m; r++ {
+			s += a.At(r, j) * b[r]
+		}
+		atb[ci] = s
+	}
+	for i := 0; i < k; i++ {
+		ata.Add(i, i, 1e-10)
+	}
+	z, err := mat.Solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(passive))
+	for ci, j := range cols {
+		out[j] = z[ci]
+	}
+	return out, nil
+}
+
+// Residual returns ||A x - b||_2 for a candidate solution.
+func Residual(a *mat.Matrix, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	s := 0.0
+	for i := range b {
+		d := ax[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,164 @@
+package nnls
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vesta/internal/mat"
+	"vesta/internal/rng"
+)
+
+func TestExactNonNegativeSolution(t *testing.T) {
+	// b is an exact non-negative combination; NNLS must recover it.
+	a := mat.FromRows([][]float64{
+		{1, 0, 2},
+		{0, 1, 1},
+		{2, 1, 0},
+		{1, 1, 1},
+	})
+	want := []float64{0.5, 2, 1.5}
+	b := a.MulVec(want)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-6 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestClampsNegative(t *testing.T) {
+	// The unconstrained solution has a negative coefficient; NNLS must pin
+	// it to zero and still fit well.
+	a := mat.FromRows([][]float64{
+		{1, 1},
+		{1, 1.01},
+		{1, 0.99},
+	})
+	b := []float64{1, 0.5, 1.5} // pulls second coefficient negative
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d] = %v negative", j, v)
+		}
+	}
+}
+
+func TestAllZeroWhenBOrthogonalNegative(t *testing.T) {
+	// If b is best approximated by negative coefficients only, x = 0.
+	a := mat.FromRows([][]float64{{1}, {1}})
+	b := []float64{-3, -5}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 {
+		t.Fatalf("x = %v, want [0]", x)
+	}
+}
+
+func TestResidualNotWorseThanZeroVector(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		m, n := 4+src.Intn(8), 1+src.Intn(4)
+		a := mat.New(m, n)
+		for i := range a.Data {
+			a.Data[i] = src.Range(0, 2)
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = src.Range(-1, 3)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for _, v := range x {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		zero := make([]float64, n)
+		return Residual(a, x, b) <= Residual(a, zero, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErnestShapedFit(t *testing.T) {
+	// Ernest's feature map: [1, data/machines, log(machines), machines].
+	// Generate runtimes from known non-negative thetas and recover them.
+	theta := []float64{5, 30, 2, 0.4}
+	var rows [][]float64
+	var b []float64
+	for _, machines := range []float64{1, 2, 4, 8, 16} {
+		for _, data := range []float64{1, 2, 4} {
+			f := []float64{1, data / machines, math.Log(machines + 1), machines}
+			y := 0.0
+			for i := range f {
+				y += theta[i] * f[i]
+			}
+			rows = append(rows, f)
+			b = append(b, y)
+		}
+	}
+	a := mat.FromRows(rows)
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range theta {
+		if math.Abs(x[i]-theta[i]) > 1e-4 {
+			t.Fatalf("theta = %v, want %v", x, theta)
+		}
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	a := mat.New(3, 2)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Solve(mat.New(0, 0), nil); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+}
+
+func TestCollinearColumns(t *testing.T) {
+	// Duplicate columns: solution not unique but must stay feasible/finite.
+	a := mat.FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{2, 4, 6}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Residual(a, x, b); r > 1e-4 {
+		t.Fatalf("residual %v on solvable collinear system", r)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	src := rng.New(1)
+	m, n := 40, 4
+	a := mat.New(m, n)
+	for i := range a.Data {
+		a.Data[i] = src.Range(0, 2)
+	}
+	rhs := make([]float64, m)
+	for i := range rhs {
+		rhs[i] = src.Range(0, 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package oracle provides (1) the exhaustive ground-truth tables the paper
+// uses to define the "best" VM type (Section 5.2: ground truth is obtained
+// by exhaustively running every workload on all 120 VM types), and (2) a
+// run-counting measurement meter, so every selection system's training
+// overhead (Figure 8's "number of reference VMs") is accounted identically.
+package oracle
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vesta/internal/cloud"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// Key identifies one (application, VM type) measurement.
+type Key struct {
+	App string
+	VM  string
+}
+
+// Table holds exhaustive P90 execution times and budgets.
+type Table struct {
+	apps []workload.App
+	vms  []cloud.VMType
+	time map[Key]float64
+	cost map[Key]float64
+}
+
+// Build exhaustively profiles every app on every VM type. seed fixes the
+// whole table deterministically. The grid is embarrassingly parallel — each
+// (app, VM) cell depends only on its own fixed seed — so Build fans the work
+// out over a worker pool; results are byte-identical to a sequential build.
+func Build(s *sim.Simulator, apps []workload.App, vms []cloud.VMType, seed uint64) *Table {
+	t := &Table{
+		apps: append([]workload.App(nil), apps...),
+		vms:  append([]cloud.VMType(nil), vms...),
+		time: make(map[Key]float64, len(apps)*len(vms)),
+		cost: make(map[Key]float64, len(apps)*len(vms)),
+	}
+	type cell struct {
+		key  Key
+		time float64
+		cost float64
+	}
+	jobs := make(chan int)
+	results := make([]cell, len(apps)*len(vms))
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				a := apps[idx/len(vms)]
+				v := vms[idx%len(vms)]
+				p := s.ProfileRun(a, v, seed)
+				results[idx] = cell{Key{App: a.Name, VM: v.Name}, p.P90Seconds, p.CostUSD}
+			}
+		}()
+	}
+	for idx := 0; idx < len(apps)*len(vms); idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, c := range results {
+		t.time[c.key] = c.time
+		t.cost[c.key] = c.cost
+	}
+	return t
+}
+
+// Apps returns the profiled applications.
+func (t *Table) Apps() []workload.App { return append([]workload.App(nil), t.apps...) }
+
+// VMs returns the profiled VM types.
+func (t *Table) VMs() []cloud.VMType { return append([]cloud.VMType(nil), t.vms...) }
+
+// Time returns the ground-truth P90 execution time in seconds.
+func (t *Table) Time(app, vm string) (float64, error) {
+	v, ok := t.time[Key{App: app, VM: vm}]
+	if !ok {
+		return 0, fmt.Errorf("oracle: no measurement for %s on %s", app, vm)
+	}
+	return v, nil
+}
+
+// Cost returns the ground-truth budget in USD.
+func (t *Table) Cost(app, vm string) (float64, error) {
+	v, ok := t.cost[Key{App: app, VM: vm}]
+	if !ok {
+		return 0, fmt.Errorf("oracle: no measurement for %s on %s", app, vm)
+	}
+	return v, nil
+}
+
+// BestByTime returns the VM minimizing execution time for app.
+func (t *Table) BestByTime(app string) (cloud.VMType, float64, error) {
+	return t.best(app, t.time)
+}
+
+// BestByCost returns the VM minimizing budget for app.
+func (t *Table) BestByCost(app string) (cloud.VMType, float64, error) {
+	return t.best(app, t.cost)
+}
+
+func (t *Table) best(app string, metric map[Key]float64) (cloud.VMType, float64, error) {
+	var bestVM cloud.VMType
+	bestVal := -1.0
+	for _, v := range t.vms {
+		val, ok := metric[Key{App: app, VM: v.Name}]
+		if !ok {
+			return cloud.VMType{}, 0, fmt.Errorf("oracle: app %q not in table", app)
+		}
+		if bestVal < 0 || val < bestVal || (val == bestVal && v.Name < bestVM.Name) {
+			bestVM, bestVal = v, val
+		}
+	}
+	if bestVal < 0 {
+		return cloud.VMType{}, 0, fmt.Errorf("oracle: empty table")
+	}
+	return bestVM, bestVal, nil
+}
+
+// TimesFor returns app's ground-truth times for every VM, in catalog order.
+func (t *Table) TimesFor(app string) ([]float64, error) {
+	out := make([]float64, len(t.vms))
+	for i, v := range t.vms {
+		val, ok := t.time[Key{App: app, VM: v.Name}]
+		if !ok {
+			return nil, fmt.Errorf("oracle: app %q not in table", app)
+		}
+		out[i] = val
+	}
+	return out, nil
+}
+
+// Step is one trial in a sequential optimization run (the Figure 12/13
+// protocol): a system tries a VM type, observes the execution time, and the
+// best-so-far statistics are carried along.
+type Step struct {
+	Run         int
+	VM          string
+	ObservedSec float64
+	ObservedUSD float64
+	BestSec     float64 // best-so-far execution time
+	BestUSD     float64 // best-so-far budget
+}
+
+// Meter is the measurement service handed to selection systems. Every
+// profiling request is a real (simulated) cluster deployment, so the meter
+// both performs it and counts it. The count is the paper's training-overhead
+// metric: one unit per reference VM profiled.
+type Meter struct {
+	Sim  *sim.Simulator
+	Seed uint64
+
+	mu   sync.Mutex
+	runs int
+	log  []Key
+}
+
+// NewMeter wraps a simulator with run accounting.
+func NewMeter(s *sim.Simulator, seed uint64) *Meter {
+	return &Meter{Sim: s, Seed: seed}
+}
+
+// Profile measures app on vm (the full repeated-run P90 protocol) and
+// charges one reference-VM unit.
+func (m *Meter) Profile(app workload.App, vm cloud.VMType) sim.Profile {
+	m.mu.Lock()
+	m.runs++
+	m.log = append(m.log, Key{App: app.Name, VM: vm.Name})
+	m.mu.Unlock()
+	return m.Sim.ProfileRun(app, vm, m.Seed)
+}
+
+// ProfileWith measures app on vm using an alternative simulator
+// configuration (e.g. a different cluster size) while charging this meter's
+// counter — every cluster deployment costs a reference run regardless of
+// its shape.
+func (m *Meter) ProfileWith(s *sim.Simulator, app workload.App, vm cloud.VMType) sim.Profile {
+	m.mu.Lock()
+	m.runs++
+	m.log = append(m.log, Key{App: app.Name, VM: vm.Name})
+	m.mu.Unlock()
+	return s.ProfileRun(app, vm, m.Seed)
+}
+
+// Runs returns the number of reference-VM profilings charged so far.
+func (m *Meter) Runs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs
+}
+
+// Log returns the profiling history (copy).
+func (m *Meter) Log() []Key {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Key(nil), m.log...)
+}
+
+// Reset zeroes the counter and history (e.g. between offline and online
+// accounting).
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runs = 0
+	m.log = nil
+}

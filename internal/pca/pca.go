@@ -1,0 +1,189 @@
+// Package pca implements Principal Components Analysis over the correlation
+// feature vectors. Vesta uses it to measure the *importance* of each Table 1
+// correlation (Figure 9) and to prune irrelevant features before the K-Means
+// grouping (Section 3.1 reports that about 49% of useless data can be
+// removed this way).
+package pca
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/mat"
+	"vesta/internal/stats"
+)
+
+// Result is a fitted PCA.
+type Result struct {
+	// Mean of each input feature (used to center projections).
+	Mean []float64
+	// Components holds the principal axes as rows, sorted by decreasing
+	// explained variance.
+	Components *mat.Matrix
+	// Explained[i] is the variance captured by component i.
+	Explained []float64
+	// Ratio[i] is Explained[i] / total variance.
+	Ratio []float64
+	// Importance[j] is the importance index of input feature j: the sum over
+	// components of |loading| weighted by the component's explained-variance
+	// ratio, normalized to sum to 1. This is the quantity Figure 9 plots.
+	Importance []float64
+}
+
+// Fit runs PCA on the samples (rows = observations, cols = features).
+// It needs at least two samples and one feature.
+func Fit(samples [][]float64) (*Result, error) {
+	n := len(samples)
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 samples, got %d", n)
+	}
+	d := len(samples[0])
+	if d == 0 {
+		return nil, fmt.Errorf("pca: zero-dimensional samples")
+	}
+	for i, s := range samples {
+		if len(s) != d {
+			return nil, fmt.Errorf("pca: sample %d has dim %d, want %d", i, len(s), d)
+		}
+	}
+
+	// Center.
+	mean := make([]float64, d)
+	for _, s := range samples {
+		mat.AXPY(1, s, mean)
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+
+	// Covariance matrix.
+	cov := mat.New(d, d)
+	for _, s := range samples {
+		for i := 0; i < d; i++ {
+			di := s[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov.Add(i, j, di*(s[j]-mean[j]))
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.At(i, j) / float64(n)
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+
+	eig := mat.SymEigen(cov)
+	total := 0.0
+	for _, v := range eig.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	explained := make([]float64, d)
+	ratio := make([]float64, d)
+	for i, v := range eig.Values {
+		if v < 0 {
+			v = 0 // numeric jitter on rank-deficient data
+		}
+		explained[i] = v
+		if total > 0 {
+			ratio[i] = v / total
+		}
+	}
+
+	// Components as rows: component i = eigenvector column i.
+	comps := eig.Vectors.T()
+
+	// Feature importance: variance-ratio-weighted absolute loadings.
+	importance := make([]float64, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			importance[j] += ratio[i] * math.Abs(comps.At(i, j))
+		}
+	}
+	sum := 0.0
+	for _, v := range importance {
+		sum += v
+	}
+	if sum > 0 {
+		for j := range importance {
+			importance[j] /= sum
+		}
+	}
+
+	return &Result{
+		Mean: mean, Components: comps,
+		Explained: explained, Ratio: ratio, Importance: importance,
+	}, nil
+}
+
+// Transform projects a sample onto the first k principal components.
+func (r *Result) Transform(sample []float64, k int) []float64 {
+	d := len(r.Mean)
+	if len(sample) != d {
+		panic(fmt.Sprintf("pca: sample dim %d, want %d", len(sample), d))
+	}
+	if k < 1 || k > r.Components.Rows {
+		panic(fmt.Sprintf("pca: k=%d out of range", k))
+	}
+	centered := make([]float64, d)
+	for j := range centered {
+		centered[j] = sample[j] - r.Mean[j]
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = mat.Dot(r.Components.Row(i), centered)
+	}
+	return out
+}
+
+// ComponentsFor returns the smallest number of leading components whose
+// cumulative explained-variance ratio reaches frac (e.g. 0.95).
+func (r *Result) ComponentsFor(frac float64) int {
+	acc := 0.0
+	for i, v := range r.Ratio {
+		acc += v
+		if acc >= frac {
+			return i + 1
+		}
+	}
+	return len(r.Ratio)
+}
+
+// SelectFeatures returns the indices of features whose importance index is
+// at least threshold x the mean importance, in descending importance order.
+// This is Vesta's irrelevant-information pruning: with the paper's data it
+// drops roughly half the inputs.
+func (r *Result) SelectFeatures(threshold float64) []int {
+	meanImp := stats.Mean(r.Importance)
+	type fi struct {
+		idx int
+		imp float64
+	}
+	var keep []fi
+	for j, v := range r.Importance {
+		if v >= threshold*meanImp {
+			keep = append(keep, fi{j, v})
+		}
+	}
+	// Sort by importance descending (insertion sort: d is tiny).
+	for i := 1; i < len(keep); i++ {
+		for j := i; j > 0 && keep[j].imp > keep[j-1].imp; j-- {
+			keep[j], keep[j-1] = keep[j-1], keep[j]
+		}
+	}
+	out := make([]int, len(keep))
+	for i, f := range keep {
+		out[i] = f.idx
+	}
+	return out
+}
+
+// PrunedFraction returns the fraction of features dropped by
+// SelectFeatures(threshold) — the "49% useless data" number of Section 5.3.
+func (r *Result) PrunedFraction(threshold float64) float64 {
+	kept := len(r.SelectFeatures(threshold))
+	return 1 - float64(kept)/float64(len(r.Importance))
+}

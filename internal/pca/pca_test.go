@@ -1,0 +1,178 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+// correlatedSamples builds samples where feature 0 carries most variance,
+// feature 1 = feature 0 plus noise, and feature 2 is near-constant.
+func correlatedSamples(src *rng.Source, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		base := src.Range(-10, 10)
+		out[i] = []float64{base, base + src.Norm(0, 0.2), src.Norm(0, 0.05)}
+	}
+	return out
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}}); err == nil {
+		t.Fatal("single sample should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged samples should error")
+	}
+	if _, err := Fit([][]float64{{}, {}}); err == nil {
+		t.Fatal("zero-dim samples should error")
+	}
+}
+
+func TestExplainedVarianceOrdering(t *testing.T) {
+	src := rng.New(1)
+	r, err := Fit(correlatedSamples(src, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(r.Explained); i++ {
+		if r.Explained[i] > r.Explained[i-1]+1e-9 {
+			t.Fatalf("explained variance not descending: %v", r.Explained)
+		}
+	}
+	// First component must dominate (features 0 and 1 move together).
+	if r.Ratio[0] < 0.9 {
+		t.Fatalf("first component ratio = %v, want > 0.9", r.Ratio[0])
+	}
+}
+
+func TestRatiosSumToOne(t *testing.T) {
+	src := rng.New(2)
+	r, err := Fit(correlatedSamples(src, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range r.Ratio {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ratios sum to %v", sum)
+	}
+}
+
+func TestImportanceIdentifiesNoiseFeature(t *testing.T) {
+	src := rng.New(3)
+	r, err := Fit(correlatedSamples(src, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 2 is near-constant: lowest importance.
+	if !(r.Importance[2] < r.Importance[0] && r.Importance[2] < r.Importance[1]) {
+		t.Fatalf("importance = %v; noise feature should rank last", r.Importance)
+	}
+	sum := 0.0
+	for _, v := range r.Importance {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+}
+
+func TestTransformReducesDimension(t *testing.T) {
+	src := rng.New(4)
+	samples := correlatedSamples(src, 100)
+	r, _ := Fit(samples)
+	p := r.Transform(samples[0], 2)
+	if len(p) != 2 {
+		t.Fatalf("Transform returned %d dims", len(p))
+	}
+}
+
+func TestTransformPreservesDistancesInFullSpace(t *testing.T) {
+	// Full-rank projection is a rotation: pairwise distances preserved.
+	src := rng.New(5)
+	samples := correlatedSamples(src, 50)
+	r, _ := Fit(samples)
+	d := len(samples[0])
+	orig := dist(samples[3], samples[7])
+	proj := dist(r.Transform(samples[3], d), r.Transform(samples[7], d))
+	if math.Abs(orig-proj) > 1e-9 {
+		t.Fatalf("full-space projection changed distance: %v vs %v", orig, proj)
+	}
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	return math.Sqrt(s)
+}
+
+func TestTransformPanics(t *testing.T) {
+	src := rng.New(6)
+	r, _ := Fit(correlatedSamples(src, 20))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad Transform args did not panic")
+		}
+	}()
+	r.Transform([]float64{1}, 1)
+}
+
+func TestComponentsFor(t *testing.T) {
+	src := rng.New(7)
+	r, _ := Fit(correlatedSamples(src, 200))
+	if k := r.ComponentsFor(0.9); k != 1 {
+		t.Fatalf("ComponentsFor(0.9) = %d, want 1 (dominant first axis)", k)
+	}
+	if k := r.ComponentsFor(1.0); k != 3 {
+		t.Fatalf("ComponentsFor(1.0) = %d, want all 3", k)
+	}
+}
+
+func TestSelectFeaturesDropsNoise(t *testing.T) {
+	src := rng.New(8)
+	r, _ := Fit(correlatedSamples(src, 300))
+	kept := r.SelectFeatures(0.8)
+	for _, j := range kept {
+		if j == 2 {
+			t.Fatalf("noise feature 2 survived selection: %v", kept)
+		}
+	}
+	if len(kept) == 0 {
+		t.Fatal("selection dropped everything")
+	}
+	// Descending importance order.
+	for i := 1; i < len(kept); i++ {
+		if r.Importance[kept[i]] > r.Importance[kept[i-1]] {
+			t.Fatal("SelectFeatures not sorted by importance")
+		}
+	}
+	frac := r.PrunedFraction(0.8)
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("PrunedFraction = %v", frac)
+	}
+}
+
+func TestConstantDataDoesNotCrash(t *testing.T) {
+	samples := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	r, err := Fit(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range r.Ratio {
+		if math.IsNaN(v) {
+			t.Fatal("NaN ratio on constant data")
+		}
+	}
+}

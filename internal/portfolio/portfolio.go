@@ -1,0 +1,162 @@
+// Package portfolio plans VM selections for a whole fleet of applications
+// at once — the scenario the paper's introduction motivates: "most users
+// usually choose two or more frameworks for their businesses", and jointly
+// optimizing them naively means exploring 10,000+ configurations. With
+// Vesta's transferred knowledge, each application costs only its online
+// initialization runs, and the planner then solves the per-app
+// cheapest-within-deadline assignment on predictions alone.
+package portfolio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/oracle"
+	"vesta/internal/workload"
+)
+
+// Request is one application with its scheduling requirement.
+type Request struct {
+	App workload.App
+	// DeadlineSec is the maximum tolerated execution time; 0 means no
+	// deadline (pure cost minimization).
+	DeadlineSec float64
+}
+
+// Assignment is the planned configuration for one request.
+type Assignment struct {
+	App           string
+	Framework     string
+	VM            string
+	PredictedSec  float64
+	PredictedUSD  float64
+	MeetsDeadline bool
+	// Converged mirrors the prediction's knowledge-match flag.
+	Converged bool
+}
+
+// Result is a complete portfolio plan.
+type Result struct {
+	Assignments []Assignment
+	TotalUSD    float64
+	// OnlineRuns is the total measurement cost of planning (4 per app).
+	OnlineRuns int
+	// Violations counts requests whose deadline no VM type can meet (they
+	// are assigned the fastest predicted type instead).
+	Violations int
+}
+
+// Planner binds a trained Vesta system to a catalog for portfolio planning.
+type Planner struct {
+	sys    *core.System
+	byName map[string]cloud.VMType
+	nodes  int
+}
+
+// New creates a Planner. The system must already be trained (or loaded).
+func New(sys *core.System, catalog []cloud.VMType, nodes int) (*Planner, error) {
+	if sys == nil || sys.Knowledge() == nil {
+		return nil, fmt.Errorf("portfolio: planner needs a trained Vesta system")
+	}
+	if nodes < 1 {
+		return nil, fmt.Errorf("portfolio: invalid cluster size %d", nodes)
+	}
+	return &Planner{sys: sys, byName: cloud.ByName(catalog), nodes: nodes}, nil
+}
+
+// Plan predicts each request's per-VM execution times (charging the online
+// initialization runs to the meter) and assigns the cheapest VM type whose
+// predicted time meets the deadline. Requests without a feasible VM get the
+// fastest predicted type and are counted as violations.
+func (p *Planner) Plan(reqs []Request, meter *oracle.Meter) (*Result, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("portfolio: no requests")
+	}
+	seen := map[string]bool{}
+	res := &Result{}
+	for _, req := range reqs {
+		if seen[req.App.Name] {
+			return nil, fmt.Errorf("portfolio: duplicate request for %s", req.App.Name)
+		}
+		seen[req.App.Name] = true
+		if req.DeadlineSec < 0 {
+			return nil, fmt.Errorf("portfolio: negative deadline for %s", req.App.Name)
+		}
+
+		before := meter.Runs()
+		pred, err := p.sys.PredictOnline(req.App, meter)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: predicting %s: %w", req.App.Name, err)
+		}
+		res.OnlineRuns += meter.Runs() - before
+
+		a := p.assign(req, pred)
+		res.Assignments = append(res.Assignments, a)
+		res.TotalUSD += a.PredictedUSD
+		if !a.MeetsDeadline {
+			res.Violations++
+		}
+	}
+	return res, nil
+}
+
+// assign picks the cheapest VM meeting the deadline from a prediction.
+func (p *Planner) assign(req Request, pred *core.Prediction) Assignment {
+	type cand struct {
+		vm  string
+		sec float64
+		usd float64
+	}
+	var cands []cand
+	for vm, sec := range pred.PredictedSec {
+		if math.IsInf(sec, 0) || math.IsNaN(sec) {
+			continue
+		}
+		usd := sec / 3600 * p.byName[vm].PriceHour * float64(p.nodes)
+		cands = append(cands, cand{vm: vm, sec: sec, usd: usd})
+	}
+	// Deterministic order: by cost, then name.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].usd != cands[j].usd {
+			return cands[i].usd < cands[j].usd
+		}
+		return cands[i].vm < cands[j].vm
+	})
+
+	// Cheapest feasible under the deadline.
+	for _, c := range cands {
+		if req.DeadlineSec > 0 && c.sec > req.DeadlineSec {
+			continue
+		}
+		return Assignment{
+			App: req.App.Name, Framework: string(req.App.Framework),
+			VM: c.vm, PredictedSec: c.sec, PredictedUSD: c.usd,
+			MeetsDeadline: true, Converged: pred.Converged,
+		}
+	}
+	// No VM meets the deadline: fall back to the fastest prediction.
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.sec < best.sec || (c.sec == best.sec && c.vm < best.vm) {
+			best = c
+		}
+	}
+	return Assignment{
+		App: req.App.Name, Framework: string(req.App.Framework),
+		VM: best.vm, PredictedSec: best.sec, PredictedUSD: best.usd,
+		MeetsDeadline: false, Converged: pred.Converged,
+	}
+}
+
+// Summary renders the plan as a compact report.
+func (r *Result) Summary() string {
+	out := fmt.Sprintf("portfolio: %d applications, $%.4f predicted total, %d online runs",
+		len(r.Assignments), r.TotalUSD, r.OnlineRuns)
+	if r.Violations > 0 {
+		out += fmt.Sprintf(", %d deadline violations", r.Violations)
+	}
+	return out
+}

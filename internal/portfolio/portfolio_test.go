@@ -1,0 +1,206 @@
+package portfolio
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+var catalog = cloud.Catalog120()
+
+func trained(t *testing.T) (*core.System, *oracle.Meter) {
+	t.Helper()
+	s := sim.New(sim.DefaultConfig())
+	meter := oracle.NewMeter(s, 1)
+	sys, err := core.New(core.Config{Seed: 1}, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainOffline(workload.BySet(workload.SourceTraining), meter); err != nil {
+		t.Fatal(err)
+	}
+	return sys, meter
+}
+
+func req(t *testing.T, name string, deadline float64) Request {
+	t.Helper()
+	a, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Request{App: a, DeadlineSec: deadline}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, catalog, 4); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	untrained, _ := core.New(core.Config{}, catalog)
+	if _, err := New(untrained, catalog, 4); err == nil {
+		t.Fatal("untrained system accepted")
+	}
+	sys, _ := trained(t)
+	if _, err := New(sys, catalog, 0); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	sys, meter := trained(t)
+	p, err := New(sys, catalog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(nil, meter); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	r := req(t, "Spark-lr", 0)
+	if _, err := p.Plan([]Request{r, r}, meter); err == nil {
+		t.Fatal("duplicate request accepted")
+	}
+	bad := req(t, "Spark-lr", 0)
+	bad.DeadlineSec = -1
+	if _, err := p.Plan([]Request{bad}, meter); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+}
+
+func TestPlanMultiFramework(t *testing.T) {
+	sys, meter := trained(t)
+	p, err := New(sys, catalog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter.Reset()
+	reqs := []Request{
+		req(t, "Hadoop-kmeans", 0),
+		req(t, "Hive-aggregation", 0),
+		req(t, "Spark-lr", 0),
+		req(t, "Spark-sort", 0),
+	}
+	res, err := p.Plan(reqs, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 4 {
+		t.Fatalf("%d assignments", len(res.Assignments))
+	}
+	// 4 online runs per app.
+	if res.OnlineRuns != 16 || meter.Runs() != 16 {
+		t.Fatalf("online runs = %d (meter %d), want 16", res.OnlineRuns, meter.Runs())
+	}
+	if res.Violations != 0 {
+		t.Fatalf("no-deadline plan reported %d violations", res.Violations)
+	}
+	total := 0.0
+	fws := map[string]bool{}
+	for _, a := range res.Assignments {
+		if a.PredictedSec <= 0 || a.PredictedUSD <= 0 {
+			t.Fatalf("degenerate assignment %+v", a)
+		}
+		if !a.MeetsDeadline {
+			t.Fatalf("no-deadline assignment flagged infeasible: %+v", a)
+		}
+		total += a.PredictedUSD
+		fws[a.Framework] = true
+	}
+	if math.Abs(total-res.TotalUSD) > 1e-9 {
+		t.Fatalf("TotalUSD %v != sum %v", res.TotalUSD, total)
+	}
+	if len(fws) != 3 {
+		t.Fatalf("plan spans %d frameworks, want 3", len(fws))
+	}
+	if !strings.Contains(res.Summary(), "4 applications") {
+		t.Fatalf("summary = %q", res.Summary())
+	}
+}
+
+func TestDeadlineTradeoff(t *testing.T) {
+	// A loose deadline must never cost more than a tight one for the same
+	// app (cheapest-feasible is monotone in the deadline).
+	sys, meter := trained(t)
+	p, _ := New(sys, catalog, 4)
+	tight, err := p.Plan([]Request{req(t, "Spark-kmeans", 100)}, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := p.Plan([]Request{req(t, "Spark-kmeans", 1200)}, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.TotalUSD > tight.TotalUSD+1e-9 {
+		t.Fatalf("loose deadline ($%.4f) costs more than tight ($%.4f)",
+			loose.TotalUSD, tight.TotalUSD)
+	}
+	if tight.Assignments[0].PredictedSec > 100 {
+		t.Fatalf("tight assignment misses its deadline: %+v", tight.Assignments[0])
+	}
+}
+
+func TestImpossibleDeadlineFallsBackToFastest(t *testing.T) {
+	sys, meter := trained(t)
+	p, _ := New(sys, catalog, 4)
+	res, err := p.Plan([]Request{req(t, "Spark-kmeans", 0.001)}, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 1 {
+		t.Fatalf("violations = %d, want 1", res.Violations)
+	}
+	a := res.Assignments[0]
+	if a.MeetsDeadline {
+		t.Fatal("impossible deadline reported as met")
+	}
+	// The fallback must be the minimum predicted time across the catalog.
+	pred, err := sys.PredictOnline(req(t, "Spark-kmeans", 0).App, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vm, sec := range pred.PredictedSec {
+		if !math.IsInf(sec, 0) && sec < a.PredictedSec-1e-9 {
+			t.Fatalf("fallback %s (%.1fs) is not the fastest; %s predicts %.1fs",
+				a.VM, a.PredictedSec, vm, sec)
+		}
+	}
+}
+
+func TestCheaperThanAllFastest(t *testing.T) {
+	// With generous deadlines the plan must be at most as expensive as the
+	// always-pick-fastest policy.
+	sys, meter := trained(t)
+	p, _ := New(sys, catalog, 4)
+	reqs := []Request{
+		req(t, "Spark-lr", 4000),
+		req(t, "Spark-grep", 4000),
+		req(t, "Hive-aggregation", 4000),
+	}
+	res, err := p.Plan(reqs, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastestTotal := 0.0
+	byName := cloud.ByName(catalog)
+	for _, r := range reqs {
+		pred, err := sys.PredictOnline(r.App, meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestVM, bestSec := "", math.Inf(1)
+		for vm, sec := range pred.PredictedSec {
+			if sec < bestSec {
+				bestVM, bestSec = vm, sec
+			}
+		}
+		fastestTotal += bestSec / 3600 * byName[bestVM].PriceHour * 4
+	}
+	if res.TotalUSD > fastestTotal+1e-9 {
+		t.Fatalf("plan ($%.4f) more expensive than always-fastest ($%.4f)",
+			res.TotalUSD, fastestTotal)
+	}
+}

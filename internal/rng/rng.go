@@ -1,0 +1,151 @@
+// Package rng provides deterministic pseudo-random number generation for the
+// Vesta simulator and experiment harness.
+//
+// Every stochastic component in this repository (run-to-run cloud noise,
+// K-Means initialization, SGD sampling, bootstrap resampling, ...) draws from
+// an rng.Source seeded explicitly by the caller, so every experiment and
+// every figure regenerates byte-identically. The generator is xoshiro-style
+// (splitmix64 seeding + xorshift64* state advance), which is far cheaper than
+// crypto randomness and has more than adequate statistical quality for
+// simulation noise.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random number generator. It is NOT safe
+// for concurrent use; give each goroutine its own Source (see Split).
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two Sources constructed with the
+// same seed produce identical streams.
+func New(seed uint64) *Source {
+	s := &Source{state: splitmix64(seed + 0x9e3779b97f4a7c15)}
+	if s.state == 0 {
+		s.state = 0x853c49e6748fea9b
+	}
+	return s
+}
+
+// splitmix64 scrambles a seed into a well-distributed initial state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Split derives an independent child Source. The child stream is decorrelated
+// from the parent's subsequent output, which makes it safe to hand children
+// to concurrently running simulation workers.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Norm returns a normally distributed float64 with mean mu and standard
+// deviation sigma, using the Box-Muller transform.
+func (s *Source) Norm(mu, sigma float64) float64 {
+	// Guard against log(0).
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mu + sigma*z
+}
+
+// LogNorm returns a log-normally distributed float64 whose underlying normal
+// has mean mu and standard deviation sigma.
+func (s *Source) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(s.Norm(mu, sigma))
+}
+
+// Perm returns a random permutation of [0, n) (Fisher-Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes the first n elements using the provided swap
+// function, mirroring math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n). It panics if
+// k > n or k < 0.
+func (s *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample with k out of range")
+	}
+	p := s.Perm(n)
+	return p[:k]
+}
+
+// Pick returns a random element index weighted by the non-negative weights.
+// If all weights are zero it falls back to uniform choice. It panics on an
+// empty slice.
+func (s *Source) Pick(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Pick with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return s.Intn(len(weights))
+	}
+	r := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if r < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vesta/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5, 1e-12) {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if !almost(Variance(xs), 4, 1e-12) {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), 2, 1e-12) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty Mean/Variance should be 0")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if !almost(Pearson(xs, ys), 1, 1e-12) {
+		t.Fatalf("perfect positive Pearson = %v", Pearson(xs, ys))
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if !almost(Pearson(xs, neg), -1, 1e-12) {
+		t.Fatalf("perfect negative Pearson = %v", Pearson(xs, neg))
+	}
+}
+
+func TestPearsonConstantSeries(t *testing.T) {
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant series should correlate 0")
+	}
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 3 + s.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Range(-10, 10)
+			ys[i] = s.Range(-10, 10)
+		}
+		r := Pearson(xs, ys)
+		return r >= -1 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 3 + s.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Range(-10, 10)
+			ys[i] = s.Range(-10, 10)
+		}
+		return almost(Pearson(xs, ys), Pearson(ys, xs), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonShiftScaleInvariant(t *testing.T) {
+	s := rng.New(4)
+	n := 30
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Range(0, 5)
+		ys[i] = s.Range(0, 5)
+	}
+	r1 := Pearson(xs, ys)
+	scaled := make([]float64, n)
+	for i := range xs {
+		scaled[i] = 3*xs[i] + 7
+	}
+	if !almost(r1, Pearson(scaled, ys), 1e-9) {
+		t.Fatal("Pearson not invariant to positive affine transform")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if !almost(Spearman(xs, ys), 1, 1e-12) {
+		t.Fatalf("Spearman of monotone = %v, want 1", Spearman(xs, ys))
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almost(r[i], want[i], 1e-12) {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if !almost(got, 10, 1e-12) {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+}
+
+func TestMAPESkipsZeroTruth(t *testing.T) {
+	got := MAPE([]float64{5, 110}, []float64{0, 100})
+	if !almost(got, 10, 1e-12) {
+		t.Fatalf("MAPE with zero truth = %v, want 10", got)
+	}
+	if MAPE([]float64{5}, []float64{0}) != 0 {
+		t.Fatal("all-zero-truth MAPE should be 0")
+	}
+}
+
+func TestMAPEPerfect(t *testing.T) {
+	if MAPE([]float64{1, 2, 3}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("perfect prediction MAPE should be 0")
+	}
+}
+
+func TestAbsPercentErr(t *testing.T) {
+	if !almost(AbsPercentErr(120, 100), 20, 1e-12) {
+		t.Fatal("AbsPercentErr wrong")
+	}
+	if AbsPercentErr(5, 0) != 0 {
+		t.Fatal("AbsPercentErr with zero truth should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if !almost(Percentile(xs, 0), 1, 1e-12) || !almost(Percentile(xs, 100), 10, 1e-12) {
+		t.Fatal("Percentile endpoints wrong")
+	}
+	if !almost(Median(xs), 5.5, 1e-12) {
+		t.Fatalf("Median = %v", Median(xs))
+	}
+	if !almost(P90(xs), 9.1, 1e-9) {
+		t.Fatalf("P90 = %v", P90(xs))
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	if Percentile([]float64{42}, 73) != 42 {
+		t.Fatal("single-element percentile wrong")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPercentileOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		n := 1 + s.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = s.Range(-100, 100)
+		}
+		return Percentile(xs, 10) <= Percentile(xs, 50) && Percentile(xs, 50) <= Percentile(xs, 90)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if ArgMin(xs) != 1 {
+		t.Fatalf("ArgMin = %d", ArgMin(xs))
+	}
+	if ArgMax(xs) != 4 {
+		t.Fatalf("ArgMax = %d", ArgMax(xs))
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("empty ArgMin/ArgMax should be -1")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almost(out[i], want[i], 1e-12) {
+			t.Fatalf("Normalize = %v", out)
+		}
+	}
+	constant := Normalize([]float64{5, 5})
+	if constant[0] != 0 || constant[1] != 0 {
+		t.Fatal("constant Normalize should be zeros")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	out := ZScore([]float64{1, 2, 3, 4, 5})
+	if !almost(Mean(out), 0, 1e-12) || !almost(StdDev(out), 1, 1e-12) {
+		t.Fatalf("ZScore mean/std = %v/%v", Mean(out), StdDev(out))
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	src := rng.New(8)
+	n, k := 23, 10
+	folds := KFold(n, k, src)
+	if len(folds) != k {
+		t.Fatalf("got %d folds, want %d", len(folds), k)
+	}
+	seen := make([]int, n)
+	for _, f := range folds {
+		if len(f.Train)+len(f.Test) != n {
+			t.Fatal("fold sizes do not add to n")
+		}
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		// Train and Test must be disjoint.
+		inTest := map[int]bool{}
+		for _, i := range f.Test {
+			inTest[i] = true
+		}
+		for _, i := range f.Train {
+			if inTest[i] {
+				t.Fatal("index appears in both train and test")
+			}
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d appears in %d test folds", i, c)
+		}
+	}
+}
+
+func TestKFoldPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KFold with k=1 did not panic")
+		}
+	}()
+	KFold(10, 1, rng.New(1))
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || !almost(s.Mean, 5.5, 1e-12) || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.CoefOfVariance <= 0 {
+		t.Fatal("CoefOfVariance should be positive")
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{2, 4, 6}
+	// cov = mean((x-2)(y-4)) = (2 + 0 + 2)/3
+	if !almost(Covariance(xs, ys), 4.0/3.0, 1e-12) {
+		t.Fatalf("Covariance = %v", Covariance(xs, ys))
+	}
+}
+
+func BenchmarkPearson(b *testing.B) {
+	s := rng.New(1)
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Float64()
+		ys[i] = s.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Pearson(xs, ys)
+	}
+}

@@ -1,0 +1,40 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzTraceCSV verifies the CSV trace parser never panics and either errors
+// or returns a structurally valid trace, whatever the file contents.
+func FuzzTraceCSV(f *testing.F) {
+	f.Add([]byte("t_seconds,cpu.user\n0,0.5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,b,c\n1,2\n"))
+	f.Add([]byte("t_seconds," +
+		"cpu.user,cpu.system,cpu.idle,cpu.iowait,mem.ram,mem.buffer,mem.cache,mem.swap," +
+		"disk.read,disk.write,disk.util,net.send,net.recv,net.drop," +
+		"tasks.compute,tasks.comm,tasks.sync\n" +
+		"0.000,0.1,0.1,0.8,0,0.3,0.2,0.4,0,0.1,0.1,0.1,0.1,0.1,0,0.5,0.1,0.1\n" +
+		"5.000,0.9,0.05,0.05,0,0.4,0.2,0.4,0,0,0,0,0,0,0,0.9,0.05,0.05\n"))
+	f.Add([]byte("t_seconds,x\nnot-a-number,nan\n"))
+
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(dir, "fuzz.csv")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		tr, err := readTraceCSV(path)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if tr.Len() == 0 {
+			t.Fatal("parser accepted a trace with zero samples")
+		}
+		if tr.SampleSec <= 0 {
+			t.Fatalf("parser produced non-positive sample interval %v", tr.SampleSec)
+		}
+	})
+}

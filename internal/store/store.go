@@ -1,0 +1,260 @@
+// Package store persists profiling measurements. The paper's Data Collector
+// writes every 5-second sample and every run's correlation values to MySQL
+// (Section 4.1); this package substitutes a file-backed store (JSON index +
+// CSV traces) with the same roles: durable collection across sessions,
+// queryable history per (workload, VM type), and export for analysis.
+package store
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vesta/internal/metrics"
+	"vesta/internal/sim"
+)
+
+// Record is one persisted profiling measurement.
+type Record struct {
+	App        string             `json:"app"`
+	Framework  string             `json:"framework"`
+	VM         string             `json:"vm"`
+	Nodes      int                `json:"nodes"`
+	InputGB    float64            `json:"input_gb"`
+	P90Seconds float64            `json:"p90_seconds"`
+	MeanSec    float64            `json:"mean_seconds"`
+	CostUSD    float64            `json:"cost_usd"`
+	Runs       []float64          `json:"runs"`
+	Corr       metrics.CorrVector `json:"correlations"`
+	// TraceFile is the relative CSV file holding the sampled series, empty
+	// if the trace was not persisted.
+	TraceFile string `json:"trace_file,omitempty"`
+}
+
+// Store is a directory-backed measurement store. It is safe for concurrent
+// use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	index   []Record
+	idxPath string
+}
+
+// Open loads (or initializes) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, idxPath: filepath.Join(dir, "index.json")}
+	data, err := os.ReadFile(s.idxPath)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh store.
+	case err != nil:
+		return nil, fmt.Errorf("store: reading index: %w", err)
+	default:
+		if err := json.Unmarshal(data, &s.index); err != nil {
+			return nil, fmt.Errorf("store: corrupt index: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Put persists a profile. withTrace controls whether the sampled series are
+// written to a CSV sidecar file.
+func (s *Store) Put(p sim.Profile, withTrace bool) error {
+	rec := Record{
+		App:       p.App.Name,
+		Framework: string(p.App.Framework),
+		VM:        p.VM.Name, Nodes: p.Nodes, InputGB: p.App.InputGB,
+		P90Seconds: p.P90Seconds, MeanSec: p.MeanSec, CostUSD: p.CostUSD,
+		Runs: p.Runs, Corr: p.Corr,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if withTrace && p.Trace != nil {
+		name := fmt.Sprintf("trace-%04d-%s-%s.csv", len(s.index),
+			sanitize(p.App.Name), sanitize(p.VM.Name))
+		if err := writeTraceCSV(filepath.Join(s.dir, name), p.Trace); err != nil {
+			return err
+		}
+		rec.TraceFile = name
+	}
+	s.index = append(s.index, rec)
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	data, err := json.MarshalIndent(s.index, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := s.idxPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: writing index: %w", err)
+	}
+	return os.Rename(tmp, s.idxPath)
+}
+
+// Query filters records; zero-valued fields match everything.
+type Query struct {
+	App       string
+	VM        string
+	Framework string
+}
+
+// Find returns all records matching the query, in insertion order.
+func (s *Store) Find(q Query) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, r := range s.index {
+		if q.App != "" && r.App != q.App {
+			continue
+		}
+		if q.VM != "" && r.VM != q.VM {
+			continue
+		}
+		if q.Framework != "" && r.Framework != q.Framework {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// BestByTime returns the record with the lowest P90 time for an app, or an
+// error when the app has no records.
+func (s *Store) BestByTime(app string) (Record, error) {
+	recs := s.Find(Query{App: app})
+	if len(recs) == 0 {
+		return Record{}, fmt.Errorf("store: no records for %q", app)
+	}
+	best := recs[0]
+	for _, r := range recs[1:] {
+		if r.P90Seconds < best.P90Seconds ||
+			(r.P90Seconds == best.P90Seconds && r.VM < best.VM) {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Apps returns the distinct application names present, sorted.
+func (s *Store) Apps() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for _, r := range s.index {
+		set[r.App] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadTrace reads a record's persisted trace back.
+func (s *Store) LoadTrace(rec Record) (*metrics.Trace, error) {
+	if rec.TraceFile == "" {
+		return nil, fmt.Errorf("store: record has no persisted trace")
+	}
+	return readTraceCSV(filepath.Join(s.dir, rec.TraceFile))
+}
+
+// writeTraceCSV writes a trace with one column per series plus a leading
+// time column.
+func writeTraceCSV(path string, tr *metrics.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: creating trace file: %w", err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"t_seconds"}
+	for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
+		header = append(header, id.String())
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < tr.Len(); i++ {
+		row := []string{strconv.FormatFloat(float64(i)*tr.SampleSec, 'f', 3, 64)}
+		for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
+			row = append(row, strconv.FormatFloat(tr.Series[id][i], 'f', 6, 64))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// readTraceCSV parses a trace written by writeTraceCSV.
+func readTraceCSV(path string) (*metrics.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening trace: %w", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("store: parsing trace: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("store: trace %s has no samples", path)
+	}
+	if len(rows[0]) != int(metrics.NumSeries)+1 {
+		return nil, fmt.Errorf("store: trace %s has %d columns, want %d",
+			path, len(rows[0]), int(metrics.NumSeries)+1)
+	}
+	tr := &metrics.Trace{SampleSec: 5}
+	if len(rows) > 2 {
+		t0, err0 := strconv.ParseFloat(rows[1][0], 64)
+		t1, err1 := strconv.ParseFloat(rows[2][0], 64)
+		if err0 == nil && err1 == nil && t1 > t0 {
+			tr.SampleSec = t1 - t0
+		}
+	}
+	for _, row := range rows[1:] {
+		for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
+			v, err := strconv.ParseFloat(row[id+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("store: bad sample %q in %s", row[id+1], path)
+			}
+			tr.Series[id] = append(tr.Series[id], v)
+		}
+	}
+	return tr, nil
+}
+
+// sanitize makes a string safe for use inside a file name.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,190 @@
+// Package traceview analyzes and renders collector traces: per-series
+// summaries, ASCII sparklines, and phase segmentation that recovers the BSP
+// structure (read/compute/shuffle/sync) from the raw samples — the kind of
+// inspection the paper's authors would do against their MySQL collector
+// database when debugging a workload's correlation vector.
+package traceview
+
+import (
+	"fmt"
+	"strings"
+
+	"vesta/internal/metrics"
+	"vesta/internal/stats"
+)
+
+// sparkRunes are the eight-level sparkline glyphs.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width ASCII sparkline. Values are
+// normalized to the series' own [min, max]; a constant series renders as a
+// flat low line. width <= 0 uses one glyph per sample.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	resampled := Resample(values, width)
+	lo, hi := stats.MinMax(resampled)
+	var sb strings.Builder
+	for _, v := range resampled {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// Resample reduces (or keeps) a series to width points by averaging equal
+// time buckets. width <= 0 or width >= len returns a copy.
+func Resample(values []float64, width int) []float64 {
+	if width <= 0 || width >= len(values) {
+		return append([]float64(nil), values...)
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// SeriesSummary is the descriptive view of one metric series.
+type SeriesSummary struct {
+	ID    metrics.SeriesID
+	Name  string
+	Stats stats.Summary
+	Spark string
+}
+
+// Summarize produces a summary for every series of the trace, with
+// sparklines of the given width.
+func Summarize(tr *metrics.Trace, width int) []SeriesSummary {
+	out := make([]SeriesSummary, 0, metrics.NumSeries)
+	for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
+		out = append(out, SeriesSummary{
+			ID:    id,
+			Name:  id.String(),
+			Stats: stats.Summarize(tr.Series[id]),
+			Spark: Sparkline(tr.Series[id], width),
+		})
+	}
+	return out
+}
+
+// PhaseKind is the coarse activity class recovered from a sample.
+type PhaseKind string
+
+// Recovered phase classes.
+const (
+	PhaseCompute PhaseKind = "compute"
+	PhaseIO      PhaseKind = "io"
+	PhaseShuffle PhaseKind = "shuffle"
+	PhaseIdle    PhaseKind = "idle"
+)
+
+// Segment is a maximal run of samples with the same recovered phase.
+type Segment struct {
+	Kind        PhaseKind
+	StartSec    float64
+	DurationSec float64
+	Samples     int
+}
+
+// classify assigns a sample to the dominant activity.
+func classify(tr *metrics.Trace, i int) PhaseKind {
+	cpu := tr.Series[metrics.CPUUser][i]
+	disk := tr.Series[metrics.DiskRead][i] + tr.Series[metrics.DiskWrite][i]
+	net := tr.Series[metrics.NetSend][i] + tr.Series[metrics.NetRecv][i]
+	switch {
+	case net > 0.6 && net >= disk:
+		return PhaseShuffle
+	case disk > 0.5:
+		return PhaseIO
+	case cpu > 0.4:
+		return PhaseCompute
+	default:
+		return PhaseIdle
+	}
+}
+
+// Segments recovers the phase structure of a trace: consecutive samples of
+// the same class are merged into segments.
+func Segments(tr *metrics.Trace) []Segment {
+	n := tr.Len()
+	if n == 0 {
+		return nil
+	}
+	var out []Segment
+	cur := Segment{Kind: classify(tr, 0), StartSec: 0, Samples: 1}
+	for i := 1; i < n; i++ {
+		k := classify(tr, i)
+		if k == cur.Kind {
+			cur.Samples++
+			continue
+		}
+		cur.DurationSec = float64(cur.Samples) * tr.SampleSec
+		out = append(out, cur)
+		cur = Segment{Kind: k, StartSec: float64(i) * tr.SampleSec, Samples: 1}
+	}
+	cur.DurationSec = float64(cur.Samples) * tr.SampleSec
+	out = append(out, cur)
+	return out
+}
+
+// PhaseShares aggregates segment durations into per-class fractions of the
+// trace (summing to 1 for non-empty traces).
+func PhaseShares(tr *metrics.Trace) map[PhaseKind]float64 {
+	shares := map[PhaseKind]float64{}
+	total := 0.0
+	for _, seg := range Segments(tr) {
+		shares[seg.Kind] += seg.DurationSec
+		total += seg.DurationSec
+	}
+	if total > 0 {
+		for k := range shares {
+			shares[k] /= total
+		}
+	}
+	return shares
+}
+
+// Render produces a human-readable report of the trace: one line per series
+// (sparkline + mean/p90) followed by the recovered phase timeline.
+func Render(tr *metrics.Trace, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d samples every %.1fs (%.0fs total)\n",
+		tr.Len(), tr.SampleSec, tr.Duration())
+	for _, s := range Summarize(tr, width) {
+		fmt.Fprintf(&sb, "  %-14s %s  mean=%.2f p90=%.2f\n", s.Name, s.Spark, s.Stats.Mean, s.Stats.P90)
+	}
+	sb.WriteString("  phase timeline: ")
+	for i, seg := range Segments(tr) {
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		fmt.Fprintf(&sb, "%s(%.0fs)", seg.Kind, seg.DurationSec)
+	}
+	sb.WriteString("\n  shares: ")
+	shares := PhaseShares(tr)
+	for _, k := range []PhaseKind{PhaseCompute, PhaseIO, PhaseShuffle, PhaseIdle} {
+		fmt.Fprintf(&sb, "%s %.0f%%  ", k, shares[k]*100)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,79 @@
+// Synthetic workload generation: the paper's workload set "is not
+// exhaustive but intended to span the space of workload requirements"
+// (Section 5.1). Synthesize extends that space with randomly drawn but
+// physically plausible demand profiles, used by the knowledge-scaling
+// extension experiment (how does transfer quality grow with source breadth?)
+// and by property tests that fuzz the whole pipeline.
+package workload
+
+import (
+	"fmt"
+
+	"vesta/internal/rng"
+)
+
+// classTemplate bounds the demand knobs per workload class so synthesized
+// kernels stay inside the class's physically plausible envelope.
+type classTemplate struct {
+	class            Class
+	computeLo        float64
+	computeHi        float64
+	memLo, memHi     float64
+	shufLo, shufHi   float64
+	outLo, outHi     float64
+	iterLo, iterHi   int
+	cacheLo, cacheHi float64
+	syncLo, syncHi   float64
+	inputLo, inputHi float64
+	streaming        bool
+}
+
+var classTemplates = []classTemplate{
+	{Micro, 30, 120, 0.1, 1.2, 0.02, 1.2, 0.005, 1.0, 1, 2, 0, 0.1, 0.1, 0.6, 10, 30, false},
+	{MachineLearning, 200, 600, 1.0, 3.0, 0.05, 0.5, 0.01, 0.05, 6, 25, 0.6, 0.95, 0.4, 0.8, 4, 12, false},
+	{SQL, 25, 220, 0.2, 2.8, 0.01, 1.3, 0.05, 0.7, 1, 3, 0, 0.4, 0.1, 0.6, 10, 30, false},
+	{SearchEngine, 120, 300, 0.7, 2.0, 0.3, 0.7, 0.02, 0.8, 2, 22, 0.2, 0.9, 0.4, 0.8, 8, 14, false},
+	{Streaming, 60, 140, 0.3, 0.8, 0.08, 0.2, 0.02, 0.1, 4, 8, 0.3, 0.5, 0.2, 0.4, 6, 12, true},
+}
+
+// Synthesize draws a random application for the given framework. The
+// generated workload carries a stable generated name ("synth-<framework>-
+// <class>-<n>") with n taken from the provided counter so callers can
+// generate distinct batches deterministically.
+func Synthesize(fw Framework, n int, src *rng.Source) App {
+	tpl := classTemplates[src.Intn(len(classTemplates))]
+	d := Demand{
+		ComputePerGB:  src.Range(tpl.computeLo, tpl.computeHi),
+		MemPerGB:      src.Range(tpl.memLo, tpl.memHi),
+		ShufflePerGB:  src.Range(tpl.shufLo, tpl.shufHi),
+		OutputPerGB:   src.Range(tpl.outLo, tpl.outHi),
+		Iterations:    tpl.iterLo + src.Intn(tpl.iterHi-tpl.iterLo+1),
+		CacheReuse:    src.Range(tpl.cacheLo, tpl.cacheHi),
+		SyncIntensity: src.Range(tpl.syncLo, tpl.syncHi),
+		Skew:          src.Range(0.02, 0.3),
+		RunVariance:   src.Range(0.04, 0.15),
+		Streaming:     tpl.streaming,
+	}
+	name := fmt.Sprintf("synth-%s-%s-%d", fw, tpl.class, n)
+	return App{
+		Name: name, No: 1000 + n, Framework: fw,
+		Kernel: fmt.Sprintf("synth-%s-%d", tpl.class, n),
+		Class:  tpl.class, Suite: BigDataBench, Set: SourceTraining,
+		InputGB:   src.Range(tpl.inputLo, tpl.inputHi),
+		Demand:    d,
+		Converges: true,
+	}
+}
+
+// SynthesizeBatch draws count applications spread over the given frameworks
+// round-robin, with globally unique names starting at startN.
+func SynthesizeBatch(fws []Framework, count, startN int, src *rng.Source) []App {
+	if len(fws) == 0 {
+		panic("workload: SynthesizeBatch with no frameworks")
+	}
+	out := make([]App, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, Synthesize(fws[i%len(fws)], startN+i, src))
+	}
+	return out
+}

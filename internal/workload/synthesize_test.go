@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vesta/internal/rng"
+)
+
+func TestSynthesizeValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		a := Synthesize(Hadoop, int(seed%100), src)
+		d := a.Demand
+		return d.ComputePerGB > 0 && d.MemPerGB > 0 && d.Iterations >= 1 &&
+			d.CacheReuse >= 0 && d.CacheReuse <= 1 &&
+			d.Skew >= 0 && d.Skew <= 1 &&
+			d.SyncIntensity >= 0 && d.SyncIntensity <= 1 &&
+			a.InputGB > 0 && a.Converges &&
+			strings.HasPrefix(a.Name, "synth-Hadoop-")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(Spark, 3, rng.New(42))
+	b := Synthesize(Spark, 3, rng.New(42))
+	if a.Name != b.Name || a.Demand != b.Demand || a.InputGB != b.InputGB {
+		t.Fatal("same seed produced different workloads")
+	}
+}
+
+func TestSynthesizeStreamingFlagConsistent(t *testing.T) {
+	src := rng.New(7)
+	for i := 0; i < 100; i++ {
+		a := Synthesize(Hive, i, src)
+		if a.Class == Streaming && !a.Demand.Streaming {
+			t.Fatal("streaming class without streaming demand")
+		}
+		if a.Class != Streaming && a.Demand.Streaming {
+			t.Fatal("non-streaming class with streaming demand")
+		}
+	}
+}
+
+func TestSynthesizeBatch(t *testing.T) {
+	src := rng.New(9)
+	batch := SynthesizeBatch([]Framework{Hadoop, Hive}, 10, 50, src)
+	if len(batch) != 10 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	names := map[string]bool{}
+	hadoop, hive := 0, 0
+	for _, a := range batch {
+		if names[a.Name] {
+			t.Fatalf("duplicate synthesized name %s", a.Name)
+		}
+		names[a.Name] = true
+		switch a.Framework {
+		case Hadoop:
+			hadoop++
+		case Hive:
+			hive++
+		}
+	}
+	if hadoop != 5 || hive != 5 {
+		t.Fatalf("round-robin split = %d/%d", hadoop, hive)
+	}
+}
+
+func TestSynthesizeBatchPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty framework list accepted")
+		}
+	}()
+	SynthesizeBatch(nil, 3, 0, rng.New(1))
+}
+
+func TestSynthesizedNamesAvoidTable3(t *testing.T) {
+	src := rng.New(11)
+	table3 := map[string]bool{}
+	for _, a := range All() {
+		table3[a.Name] = true
+	}
+	for _, a := range SynthesizeBatch([]Framework{Hadoop, Hive, Spark}, 30, 0, src) {
+		if table3[a.Name] {
+			t.Fatalf("synthesized name %s collides with Table 3", a.Name)
+		}
+	}
+}
+
+func TestMLClassIsComputeHeavy(t *testing.T) {
+	src := rng.New(13)
+	for i := 0; i < 300; i++ {
+		a := Synthesize(Spark, i, src)
+		if a.Class == MachineLearning {
+			if a.Demand.ComputePerGB < 200 || a.Demand.Iterations < 6 {
+				t.Fatalf("ML synth outside envelope: %+v", a.Demand)
+			}
+		}
+	}
+}
