@@ -1,0 +1,34 @@
+# Developer entry points. The repo is stdlib-only Go; no generated code.
+
+GO ?= go
+
+.PHONY: tier1 test vet build bench-parallel report
+
+# tier1 is the required pre-merge gate: vet, build, and the full test suite
+# under the race detector (the parallel evaluation engine's determinism
+# tests exercise the worker pool at several worker counts).
+# The root-package experiment smoke test runs all 21 experiments; under the
+# race detector on a small machine that exceeds go test's default 10m
+# per-package budget, hence the explicit timeout.
+tier1: vet build
+	$(GO) test -race -timeout 45m ./...
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench-parallel reruns the worker-sweep benchmarks recorded in
+# results/parallel.md.
+bench-parallel:
+	$(GO) test ./internal/kmeans -run xxx -bench BenchmarkFit -benchtime 3x
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkTrainOffline|BenchmarkPredictBatch' -benchtime 2x
+	$(GO) test ./internal/bench -run xxx -bench BenchmarkFig3 -benchtime 1x
+
+# report regenerates the committed seed-1 experiment reports.
+report:
+	$(GO) run ./cmd/vestabench -parallel 4 -o results/seed1.txt -md results/seed1.md

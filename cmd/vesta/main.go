@@ -16,6 +16,9 @@
 //	vesta plan     -knowledge K -apps A,B,...  portfolio-plan several applications
 //	vesta compare  -app A -vms V1,V2,...       compare VM types side by side
 //
+// profile and predict accept -workers N to bound the deterministic worker
+// pool (0 = one per CPU); results are identical at every worker count.
+//
 // All measurements run against the deterministic cluster simulator (see
 // DESIGN.md); real EC2 is substituted by the synthetic catalog and the BSP
 // execution model. The implementation lives in internal/cli.

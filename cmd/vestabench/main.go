@@ -7,6 +7,11 @@
 //	vestabench -list               # list experiment ids
 //	vestabench -seed 42            # change the deterministic seed
 //	vestabench -o results.txt      # also write the report to a file
+//	vestabench -workers 8          # worker pool inside each experiment
+//
+// Output is byte-identical at every -workers value: the evaluation sweeps
+// fan out over indexed, independently seeded tasks and collect results in
+// index order.
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 		outFlag  = flag.String("o", "", "also write the report to this file")
 		mdFlag   = flag.String("md", "", "also write a markdown report to this file")
 		parFlag  = flag.Int("parallel", 1, "experiments run concurrently (each gets its own environment)")
+		workFlag = flag.Int("workers", 0, "worker pool size inside each experiment (0 = one per CPU); output is identical at every value")
 	)
 	flag.Parse()
 
@@ -96,7 +102,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			env := bench.NewEnv(*seedFlag)
+			env := bench.NewEnvWorkers(*seedFlag, *workFlag)
 			results[i] = outcome{table: e.Run(env), elapsed: time.Since(start).Seconds()}
 		}(i, e)
 	}

@@ -10,8 +10,10 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"vesta/internal/cloud"
+	"vesta/internal/core"
 	"vesta/internal/oracle"
 	"vesta/internal/sim"
 	"vesta/internal/workload"
@@ -22,7 +24,16 @@ type Env struct {
 	Sim     *sim.Simulator
 	Catalog []cloud.VMType
 	Seed    uint64
+	// Workers bounds the worker pool the evaluation sweeps fan out on
+	// (leave-one-out folds, ablation configurations, per-workload baseline
+	// comparisons); <= 0 means one per CPU. Every experiment renders
+	// byte-identically at every worker count: tasks are indexed, seeded
+	// independently, and collected in index order.
+	Workers int
 
+	// mu guards truth: sweeps running on the worker pool may request
+	// ground-truth tables concurrently.
+	mu sync.Mutex
 	// truth caches exhaustive ground-truth tables keyed by app-set label.
 	truth map[string]*oracle.Table
 }
@@ -30,23 +41,42 @@ type Env struct {
 // NewEnv builds the default environment: the paper's measurement protocol
 // (4 nodes, 10 repeats, 5 s sampling) over the 120-type catalog.
 func NewEnv(seed uint64) *Env {
+	return NewEnvWorkers(seed, 0)
+}
+
+// NewEnvWorkers is NewEnv with an explicit worker-pool bound (the -workers
+// flag of cmd/vestabench); workers <= 0 means one per CPU.
+func NewEnvWorkers(seed uint64, workers int) *Env {
 	return &Env{
 		Sim:     sim.New(sim.DefaultConfig()),
 		Catalog: cloud.Catalog120(),
 		Seed:    seed,
+		Workers: workers,
 		truth:   map[string]*oracle.Table{},
 	}
 }
 
 // Truth returns (building and caching on first use) the exhaustive
-// ground-truth table for a named application set.
+// ground-truth table for a named application set. Safe for concurrent use;
+// concurrent requests for the same label build the table once.
 func (e *Env) Truth(label string, apps []workload.App) *oracle.Table {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if t, ok := e.truth[label]; ok {
 		return t
 	}
 	t := oracle.Build(e.Sim, apps, e.Catalog, e.Seed+0x7177)
 	e.truth[label] = t
 	return t
+}
+
+// config threads the environment's worker bound into a Vesta configuration
+// that has not chosen its own.
+func (e *Env) config(cfg core.Config) core.Config {
+	if cfg.Workers == 0 {
+		cfg.Workers = e.Workers
+	}
+	return cfg
 }
 
 // Meter returns a fresh measurement meter for one system run.

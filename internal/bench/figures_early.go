@@ -8,6 +8,7 @@ import (
 
 	"vesta/internal/baselines"
 	"vesta/internal/oracle"
+	"vesta/internal/parallel"
 	"vesta/internal/stats"
 	"vesta/internal/workload"
 )
@@ -130,7 +131,11 @@ func Fig3ScratchCost(env *Env) *Table {
 		Title:   "training overhead vs prediction error, training from scratch for Spark",
 		Columns: []string{"reference VMs", "mean MAPE(%)", "p90 MAPE(%)"},
 	}
-	for _, n := range []int{5, 10, 20, 40, 60, 80, 100, 120} {
+	// Every (reference-VM count, target) cell trains its own from-scratch
+	// model with fixed seeds, so the sweep fans out on the worker pool.
+	counts := []int{5, 10, 20, 40, 60, 80, 100, 120}
+	sweep := parallel.Map(env.Workers, len(counts), func(i int) []float64 {
+		n := counts[i]
 		var mapes []float64
 		for _, tgt := range workload.TargetSet() {
 			meter := env.Meter(0x31)
@@ -142,7 +147,10 @@ func Fig3ScratchCost(env *Env) *Table {
 			}
 			mapes = append(mapes, selectionMAPE(truth, tgt.Name, sel.Best.Name, sel.PredictedSec[sel.Best.Name]))
 		}
-		t.AddRow(n, stats.Mean(mapes), stats.P90(mapes))
+		return mapes
+	})
+	for i, n := range counts {
+		t.AddRow(n, stats.Mean(sweep[i]), stats.P90(sweep[i]))
 	}
 	t.Notes = append(t.Notes,
 		"paper: error falls as overhead grows; acceptable error needs on the order of a hundred reference VMs (hundreds of hours)",

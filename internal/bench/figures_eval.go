@@ -10,6 +10,7 @@ import (
 	"vesta/internal/core"
 	"vesta/internal/metrics"
 	"vesta/internal/oracle"
+	"vesta/internal/parallel"
 	"vesta/internal/pca"
 	"vesta/internal/rng"
 	"vesta/internal/stats"
@@ -27,7 +28,7 @@ func trainVesta(env *Env, cfg core.Config) *core.System {
 	if cfg.Seed == 0 {
 		cfg.Seed = env.Seed + 11
 	}
-	sys, err := core.New(cfg, env.Catalog)
+	sys, err := core.New(env.config(cfg), env.Catalog)
 	if err != nil {
 		panic(err)
 	}
@@ -62,48 +63,60 @@ func Fig6PredictionError(env *Env) *Table {
 	}
 
 	const trials = 3
-	// One trained Vesta per trial (training is the expensive step).
-	vestas := make([]*core.System, trials)
-	for trial := 0; trial < trials; trial++ {
-		vestas[trial] = trainVesta(env, core.Config{Seed: env.Seed + 11 + uint64(trial)*0x1000})
+	// One trained Vesta per trial (training is the expensive step). The
+	// trials themselves fan out: each trial's system is an independent seed.
+	vestas := parallel.Map(env.Workers, trials, func(trial int) *core.System {
+		return trainVesta(env, core.Config{Seed: env.Seed + 11 + uint64(trial)*0x1000})
+	})
+	// The per-workload comparison is the hot loop: 17 workloads x 3 trials x
+	// 3 systems, every cell independently seeded. One worker-pool task per
+	// workload; the selectors are read-only during Select/PredictOnline.
+	apps := evalApps()
+	type appOutcome struct {
+		vm, pm, em []float64
+		conv       bool
 	}
-	var vAll, pAll, eAll []float64
-	for _, app := range evalApps() {
-		var vm, pm, em []float64
-		conv := true
+	outcomes := parallel.Map(env.Workers, len(apps), func(i int) appOutcome {
+		app := apps[i]
+		out := appOutcome{conv: true}
 		for trial := 0; trial < trials; trial++ {
 			seedOff := uint64(trial) * 0x1000
 			pred, err := vestas[trial].PredictOnline(app, env.Meter(0x62+seedOff))
 			if err != nil {
 				panic(err)
 			}
-			conv = conv && pred.Converged
-			vm = append(vm, selectionMAPE(truth, app.Name, pred.Best.Name, pred.PredictedSec[pred.Best.Name]))
+			out.conv = out.conv && pred.Converged
+			out.vm = append(out.vm, selectionMAPE(truth, app.Name, pred.Best.Name, pred.PredictedSec[pred.Best.Name]))
 
 			ps, err := paris.Select(app, env.Meter(0x63+seedOff))
 			if err != nil {
 				panic(err)
 			}
-			pm = append(pm, selectionMAPE(truth, app.Name, ps.Best.Name, ps.PredictedSec[ps.Best.Name]))
+			out.pm = append(out.pm, selectionMAPE(truth, app.Name, ps.Best.Name, ps.PredictedSec[ps.Best.Name]))
 
 			es, err := ernest.Select(app, env.Meter(0x64+seedOff))
 			if err != nil {
 				panic(err)
 			}
-			em = append(em, selectionMAPE(truth, app.Name, es.Best.Name, es.PredictedSec[es.Best.Name]))
+			out.em = append(out.em, selectionMAPE(truth, app.Name, es.Best.Name, es.PredictedSec[es.Best.Name]))
 		}
+		return out
+	})
+	var vAll, pAll, eAll []float64
+	for i, app := range apps {
+		o := outcomes[i]
 		convFlag := "yes"
-		if !conv {
+		if !o.conv {
 			convFlag = "no (outlier)"
 		}
 		t.AddRow(app.Name,
-			fmt.Sprintf("%.0f +/- %.0f", stats.Mean(vm), stats.StdDev(vm)),
-			fmt.Sprintf("%.0f +/- %.0f", stats.Mean(pm), stats.StdDev(pm)),
-			fmt.Sprintf("%.0f +/- %.0f", stats.Mean(em), stats.StdDev(em)),
+			fmt.Sprintf("%.0f +/- %.0f", stats.Mean(o.vm), stats.StdDev(o.vm)),
+			fmt.Sprintf("%.0f +/- %.0f", stats.Mean(o.pm), stats.StdDev(o.pm)),
+			fmt.Sprintf("%.0f +/- %.0f", stats.Mean(o.em), stats.StdDev(o.em)),
 			convFlag)
-		vAll = append(vAll, stats.Mean(vm))
-		pAll = append(pAll, stats.Mean(pm))
-		eAll = append(eAll, stats.Mean(em))
+		vAll = append(vAll, stats.Mean(o.vm))
+		pAll = append(pAll, stats.Mean(o.pm))
+		eAll = append(eAll, stats.Mean(o.em))
 	}
 	// Split means: Hadoop/Hive (first 5) vs Spark (last 12).
 	hhV, hhE := stats.Mean(vAll[:5]), stats.Mean(eAll[:5])
@@ -348,7 +361,7 @@ func Fig11KMeansTuning(env *Env) *Table {
 	truth := env.Truth("sources18", workload.SourceSet())
 
 	// Collect offline data once over all 18 sources.
-	collector, err := core.New(core.Config{Seed: env.Seed + 17}, env.Catalog)
+	collector, err := core.New(env.config(core.Config{Seed: env.Seed + 17}), env.Catalog)
 	if err != nil {
 		panic(err)
 	}
@@ -359,30 +372,42 @@ func Fig11KMeansTuning(env *Env) *Table {
 		Title:   "10-fold CV MAPE by K-Means k (held-out source workloads)",
 		Columns: []string{"k", "mean MAPE(%)", "p10", "p90"},
 	}
-	bestK, bestMAPE := 0, math.Inf(1)
-	for k := 3; k <= 13; k++ {
+	// The k sweep fans out on the worker pool: every k trains 10 held-out
+	// models on its own fold split (seeded by k), so the sweep cells are
+	// independent and collect in index order.
+	ks := []int{3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	kMapes := parallel.Map(env.Workers, len(ks), func(i int) []float64 {
+		k := ks[i]
 		var mapes []float64
 		folds := stats.KFold(len(data.Sources), 10, rng.New(env.Seed+uint64(k)))
 		for _, fold := range folds {
 			if len(fold.Train) < k {
 				continue
 			}
-			sys, err := core.New(core.Config{K: k, Seed: env.Seed + 17}, env.Catalog)
+			sys, err := core.New(env.config(core.Config{K: k, Seed: env.Seed + 17}), env.Catalog)
 			if err != nil {
 				panic(err)
 			}
 			if err := sys.TrainFromData(data.Subset(fold.Train)); err != nil {
 				panic(err)
 			}
-			for _, ti := range fold.Test {
-				app := data.Sources[ti]
-				pred, err := sys.PredictOnline(app, env.Meter(0xB1))
-				if err != nil {
-					panic(err)
-				}
-				mapes = append(mapes, selectionMAPE(truth, app.Name, pred.Best.Name, pred.PredictedSec[pred.Best.Name]))
+			held := make([]workload.App, len(fold.Test))
+			for j, ti := range fold.Test {
+				held[j] = data.Sources[ti]
+			}
+			preds, err := sys.PredictBatch(held, func(int) *oracle.Meter { return env.Meter(0xB1) })
+			if err != nil {
+				panic(err)
+			}
+			for j, app := range held {
+				mapes = append(mapes, selectionMAPE(truth, app.Name, preds[j].Best.Name, preds[j].PredictedSec[preds[j].Best.Name]))
 			}
 		}
+		return mapes
+	})
+	bestK, bestMAPE := 0, math.Inf(1)
+	for i, k := range ks {
+		mapes := kMapes[i]
 		mean := stats.Mean(mapes)
 		t.AddRow(k, mean, stats.Percentile(mapes, 10), stats.P90(mapes))
 		if mean < bestMAPE {
@@ -413,9 +438,11 @@ func Fig12TimeProgression(env *Env) *Table {
 		Title:   "best-so-far execution time (s) after N runs",
 		Columns: append([]string{"workload", "system"}, intsToStrings(checkpoints)...),
 	}
-	vestaWins := 0
-	for _, name := range fig12Apps {
-		app, err := workload.ByName(name)
+	// One worker-pool task per workload: the three systems' 15-run searches
+	// are independent across workloads (shared selectors are read-only).
+	truth := env.Truth("eval17", evalApps())
+	progressions := parallel.Map(env.Workers, len(fig12Apps), func(i int) map[string][]oracle.Step {
+		app, err := workload.ByName(fig12Apps[i])
 		if err != nil {
 			panic(err)
 		}
@@ -432,8 +459,11 @@ func Fig12TimeProgression(env *Env) *Table {
 		if err != nil {
 			panic(err)
 		}
-		truth := env.Truth("eval17", evalApps())
-		rows := map[string][]oracle.Step{"Vesta": vSteps, "PARIS": pSteps, "Ernest": eSteps}
+		return map[string][]oracle.Step{"Vesta": vSteps, "PARIS": pSteps, "Ernest": eSteps}
+	})
+	vestaWins := 0
+	for i, name := range fig12Apps {
+		rows := progressions[i]
 		for _, sysName := range []string{"Vesta", "PARIS", "Ernest"} {
 			cells := []interface{}{name, sysName}
 			for _, cp := range checkpoints {
@@ -509,8 +539,12 @@ func Fig13Budget(env *Env) *Table {
 		Columns: []string{"workload", "Vesta", "PARIS", "Ernest", "oracle best"},
 	}
 	truth := env.Truth("eval17", evalApps())
-	better := 0
-	for _, name := range apps {
+	// Per-application searches fan out on the worker pool, mirroring Fig12.
+	type budgetRow struct {
+		vUSD, pUSD, eUSD, bestCost float64
+	}
+	budgetRows := parallel.Map(env.Workers, len(apps), func(i int) budgetRow {
+		name := apps[i]
 		app, err := workload.ByName(name)
 		if err != nil {
 			panic(err)
@@ -532,12 +566,19 @@ func Fig13Budget(env *Env) *Table {
 		if err != nil {
 			panic(err)
 		}
-		vUSD := bestTruthCostAt(truth, name, vSteps, budget)
-		pUSD := bestTruthCostAt(truth, name, pSteps, budget)
-		eUSD := bestTruthCostAt(truth, name, eSteps, budget)
-		t.AddRow(name, fmt.Sprintf("%.4f", vUSD), fmt.Sprintf("%.4f", pUSD),
-			fmt.Sprintf("%.4f", eUSD), fmt.Sprintf("%.4f", bestCost))
-		if vUSD <= pUSD*1.03 && vUSD <= eUSD*1.03 {
+		return budgetRow{
+			vUSD:     bestTruthCostAt(truth, name, vSteps, budget),
+			pUSD:     bestTruthCostAt(truth, name, pSteps, budget),
+			eUSD:     bestTruthCostAt(truth, name, eSteps, budget),
+			bestCost: bestCost,
+		}
+	})
+	better := 0
+	for i, name := range apps {
+		r := budgetRows[i]
+		t.AddRow(name, fmt.Sprintf("%.4f", r.vUSD), fmt.Sprintf("%.4f", r.pUSD),
+			fmt.Sprintf("%.4f", r.eUSD), fmt.Sprintf("%.4f", r.bestCost))
+		if r.vUSD <= r.pUSD*1.03 && r.vUSD <= r.eUSD*1.03 {
 			better++
 		}
 	}

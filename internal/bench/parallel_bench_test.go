@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFig3 measures the evaluation-sweep fan-out: Figure 3 trains one
+// from-scratch model per (reference-VM count, target) cell, all independent,
+// so wall-clock scales with the worker count while the rendered table stays
+// byte-identical.
+func BenchmarkFig3(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Fig3ScratchCost(NewEnvWorkers(1, workers))
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"testing"
+
+	"vesta/internal/core"
+)
+
+// renderWith runs one registry experiment in a fresh environment with the
+// given worker-pool bound and returns the rendered table.
+func renderWith(t *testing.T, id string, workers int) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run(NewEnvWorkers(1, workers)).Render()
+}
+
+// TestFig3ByteIdenticalAcrossWorkers pins the headline guarantee of the
+// parallel evaluation engine: the rendered report is byte-for-byte the same
+// at every -workers value. Fig3 fans its reference-VM sweep out on the
+// worker pool; run under -race this also exercises the pool for data races.
+func TestFig3ByteIdenticalAcrossWorkers(t *testing.T) {
+	ref := renderWith(t, "fig3", 1)
+	if got := renderWith(t, "fig3", 8); got != ref {
+		t.Errorf("fig3 render at workers=8 differs from workers=1:\n--- got ---\n%s\n--- want ---\n%s",
+			got, ref)
+	}
+}
+
+// TestSweepConfigsIdenticalAcrossWorkers covers the Vesta-training sweep
+// path (ablations, Figure 11) with a trimmed two-point lambda sweep: full
+// training plus batched online predictions must produce exactly equal
+// floats at any worker count.
+func TestSweepConfigsIdenticalAcrossWorkers(t *testing.T) {
+	lambdas := []float64{0, 0.75}
+	rowsAt := func(workers int) []sweepRow {
+		env := NewEnvWorkers(1, workers)
+		return sweepConfigs(env, len(lambdas), func(i int) core.Config {
+			return core.Config{Lambda: lambdas[i], LambdaSet: true}
+		})
+	}
+	ref := rowsAt(1)
+	got := rowsAt(8)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Errorf("lambda=%v row at workers=8 = %+v, want %+v (workers=1)", lambdas[i], got[i], ref[i])
+		}
+	}
+	// The two lambdas must also not collapse to the same outcome — that
+	// would mean the LambdaSet sentinel was ignored and both trained at the
+	// 0.75 default.
+	if ref[0] == ref[1] {
+		t.Error("lambda=0 and lambda=0.75 sweeps are identical; LambdaSet sentinel ignored")
+	}
+}
+
+// TestAblationLambdaByteIdenticalAcrossWorkers is the full-size version of
+// the check above (6 trained systems per worker count); skipped with -short.
+func TestAblationLambdaByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive: trains 12 Vesta systems")
+	}
+	ref := renderWith(t, "ablation-lambda", 1)
+	if got := renderWith(t, "ablation-lambda", 8); got != ref {
+		t.Errorf("ablation-lambda render at workers=8 differs from workers=1:\n--- got ---\n%s\n--- want ---\n%s",
+			got, ref)
+	}
+}

@@ -217,6 +217,7 @@ func cmdProfile(args []string) error {
 	k := fs.Int("k", 9, "number of K-Means labels")
 	seed := fs.Uint64("seed", 1, "training seed")
 	testing := fs.Bool("include-testing", false, "also train on the 5 source-testing workloads")
+	workers := fs.Int("workers", 0, "worker pool size for profiling and clustering (0 = one per CPU); results are identical at every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -224,7 +225,7 @@ func cmdProfile(args []string) error {
 	if *testing {
 		sources = workload.SourceSet()
 	}
-	sys, err := core.New(core.Config{K: *k, Seed: *seed}, cloud.Catalog120())
+	sys, err := core.New(core.Config{K: *k, Seed: *seed, Workers: *workers}, cloud.Catalog120())
 	if err != nil {
 		return err
 	}
@@ -255,6 +256,7 @@ func cmdPredict(args []string) error {
 	appName := fs.String("app", "", "target application from Table 3 (required)")
 	topN := fs.Int("top", 10, "how many ranked VM types to print")
 	seed := fs.Uint64("seed", 1, "online seed")
+	workers := fs.Int("workers", 0, "worker pool size for the online phase (0 = one per CPU); results are identical at every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -265,7 +267,7 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.New(core.Config{Seed: *seed}, cloud.Catalog120())
+	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers}, cloud.Catalog120())
 	if err != nil {
 		return err
 	}

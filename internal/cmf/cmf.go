@@ -46,9 +46,20 @@ type Config struct {
 	LatentDim int
 	// Lambda in [0,1] trades target reconstruction (lambda) against source
 	// knowledge (1-lambda); Equation 6. Default 0.75 (the paper's choice).
+	// Zero is a legal value (a pure-source ablation) but is indistinguishable
+	// from the unset zero value, so it must be requested explicitly via
+	// LambdaSet (or the WithLambda helper).
 	Lambda float64
-	// Reg is the L2 regularization weight R(U, V, U*). Default 0.02.
+	// LambdaSet marks Lambda as explicitly configured, making Lambda == 0
+	// mean "weight the target reconstruction by zero" instead of "use the
+	// default 0.75".
+	LambdaSet bool
+	// Reg is the L2 regularization weight R(U, V, U*). Default 0.02. Zero
+	// (no regularization) is legal with RegSet.
 	Reg float64
+	// RegSet marks Reg as explicitly configured (Reg == 0 disables
+	// regularization instead of taking the default).
+	RegSet bool
 	// LearnRate is the SGD step size. Default 0.02.
 	LearnRate float64
 	// MaxEpochs bounds training; reaching it without stabilizing marks the
@@ -59,21 +70,50 @@ type Config struct {
 	// 1e-4.
 	Tol float64
 	// LRDecay shrinks the learning rate as 1/(1 + LRDecay*epoch) so the
-	// stochastic loss settles. Default 0.01.
+	// stochastic loss settles. Default 0.01. Zero (constant learning rate)
+	// is legal with LRDecaySet.
 	LRDecay float64
+	// LRDecaySet marks LRDecay as explicitly configured (LRDecay == 0 keeps
+	// the learning rate constant instead of taking the default).
+	LRDecaySet bool
 	// Patience is how many consecutive stagnant epochs declare convergence.
 	// Default 10.
 	Patience int
+}
+
+// WithLambda returns a copy of the config with Lambda explicitly set, so
+// zero survives fillDefaults (a pure-source λ=0 ablation).
+func (c Config) WithLambda(v float64) Config {
+	c.Lambda, c.LambdaSet = v, true
+	return c
+}
+
+// WithReg returns a copy of the config with Reg explicitly set (zero
+// disables regularization).
+func (c Config) WithReg(v float64) Config {
+	c.Reg, c.RegSet = v, true
+	return c
+}
+
+// WithLRDecay returns a copy of the config with LRDecay explicitly set (zero
+// keeps the learning rate constant).
+func (c Config) WithLRDecay(v float64) Config {
+	c.LRDecay, c.LRDecaySet = v, true
+	return c
 }
 
 func (c *Config) fillDefaults() {
 	if c.LatentDim <= 0 {
 		c.LatentDim = 6
 	}
-	if c.Lambda == 0 {
+	// Lambda, Reg and LRDecay all admit 0 as a meaningful value, so the
+	// zero value alone cannot act as the "unset" sentinel — the *Set flags
+	// disambiguate. Negative values are rejected in Solve, not silently
+	// replaced here.
+	if c.Lambda == 0 && !c.LambdaSet {
 		c.Lambda = 0.75
 	}
-	if c.Reg <= 0 {
+	if c.Reg == 0 && !c.RegSet {
 		c.Reg = 0.02
 	}
 	if c.LearnRate <= 0 {
@@ -85,7 +125,7 @@ func (c *Config) fillDefaults() {
 	if c.Tol <= 0 {
 		c.Tol = 1e-4
 	}
-	if c.LRDecay <= 0 {
+	if c.LRDecay == 0 && !c.LRDecaySet {
 		c.LRDecay = 0.01
 	}
 	if c.Patience <= 0 {
@@ -131,8 +171,14 @@ func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
 		return nil, err
 	}
 	cfg.fillDefaults()
-	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+	if cfg.Lambda < 0 || cfg.Lambda > 1 || math.IsNaN(cfg.Lambda) {
 		return nil, fmt.Errorf("cmf: lambda %v out of [0,1]", cfg.Lambda)
+	}
+	if cfg.Reg < 0 || math.IsNaN(cfg.Reg) {
+		return nil, fmt.Errorf("cmf: negative regularization %v", cfg.Reg)
+	}
+	if cfg.LRDecay < 0 || math.IsNaN(cfg.LRDecay) {
+		return nil, fmt.Errorf("cmf: negative learning-rate decay %v", cfg.LRDecay)
 	}
 
 	g := cfg.LatentDim

@@ -1,0 +1,99 @@
+package cmf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+// TestFillDefaultsSentinels pins the unset-vs-explicit-zero semantics: the
+// zero value still takes the documented defaults, while the *Set flags make
+// an explicit zero survive.
+func TestFillDefaultsSentinels(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.Lambda != 0.75 || c.Reg != 0.02 || c.LRDecay != 0.01 {
+		t.Fatalf("zero-value defaults = lambda %v, reg %v, decay %v; want 0.75, 0.02, 0.01",
+			c.Lambda, c.Reg, c.LRDecay)
+	}
+
+	e := Config{LambdaSet: true, RegSet: true, LRDecaySet: true}
+	e.fillDefaults()
+	if e.Lambda != 0 || e.Reg != 0 || e.LRDecay != 0 {
+		t.Fatalf("explicit zeros were overwritten: lambda %v, reg %v, decay %v",
+			e.Lambda, e.Reg, e.LRDecay)
+	}
+
+	// Non-zero values pass through regardless of flags.
+	nz := Config{Lambda: 0.5, Reg: 0.1, LRDecay: 0.2}
+	nz.fillDefaults()
+	if nz.Lambda != 0.5 || nz.Reg != 0.1 || nz.LRDecay != 0.2 {
+		t.Fatalf("non-zero values were replaced: %+v", nz)
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	base := Config{MaxEpochs: 7}
+	c := base.WithLambda(0).WithReg(0).WithLRDecay(0)
+	if !c.LambdaSet || !c.RegSet || !c.LRDecaySet {
+		t.Fatalf("helpers did not set the sentinel flags: %+v", c)
+	}
+	if c.MaxEpochs != 7 {
+		t.Fatalf("helpers clobbered unrelated fields: %+v", c)
+	}
+	// Value receivers: the original config is untouched.
+	if base.LambdaSet || base.RegSet || base.LRDecaySet {
+		t.Fatalf("helpers mutated the receiver: %+v", base)
+	}
+}
+
+// TestExplicitZeroLambdaSolves runs a λ=0 solve end to end — before the
+// sentinel fix this silently trained with the 0.75 default.
+func TestExplicitZeroLambdaSolves(t *testing.T) {
+	p, _ := synthProblem(rng.New(11), 8, 4, 6, 5, 2, 0.6)
+	cfg := Config{LatentDim: 2, MaxEpochs: 300}
+	res0, err := Solve(p, cfg.WithLambda(0), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDefault, err := Solve(p, cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ=0 and λ=0.75 must actually differ — identical completions would mean
+	// the explicit zero was still being replaced by the default.
+	same := true
+	for i := range res0.Completed.Data {
+		if math.Abs(res0.Completed.Data[i]-resDefault.Completed.Data[i]) > 1e-12 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("lambda=0 solve is identical to the default-lambda solve; sentinel ignored")
+	}
+}
+
+func TestNegativeConfigRejected(t *testing.T) {
+	p, _ := synthProblem(rng.New(12), 5, 3, 4, 4, 2, 0.7)
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative reg", Config{}.WithReg(-0.1), "negative regularization"},
+		{"NaN reg", Config{}.WithReg(math.NaN()), "negative regularization"},
+		{"negative decay", Config{}.WithLRDecay(-1), "negative learning-rate decay"},
+		{"NaN decay", Config{}.WithLRDecay(math.NaN()), "negative learning-rate decay"},
+		{"negative lambda", Config{}.WithLambda(-0.5), "out of [0,1]"},
+		{"lambda above one", Config{}.WithLambda(1.5), "out of [0,1]"},
+		{"NaN lambda", Config{}.WithLambda(math.NaN()), "out of [0,1]"},
+	}
+	for _, tc := range cases {
+		if _, err := Solve(p, tc.cfg, rng.New(1)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Solve error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// BenchmarkTrainOffline measures the offline phase (per-source profiling
+// fan-out plus parallel K-Means restarts) at several worker counts. The
+// trained knowledge is byte-identical at every count.
+func BenchmarkTrainOffline(b *testing.B) {
+	sources := workload.BySet(workload.SourceTraining)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := New(Config{Seed: 1, Workers: workers}, catalog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				meter := oracle.NewMeter(sim.New(sim.DefaultConfig()), 1)
+				if err := sys.TrainOffline(sources, meter); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatch measures the online phase over the 12 Spark targets
+// (one CMF solve per target) at several worker counts.
+func BenchmarkPredictBatch(b *testing.B) {
+	sys, err := New(Config{Seed: 1}, catalog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meter := oracle.NewMeter(sim.New(sim.DefaultConfig()), 1)
+	if err := sys.TrainOffline(workload.BySet(workload.SourceTraining), meter); err != nil {
+		b.Fatal(err)
+	}
+	targets := workload.TargetSet()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sys.cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.PredictBatch(targets, func(j int) *oracle.Meter {
+					return oracle.NewMeter(sim.New(sim.DefaultConfig()), 0xE0+uint64(j))
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

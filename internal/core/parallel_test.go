@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// trainWithWorkers trains a fresh system on the source-training set with the
+// given worker-pool bound and returns its serialized knowledge.
+func trainWithWorkers(t *testing.T, workers int) []byte {
+	t.Helper()
+	sys, err := New(Config{Seed: 1, Workers: workers}, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := oracle.NewMeter(sim.New(sim.DefaultConfig()), 1)
+	if err := sys.TrainOffline(workload.BySet(workload.SourceTraining), meter); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.SaveKnowledge(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainOfflineWorkersBitIdentical pins the determinism contract of the
+// parallel offline phase: the serialized knowledge is byte-for-byte the same
+// at every worker count (profiling tasks are indexed and independently
+// seeded; kmeans restarts draw from pure Split streams).
+func TestTrainOfflineWorkersBitIdentical(t *testing.T) {
+	ref := trainWithWorkers(t, 1)
+	for _, workers := range []int{2, 8} {
+		if got := trainWithWorkers(t, workers); !bytes.Equal(got, ref) {
+			t.Fatalf("knowledge at workers=%d differs from workers=1", workers)
+		}
+	}
+}
+
+// TestPredictBatchMatchesSerial: the batch API must return exactly what a
+// serial loop of PredictOnline calls with the same meters would.
+func TestPredictBatchMatchesSerial(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	targets := workload.TargetSet()[:4]
+	newMeter := func(i int) *oracle.Meter {
+		return oracle.NewMeter(sim.New(sim.DefaultConfig()), 0xB0+uint64(i))
+	}
+
+	serial := make([]*Prediction, len(targets))
+	for i, app := range targets {
+		p, err := sys.PredictOnline(app, newMeter(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = p
+	}
+
+	for _, workers := range []int{1, 8} {
+		sys.cfg.Workers = workers
+		batch, err := sys.PredictBatch(targets, newMeter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range targets {
+			want, got := serial[i], batch[i]
+			if got.Best.Name != want.Best.Name {
+				t.Fatalf("workers=%d target %s: best %s, want %s",
+					workers, targets[i].Name, got.Best.Name, want.Best.Name)
+			}
+			if got.Converged != want.Converged || got.OnlineRuns != want.OnlineRuns {
+				t.Fatalf("workers=%d target %s: outcome differs", workers, targets[i].Name)
+			}
+			for vm, sec := range want.PredictedSec {
+				if got.PredictedSec[vm] != sec {
+					t.Fatalf("workers=%d target %s: predicted time for %s = %v, want %v",
+						workers, targets[i].Name, vm, got.PredictedSec[vm], sec)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchBeforeTrain mirrors the serial API's guard.
+func TestPredictBatchBeforeTrain(t *testing.T) {
+	sys, _ := New(Config{}, catalog)
+	_, err := sys.PredictBatch(workload.TargetSet()[:1], func(int) *oracle.Meter {
+		return oracle.NewMeter(sim.New(sim.Config{Repeats: 2}), 1)
+	})
+	if err == nil {
+		t.Fatal("PredictBatch before TrainOffline accepted")
+	}
+}

@@ -30,9 +30,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"vesta/internal/bipartite"
 	"vesta/internal/cloud"
@@ -41,6 +39,7 @@ import (
 	"vesta/internal/mat"
 	"vesta/internal/metrics"
 	"vesta/internal/oracle"
+	"vesta/internal/parallel"
 	"vesta/internal/pca"
 	"vesta/internal/rng"
 	"vesta/internal/sim"
@@ -52,8 +51,12 @@ import (
 type Config struct {
 	// K is the number of K-Means labels; the paper tunes k = 9 (Figure 11).
 	K int
-	// Lambda is the CMF tradeoff; the paper's best practice is 0.75.
+	// Lambda is the CMF tradeoff; the paper's best practice is 0.75. Zero is
+	// legal (a pure-source ablation) but must be marked with LambdaSet to be
+	// distinguishable from the unset zero value.
 	Lambda float64
+	// LambdaSet marks Lambda as explicitly configured; see cmf.Config.
+	LambdaSet bool
 	// LatentDim is the CMF latent feature count g. Default 4.
 	LatentDim int
 	// PCAThreshold is the importance cut (multiple of mean importance) for
@@ -85,13 +88,17 @@ type Config struct {
 	UseRawFeatures bool
 	// Seed drives all of Vesta's randomness.
 	Seed uint64
+	// Workers bounds the goroutines used by the parallel execution layer
+	// (offline collection, K-Means restarts, batch predictions); <= 0 means
+	// one per CPU. Results are identical at every worker count.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
 	if c.K <= 0 {
 		c.K = 9
 	}
-	if c.Lambda == 0 {
+	if c.Lambda == 0 && !c.LambdaSet {
 		c.Lambda = 0.75
 	}
 	if c.LatentDim <= 0 {
@@ -239,45 +246,24 @@ func (s *System) CollectOffline(sources []workload.App, meter *oracle.Meter) *Of
 		times map[string]float64
 		vec   []float64
 	}
-	results := make([]appResult, len(sources))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				app := sources[i]
-				r := appResult{times: make(map[string]float64, len(s.catalog))}
-				for _, vm := range s.catalog {
-					p := meter.Profile(app, vm)
-					r.times[vm.Name] = p.P90Seconds
-					if vm.Name == s.cfg.SandboxVM {
-						r.vec = s.featureVector(p)
-					}
-				}
-				if r.vec == nil {
-					// Sandbox VM not in the profiling catalog: profile it
-					// explicitly.
-					p := meter.Profile(app, s.byName[s.cfg.SandboxVM])
-					r.vec = s.featureVector(p)
-				}
-				results[i] = r
+	results := parallel.Map(s.cfg.Workers, len(sources), func(i int) appResult {
+		app := sources[i]
+		r := appResult{times: make(map[string]float64, len(s.catalog))}
+		for _, vm := range s.catalog {
+			p := meter.Profile(app, vm)
+			r.times[vm.Name] = p.P90Seconds
+			if vm.Name == s.cfg.SandboxVM {
+				r.vec = s.featureVector(p)
 			}
-		}()
-	}
-	for i := range sources {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+		}
+		if r.vec == nil {
+			// Sandbox VM not in the profiling catalog: profile it
+			// explicitly.
+			p := meter.Profile(app, s.byName[s.cfg.SandboxVM])
+			r.vec = s.featureVector(p)
+		}
+		return r
+	})
 	for i, app := range sources {
 		data.Times[app.Name] = results[i].times
 		data.RawVecs[i] = results[i].vec
@@ -345,7 +331,8 @@ func (s *System) TrainFromData(data *OfflineData) error {
 	}
 
 	// Line 4: group relationships via K-Means.
-	km, err := kmeans.Fit(vecs, kmeans.Config{K: s.cfg.K, Restarts: 6}, rng.New(s.cfg.Seed+101))
+	km, err := kmeans.Fit(vecs, kmeans.Config{K: s.cfg.K, Restarts: 6, Workers: s.cfg.Workers},
+		rng.New(s.cfg.Seed+101))
 	if err != nil {
 		return fmt.Errorf("vesta: K-Means failed: %w", err)
 	}
@@ -520,6 +507,22 @@ func (s *System) PredictOnline(target workload.App, meter *oracle.Meter) (*Predi
 	}, nil
 }
 
+// PredictBatch runs the online phase for many target workloads across the
+// worker pool, one CMF solve per target. Each target draws its randomness
+// from a seed derived from its own name (never from a shared Source) and
+// meters through its own meter from meterFor(i), so the predictions are
+// bit-identical to calling PredictOnline sequentially, at any worker count.
+// The receiver's knowledge must not be mutated (e.g. by AbsorbTarget) while
+// a batch is in flight.
+func (s *System) PredictBatch(targets []workload.App, meterFor func(i int) *oracle.Meter) ([]*Prediction, error) {
+	if s.knowledge == nil {
+		return nil, fmt.Errorf("vesta: PredictBatch before TrainOffline")
+	}
+	return parallel.MapErr(s.cfg.Workers, len(targets), func(i int) (*Prediction, error) {
+		return s.PredictOnline(targets[i], meterFor(i))
+	})
+}
+
 // transfer builds and solves the CMF problem for one target membership row,
 // returning the completed, re-normalized label weights.
 func (s *System) transfer(rawMembership []float64, src *rng.Source) ([]float64, bool) {
@@ -557,8 +560,9 @@ func (s *System) transfer(rawMembership []float64, src *rng.Source) ([]float64, 
 	res, err := cmf.Solve(cmf.Problem{U: u, V: v, UStar: ustar, Mask: mask}, cmf.Config{
 		LatentDim: s.cfg.LatentDim,
 		Lambda:    s.cfg.Lambda,
+		LambdaSet: s.cfg.LambdaSet,
 		MaxEpochs: s.cfg.CMFEpochs,
-	}, src.Split())
+	}, src.Jump())
 	if err != nil {
 		return rawMembership, false
 	}
@@ -599,10 +603,18 @@ func (s *System) calibrate(ranking []bipartite.VMScore, observed map[string]floa
 	for _, r := range ranking {
 		scoreOf[r.VM] = r.Score
 	}
-	// Collect (log score, log time) pairs from the measurements.
+	// Collect (log score, log time) pairs from the measurements, in sorted
+	// VM order: map iteration order would vary the summation order of the
+	// least-squares fit below and leak last-bit float differences into the
+	// predictions, breaking the bit-identical reproducibility contract.
+	vms := make([]string, 0, len(observed))
+	for vm := range observed {
+		vms = append(vms, vm)
+	}
+	sort.Strings(vms)
 	var lx, ly []float64
-	for vm, sec := range observed {
-		if sc := scoreOf[vm]; sc > 1e-9 && sec > 0 {
+	for _, vm := range vms {
+		if sc, sec := scoreOf[vm], observed[vm]; sc > 1e-9 && sec > 0 {
 			lx = append(lx, math.Log(sc))
 			ly = append(ly, math.Log(sec))
 		}
@@ -657,7 +669,7 @@ func (s *System) AbsorbTarget(name string, labelWeights []float64, prunedVec []f
 		return fmt.Errorf("vesta: pruned vector has dim %d, want %d", len(prunedVec), len(k.SourceVecs[0]))
 	}
 	all := append(append([][]float64(nil), k.SourceVecs...), prunedVec)
-	km, err := kmeans.Fit(all, kmeans.Config{K: s.cfg.K, Restarts: 2, MaxIters: 20},
+	km, err := kmeans.Fit(all, kmeans.Config{K: s.cfg.K, Restarts: 2, MaxIters: 20, Workers: s.cfg.Workers},
 		rng.New(s.cfg.Seed+997))
 	if err != nil {
 		return err

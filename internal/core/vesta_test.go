@@ -377,17 +377,6 @@ func TestSharpMembershipsConcentrate(t *testing.T) {
 	}
 }
 
-func BenchmarkTrainOffline(b *testing.B) {
-	s := sim.New(sim.DefaultConfig())
-	for i := 0; i < b.N; i++ {
-		meter := oracle.NewMeter(s, 1)
-		sys, _ := New(Config{Seed: 1}, catalog)
-		if err := sys.TrainOffline(workload.BySet(workload.SourceTraining), meter); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkPredictOnline(b *testing.B) {
 	s := sim.New(sim.DefaultConfig())
 	meter := oracle.NewMeter(s, 1)

@@ -1,0 +1,25 @@
+package kmeans
+
+import (
+	"fmt"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+// BenchmarkFit measures the parallel-restart speedup of Fit. Restarts are
+// independent (each seeded from a pure Split stream), so on an N-core
+// machine the workers=N case approaches an N-fold speedup over workers=1
+// while producing the bit-identical model.
+func BenchmarkFit(b *testing.B) {
+	points, _ := blobs(rng.New(5), 8, 120, 10, 2.0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Fit(points, Config{K: 8, Restarts: 8, Workers: workers}, rng.New(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

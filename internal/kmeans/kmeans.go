@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"vesta/internal/mat"
+	"vesta/internal/parallel"
 	"vesta/internal/rng"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	MaxIters int     // default 100
 	Tol      float64 // centroid-movement convergence tolerance, default 1e-6
 	Restarts int     // kmeans++ restarts, best inertia kept; default 4
+	// Workers bounds the goroutines running restart attempts concurrently;
+	// <= 0 means one per CPU. Every worker count produces a bit-identical
+	// model: restart r always draws from src.Split(r), and ties on inertia
+	// resolve to the lowest restart index.
+	Workers int
 }
 
 // Fit clusters the points (each a feature vector of equal length) into k
@@ -63,10 +69,15 @@ func Fit(points [][]float64, cfg Config, src *rng.Source) (*Model, error) {
 		cfg.Restarts = 4
 	}
 
-	var best *Model
-	for r := 0; r < cfg.Restarts; r++ {
-		m := fitOnce(points, cfg, src)
-		if best == nil || m.Inertia < best.Inertia {
+	// Restart attempts are independent: each draws from its own Split child,
+	// so the attempts can run on any number of workers without changing the
+	// result (the seeds do not depend on execution order).
+	models := parallel.Map(cfg.Workers, cfg.Restarts, func(r int) *Model {
+		return fitOnce(points, cfg, src.Split(uint64(r)))
+	})
+	best := models[0]
+	for _, m := range models[1:] {
+		if m.Inertia < best.Inertia {
 			best = m
 		}
 	}

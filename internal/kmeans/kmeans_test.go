@@ -247,3 +247,54 @@ func BenchmarkFitK9(b *testing.B) {
 		}
 	}
 }
+
+// TestFitWorkersBitIdentical pins the parallel-restart determinism contract:
+// every worker count produces the same model, because restart r always draws
+// from src.Split(r) regardless of which goroutine runs it.
+func TestFitWorkersBitIdentical(t *testing.T) {
+	points, _ := blobs(rng.New(7), 4, 30, 5, 1.5)
+	var ref *Model
+	for _, workers := range []int{1, 2, 8} {
+		m, err := Fit(points, Config{K: 4, Restarts: 6, Workers: workers}, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = m
+			continue
+		}
+		if m.Inertia != ref.Inertia || m.Iterations != ref.Iterations {
+			t.Fatalf("workers=%d: inertia %v iters %d, want %v / %d",
+				workers, m.Inertia, m.Iterations, ref.Inertia, ref.Iterations)
+		}
+		for c := range ref.Centroids {
+			for j := range ref.Centroids[c] {
+				if m.Centroids[c][j] != ref.Centroids[c][j] {
+					t.Fatalf("workers=%d: centroid (%d,%d) = %v, want %v",
+						workers, c, j, m.Centroids[c][j], ref.Centroids[c][j])
+				}
+			}
+		}
+		for i := range ref.Assign {
+			if m.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d: assignment %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestFitDoesNotAdvanceParentRNG: Split is pure, so Fit must leave the
+// caller's source exactly where it was — callers may rely on draws after a
+// Fit being independent of the restart count.
+func TestFitDoesNotAdvanceParentRNG(t *testing.T) {
+	points, _ := blobs(rng.New(8), 3, 20, 4, 1.0)
+	for _, restarts := range []int{1, 3, 6} {
+		src := rng.New(99)
+		if _, err := Fit(points, Config{K: 3, Restarts: restarts}, src); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := src.Uint64(), rng.New(99).Uint64(); got != want {
+			t.Fatalf("restarts=%d: parent advanced (next draw %d, want %d)", restarts, got, want)
+		}
+	}
+}

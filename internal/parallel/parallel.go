@@ -1,0 +1,99 @@
+// Package parallel provides the worker-pool execution layer shared by every
+// hot loop in the repository: K-Means restart attempts, per-target CMF
+// solves, and the bench evaluation sweeps (leave-one-out folds, ablations,
+// baseline comparisons).
+//
+// The contract that keeps parallel runs bit-identical to serial runs is that
+// every task is a pure function of its index: task i writes only to slot i
+// of a result slice and draws randomness only from an rng.Source derived by
+// Split(i) from a per-loop parent seed. Under that contract the scheduling
+// order is unobservable, so any worker count — including 1 — produces the
+// same bytes.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a configured worker count to an effective one: values <= 0
+// mean "one worker per CPU".
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers goroutines
+// (workers <= 0 means runtime.NumCPU()). It returns once every call has
+// finished. With workers == 1 (or n < 2) the loop runs inline on the calling
+// goroutine, so serial callers pay no synchronization cost.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Static index counter instead of a job channel: tasks are picked up in
+	// order with one atomic-sized critical section per task, and the pool
+	// shape cannot influence which task runs (only when).
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) under For and collects the results in
+// index order. The output is independent of the worker count.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapErr is Map for fallible tasks: it runs every task to completion and
+// returns the results plus the first error by index order (nil if none
+// failed). Running everything keeps the loop's rng consumption and the
+// result slice independent of which task failed first under concurrency.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	For(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		hits := make([]int32, n)
+		For(workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	For(4, -1, func(int) { ran = true })
+	if ran {
+		t.Fatal("For ran a task for n <= 0")
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	n := 40
+	want := Map(1, n, func(i int) string { return fmt.Sprintf("task-%d", i*i) })
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(workers, n, func(i int) string { return fmt.Sprintf("task-%d", i*i) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSplitStreamsDeterministicAcrossWorkers is the package's core guarantee:
+// per-task rng.Split(i) children yield bit-identical results at any worker
+// count.
+func TestSplitStreamsDeterministicAcrossWorkers(t *testing.T) {
+	n := 32
+	draw := func(workers int) []uint64 {
+		parent := rng.New(99)
+		return Map(workers, n, func(i int) uint64 {
+			src := parent.Split(uint64(i))
+			var sum uint64
+			for k := 0; k < 100; k++ {
+				sum += src.Uint64()
+			}
+			return sum
+		})
+	}
+	want := draw(1)
+	for _, workers := range []int{2, 8} {
+		got := draw(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: task %d drew %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	out, err := MapErr(4, 10, func(i int) (int, error) {
+		if i == 7 {
+			return 0, fmt.Errorf("boom at %d", i)
+		}
+		return i * 2, nil
+	})
+	if err == nil || err.Error() != "boom at 7" {
+		t.Fatalf("err = %v, want boom at 7", err)
+	}
+	// Every non-failing task still completed.
+	if out[9] != 18 || out[0] != 0 || out[3] != 6 {
+		t.Fatalf("results incomplete: %v", out)
+	}
+	if _, err := MapErr(2, 4, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatalf("unexpected err: %v", err)
+	}
+}

@@ -47,10 +47,24 @@ func (s *Source) Uint64() uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
-// Split derives an independent child Source. The child stream is decorrelated
-// from the parent's subsequent output, which makes it safe to hand children
-// to concurrently running simulation workers.
-func (s *Source) Split() *Source {
+// Split derives the i'th child Source from the parent's current state
+// WITHOUT advancing the parent. Children with distinct indices are mutually
+// decorrelated and decorrelated from the parent's own stream, and because
+// Split is a pure function of (state, i), a loop that hands child i to task
+// i produces bit-identical results whether the tasks run serially or on any
+// number of workers — the stream-splitting contract the parallel execution
+// layer relies on.
+func (s *Source) Split(i uint64) *Source {
+	// Double scrambling (splitmix64 here, then again inside New) pushes
+	// sibling seeds far apart even for consecutive indices.
+	return New(splitmix64(s.state^0xd1b54a32d192ed03) + (i+1)*0xbf58476d1ce4e5b9)
+}
+
+// Jump derives an independent child Source by consuming one draw from the
+// parent, advancing it. Use Jump for sequential hand-offs where the parent
+// keeps generating afterwards; use Split(i) when fanning out to indexed
+// parallel tasks.
+func (s *Source) Jump() *Source {
 	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
 }
 

@@ -193,9 +193,9 @@ func TestPickNegativeWeightIgnored(t *testing.T) {
 	}
 }
 
-func TestSplitIndependence(t *testing.T) {
+func TestJumpIndependence(t *testing.T) {
 	parent := New(31)
-	child := parent.Split()
+	child := parent.Jump()
 	a := make([]uint64, 100)
 	for i := range a {
 		a[i] = child.Uint64()
@@ -209,6 +209,86 @@ func TestSplitIndependence(t *testing.T) {
 	}
 	if match > 2 {
 		t.Fatalf("parent and child streams overlap in %d/100 positions", match)
+	}
+}
+
+// TestSplitIsPure verifies the stream-splitting contract: Split(i) neither
+// advances the parent nor depends on previous Split calls, so split order
+// (and therefore worker scheduling order) is unobservable.
+func TestSplitIsPure(t *testing.T) {
+	a := New(31)
+	b := New(31)
+	// Split in different orders, interleaved with parent draws on one side
+	// only after the splits.
+	c2a := a.Split(2)
+	c0a := a.Split(0)
+	c0b := b.Split(0)
+	c2b := b.Split(2)
+	for i := 0; i < 50; i++ {
+		if c0a.Uint64() != c0b.Uint64() {
+			t.Fatal("Split(0) depends on split order")
+		}
+		if c2a.Uint64() != c2b.Uint64() {
+			t.Fatal("Split(2) depends on split order")
+		}
+	}
+	// The parents never advanced, so their streams still agree.
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent")
+		}
+	}
+}
+
+// TestSplitSiblingsDecorrelated checks that children with distinct indices
+// (including consecutive ones) produce disjoint streams, and that children
+// do not replay the parent.
+func TestSplitSiblingsDecorrelated(t *testing.T) {
+	parent := New(41)
+	const draws = 200
+	streams := map[uint64][]uint64{}
+	for _, i := range []uint64{0, 1, 2, 3, 1000, 1 << 40} {
+		child := parent.Split(i)
+		vals := make([]uint64, draws)
+		for k := range vals {
+			vals[k] = child.Uint64()
+		}
+		streams[i] = vals
+	}
+	keys := []uint64{0, 1, 2, 3, 1000, 1 << 40}
+	for x := 0; x < len(keys); x++ {
+		for y := x + 1; y < len(keys); y++ {
+			match := 0
+			for k := 0; k < draws; k++ {
+				if streams[keys[x]][k] == streams[keys[y]][k] {
+					match++
+				}
+			}
+			if match > 2 {
+				t.Fatalf("children %d and %d overlap in %d/%d positions", keys[x], keys[y], match, draws)
+			}
+		}
+	}
+	match := 0
+	for k := 0; k < draws; k++ {
+		if parent.Uint64() == streams[0][k] {
+			match++
+		}
+	}
+	if match > 2 {
+		t.Fatalf("parent replays child 0 in %d/%d positions", match, draws)
+	}
+}
+
+// TestSplitDeterministic pins that equal (seed, index) pairs give equal
+// child streams.
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(7).Split(5)
+	c2 := New(7).Split(5)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("Split(5) streams diverged at step %d", i)
+		}
 	}
 }
 
