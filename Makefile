@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report
+.PHONY: tier1 test vet build bench-parallel report chaos
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -32,3 +32,12 @@ bench-parallel:
 # report regenerates the committed seed-1 experiment reports.
 report:
 	$(GO) run ./cmd/vestabench -parallel 4 -o results/seed1.txt -md results/seed1.md
+
+# chaos regenerates the committed fault-injection robustness sweep at the
+# pinned seed and fails if the curve drifts from results/robustness.md.
+# Deliberately outside the tier-1 budget (six full retrainings under fault
+# injection); run it when touching chaos/, the resilient meter, or the
+# degradation paths in core.
+chaos:
+	$(GO) run ./cmd/vestabench -exp ext-robustness -seed 1 -md results/robustness.md
+	git diff --exit-code results/robustness.md

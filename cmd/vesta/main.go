@@ -17,7 +17,9 @@
 //	vesta compare  -app A -vms V1,V2,...       compare VM types side by side
 //
 // profile and predict accept -workers N to bound the deterministic worker
-// pool (0 = one per CPU); results are identical at every worker count.
+// pool (0 = one per CPU); results are identical at every worker count. They
+// also accept -fault-rate R and -retries N to rehearse the pipeline under
+// deterministic infrastructure fault injection with resilient retries.
 //
 // All measurements run against the deterministic cluster simulator (see
 // DESIGN.md); real EC2 is substituted by the synthetic catalog and the BSP

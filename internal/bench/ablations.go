@@ -24,7 +24,7 @@ func vestaMeanMAPE(env *Env, cfg core.Config) (mape, regret float64, kept int) {
 	truth := env.Truth("targets", workload.TargetSet())
 	sys := trainVesta(env, cfg)
 	targets := workload.TargetSet()
-	preds, err := sys.PredictBatch(targets, func(int) *oracle.Meter { return env.Meter(0xE0) })
+	preds, err := sys.PredictBatch(targets, func(int) oracle.Service { return env.Meter(0xE0) })
 	if err != nil {
 		panic(err)
 	}

@@ -214,6 +214,7 @@ func Registry() []Experiment {
 		{"ext-search", "Search baselines (Random/CherryPick/Arrow) vs transfer (extension)", ExtSearch},
 		{"ext-interference", "Selection quality under multi-tenant interference (extension)", ExtInterference},
 		{"ext-datasize", "Generalization across input data scales (extension)", ExtDataSize},
+		{"ext-robustness", "Selection quality vs injected fault rate with resilient profiling (extension)", ExtRobustness},
 	}
 }
 

@@ -19,9 +19,9 @@ func TestRegistryIDsUnique(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	// 11 paper figures + 5 ablations + 5 extensions.
-	if len(Registry()) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(Registry()))
+	// 11 paper figures + 5 ablations + 6 extensions.
+	if len(Registry()) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(Registry()))
 	}
 }
 

@@ -395,7 +395,7 @@ func Fig11KMeansTuning(env *Env) *Table {
 			for j, ti := range fold.Test {
 				held[j] = data.Sources[ti]
 			}
-			preds, err := sys.PredictBatch(held, func(int) *oracle.Meter { return env.Meter(0xB1) })
+			preds, err := sys.PredictBatch(held, func(int) oracle.Service { return env.Meter(0xB1) })
 			if err != nil {
 				panic(err)
 			}

@@ -1,0 +1,86 @@
+// The robustness sweep: the whole Vesta pipeline — offline collection,
+// online prediction — reruns under increasing injected infrastructure fault
+// rates (spot preemption, launch failures, stragglers, OOM kills, sampler
+// dropout), with the resilient profiling layer retrying, quarantining, and
+// degrading gracefully. Selection quality is judged against the fault-free
+// ground truth: faults may waste runs and drop measurements, but the
+// question is how much accuracy survives.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/chaos"
+	"vesta/internal/core"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/stats"
+	"vesta/internal/workload"
+)
+
+// robustnessRates is the sweep axis of the accuracy-vs-fault-rate curve.
+var robustnessRates = []float64{0, 0.02, 0.05, 0.1, 0.2, 0.3}
+
+// ExtRobustness regenerates results/robustness.md: selection quality and
+// profiling overhead as every fault class fires at the given per-run rate.
+// The 0.00 row runs the identical code path with no chaos plan and must
+// reproduce the fault-free pipeline exactly.
+func ExtRobustness(env *Env) *Table {
+	truth := env.Truth("targets", workload.TargetSet())
+	targets := workload.TargetSet()
+
+	t := &Table{
+		ID:    "ext-robustness",
+		Title: "selection quality vs injected infrastructure fault rate (extension)",
+		Columns: []string{"fault rate", "predicted", "coverage(%)", "mean MAPE(%)",
+			"mean regret(%)", "offline runs", "retries", "quarantined", "dropped sources", "wasted (hr)"},
+	}
+	for _, rate := range robustnessRates {
+		var plan *chaos.Plan
+		if rate > 0 {
+			plan = chaos.NewPlan(env.Seed+0xC0, chaos.Uniform(rate))
+		}
+		faulty := sim.New(sim.Config{Nodes: 4, Repeats: 10, SampleSec: 5, Chaos: plan})
+		offline := oracle.NewResilient(oracle.NewMeter(faulty, env.Seed+0xC1), oracle.DefaultRetryPolicy())
+		sys, err := core.New(env.config(core.Config{Seed: env.Seed + 61}), env.Catalog)
+		if err != nil {
+			panic(err)
+		}
+		if err := sys.TrainOffline(workload.BySet(workload.SourceTraining), offline); err != nil {
+			panic(err)
+		}
+
+		online := oracle.NewResilient(oracle.NewMeter(faulty, env.Seed+0xC2), oracle.DefaultRetryPolicy())
+		var mapes, regrets []float64
+		predicted := 0
+		for _, tgt := range targets {
+			pred, err := sys.PredictOnline(tgt, online)
+			if err != nil {
+				// Unrecoverable sandbox run: this target gets no prediction.
+				continue
+			}
+			predicted++
+			mapes = append(mapes, selectionMAPE(truth, tgt.Name, pred.Best.Name, pred.PredictedSec[pred.Best.Name]))
+			regrets = append(regrets, regretPct(truth, tgt.Name, pred.Best.Name))
+		}
+
+		k := sys.Knowledge()
+		ost, nst := offline.Stats(), online.Stats()
+		meanMAPE, meanRegret := math.NaN(), math.NaN()
+		if predicted > 0 {
+			meanMAPE, meanRegret = stats.Mean(mapes), stats.Mean(regrets)
+		}
+		t.AddRow(fmt.Sprintf("%.2f", rate), predicted,
+			float64(predicted)/float64(len(targets))*100,
+			meanMAPE, meanRegret, k.OfflineRuns,
+			ost.Retries+nst.Retries, ost.Quarantined+nst.Quarantined,
+			len(k.DroppedSources), (ost.WastedSec+nst.WastedSec)/3600)
+	}
+	t.Notes = append(t.Notes,
+		"judged against fault-free ground truth; the 0.00 row is the unperturbed pipeline (byte-identical to every other experiment's training)",
+		"failed attempts charge the run budget (Figure-8 accounting): offline runs grow with the fault rate even when accuracy holds",
+		"degradation is graceful: retries recover most measurements, quarantine discards corrupt ones, and predictions substitute reference VMs before giving up",
+	)
+	return t
+}

@@ -1,0 +1,200 @@
+// Package chaos is the deterministic fault-injection layer for the cluster
+// simulator. Real profiling campaigns on EC2 lose runs to spot preemptions,
+// transient launch failures, stragglers, OOM kills and dropped metric
+// samples; this package decides, reproducibly, which simulated runs suffer
+// which of those faults.
+//
+// Determinism is the whole design: a Plan's decision for a run is a pure
+// function of (plan seed, application, VM type, run seed, attempt). It does
+// not depend on wall-clock time, scheduling order, or any shared mutable
+// state, so a fault sweep fanned out over internal/parallel produces
+// byte-identical results at every worker count — the same contract the rest
+// of the repository follows via rng.Source.Split. Retrying a failed run with
+// a higher attempt number re-rolls the fault dice without touching the
+// physics stream, so a run that succeeds on retry measures exactly what it
+// would have measured had it succeeded first time.
+package chaos
+
+import (
+	"fmt"
+
+	"vesta/internal/rng"
+)
+
+// Fault labels one injected fault class.
+type Fault int
+
+// The injected fault classes. LaunchFailure, SpotPreemption and OOMKill are
+// terminal (the run dies); Straggler and SamplerDropout degrade the run
+// without killing it.
+const (
+	None Fault = iota
+	// LaunchFailure: the cluster never comes up (capacity error, AMI fetch
+	// timeout); only the launch overhead is wasted.
+	LaunchFailure
+	// SpotPreemption: the spot instances are reclaimed mid-run; the run dies
+	// at a uniformly random fraction of its execution.
+	SpotPreemption
+	// OOMKill: the kernel OOM-killer terminates an executor under memory
+	// pressure; only memory-pressured runs are eligible.
+	OOMKill
+	// Straggler: a slow node stretches the run without killing it.
+	Straggler
+	// SamplerDropout: the metric collector daemon misses sampling ticks;
+	// the run succeeds but its trace has missing (NaN) samples.
+	SamplerDropout
+)
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case LaunchFailure:
+		return "launch-failure"
+	case SpotPreemption:
+		return "spot-preemption"
+	case OOMKill:
+		return "oom-kill"
+	case Straggler:
+		return "straggler"
+	case SamplerDropout:
+		return "sampler-dropout"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Rates configures the per-run (and, for SamplerDropout, per-sample)
+// injection probabilities. All rates are probabilities in [0, 1].
+type Rates struct {
+	LaunchFailure  float64
+	SpotPreemption float64
+	OOMKill        float64
+	Straggler      float64
+	SamplerDropout float64
+}
+
+// Uniform sets every fault class to the same rate — the knob behind the
+// -fault-rate flag and the robustness sweep's x axis.
+func Uniform(rate float64) Rates {
+	return Rates{
+		LaunchFailure:  rate,
+		SpotPreemption: rate,
+		OOMKill:        rate,
+		Straggler:      rate,
+		SamplerDropout: rate,
+	}
+}
+
+// Zero reports whether every rate is zero (the plan injects nothing).
+func (r Rates) Zero() bool {
+	return r.LaunchFailure == 0 && r.SpotPreemption == 0 && r.OOMKill == 0 &&
+		r.Straggler == 0 && r.SamplerDropout == 0
+}
+
+// validate clamps rates into [0, 1].
+func (r Rates) clamped() Rates {
+	c := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	return Rates{
+		LaunchFailure:  c(r.LaunchFailure),
+		SpotPreemption: c(r.SpotPreemption),
+		OOMKill:        c(r.OOMKill),
+		Straggler:      c(r.Straggler),
+		SamplerDropout: c(r.SamplerDropout),
+	}
+}
+
+// Plan is a deterministic fault schedule. A nil *Plan is valid and injects
+// nothing, so callers thread it through unconditionally.
+type Plan struct {
+	seed  uint64
+	rates Rates
+}
+
+// NewPlan builds a fault plan. Rates outside [0, 1] are clamped.
+func NewPlan(seed uint64, rates Rates) *Plan {
+	return &Plan{seed: seed, rates: rates.clamped()}
+}
+
+// Rates returns the plan's effective (clamped) rates. A nil plan reports all
+// zeroes.
+func (p *Plan) Rates() Rates {
+	if p == nil {
+		return Rates{}
+	}
+	return p.rates
+}
+
+// RunFaults is the fault decision for one run attempt. The zero value means
+// "no faults" (what a nil Plan returns).
+type RunFaults struct {
+	// LaunchFailure kills the run before it starts.
+	LaunchFailure bool
+	// Preempt kills the run after PreemptFrac of its execution time.
+	Preempt     bool
+	PreemptFrac float64
+	// OOM kills memory-pressured runs after OOMFrac of their execution; the
+	// simulator gates it on the run's actual memory pressure.
+	OOM     bool
+	OOMFrac float64
+	// StragglerFactor multiplies the run's duration; 1 means no straggler.
+	StragglerFactor float64
+	// DropoutRate is the per-sample probability that the metric collector
+	// misses a tick; DropoutSeed seeds the sampler's dropout stream.
+	DropoutRate float64
+	DropoutSeed uint64
+}
+
+// Terminal reports whether the decision kills the run outright (before
+// memory-pressure gating of the OOM class).
+func (f RunFaults) Terminal() bool { return f.LaunchFailure || f.Preempt || f.OOM }
+
+// ForRun returns the fault decision for one run attempt. It is a pure
+// function of (plan seed, app, vm, runSeed, attempt): the same inputs give
+// the same decision on any goroutine in any order, and a retry (attempt+1)
+// re-rolls every draw. A nil plan returns the zero decision.
+func (p *Plan) ForRun(app, vm string, runSeed, attempt uint64) RunFaults {
+	if p == nil || p.rates.Zero() {
+		return RunFaults{StragglerFactor: 1}
+	}
+	// Derive the decision stream from stable identity only. Every field is
+	// drawn unconditionally so the stream layout never depends on earlier
+	// decisions.
+	src := rng.New(p.seed ^ hashString(app) ^ (hashString(vm) * 0x9e3779b97f4a7c15) ^
+		(runSeed * 0xbf58476d1ce4e5b9) ^ ((attempt + 1) * 0x94d049bb133111eb))
+	var f RunFaults
+	f.LaunchFailure = src.Float64() < p.rates.LaunchFailure
+	f.Preempt = src.Float64() < p.rates.SpotPreemption
+	f.PreemptFrac = src.Range(0.05, 0.95)
+	f.OOM = src.Float64() < p.rates.OOMKill
+	f.OOMFrac = src.Range(0.50, 0.98) // OOM usually strikes late, as pressure accumulates
+	straggle := src.Float64() < p.rates.Straggler
+	factor := 1 + src.Range(0.3, 2.0)
+	if straggle {
+		f.StragglerFactor = factor
+	} else {
+		f.StragglerFactor = 1
+	}
+	f.DropoutRate = p.rates.SamplerDropout
+	f.DropoutSeed = src.Uint64()
+	return f
+}
+
+// hashString gives a stable 64-bit hash (FNV-1a) for seed mixing, matching
+// the convention used by sim and core.
+func hashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,203 @@
+package chaos
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	f := p.ForRun("sort", "m5.xlarge", 7, 0)
+	if f.LaunchFailure || f.Preempt || f.OOM {
+		t.Fatalf("nil plan injected a terminal fault: %+v", f)
+	}
+	if f.StragglerFactor != 1 {
+		t.Fatalf("nil plan StragglerFactor = %v, want 1", f.StragglerFactor)
+	}
+	if f.DropoutRate != 0 {
+		t.Fatalf("nil plan DropoutRate = %v, want 0", f.DropoutRate)
+	}
+	if !p.Rates().Zero() {
+		t.Fatalf("nil plan rates not zero: %+v", p.Rates())
+	}
+}
+
+func TestZeroRatePlanMatchesNil(t *testing.T) {
+	p := NewPlan(42, Rates{})
+	f := p.ForRun("sort", "m5.xlarge", 7, 3)
+	var nilPlan *Plan
+	if f != nilPlan.ForRun("sort", "m5.xlarge", 7, 3) {
+		t.Fatalf("zero-rate plan differs from nil plan: %+v", f)
+	}
+}
+
+func TestForRunIsPure(t *testing.T) {
+	p := NewPlan(99, Uniform(0.25))
+	want := p.ForRun("pagerank", "c5.2xlarge", 1234, 2)
+	for i := 0; i < 10; i++ {
+		if got := p.ForRun("pagerank", "c5.2xlarge", 1234, 2); got != want {
+			t.Fatalf("call %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	// Interleaving other queries must not perturb the decision.
+	p.ForRun("sort", "m5.xlarge", 1, 0)
+	p.ForRun("pagerank", "c5.2xlarge", 1234, 3)
+	if got := p.ForRun("pagerank", "c5.2xlarge", 1234, 2); got != want {
+		t.Fatalf("after interleaving: got %+v, want %+v", got, want)
+	}
+}
+
+func TestRetryRerollsDecision(t *testing.T) {
+	p := NewPlan(7, Uniform(0.5))
+	distinct := false
+	base := p.ForRun("kmeans", "r5.xlarge", 55, 0)
+	for attempt := uint64(1); attempt < 8; attempt++ {
+		if p.ForRun("kmeans", "r5.xlarge", 55, attempt) != base {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatalf("8 attempts produced identical decisions at rate 0.5; retry stream looks degenerate")
+	}
+}
+
+// TestDeterministicAcrossWorkers fans the same decision matrix out over
+// different goroutine counts and call orders; every schedule must agree.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	p := NewPlan(2026, Uniform(0.15))
+	apps := []string{"sort", "wordcount", "pagerank", "kmeans", "join"}
+	vms := []string{"m5.xlarge", "c5.2xlarge", "r5.xlarge", "i3.xlarge"}
+	type key struct {
+		a, v    int
+		seed    uint64
+		attempt uint64
+	}
+	var keys []key
+	for a := range apps {
+		for v := range vms {
+			for s := uint64(0); s < 6; s++ {
+				for at := uint64(0); at < 2; at++ {
+					keys = append(keys, key{a, v, s * 7919, at})
+				}
+			}
+		}
+	}
+	decide := func(workers int, reverse bool) []RunFaults {
+		out := make([]RunFaults, len(keys))
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					k := keys[i]
+					out[i] = p.ForRun(apps[k.a], vms[k.v], k.seed, k.attempt)
+				}
+			}()
+		}
+		if reverse {
+			for i := len(keys) - 1; i >= 0; i-- {
+				ch <- i
+			}
+		} else {
+			for i := range keys {
+				ch <- i
+			}
+		}
+		close(ch)
+		wg.Wait()
+		return out
+	}
+	want := decide(1, false)
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		for _, rev := range []bool{false, true} {
+			got := decide(workers, rev)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d reverse=%v: decision %d = %+v, want %+v",
+						workers, rev, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEmpiricalRates checks the injected frequencies track the configured
+// rates over a large decision population.
+func TestEmpiricalRates(t *testing.T) {
+	const rate = 0.2
+	const n = 20000
+	p := NewPlan(5, Uniform(rate))
+	var launch, preempt, oom, straggle int
+	for i := 0; i < n; i++ {
+		f := p.ForRun("app", "vm", uint64(i), 0)
+		if f.LaunchFailure {
+			launch++
+		}
+		if f.Preempt {
+			preempt++
+		}
+		if f.OOM {
+			oom++
+		}
+		if f.StragglerFactor != 1 {
+			straggle++
+		}
+	}
+	check := func(name string, count int) {
+		t.Helper()
+		got := float64(count) / n
+		if math.Abs(got-rate) > 0.02 {
+			t.Errorf("%s rate = %.4f, want %.2f ± 0.02", name, got, rate)
+		}
+	}
+	check("launch-failure", launch)
+	check("preemption", preempt)
+	check("oom", oom)
+	check("straggler", straggle)
+}
+
+func TestFractionsAndFactorsInRange(t *testing.T) {
+	p := NewPlan(11, Uniform(1))
+	for i := 0; i < 1000; i++ {
+		f := p.ForRun("app", "vm", uint64(i), 0)
+		if f.PreemptFrac < 0.05 || f.PreemptFrac > 0.95 {
+			t.Fatalf("PreemptFrac out of range: %v", f.PreemptFrac)
+		}
+		if f.OOMFrac < 0.50 || f.OOMFrac > 0.98 {
+			t.Fatalf("OOMFrac out of range: %v", f.OOMFrac)
+		}
+		if f.StragglerFactor < 1.3 || f.StragglerFactor > 3.0 {
+			t.Fatalf("StragglerFactor out of range at rate 1: %v", f.StragglerFactor)
+		}
+	}
+}
+
+func TestClampedRates(t *testing.T) {
+	p := NewPlan(1, Rates{LaunchFailure: -0.5, SpotPreemption: 1.5})
+	r := p.Rates()
+	if r.LaunchFailure != 0 || r.SpotPreemption != 1 {
+		t.Fatalf("rates not clamped: %+v", r)
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	cases := map[Fault]string{
+		None:           "none",
+		LaunchFailure:  "launch-failure",
+		SpotPreemption: "spot-preemption",
+		OOMKill:        "oom-kill",
+		Straggler:      "straggler",
+		SamplerDropout: "sampler-dropout",
+		Fault(42):      "fault(42)",
+	}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("Fault(%d).String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+}

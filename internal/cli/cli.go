@@ -9,6 +9,12 @@
 //	vesta simulate -app A -vm V [-nodes N]     profile one app on one VM type
 //	vesta profile  -out knowledge.json         run the offline phase and save knowledge
 //	vesta predict  -knowledge K -app A         predict the best VM for a target
+//
+// profile and predict accept -fault-rate R and -retries N to rehearse the
+// pipeline under deterministic infrastructure fault injection (spot
+// preemption, launch failures, stragglers, OOM kills, sampler dropout) with
+// the resilient retry layer; the default rate 0 is byte-identical to the
+// fault-free pipeline.
 //	vesta heatmap  -app A                      render a Figure 1 style budget heat map
 //	vesta collect  -store DIR -app A [...]     profile and persist measurements
 //	vesta history  -store DIR [-app A]         query persisted measurements
@@ -28,6 +34,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"vesta/internal/chaos"
 	"vesta/internal/cloud"
 	"vesta/internal/core"
 	"vesta/internal/metrics"
@@ -210,6 +217,34 @@ func cmdSimulate(args []string) error {
 	return nil
 }
 
+// newService builds the measurement service for the profile and predict
+// subcommands. A zero fault rate returns the plain meter — behaviour and
+// output stay byte-identical to the CLI before fault injection existed. A
+// positive rate runs the simulator under a chaos plan seeded from the run
+// seed and wraps the meter in the resilient retry layer.
+func newService(seed uint64, faultRate float64, retries int) (oracle.Service, *oracle.Resilient) {
+	cfg := sim.DefaultConfig()
+	if faultRate <= 0 {
+		return oracle.NewMeter(sim.New(cfg), seed), nil
+	}
+	cfg.Chaos = chaos.NewPlan(seed, chaos.Uniform(faultRate))
+	policy := oracle.DefaultRetryPolicy()
+	policy.MaxRetries = retries
+	r := oracle.NewResilient(oracle.NewMeter(sim.New(cfg), seed), policy)
+	return r, r
+}
+
+// printResilience reports the retry layer's accounting; nil (faults off)
+// prints nothing, keeping the default output unchanged.
+func printResilience(r *oracle.Resilient) {
+	if r == nil {
+		return
+	}
+	st := r.Stats()
+	fmt.Fprintf(outW, "resilience: %d campaigns, %d retries, %d abandoned (%d quarantined), %d runs killed, %.0f s wasted, %.0f s backoff\n",
+		st.Profiles, st.Retries, st.Failed, st.Quarantined, st.FailedRuns, st.WastedSec, st.BackoffSec)
+}
+
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	fs.SetOutput(errW)
@@ -218,6 +253,8 @@ func cmdProfile(args []string) error {
 	seed := fs.Uint64("seed", 1, "training seed")
 	testing := fs.Bool("include-testing", false, "also train on the 5 source-testing workloads")
 	workers := fs.Int("workers", 0, "worker pool size for profiling and clustering (0 = one per CPU); results are identical at every value")
+	faultRate := fs.Float64("fault-rate", 0, "inject every infrastructure fault class at this per-run rate (0 = off)")
+	retries := fs.Int("retries", 3, "profile retries under fault injection (used with -fault-rate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,7 +266,7 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	meter := oracle.NewMeter(sim.New(sim.DefaultConfig()), *seed)
+	meter, resil := newService(*seed, *faultRate, *retries)
 	fmt.Fprintf(outW, "profiling %d source workloads on %d VM types...\n", len(sources), 120)
 	if err := sys.TrainOffline(sources, meter); err != nil {
 		return err
@@ -245,6 +282,13 @@ func cmdProfile(args []string) error {
 	kn := sys.Knowledge()
 	fmt.Fprintf(outW, "offline phase complete: %d reference VMs, %d labels, %d/%d correlation features kept\n",
 		kn.OfflineRuns, len(kn.Labels), len(kn.Kept), metrics.NumCorrelations)
+	if resil != nil {
+		printResilience(resil)
+		if kn.SkippedCells > 0 || len(kn.DroppedSources) > 0 || kn.InvalidVectors > 0 {
+			fmt.Fprintf(outW, "degraded: %d cells skipped, %d invalid vectors, dropped sources %v\n",
+				kn.SkippedCells, kn.InvalidVectors, kn.DroppedSources)
+		}
+	}
 	fmt.Fprintf(outW, "knowledge written to %s\n", *out)
 	return nil
 }
@@ -257,6 +301,8 @@ func cmdPredict(args []string) error {
 	topN := fs.Int("top", 10, "how many ranked VM types to print")
 	seed := fs.Uint64("seed", 1, "online seed")
 	workers := fs.Int("workers", 0, "worker pool size for the online phase (0 = one per CPU); results are identical at every value")
+	faultRate := fs.Float64("fault-rate", 0, "inject every infrastructure fault class at this per-run rate (0 = off)")
+	retries := fs.Int("retries", 3, "profile retries under fault injection (used with -fault-rate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -279,13 +325,16 @@ func cmdPredict(args []string) error {
 	if err := sys.LoadKnowledge(f); err != nil {
 		return err
 	}
-	meter := oracle.NewMeter(sim.New(sim.DefaultConfig()), *seed)
+	meter, resil := newService(*seed, *faultRate, *retries)
 	pred, err := sys.PredictOnline(app, meter)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(outW, "target: %s\n", app)
 	fmt.Fprintf(outW, "online overhead: %d reference VMs (sandbox + random initialization)\n", pred.OnlineRuns)
+	if pred.InitFailures > 0 {
+		fmt.Fprintf(outW, "degraded: %d reference VM campaigns abandoned and substituted\n", pred.InitFailures)
+	}
 	if !pred.Converged {
 		fmt.Fprintf(outW, "WARNING: transfer did not converge (match distance %.2f); falling back to sandbox-only knowledge\n",
 			pred.MatchDistance)
@@ -294,7 +343,7 @@ func cmdPredict(args []string) error {
 	fmt.Fprintf(outW, "top %d ranking:\n", *topN)
 	w := tabwriter.NewWriter(outW, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "RANK\tVM TYPE\tSCORE\tPREDICTED TIME(s)\tPREDICTED BUDGET($)")
-	nodes := meter.Sim.Config().Nodes
+	nodes := meter.SimConfig().Nodes
 	byName := cloud.ByName(cloud.Catalog120())
 	for i, r := range pred.Ranking {
 		if i >= *topN {
@@ -304,7 +353,11 @@ func cmdPredict(args []string) error {
 		usd := sec / 3600 * byName[r.VM].PriceHour * float64(nodes)
 		fmt.Fprintf(w, "%d\t%s\t%.3f\t%.1f\t%.4f\n", i+1, r.VM, r.Score, sec, usd)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	printResilience(resil)
+	return nil
 }
 
 func cmdHeatmap(args []string) error {

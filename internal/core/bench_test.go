@@ -46,7 +46,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			sys.cfg.Workers = workers
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.PredictBatch(targets, func(j int) *oracle.Meter {
+				if _, err := sys.PredictBatch(targets, func(j int) oracle.Service {
 					return oracle.NewMeter(sim.New(sim.DefaultConfig()), 0xE0+uint64(j))
 				}); err != nil {
 					b.Fatal(err)

@@ -46,7 +46,7 @@ func TestTrainOfflineWorkersBitIdentical(t *testing.T) {
 func TestPredictBatchMatchesSerial(t *testing.T) {
 	sys, _ := trainedSystem(t)
 	targets := workload.TargetSet()[:4]
-	newMeter := func(i int) *oracle.Meter {
+	newMeter := func(i int) oracle.Service {
 		return oracle.NewMeter(sim.New(sim.DefaultConfig()), 0xB0+uint64(i))
 	}
 
@@ -87,7 +87,7 @@ func TestPredictBatchMatchesSerial(t *testing.T) {
 // TestPredictBatchBeforeTrain mirrors the serial API's guard.
 func TestPredictBatchBeforeTrain(t *testing.T) {
 	sys, _ := New(Config{}, catalog)
-	_, err := sys.PredictBatch(workload.TargetSet()[:1], func(int) *oracle.Meter {
+	_, err := sys.PredictBatch(workload.TargetSet()[:1], func(int) oracle.Service {
 		return oracle.NewMeter(sim.New(sim.Config{Repeats: 2}), 1)
 	})
 	if err == nil {

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -46,6 +47,12 @@ import (
 	"vesta/internal/stats"
 	"vesta/internal/workload"
 )
+
+// ErrSandboxFailed is returned by PredictOnline when the target's sandbox
+// initialization run is unrecoverable: without it there is no feature
+// vector, no label placement, and no calibration anchor — nothing to
+// degrade to. Callers match with errors.Is.
+var ErrSandboxFailed = errors.New("vesta: sandbox initialization run failed")
 
 // Config tunes the Vesta system. Zero values take the paper's defaults.
 type Config struct {
@@ -146,6 +153,16 @@ type Knowledge struct {
 	Times map[string]map[string]float64
 	// OfflineRuns is the reference-VM count charged during training.
 	OfflineRuns int
+	// SkippedCells counts (source, VM) measurements missing from Times
+	// (abandoned by the meter); the affected label-VM affinities aggregate
+	// over the surviving sources only.
+	SkippedCells int
+	// DroppedSources lists sources excluded during collection (no sandbox
+	// measurement, hence no feature vector).
+	DroppedSources []string
+	// InvalidVectors counts sources rejected at training time because their
+	// feature vector contained NaN/Inf.
+	InvalidVectors int
 }
 
 // Prediction is the outcome of the online phase for one target workload.
@@ -171,6 +188,10 @@ type Prediction struct {
 	// ObservedLatencyMS holds the P90 streaming latency of the same runs
 	// (zero entries for batch workloads). Used by the latency extension.
 	ObservedLatencyMS map[string]float64
+	// InitFailures counts reference-VM candidates abandoned during the
+	// random-pick initialization; each was substituted by the next VM in
+	// the permutation (or skipped when the catalog ran out).
+	InitFailures int
 }
 
 // System is a Vesta instance bound to a VM catalog.
@@ -209,8 +230,15 @@ type OfflineData struct {
 	Times map[string]map[string]float64
 	// RawVecs[i] is source i's full 10-dimensional correlation vector.
 	RawVecs [][]float64
-	// Runs is the reference-VM count charged while collecting.
+	// Runs is the reference-VM count charged while collecting, including
+	// retried and abandoned campaigns (Figure-8 accounting).
 	Runs int
+	// SkippedCells counts (source, VM) measurements the meter abandoned;
+	// their Times entries are absent and the model trains without them.
+	SkippedCells int
+	// DroppedSources lists sources excluded entirely because their sandbox
+	// measurement — the feature-vector anchor — was unrecoverable.
+	DroppedSources []string
 }
 
 // Subset returns the offline data restricted to the sources at the given
@@ -231,42 +259,63 @@ func (d *OfflineData) Subset(idx []int) *OfflineData {
 // vectors are taken at the common sandbox VM so that source and target
 // vectors are measured under comparable conditions; every run's time feeds
 // the label-VM performance layer.
-func (s *System) CollectOffline(sources []workload.App, meter *oracle.Meter) *OfflineData {
+func (s *System) CollectOffline(sources []workload.App, meter oracle.Service) *OfflineData {
 	startRuns := meter.Runs()
 	data := &OfflineData{
-		Sources: append([]workload.App(nil), sources...),
-		Times:   make(map[string]map[string]float64, len(sources)),
-		RawVecs: make([][]float64, len(sources)),
+		Times: make(map[string]map[string]float64, len(sources)),
 	}
 	// Each source's profiling sweep is independent (fixed per-(app, VM)
 	// seeds), so the collection fans out one worker per source. Results are
 	// byte-identical to a sequential sweep; only the meter's log order
 	// varies.
 	type appResult struct {
-		times map[string]float64
-		vec   []float64
+		times   map[string]float64
+		vec     []float64
+		skipped int
 	}
 	results := parallel.Map(s.cfg.Workers, len(sources), func(i int) appResult {
 		app := sources[i]
 		r := appResult{times: make(map[string]float64, len(s.catalog))}
+		sandboxSeen := false
 		for _, vm := range s.catalog {
-			p := meter.Profile(app, vm)
+			p, err := meter.TryProfile(app, vm)
+			if err != nil {
+				// Unrecoverable cell: train without it. A failed sandbox
+				// cell additionally costs the feature vector, handled below.
+				r.skipped++
+				if vm.Name == s.cfg.SandboxVM {
+					sandboxSeen = true
+				}
+				continue
+			}
 			r.times[vm.Name] = p.P90Seconds
 			if vm.Name == s.cfg.SandboxVM {
+				sandboxSeen = true
 				r.vec = s.featureVector(p)
 			}
 		}
-		if r.vec == nil {
+		if !sandboxSeen {
 			// Sandbox VM not in the profiling catalog: profile it
 			// explicitly.
-			p := meter.Profile(app, s.byName[s.cfg.SandboxVM])
-			r.vec = s.featureVector(p)
+			if p, err := meter.TryProfile(app, s.byName[s.cfg.SandboxVM]); err == nil {
+				r.vec = s.featureVector(p)
+			} else {
+				r.skipped++
+			}
 		}
 		return r
 	})
 	for i, app := range sources {
+		data.SkippedCells += results[i].skipped
+		if results[i].vec == nil {
+			// No sandbox measurement means no workload representation: the
+			// source cannot join the correlation analysis at all.
+			data.DroppedSources = append(data.DroppedSources, app.Name)
+			continue
+		}
+		data.Sources = append(data.Sources, app)
 		data.Times[app.Name] = results[i].times
-		data.RawVecs[i] = results[i].vec
+		data.RawVecs = append(data.RawVecs, results[i].vec)
 	}
 	data.Runs = meter.Runs() - startRuns
 	return data
@@ -292,7 +341,7 @@ func (s *System) featureVector(p sim.Profile) []float64 {
 
 // TrainOffline runs the offline profiling phase on the source workloads
 // (Algorithm 1 lines 1, 3-5). All measurements go through the meter.
-func (s *System) TrainOffline(sources []workload.App, meter *oracle.Meter) error {
+func (s *System) TrainOffline(sources []workload.App, meter oracle.Service) error {
 	if len(sources) < 2 {
 		return fmt.Errorf("vesta: need at least 2 source workloads, got %d", len(sources))
 	}
@@ -302,12 +351,42 @@ func (s *System) TrainOffline(sources []workload.App, meter *oracle.Meter) error
 	return s.TrainFromData(s.CollectOffline(sources, meter))
 }
 
+// finiteVec reports whether every component is finite (no NaN/Inf). A single
+// corrupt trace must not poison PCA loadings or K-Means centroids.
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // TrainFromData builds the offline model (Algorithm 1 lines 3-5) from
 // already-collected measurements.
 func (s *System) TrainFromData(data *OfflineData) error {
 	sources := data.Sources
 	times := data.Times
 	rawVecs := data.RawVecs
+	// Degradation guard (satellite of the failure model): reject NaN/Inf
+	// feature vectors with a counted skip instead of letting one corrupt
+	// trace poison the PCA loadings and every centroid downstream.
+	invalidVecs := 0
+	for i, rv := range rawVecs {
+		if !finiteVec(rv) {
+			invalidVecs++
+			if invalidVecs == 1 {
+				// Copy-on-write: don't mutate the caller's OfflineData.
+				sources = append([]workload.App(nil), sources[:i]...)
+				rawVecs = append([][]float64(nil), rawVecs[:i]...)
+			}
+			continue
+		}
+		if invalidVecs > 0 {
+			sources = append(sources, data.Sources[i])
+			rawVecs = append(rawVecs, rv)
+		}
+	}
 	if len(sources) < 2 {
 		return fmt.Errorf("vesta: need at least 2 source workloads, got %d", len(sources))
 	}
@@ -371,13 +450,19 @@ func (s *System) TrainFromData(data *OfflineData) error {
 		best[app.Name] = b
 	}
 
-	// Label-VM layer: membership-weighted normalized performance.
+	// Label-VM layer: membership-weighted normalized performance. Cells the
+	// meter abandoned are absent from Times; the affinity aggregates over
+	// the sources that were measured on this VM.
 	for j := 0; j < s.cfg.K; j++ {
 		for _, vm := range s.catalog {
 			num, den := 0.0, 0.0
 			for i, app := range sources {
+				sec, ok := times[app.Name][vm.Name]
+				if !ok || sec <= 0 {
+					continue
+				}
 				w := memberships[i][j]
-				perf := best[app.Name] / times[app.Name][vm.Name] // 1.0 = best
+				perf := best[app.Name] / sec // 1.0 = best
 				num += w * perf
 				den += w
 			}
@@ -397,7 +482,10 @@ func (s *System) TrainFromData(data *OfflineData) error {
 		Labels: labels, Kept: kept, PCA: pcaRes, KM: km, Graph: graph,
 		SourceNames: names, SourceVecs: vecs, SourceMemberships: memberships,
 		Sigma: sigma, BestTimes: best, Times: times,
-		OfflineRuns: data.Runs,
+		OfflineRuns:    data.Runs,
+		SkippedCells:   data.SkippedCells,
+		DroppedSources: append([]string(nil), data.DroppedSources...),
+		InvalidVectors: invalidVecs,
 	}
 	return nil
 }
@@ -437,7 +525,14 @@ func project(v []float64, kept []int) []float64 {
 
 // PredictOnline runs the online predicting phase for one target workload
 // (Section 4.2, Algorithm 1 lines 2, 5-14).
-func (s *System) PredictOnline(target workload.App, meter *oracle.Meter) (*Prediction, error) {
+//
+// Degradation ladder under fault injection: a failed random-pick VM is
+// substituted by the next VM in the same random permutation (the paper's
+// protocol just asks for random reference points, not specific ones);
+// calibration uses however many observations survived. Only an
+// unrecoverable sandbox run — the target's feature vector and calibration
+// anchor — aborts the prediction, with ErrSandboxFailed.
+func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Prediction, error) {
 	k := s.knowledge
 	if k == nil {
 		return nil, fmt.Errorf("vesta: PredictOnline before TrainOffline")
@@ -450,24 +545,46 @@ func (s *System) PredictOnline(target workload.App, meter *oracle.Meter) (*Predi
 
 	// Line 2: sandbox initialization run.
 	sandbox := s.byName[s.cfg.SandboxVM]
-	sp := meter.Profile(target, sandbox)
+	sp, err := meter.TryProfile(target, sandbox)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s on %s: %v", ErrSandboxFailed, target.Name, sandbox.Name, err)
+	}
 	observed[sandbox.Name] = sp.P90Seconds
 	observedLat[sandbox.Name] = sp.P90LatencyMS
-	targetVec := project(s.featureVector(sp), k.Kept)
+	fv := s.featureVector(sp)
+	if !finiteVec(fv) {
+		return nil, fmt.Errorf("%w: %s on %s: corrupt feature vector", ErrSandboxFailed, target.Name, sandbox.Name)
+	}
+	targetVec := project(fv, k.Kept)
 	rawMembership := sharpMemberships(k.KM, targetVec, k.Sigma)
 
 	// 3 randomly picked VM types initialize the CMF model (Section 4.2).
+	// The walk goes down a single random permutation so that a failed pick
+	// is replaced by the next candidate; fault-free this profiles exactly
+	// the VMs Sample(n, k) == Perm(n)[:k] would have, with identical rng
+	// consumption.
 	pickable := make([]int, 0, len(s.catalog))
 	for i, vm := range s.catalog {
 		if vm.Name != sandbox.Name {
 			pickable = append(pickable, i)
 		}
 	}
-	for _, pi := range src.Sample(len(pickable), min(s.cfg.InitRandomVMs, len(pickable))) {
+	wantPicks := min(s.cfg.InitRandomVMs, len(pickable))
+	initFailures := 0
+	got := 0
+	for _, pi := range src.Perm(len(pickable)) {
+		if got >= wantPicks {
+			break
+		}
 		vm := s.catalog[pickable[pi]]
-		p := meter.Profile(target, vm)
+		p, err := meter.TryProfile(target, vm)
+		if err != nil {
+			initFailures++
+			continue
+		}
 		observed[vm.Name] = p.P90Seconds
 		observedLat[vm.Name] = p.P90LatencyMS
+		got++
 	}
 
 	// Lines 5-12: CMF with shared label factors over U, V, and sparse U*.
@@ -504,6 +621,7 @@ func (s *System) PredictOnline(target workload.App, meter *oracle.Meter) (*Predi
 		OnlineRuns:        meter.Runs() - startRuns,
 		ObservedSec:       observed,
 		ObservedLatencyMS: observedLat,
+		InitFailures:      initFailures,
 	}, nil
 }
 
@@ -514,7 +632,7 @@ func (s *System) PredictOnline(target workload.App, meter *oracle.Meter) (*Predi
 // bit-identical to calling PredictOnline sequentially, at any worker count.
 // The receiver's knowledge must not be mutated (e.g. by AbsorbTarget) while
 // a batch is in flight.
-func (s *System) PredictBatch(targets []workload.App, meterFor func(i int) *oracle.Meter) ([]*Prediction, error) {
+func (s *System) PredictBatch(targets []workload.App, meterFor func(i int) oracle.Service) ([]*Prediction, error) {
 	if s.knowledge == nil {
 		return nil, fmt.Errorf("vesta: PredictBatch before TrainOffline")
 	}
@@ -691,14 +809,14 @@ const (
 // initialization, Vesta tries VM types in ranking order, recording the
 // best-so-far execution time and budget per run. budget counts total
 // reference runs including the sandbox and random initialization.
-func (s *System) Optimize(target workload.App, budget int, meter *oracle.Meter) ([]oracle.Step, *Prediction, error) {
+func (s *System) Optimize(target workload.App, budget int, meter oracle.Service) ([]oracle.Step, *Prediction, error) {
 	return s.OptimizeFor(target, budget, MinimizeTime, meter)
 }
 
 // OptimizeFor is Optimize with an explicit objective: for MinimizeBudget
 // (Figure 13) the exploitation order follows predicted cost (predicted time
 // x cluster price) instead of predicted time.
-func (s *System) OptimizeFor(target workload.App, budget int, objective Objective, meter *oracle.Meter) ([]oracle.Step, *Prediction, error) {
+func (s *System) OptimizeFor(target workload.App, budget int, objective Objective, meter oracle.Service) ([]oracle.Step, *Prediction, error) {
 	pred, err := s.PredictOnline(target, meter)
 	if err != nil {
 		return nil, nil, err
@@ -708,7 +826,7 @@ func (s *System) OptimizeFor(target workload.App, budget int, objective Objectiv
 		order = append(order, r.VM)
 	}
 	if objective == MinimizeBudget {
-		nodes := float64(meter.Sim.Config().Nodes)
+		nodes := float64(meter.SimConfig().Nodes)
 		costOf := func(vm string) float64 {
 			return pred.PredictedSec[vm] * s.byName[vm].PriceHour * nodes
 		}
@@ -726,7 +844,7 @@ func (s *System) OptimizeFor(target workload.App, budget int, objective Objectiv
 	record := func(vmName string, sec float64) {
 		runIdx++
 		vm := s.byName[vmName]
-		usd := sec / 3600 * vm.PriceHour * float64(meter.Sim.Config().Nodes)
+		usd := sec / 3600 * vm.PriceHour * float64(meter.SimConfig().Nodes)
 		if sec < bestSec {
 			bestSec = sec
 		}
@@ -765,7 +883,13 @@ func (s *System) OptimizeFor(target workload.App, budget int, objective Objectiv
 			continue
 		}
 		tried[vm] = true
-		p := meter.Profile(target, s.byName[vm])
+		// A VM whose measurement campaign is abandoned yields no usable
+		// observation; move on to the next candidate. The wasted attempts
+		// still show up in the meter's run accounting.
+		p, err := meter.TryProfile(target, s.byName[vm])
+		if err != nil {
+			continue
+		}
 		record(vm, p.P90Seconds)
 	}
 	pred.OnlineRuns = len(steps)

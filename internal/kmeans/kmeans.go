@@ -55,6 +55,14 @@ func Fit(points [][]float64, cfg Config, src *rng.Source) (*Model, error) {
 		if len(p) != dim {
 			return nil, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
 		}
+		for j, v := range p {
+			// A NaN poisons every centroid it touches and an Inf collapses
+			// kmeans++ seeding; reject corrupt points outright — callers
+			// own the decision to filter them.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("kmeans: point %d component %d is %v", i, j, v)
+			}
+		}
 	}
 	if cfg.K < 1 || cfg.K > n {
 		return nil, fmt.Errorf("kmeans: k=%d invalid for %d points", cfg.K, n)

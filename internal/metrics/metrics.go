@@ -71,6 +71,14 @@ func (s SeriesID) String() string {
 type Trace struct {
 	SampleSec float64
 	Series    [NumSeries][]float64
+	// Partial marks a trace cut short because the run was killed mid-flight
+	// (spot preemption, OOM); its samples are genuine but do not cover the
+	// whole execution.
+	Partial bool
+	// Dropped counts samples lost to metric-collector dropout. A dropped
+	// sample is present in every series as NaN (the collector missed the
+	// whole tick, not individual metrics).
+	Dropped int
 }
 
 // Len returns the number of samples in the trace.
@@ -117,6 +125,47 @@ type ExecStats struct {
 	DataPerIteration float64
 	// DataPerParallelism is input GB per parallel task slot used.
 	DataPerParallelism float64
+}
+
+// minCompleteSamples is the minimum number of NaN-free samples required for
+// a correlation vector to be computed from a dropout-damaged trace.
+const minCompleteSamples = 3
+
+// hasNaNSample reports whether any series contains a NaN sample.
+func hasNaNSample(t *Trace) bool {
+	for id := SeriesID(0); id < NumSeries; id++ {
+		for _, v := range t.Series[id] {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// completeSamples returns a copy of t containing only the samples that are
+// NaN-free across all series (listwise deletion of collector-dropout gaps).
+func completeSamples(t *Trace) *Trace {
+	n := t.Len()
+	keep := make([]int, 0, n)
+sample:
+	for i := 0; i < n; i++ {
+		for id := SeriesID(0); id < NumSeries; id++ {
+			if math.IsNaN(t.Series[id][i]) {
+				continue sample
+			}
+		}
+		keep = append(keep, i)
+	}
+	out := &Trace{SampleSec: t.SampleSec, Partial: t.Partial, Dropped: n - len(keep)}
+	for id := SeriesID(0); id < NumSeries; id++ {
+		s := make([]float64, len(keep))
+		for j, i := range keep {
+			s[j] = t.Series[id][i]
+		}
+		out.Series[id] = s
+	}
+	return out
 }
 
 // sum returns a pointwise sum of two series.
@@ -206,6 +255,21 @@ func boundedRatio(a, b float64) float64 {
 // the scalar execution metrics (both normalized to [-1, 1] like the paper's
 // correlation values).
 func Correlations(tr *Trace, ex ExecStats) CorrVector {
+	// Collector dropout leaves NaN samples; correlate over the complete
+	// samples only (listwise deletion). Fewer than minCompleteSamples
+	// survivors means the trace is too corrupt for a meaningful Pearson —
+	// return an all-NaN vector so callers can quarantine the run. Clean
+	// traces take the fast path untouched.
+	if tr.Dropped > 0 || hasNaNSample(tr) {
+		tr = completeSamples(tr)
+		if tr.Len() < minCompleteSamples {
+			var c CorrVector
+			for i := range c {
+				c[i] = math.NaN()
+			}
+			return c
+		}
+	}
 	disk := sum(tr.Series[DiskRead], tr.Series[DiskWrite])
 	net := sum(tr.Series[NetSend], tr.Series[NetRecv])
 

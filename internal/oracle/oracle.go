@@ -7,10 +7,10 @@ package oracle
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"vesta/internal/cloud"
+	"vesta/internal/parallel"
 	"vesta/internal/sim"
 	"vesta/internal/workload"
 )
@@ -29,11 +29,17 @@ type Table struct {
 	cost map[Key]float64
 }
 
-// Build exhaustively profiles every app on every VM type. seed fixes the
-// whole table deterministically. The grid is embarrassingly parallel — each
-// (app, VM) cell depends only on its own fixed seed — so Build fans the work
-// out over a worker pool; results are byte-identical to a sequential build.
+// Build exhaustively profiles every app on every VM type using one worker
+// per CPU. seed fixes the whole table deterministically.
 func Build(s *sim.Simulator, apps []workload.App, vms []cloud.VMType, seed uint64) *Table {
+	return BuildWorkers(s, apps, vms, seed, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count following the
+// repository's -workers convention (<= 0 means one per CPU). The grid is
+// embarrassingly parallel — each (app, VM) cell depends only on its own
+// fixed seed — so the table is byte-identical at any worker count.
+func BuildWorkers(s *sim.Simulator, apps []workload.App, vms []cloud.VMType, seed uint64, workers int) *Table {
 	t := &Table{
 		apps: append([]workload.App(nil), apps...),
 		vms:  append([]cloud.VMType(nil), vms...),
@@ -45,30 +51,12 @@ func Build(s *sim.Simulator, apps []workload.App, vms []cloud.VMType, seed uint6
 		time float64
 		cost float64
 	}
-	jobs := make(chan int)
-	results := make([]cell, len(apps)*len(vms))
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				a := apps[idx/len(vms)]
-				v := vms[idx%len(vms)]
-				p := s.ProfileRun(a, v, seed)
-				results[idx] = cell{Key{App: a.Name, VM: v.Name}, p.P90Seconds, p.CostUSD}
-			}
-		}()
-	}
-	for idx := 0; idx < len(apps)*len(vms); idx++ {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
+	results := parallel.Map(workers, len(apps)*len(vms), func(idx int) cell {
+		a := apps[idx/len(vms)]
+		v := vms[idx%len(vms)]
+		p := s.ProfileRun(a, v, seed)
+		return cell{Key{App: a.Name, VM: v.Name}, p.P90Seconds, p.CostUSD}
+	})
 	for _, c := range results {
 		t.time[c.key] = c.time
 		t.cost[c.key] = c.cost
@@ -153,6 +141,22 @@ type Step struct {
 	BestUSD     float64 // best-so-far budget
 }
 
+// Service is the measurement interface selection systems depend on: profile
+// a workload on a VM type (possibly failing under fault injection), with
+// Figure-8-style run accounting. *Meter implements it over infallible
+// ground-truth physics; *Resilient implements it over the fault-injected
+// checked paths with retries and quarantine.
+type Service interface {
+	// TryProfile measures app on vm, charging the training-overhead counter,
+	// and fails when the measurement is unrecoverable.
+	TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, error)
+	// Runs returns the reference-VM profilings charged so far.
+	Runs() int
+	// SimConfig exposes the underlying simulator's effective configuration
+	// (cluster size, repeats) for cost accounting.
+	SimConfig() sim.Config
+}
+
 // Meter is the measurement service handed to selection systems. Every
 // profiling request is a real (simulated) cluster deployment, so the meter
 // both performs it and counts it. The count is the paper's training-overhead
@@ -179,6 +183,26 @@ func (m *Meter) Profile(app workload.App, vm cloud.VMType) sim.Profile {
 	m.log = append(m.log, Key{App: app.Name, VM: vm.Name})
 	m.mu.Unlock()
 	return m.Sim.ProfileRun(app, vm, m.Seed)
+}
+
+// TryProfile implements Service. On a ground-truth meter the measurement
+// cannot fail; the error is always nil.
+func (m *Meter) TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, error) {
+	return m.Profile(app, vm), nil
+}
+
+// SimConfig implements Service.
+func (m *Meter) SimConfig() sim.Config { return m.Sim.Config() }
+
+// TryProfileAttempt measures app on vm through the simulator's checked
+// (fault-injectable) path, charging one reference-VM unit whether or not the
+// measurement survives — a failed campaign still burned the cluster time.
+func (m *Meter) TryProfileAttempt(app workload.App, vm cloud.VMType, attempt uint64) (sim.Profile, error) {
+	m.mu.Lock()
+	m.runs++
+	m.log = append(m.log, Key{App: app.Name, VM: vm.Name})
+	m.mu.Unlock()
+	return m.Sim.ProfileAttempt(app, vm, m.Seed, attempt)
 }
 
 // ProfileWith measures app on vm using an alternative simulator

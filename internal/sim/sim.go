@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 
+	"vesta/internal/chaos"
 	"vesta/internal/cloud"
 	"vesta/internal/metrics"
 	"vesta/internal/rng"
@@ -112,6 +113,12 @@ type Profile struct {
 	// metrics across repeats (zero for batch workloads).
 	P90LatencyMS   float64
 	ThroughputMBps float64
+	// FailedRuns and WastedSec account for fault-injected repeats that died
+	// before completing (ProfileAttempt only; always zero on ProfileRun).
+	// WastedSec is the simulated cluster time burned by the failed runs —
+	// the Figure-8-style overhead a resilient pipeline must still pay for.
+	FailedRuns int
+	WastedSec  float64
 }
 
 // Config tunes the simulator. The zero value is not usable; call New.
@@ -124,6 +131,11 @@ type Config struct {
 	// is a busy shared region. It scales both the run-to-run jitter and the
 	// phase-balance instability.
 	Interference float64
+	// Chaos, when non-nil, injects deterministic faults on the checked run
+	// paths (RunChecked, RunAttempt, ProfileAttempt). The unchecked paths
+	// (Run, RunTimed, ProfileRun) never fail regardless of Chaos — they are
+	// the ground-truth physics that baselines and oracle tables rely on.
+	Chaos *chaos.Plan
 }
 
 // DefaultConfig matches the paper's measurement protocol.
@@ -422,6 +434,11 @@ func (s *Simulator) run(app workload.App, vm cloud.VMType, seed uint64) (RunResu
 	}, src
 }
 
+// runSeedStride spaces the per-repeat seeds of a profile; ProfileRun and
+// ProfileAttempt must use the same stride so a fault-free checked profile is
+// byte-identical to the unchecked one.
+const runSeedStride = 0x9e37
+
 // ProfileRun performs the paper's full measurement protocol: Repeats runs,
 // P90 execution time, cost at P90, and the metric trace of the first run.
 func (s *Simulator) ProfileRun(app workload.App, vm cloud.VMType, seed uint64) Profile {
@@ -431,7 +448,7 @@ func (s *Simulator) ProfileRun(app workload.App, vm cloud.VMType, seed uint64) P
 	var first RunResult
 	var corrSum metrics.CorrVector
 	for i := 0; i < s.cfg.Repeats; i++ {
-		r := s.Run(app, vm, seed+uint64(i)*0x9e37)
+		r := s.Run(app, vm, seed+uint64(i)*runSeedStride)
 		runs[i] = r.Seconds
 		lats[i] = r.LatencyMS
 		thr += r.ThroughputMBps

@@ -97,7 +97,14 @@ func (s *Store) Put(p sim.Profile, withTrace bool) error {
 		rec.TraceFile = name
 	}
 	s.index = append(s.index, rec)
-	return s.flushLocked()
+	if err := s.flushLocked(); err != nil {
+		// Keep memory and disk consistent: a record that never reached the
+		// index file must not linger in the in-memory index either, or a
+		// later successful Put would silently resurrect it.
+		s.index = s.index[:len(s.index)-1]
+		return err
+	}
+	return nil
 }
 
 func (s *Store) flushLocked() error {
@@ -181,19 +188,27 @@ func (s *Store) LoadTrace(rec Record) (*metrics.Trace, error) {
 }
 
 // writeTraceCSV writes a trace with one column per series plus a leading
-// time column.
-func writeTraceCSV(path string, tr *metrics.Trace) error {
-	f, err := os.Create(path)
+// time column. The write is crash-safe: the rows go to a temp file that is
+// atomically renamed into place only after a successful flush and close, so
+// a crash mid-write never leaves a truncated trace under the final name.
+func writeTraceCSV(path string, tr *metrics.Trace) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("store: creating trace file: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	w := csv.NewWriter(f)
 	header := []string{"t_seconds"}
 	for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
 		header = append(header, id.String())
 	}
-	if err := w.Write(header); err != nil {
+	if err = w.Write(header); err != nil {
 		return err
 	}
 	for i := 0; i < tr.Len(); i++ {
@@ -201,12 +216,23 @@ func writeTraceCSV(path string, tr *metrics.Trace) error {
 		for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
 			row = append(row, strconv.FormatFloat(tr.Series[id][i], 'f', 6, 64))
 		}
-		if err := w.Write(row); err != nil {
+		if err = w.Write(row); err != nil {
 			return err
 		}
 	}
 	w.Flush()
-	return w.Error()
+	if err = w.Error(); err != nil {
+		return err
+	}
+	// Close errors are write errors on buffered filesystems — surface them
+	// instead of swallowing via defer.
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("store: closing trace file: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: installing trace file: %w", err)
+	}
+	return nil
 }
 
 // readTraceCSV parses a trace written by writeTraceCSV.

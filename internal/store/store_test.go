@@ -208,3 +208,83 @@ func TestConcurrentPuts(t *testing.T) {
 		t.Fatalf("Len = %d after concurrent puts", s.Len())
 	}
 }
+
+// TestPutRollsBackOnFlushFailure: a Put whose index flush fails must not
+// leave the record in the in-memory index (memory and disk would diverge,
+// and a later Put would silently resurrect the lost record).
+func TestPutRollsBackOnFlushFailure(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profileFor(t, "Hadoop-terasort", "m5.xlarge")
+	if err := s.Put(p, false); err != nil {
+		t.Fatal(err)
+	}
+	// Make the index temp file uncreatable by replacing the store directory
+	// path with a file.
+	s.mu.Lock()
+	s.idxPath = filepath.Join(dir, "no-such-dir", "index.json")
+	s.mu.Unlock()
+	if err := s.Put(p, false); err == nil {
+		t.Fatal("Put with failing flush reported success")
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("failed Put left index at %d records, want 1", n)
+	}
+}
+
+// TestTraceWriteLeavesNoTempDebris: trace writes must be atomic — after a
+// successful Put only the final file exists, no .tmp residue.
+func TestTraceWriteLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(profileFor(t, "Hadoop-terasort", "m5.xlarge"), true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+	rec := s.Find(Query{})[0]
+	tr, err := s.LoadTrace(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("round-tripped trace is empty")
+	}
+}
+
+// TestTraceRoundTripWithDropout: NaN samples from collector dropout must
+// survive CSV serialization.
+func TestTraceRoundTripWithDropout(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profileFor(t, "Hadoop-terasort", "m5.xlarge")
+	for id := range p.Trace.Series {
+		p.Trace.Series[id][0] = math.NaN()
+	}
+	p.Trace.Dropped = 1
+	if err := s.Put(p, true); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.LoadTrace(s.Find(Query{})[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(tr.Series[0][0]) {
+		t.Fatalf("NaN sample did not survive the round trip: %v", tr.Series[0][0])
+	}
+}
