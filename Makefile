@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report chaos
+.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -32,6 +32,30 @@ bench-parallel:
 # report regenerates the committed seed-1 experiment reports.
 report:
 	$(GO) run ./cmd/vestabench -parallel 4 -o results/seed1.txt -md results/seed1.md
+
+# trace demonstrates the observability layer (DESIGN.md §9): it runs the
+# offline + online pipeline with tracing on at two worker counts and proves
+# the serialized records are byte-identical before printing a summary.
+trace:
+	$(GO) run ./cmd/vesta profile -out /tmp/vesta-trace-k.json -trace /tmp/vesta-trace-w1.jsonl -workers 1
+	$(GO) run ./cmd/vesta profile -out /tmp/vesta-trace-k.json -trace /tmp/vesta-trace-w8.jsonl -workers 8
+	cmp /tmp/vesta-trace-w1.jsonl /tmp/vesta-trace-w8.jsonl
+	$(GO) run ./cmd/vesta predict -knowledge /tmp/vesta-trace-k.json -app Spark-lr -trace /tmp/vesta-predict.jsonl -v
+	@echo "trace records are byte-identical at -workers 1 and 8"
+
+# lint runs gofmt plus staticcheck when it is installed (CI pins its own
+# copy; locally it is optional — nothing is downloaded here).
+lint:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then echo "gofmt needed:"; echo "$$fmtout"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+
+# bench-obs reruns the tracing-overhead benchmarks recorded in
+# results/obs.md (disabled tracing must cost <5% on the training and
+# prediction hot paths).
+bench-obs:
+	$(GO) test ./internal/obs -run xxx -bench . -benchtime 100000x
+	$(GO) test ./internal/cmf -run xxx -bench BenchmarkSolve -benchtime 20x
+	$(GO) test ./internal/core -run xxx -bench 'BenchmarkTrainOffline|BenchmarkPredictBatch' -benchtime 2x
 
 # chaos regenerates the committed fault-injection robustness sweep at the
 # pinned seed and fails if the curve drifts from results/robustness.md.

@@ -8,10 +8,15 @@
 //	vestabench -seed 42            # change the deterministic seed
 //	vestabench -o results.txt      # also write the report to a file
 //	vestabench -workers 8          # worker pool inside each experiment
+//	vestabench -trace out.jsonl    # write deterministic observability records
+//	vestabench -v                  # verbose wall-clock progress on stderr
+//	vestabench -cpuprofile cpu.pb  # write a pprof CPU profile
+//	vestabench -memprofile mem.pb  # write a pprof heap profile at exit
 //
 // Output is byte-identical at every -workers value: the evaluation sweeps
 // fan out over indexed, independently seeded tasks and collect results in
-// index order.
+// index order. The -trace records share that contract (DESIGN.md §9); the
+// -v stream and the pprof profiles are wall-clock artifacts and do not.
 package main
 
 import (
@@ -19,24 +24,67 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
 
 	"vesta/internal/bench"
+	"vesta/internal/obs"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		listFlag = flag.Bool("list", false, "list available experiments and exit")
-		seedFlag = flag.Uint64("seed", 1, "deterministic experiment seed")
-		outFlag  = flag.String("o", "", "also write the report to this file")
-		mdFlag   = flag.String("md", "", "also write a markdown report to this file")
-		parFlag  = flag.Int("parallel", 1, "experiments run concurrently (each gets its own environment)")
-		workFlag = flag.Int("workers", 0, "worker pool size inside each experiment (0 = one per CPU); output is identical at every value")
+		expFlag   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		listFlag  = flag.Bool("list", false, "list available experiments and exit")
+		seedFlag  = flag.Uint64("seed", 1, "deterministic experiment seed")
+		outFlag   = flag.String("o", "", "also write the report to this file")
+		mdFlag    = flag.String("md", "", "also write a markdown report to this file")
+		parFlag   = flag.Int("parallel", 1, "experiments run concurrently (each gets its own environment)")
+		workFlag  = flag.Int("workers", 0, "worker pool size inside each experiment (0 = one per CPU); output is identical at every value")
+		traceFlag = flag.String("trace", "", "write deterministic trace records (spans, counters, gauges) to this JSONL file")
+		verbFlag  = flag.Bool("v", false, "stream verbose progress (wall timings, worker occupancy) to stderr")
+		cpuFlag   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memFlag   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuFlag != "" {
+		f, err := os.Create(*cpuFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memFlag != "" {
+		defer func() {
+			f, err := os.Create(*memFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	var tracer *obs.Tracer
+	if *traceFlag != "" || *verbFlag {
+		tracer = obs.New()
+		if *verbFlag {
+			tracer.SetVerbose(os.Stderr)
+		}
+	}
 
 	if *listFlag {
 		for _, e := range bench.Registry() {
@@ -102,7 +150,7 @@ func main() {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
-			env := bench.NewEnvWorkers(*seedFlag, *workFlag)
+			env := bench.NewEnvObs(*seedFlag, *workFlag, tracer)
 			results[i] = outcome{table: e.Run(env), elapsed: time.Since(start).Seconds()}
 		}(i, e)
 	}
@@ -114,6 +162,23 @@ func main() {
 		if md != nil {
 			fmt.Fprint(md, results[i].table.RenderMarkdown())
 		}
+	}
+
+	if tracer != nil && *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "trace: %d records written to %s\n", len(tracer.Records()), *traceFlag)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"vesta/internal/cloud"
 	"vesta/internal/core"
+	"vesta/internal/obs"
 	"vesta/internal/oracle"
 	"vesta/internal/sim"
 	"vesta/internal/workload"
@@ -30,6 +31,9 @@ type Env struct {
 	// byte-identically at every worker count: tasks are indexed, seeded
 	// independently, and collected in index order.
 	Workers int
+	// Tracer receives the observability records of every system the
+	// experiments construct (DESIGN.md §9); nil disables tracing.
+	Tracer *obs.Tracer
 
 	// mu guards truth: sweeps running on the worker pool may request
 	// ground-truth tables concurrently.
@@ -47,11 +51,23 @@ func NewEnv(seed uint64) *Env {
 // NewEnvWorkers is NewEnv with an explicit worker-pool bound (the -workers
 // flag of cmd/vestabench); workers <= 0 means one per CPU.
 func NewEnvWorkers(seed uint64, workers int) *Env {
+	return NewEnvObs(seed, workers, nil)
+}
+
+// NewEnvObs is NewEnvWorkers with an observability tracer threaded through
+// the simulator (fault events), every meter (profile spans), and every Vesta
+// configuration the experiments build. Multiple environments may share one
+// tracer: records are pure functions of their inputs and serialize in sorted
+// order, so the merged trace is deterministic.
+func NewEnvObs(seed uint64, workers int, tracer *obs.Tracer) *Env {
+	cfg := sim.DefaultConfig()
+	cfg.Tracer = tracer
 	return &Env{
-		Sim:     sim.New(sim.DefaultConfig()),
+		Sim:     sim.New(cfg),
 		Catalog: cloud.Catalog120(),
 		Seed:    seed,
 		Workers: workers,
+		Tracer:  tracer,
 		truth:   map[string]*oracle.Table{},
 	}
 }
@@ -70,18 +86,21 @@ func (e *Env) Truth(label string, apps []workload.App) *oracle.Table {
 	return t
 }
 
-// config threads the environment's worker bound into a Vesta configuration
-// that has not chosen its own.
+// config threads the environment's worker bound and tracer into a Vesta
+// configuration that has not chosen its own.
 func (e *Env) config(cfg core.Config) core.Config {
 	if cfg.Workers == 0 {
 		cfg.Workers = e.Workers
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = e.Tracer
 	}
 	return cfg
 }
 
 // Meter returns a fresh measurement meter for one system run.
 func (e *Env) Meter(offset uint64) *oracle.Meter {
-	return oracle.NewMeter(e.Sim, e.Seed+offset)
+	return oracle.NewMeter(e.Sim, e.Seed+offset).SetTracer(e.Tracer)
 }
 
 // Table is a rendered experiment result.

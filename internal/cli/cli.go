@@ -14,7 +14,11 @@
 // pipeline under deterministic infrastructure fault injection (spot
 // preemption, launch failures, stragglers, OOM kills, sampler dropout) with
 // the resilient retry layer; the default rate 0 is byte-identical to the
-// fault-free pipeline.
+// fault-free pipeline. They also accept -trace out.jsonl (deterministic
+// observability records — spans, counters, per-epoch gauges — byte-identical
+// at every -workers value, DESIGN.md §9) and -v (verbose wall-clock progress
+// on stderr, outside the determinism contract).
+//
 //	vesta heatmap  -app A                      render a Figure 1 style budget heat map
 //	vesta collect  -store DIR -app A [...]     profile and persist measurements
 //	vesta history  -store DIR [-app A]         query persisted measurements
@@ -38,6 +42,7 @@ import (
 	"vesta/internal/cloud"
 	"vesta/internal/core"
 	"vesta/internal/metrics"
+	"vesta/internal/obs"
 	"vesta/internal/oracle"
 	"vesta/internal/portfolio"
 	"vesta/internal/sim"
@@ -221,17 +226,56 @@ func cmdSimulate(args []string) error {
 // subcommands. A zero fault rate returns the plain meter — behaviour and
 // output stay byte-identical to the CLI before fault injection existed. A
 // positive rate runs the simulator under a chaos plan seeded from the run
-// seed and wraps the meter in the resilient retry layer.
-func newService(seed uint64, faultRate float64, retries int) (oracle.Service, *oracle.Resilient) {
+// seed and wraps the meter in the resilient retry layer. A non-nil tracer is
+// threaded into the simulator (fault events) and the meter (profile spans).
+func newService(seed uint64, faultRate float64, retries int, tracer *obs.Tracer) (oracle.Service, *oracle.Resilient) {
 	cfg := sim.DefaultConfig()
+	cfg.Tracer = tracer
 	if faultRate <= 0 {
-		return oracle.NewMeter(sim.New(cfg), seed), nil
+		return oracle.NewMeter(sim.New(cfg), seed).SetTracer(tracer), nil
 	}
 	cfg.Chaos = chaos.NewPlan(seed, chaos.Uniform(faultRate))
 	policy := oracle.DefaultRetryPolicy()
 	policy.MaxRetries = retries
-	r := oracle.NewResilient(oracle.NewMeter(sim.New(cfg), seed), policy)
+	r := oracle.NewResilient(oracle.NewMeter(sim.New(cfg), seed).SetTracer(tracer), policy)
 	return r, r
+}
+
+// newTracer builds the observability tracer for a subcommand: nil (tracing
+// compiled out of every hot path) unless -trace or -v asked for it. The
+// verbose stream goes to stderr so stdout stays byte-identical with and
+// without -v.
+func newTracer(tracePath string, verbose bool) *obs.Tracer {
+	if tracePath == "" && !verbose {
+		return nil
+	}
+	t := obs.New()
+	if verbose {
+		t.SetVerbose(errW)
+	}
+	return t
+}
+
+// writeTrace serializes the deterministic trace records to path as JSONL.
+// The bytes are a pure function of (seed, configuration): identical at every
+// -workers value (DESIGN.md §9).
+func writeTrace(t *obs.Tracer, path string) error {
+	if t == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(outW, "trace: %d records written to %s\n", len(t.Records()), path)
+	return nil
 }
 
 // printResilience reports the retry layer's accounting; nil (faults off)
@@ -255,6 +299,8 @@ func cmdProfile(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size for profiling and clustering (0 = one per CPU); results are identical at every value")
 	faultRate := fs.Float64("fault-rate", 0, "inject every infrastructure fault class at this per-run rate (0 = off)")
 	retries := fs.Int("retries", 3, "profile retries under fault injection (used with -fault-rate)")
+	tracePath := fs.String("trace", "", "write deterministic trace records (spans, counters, gauges) to this JSONL file")
+	verbose := fs.Bool("v", false, "stream verbose progress (wall timings, worker occupancy) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -262,11 +308,12 @@ func cmdProfile(args []string) error {
 	if *testing {
 		sources = workload.SourceSet()
 	}
-	sys, err := core.New(core.Config{K: *k, Seed: *seed, Workers: *workers}, cloud.Catalog120())
+	tracer := newTracer(*tracePath, *verbose)
+	sys, err := core.New(core.Config{K: *k, Seed: *seed, Workers: *workers, Tracer: tracer}, cloud.Catalog120())
 	if err != nil {
 		return err
 	}
-	meter, resil := newService(*seed, *faultRate, *retries)
+	meter, resil := newService(*seed, *faultRate, *retries, tracer)
 	fmt.Fprintf(outW, "profiling %d source workloads on %d VM types...\n", len(sources), 120)
 	if err := sys.TrainOffline(sources, meter); err != nil {
 		return err
@@ -290,7 +337,7 @@ func cmdProfile(args []string) error {
 		}
 	}
 	fmt.Fprintf(outW, "knowledge written to %s\n", *out)
-	return nil
+	return writeTrace(tracer, *tracePath)
 }
 
 func cmdPredict(args []string) error {
@@ -303,6 +350,8 @@ func cmdPredict(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size for the online phase (0 = one per CPU); results are identical at every value")
 	faultRate := fs.Float64("fault-rate", 0, "inject every infrastructure fault class at this per-run rate (0 = off)")
 	retries := fs.Int("retries", 3, "profile retries under fault injection (used with -fault-rate)")
+	tracePath := fs.String("trace", "", "write deterministic trace records (spans, counters, gauges) to this JSONL file")
+	verbose := fs.Bool("v", false, "stream verbose progress (wall timings, worker occupancy) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -313,7 +362,8 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers}, cloud.Catalog120())
+	tracer := newTracer(*tracePath, *verbose)
+	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers, Tracer: tracer}, cloud.Catalog120())
 	if err != nil {
 		return err
 	}
@@ -325,7 +375,7 @@ func cmdPredict(args []string) error {
 	if err := sys.LoadKnowledge(f); err != nil {
 		return err
 	}
-	meter, resil := newService(*seed, *faultRate, *retries)
+	meter, resil := newService(*seed, *faultRate, *retries, tracer)
 	pred, err := sys.PredictOnline(app, meter)
 	if err != nil {
 		return err
@@ -357,7 +407,7 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	printResilience(resil)
-	return nil
+	return writeTrace(tracer, *tracePath)
 }
 
 func cmdHeatmap(args []string) error {

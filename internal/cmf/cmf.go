@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"vesta/internal/mat"
+	"vesta/internal/obs"
 	"vesta/internal/rng"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// Patience is how many consecutive stagnant epochs declare convergence.
 	// Default 10.
 	Patience int
+	// Tracer, when enabled, receives the per-epoch loss and learning-rate
+	// gauge streams plus a convergence event, all keyed under TraceKey
+	// (e.g. "predict/Spark-wordcount/cmf"). A nil Tracer costs one pointer
+	// check per Solve.
+	Tracer *obs.Tracer
+	// TraceKey namespaces this solve's records; defaults to "cmf".
+	TraceKey string
 }
 
 // WithLambda returns a copy of the config with Lambda explicitly set, so
@@ -190,6 +198,27 @@ func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
 		L:     randomFactor(j, g, src),
 	}
 
+	// The observed-cell index lists are fixed for the whole solve (the mask
+	// never changes), so they are built once here instead of once per sweep —
+	// the epoch loop below runs 6 sweeps x up to MaxEpochs, and rebuilding
+	// plus re-appending them dominated small solves. Each sweep still starts
+	// from the same ascending order (copied into a scratch buffer) before
+	// shuffling, so the rng draws land on identical starting permutations and
+	// the factorization stays bit-identical to the per-sweep rebuild.
+	cellsUStar := observedCells(p.UStar, p.Mask)
+	cellsU := observedCells(p.U, nil)
+	cellsV := observedCells(p.V, nil)
+	scratch := make([]int, maxLen(len(cellsUStar), len(cellsU), len(cellsV)))
+
+	var lossKey, lrKey string
+	if cfg.Tracer.Enabled() {
+		key := cfg.TraceKey
+		if key == "" {
+			key = "cmf"
+		}
+		lossKey, lrKey = key+"/loss", key+"/lr"
+	}
+
 	best := math.Inf(1)
 	stagnant := 0
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
@@ -197,19 +226,23 @@ func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
 		cfgE := cfg
 		cfgE.LearnRate = cfg.LearnRate / (1 + cfg.LRDecay*float64(epoch))
 		// Line 8: fix U (X) and V (T), update U*'s factors.
-		sweep(p.UStar, p.Mask, res.XStar, res.L, cfg.Lambda, cfgE, src, true, false)
+		sweep(p.UStar, cellsUStar, scratch, res.XStar, res.L, cfg.Lambda, cfgE, src, true, false)
 		// Line 9: fix U* and V, update U's factors.
-		sweep(p.U, nil, res.X, res.L, 1-cfg.Lambda, cfgE, src, true, false)
+		sweep(p.U, cellsU, scratch, res.X, res.L, 1-cfg.Lambda, cfgE, src, true, false)
 		// Line 10: fix U and U*, update V's factors.
-		sweep(p.V, nil, res.T, res.L, 1-cfg.Lambda, cfgE, src, true, false)
+		sweep(p.V, cellsV, scratch, res.T, res.L, 1-cfg.Lambda, cfgE, src, true, false)
 		// Shared label factors see every relation.
-		sweep(p.UStar, p.Mask, res.XStar, res.L, cfg.Lambda, cfgE, src, false, true)
-		sweep(p.U, nil, res.X, res.L, 1-cfg.Lambda, cfgE, src, false, true)
-		sweep(p.V, nil, res.T, res.L, 1-cfg.Lambda, cfgE, src, false, true)
+		sweep(p.UStar, cellsUStar, scratch, res.XStar, res.L, cfg.Lambda, cfgE, src, false, true)
+		sweep(p.U, cellsU, scratch, res.X, res.L, 1-cfg.Lambda, cfgE, src, false, true)
+		sweep(p.V, cellsV, scratch, res.T, res.L, 1-cfg.Lambda, cfgE, src, false, true)
 
 		loss := totalLoss(p, res, cfg)
 		res.Loss = append(res.Loss, loss)
 		res.Epochs = epoch + 1
+		if lossKey != "" {
+			cfg.Tracer.Gauge(lossKey, epoch, loss)
+			cfg.Tracer.Gauge(lrKey, epoch, cfgE.LearnRate)
+		}
 		if loss < best*(1-cfg.Tol) {
 			best = loss
 			stagnant = 0
@@ -226,7 +259,35 @@ func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
 	}
 
 	res.Completed = res.XStar.Mul(res.L.T())
+	if lossKey != "" {
+		key := lossKey[:len(lossKey)-len("/loss")]
+		cfg.Tracer.Event(key+"/done",
+			fmt.Sprintf("converged=%v epochs=%d", res.Converged, res.Epochs))
+	}
 	return res, nil
+}
+
+// observedCells lists the flat indices of target's observed cells (all of
+// them for a nil mask), in ascending order.
+func observedCells(target, mask *mat.Matrix) []int {
+	n := target.Rows * target.Cols
+	cells := make([]int, 0, n)
+	for idx := 0; idx < n; idx++ {
+		if mask == nil || mask.Data[idx] != 0 {
+			cells = append(cells, idx)
+		}
+	}
+	return cells
+}
+
+func maxLen(ns ...int) int {
+	m := 0
+	for _, n := range ns {
+		if n > m {
+			m = n
+		}
+	}
+	return m
 }
 
 // randomFactor initializes a rows x g factor with small random values.
@@ -239,19 +300,18 @@ func randomFactor(rows, g int, src *rng.Source) *mat.Matrix {
 }
 
 // sweep performs one SGD pass over the observed cells of target ~ row * L^T,
-// updating the row factors and/or L according to the flags. Cell order is
-// shuffled each pass for well-behaved SGD.
-func sweep(target, mask, rows, l *mat.Matrix, weight float64, cfg Config, src *rng.Source, updateRows, updateL bool) {
+// updating the row factors and/or L according to the flags. base lists the
+// observed flat indices in ascending order; each pass copies it into scratch
+// and shuffles that copy, so every pass starts from the same permutation the
+// old build-per-sweep code did (bit-identical rng consumption) without
+// re-deriving the list from the mask.
+func sweep(target *mat.Matrix, base, scratch []int, rows, l *mat.Matrix, weight float64, cfg Config, src *rng.Source, updateRows, updateL bool) {
 	if weight == 0 {
 		return
 	}
-	n, j := target.Rows, target.Cols
-	cells := make([]int, 0, n*j)
-	for idx := 0; idx < n*j; idx++ {
-		if mask == nil || mask.Data[idx] != 0 {
-			cells = append(cells, idx)
-		}
-	}
+	j := target.Cols
+	cells := scratch[:len(base)]
+	copy(cells, base)
 	src.Shuffle(len(cells), func(a, b int) { cells[a], cells[b] = cells[b], cells[a] })
 
 	g := rows.Cols

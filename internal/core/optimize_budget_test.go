@@ -1,0 +1,57 @@
+package core
+
+import "testing"
+
+// Regression tests for the budget floor: the sequential protocol used to
+// record the sandbox initialization run before any budget check, so a
+// zero-run budget still produced one step.
+
+func TestOptimizeNegativeBudgetRejected(t *testing.T) {
+	sys, meter := trainedSystem(t)
+	if _, _, err := sys.Optimize(mustApp(t, "Spark-lr"), -1, meter); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, _, err := sys.OptimizeFor(mustApp(t, "Spark-lr"), -5, MinimizeBudget, meter); err == nil {
+		t.Fatal("negative budget accepted by OptimizeFor")
+	}
+}
+
+func TestOptimizeZeroBudgetRecordsNothing(t *testing.T) {
+	sys, meter := trainedSystem(t)
+	meter.Reset()
+	steps, pred, err := sys.Optimize(mustApp(t, "Spark-lr"), 0, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 0 {
+		t.Fatalf("budget 0 recorded %d steps, want 0", len(steps))
+	}
+	if pred.OnlineRuns != 0 {
+		t.Fatalf("budget 0 reported OnlineRuns = %d, want 0", pred.OnlineRuns)
+	}
+	// The initialization still charged the meter (Figure-8 accounting): a
+	// budget of 0 caps the recorded protocol, not the prediction's cost.
+	if meter.Runs() != 1+sys.Config().InitRandomVMs {
+		t.Fatalf("metered %d runs, want %d initialization runs",
+			meter.Runs(), 1+sys.Config().InitRandomVMs)
+	}
+}
+
+func TestOptimizeBudgetFloorsEveryStep(t *testing.T) {
+	sys, meter := trainedSystem(t)
+	for budget := 1; budget <= 5; budget++ {
+		steps, pred, err := sys.Optimize(mustApp(t, "Spark-lr"), budget, meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(steps) != budget {
+			t.Fatalf("budget %d recorded %d steps", budget, len(steps))
+		}
+		if pred.OnlineRuns != budget {
+			t.Fatalf("budget %d reported OnlineRuns = %d", budget, pred.OnlineRuns)
+		}
+		if steps[0].VM != sys.Config().SandboxVM {
+			t.Fatalf("budget %d first step %s, want sandbox", budget, steps[0].VM)
+		}
+	}
+}

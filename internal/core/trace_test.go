@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"vesta/internal/chaos"
+	"vesta/internal/obs"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// pipelineTrace trains on the source workloads and predicts a batch of
+// targets with tracing on, returning the serialized trace bytes.
+func pipelineTrace(t *testing.T, workers int, faultRate float64) []byte {
+	t.Helper()
+	tracer := obs.New()
+	cfg := sim.DefaultConfig()
+	cfg.Tracer = tracer
+	if faultRate > 0 {
+		cfg.Chaos = chaos.NewPlan(1, chaos.Uniform(faultRate))
+	}
+	var meter oracle.Service = oracle.NewMeter(sim.New(cfg), 1).SetTracer(tracer)
+	if faultRate > 0 {
+		meter = oracle.NewResilient(meter.(*oracle.Meter), oracle.DefaultRetryPolicy())
+	}
+	sys, err := New(Config{Seed: 1, Workers: workers, Tracer: tracer}, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainOffline(workload.BySet(workload.SourceTraining), meter); err != nil {
+		t.Fatal(err)
+	}
+	targets := workload.TargetSet()[:3]
+	if _, err := sys.PredictBatch(targets, func(int) oracle.Service { return meter }); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceBytesIdenticalAcrossWorkers is the observability determinism
+// contract (DESIGN.md §9): the serialized trace of the full train + predict
+// pipeline is byte-identical at every worker count, with and without fault
+// injection.
+func TestTraceBytesIdenticalAcrossWorkers(t *testing.T) {
+	for _, rate := range []float64{0, 0.05} {
+		w1 := pipelineTrace(t, 1, rate)
+		w8 := pipelineTrace(t, 8, rate)
+		if len(w1) == 0 {
+			t.Fatalf("rate %v: empty trace", rate)
+		}
+		if !bytes.Equal(w1, w8) {
+			t.Fatalf("rate %v: trace bytes differ between workers=1 (%d bytes) and workers=8 (%d bytes)",
+				rate, len(w1), len(w8))
+		}
+	}
+}
+
+// TestTracingPreservesResults pins that turning tracing on does not perturb
+// the prediction itself: the tracer observes the pipeline, it must never
+// steer it (e.g. by consuming rng draws).
+func TestTracingPreservesResults(t *testing.T) {
+	run := func(tracer *obs.Tracer) *Prediction {
+		meter := oracle.NewMeter(sim.New(sim.DefaultConfig()), 1).SetTracer(tracer)
+		sys, err := New(Config{Seed: 1, Tracer: tracer}, catalog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.TrainOffline(workload.BySet(workload.SourceTraining), meter); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := sys.PredictOnline(mustApp(t, "Spark-lr"), meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pred
+	}
+	plain := run(nil)
+	traced := run(obs.New())
+	if plain.Best.Name != traced.Best.Name {
+		t.Fatalf("tracing changed the prediction: %s vs %s", plain.Best.Name, traced.Best.Name)
+	}
+	for vm, sec := range plain.PredictedSec {
+		if traced.PredictedSec[vm] != sec {
+			t.Fatalf("tracing changed PredictedSec[%s]: %v vs %v", vm, sec, traced.PredictedSec[vm])
+		}
+	}
+}

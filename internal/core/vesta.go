@@ -39,6 +39,7 @@ import (
 	"vesta/internal/kmeans"
 	"vesta/internal/mat"
 	"vesta/internal/metrics"
+	"vesta/internal/obs"
 	"vesta/internal/oracle"
 	"vesta/internal/parallel"
 	"vesta/internal/pca"
@@ -99,6 +100,11 @@ type Config struct {
 	// (offline collection, K-Means restarts, batch predictions); <= 0 means
 	// one per CPU. Results are identical at every worker count.
 	Workers int
+	// Tracer receives phase spans, degradation events, and the CMF/K-Means
+	// gauge streams (DESIGN.md §9). Nil (the default) disables tracing at
+	// the cost of a pointer check per instrumentation site; the serialized
+	// trace is byte-identical at every Workers value for the same Seed.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -260,6 +266,7 @@ func (d *OfflineData) Subset(idx []int) *OfflineData {
 // vectors are measured under comparable conditions; every run's time feeds
 // the label-VM performance layer.
 func (s *System) CollectOffline(sources []workload.App, meter oracle.Service) *OfflineData {
+	defer s.cfg.Tracer.Start("offline/collect").End()
 	startRuns := meter.Runs()
 	data := &OfflineData{
 		Times: make(map[string]map[string]float64, len(sources)),
@@ -273,7 +280,7 @@ func (s *System) CollectOffline(sources []workload.App, meter oracle.Service) *O
 		vec     []float64
 		skipped int
 	}
-	results := parallel.Map(s.cfg.Workers, len(sources), func(i int) appResult {
+	results := parallel.MapObs(s.cfg.Tracer, "offline/collect", s.cfg.Workers, len(sources), func(i int) appResult {
 		app := sources[i]
 		r := appResult{times: make(map[string]float64, len(s.catalog))}
 		sandboxSeen := false
@@ -311,11 +318,16 @@ func (s *System) CollectOffline(sources []workload.App, meter oracle.Service) *O
 			// No sandbox measurement means no workload representation: the
 			// source cannot join the correlation analysis at all.
 			data.DroppedSources = append(data.DroppedSources, app.Name)
+			s.cfg.Tracer.Event("offline/dropped/"+app.Name, "no sandbox measurement")
 			continue
 		}
 		data.Sources = append(data.Sources, app)
 		data.Times[app.Name] = results[i].times
 		data.RawVecs = append(data.RawVecs, results[i].vec)
+	}
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Count("core.skipped_cells", int64(data.SkippedCells))
+		s.cfg.Tracer.Count("core.dropped_sources", int64(len(data.DroppedSources)))
 	}
 	data.Runs = meter.Runs() - startRuns
 	return data
@@ -365,6 +377,7 @@ func finiteVec(v []float64) bool {
 // TrainFromData builds the offline model (Algorithm 1 lines 3-5) from
 // already-collected measurements.
 func (s *System) TrainFromData(data *OfflineData) error {
+	defer s.cfg.Tracer.Start("offline/train").End()
 	sources := data.Sources
 	times := data.Times
 	rawVecs := data.RawVecs
@@ -375,6 +388,8 @@ func (s *System) TrainFromData(data *OfflineData) error {
 	for i, rv := range rawVecs {
 		if !finiteVec(rv) {
 			invalidVecs++
+			s.cfg.Tracer.Event("offline/invalid-vector/"+data.Sources[i].Name,
+				"non-finite feature vector rejected")
 			if invalidVecs == 1 {
 				// Copy-on-write: don't mutate the caller's OfflineData.
 				sources = append([]workload.App(nil), sources[:i]...)
@@ -387,6 +402,9 @@ func (s *System) TrainFromData(data *OfflineData) error {
 			rawVecs = append(rawVecs, rv)
 		}
 	}
+	if invalidVecs > 0 {
+		s.cfg.Tracer.Count("core.invalid_vectors", int64(invalidVecs))
+	}
 	if len(sources) < 2 {
 		return fmt.Errorf("vesta: need at least 2 source workloads, got %d", len(sources))
 	}
@@ -395,6 +413,7 @@ func (s *System) TrainFromData(data *OfflineData) error {
 	}
 
 	// Line 3: correlation analysis + PCA importance pruning.
+	pcaSpan := s.cfg.Tracer.Start("offline/pca")
 	pcaRes, err := pca.Fit(rawVecs)
 	if err != nil {
 		return fmt.Errorf("vesta: PCA failed: %w", err)
@@ -404,17 +423,24 @@ func (s *System) TrainFromData(data *OfflineData) error {
 		return fmt.Errorf("vesta: PCA pruned every feature")
 	}
 	sort.Ints(kept)
+	pcaSpan.End()
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Event("offline/pca/kept", fmt.Sprintf("features=%v of %d", kept, len(rawVecs[0])))
+	}
 	vecs := make([][]float64, len(sources))
 	for i, rv := range rawVecs {
 		vecs[i] = project(rv, kept)
 	}
 
 	// Line 4: group relationships via K-Means.
-	km, err := kmeans.Fit(vecs, kmeans.Config{K: s.cfg.K, Restarts: 6, Workers: s.cfg.Workers},
+	kmSpan := s.cfg.Tracer.Start("offline/kmeans")
+	km, err := kmeans.Fit(vecs, kmeans.Config{K: s.cfg.K, Restarts: 6, Workers: s.cfg.Workers,
+		Tracer: s.cfg.Tracer, TraceKey: "offline/kmeans"},
 		rng.New(s.cfg.Seed+101))
 	if err != nil {
 		return fmt.Errorf("vesta: K-Means failed: %w", err)
 	}
+	kmSpan.End()
 
 	labels := make([]string, s.cfg.K)
 	for j := range labels {
@@ -537,6 +563,11 @@ func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Pred
 	if k == nil {
 		return nil, fmt.Errorf("vesta: PredictOnline before TrainOffline")
 	}
+	traceKey := ""
+	if s.cfg.Tracer.Enabled() {
+		traceKey = "predict/" + target.Name
+		defer s.cfg.Tracer.Start(traceKey).End()
+	}
 	startRuns := meter.Runs()
 	src := rng.New(s.cfg.Seed ^ hashString(target.Name))
 
@@ -580,6 +611,11 @@ func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Pred
 		p, err := meter.TryProfile(target, vm)
 		if err != nil {
 			initFailures++
+			if traceKey != "" {
+				s.cfg.Tracer.Count("core.init_failures", 1)
+				s.cfg.Tracer.Event(traceKey+"/init-failure/"+vm.Name,
+					"random-pick profiling abandoned; substituting next candidate")
+			}
 			continue
 		}
 		observed[vm.Name] = p.P90Seconds
@@ -588,7 +624,7 @@ func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Pred
 	}
 
 	// Lines 5-12: CMF with shared label factors over U, V, and sparse U*.
-	weights, converged := s.transfer(rawMembership, src)
+	weights, converged := s.transfer(rawMembership, src, traceKey)
 
 	// Convergence limitation (Section 5.3): measure how well the target
 	// matches the offline knowledge in correlation space. A target far from
@@ -602,6 +638,12 @@ func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Pred
 		}
 	}
 	if !converged || matchDist > s.cfg.MatchThreshold {
+		if traceKey != "" {
+			s.cfg.Tracer.Count("core.fallbacks", 1)
+			s.cfg.Tracer.Event(traceKey+"/fallback", fmt.Sprintf(
+				"sandbox-only prediction: converged=%v match_dist=%s threshold=%s",
+				converged, obs.FormatValue(matchDist), obs.FormatValue(s.cfg.MatchThreshold)))
+		}
 		weights = rawMembership
 		converged = false
 	}
@@ -609,7 +651,9 @@ func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Pred
 	// Line 14: rank VM types through the label-VM layer.
 	ranking := k.Graph.ScoreVMsFromWeights(weights)
 
+	calSpan := s.cfg.Tracer.Start(traceKey + "/calibrate")
 	predicted := s.calibrate(ranking, observed)
+	calSpan.End()
 
 	// Pick the best-scoring VM (deterministic tie-break inside ScoreVMs).
 	bestVM := s.byName[ranking[0].VM]
@@ -636,14 +680,16 @@ func (s *System) PredictBatch(targets []workload.App, meterFor func(i int) oracl
 	if s.knowledge == nil {
 		return nil, fmt.Errorf("vesta: PredictBatch before TrainOffline")
 	}
-	return parallel.MapErr(s.cfg.Workers, len(targets), func(i int) (*Prediction, error) {
-		return s.PredictOnline(targets[i], meterFor(i))
-	})
+	return parallel.MapErrObs(s.cfg.Tracer, "predict/batch", s.cfg.Workers, len(targets),
+		func(i int) (*Prediction, error) {
+			return s.PredictOnline(targets[i], meterFor(i))
+		})
 }
 
 // transfer builds and solves the CMF problem for one target membership row,
-// returning the completed, re-normalized label weights.
-func (s *System) transfer(rawMembership []float64, src *rng.Source) ([]float64, bool) {
+// returning the completed, re-normalized label weights. traceKey ("" when
+// tracing is off) scopes the per-epoch CMF gauge streams to this target.
+func (s *System) transfer(rawMembership []float64, src *rng.Source, traceKey string) ([]float64, bool) {
 	k := s.knowledge
 	nLabels := len(k.Labels)
 
@@ -675,12 +721,17 @@ func (s *System) transfer(rawMembership []float64, src *rng.Source) ([]float64, 
 		mask.Set(0, idx, 1)
 	}
 
-	res, err := cmf.Solve(cmf.Problem{U: u, V: v, UStar: ustar, Mask: mask}, cmf.Config{
+	cmfCfg := cmf.Config{
 		LatentDim: s.cfg.LatentDim,
 		Lambda:    s.cfg.Lambda,
 		LambdaSet: s.cfg.LambdaSet,
 		MaxEpochs: s.cfg.CMFEpochs,
-	}, src.Jump())
+	}
+	if traceKey != "" {
+		cmfCfg.Tracer = s.cfg.Tracer
+		cmfCfg.TraceKey = traceKey + "/cmf"
+	}
+	res, err := cmf.Solve(cmf.Problem{U: u, V: v, UStar: ustar, Mask: mask}, cmfCfg, src.Jump())
 	if err != nil {
 		return rawMembership, false
 	}
@@ -787,7 +838,8 @@ func (s *System) AbsorbTarget(name string, labelWeights []float64, prunedVec []f
 		return fmt.Errorf("vesta: pruned vector has dim %d, want %d", len(prunedVec), len(k.SourceVecs[0]))
 	}
 	all := append(append([][]float64(nil), k.SourceVecs...), prunedVec)
-	km, err := kmeans.Fit(all, kmeans.Config{K: s.cfg.K, Restarts: 2, MaxIters: 20, Workers: s.cfg.Workers},
+	km, err := kmeans.Fit(all, kmeans.Config{K: s.cfg.K, Restarts: 2, MaxIters: 20, Workers: s.cfg.Workers,
+		Tracer: s.cfg.Tracer, TraceKey: "absorb/" + name + "/kmeans"},
 		rng.New(s.cfg.Seed+997))
 	if err != nil {
 		return err
@@ -817,6 +869,9 @@ func (s *System) Optimize(target workload.App, budget int, meter oracle.Service)
 // (Figure 13) the exploitation order follows predicted cost (predicted time
 // x cluster price) instead of predicted time.
 func (s *System) OptimizeFor(target workload.App, budget int, objective Objective, meter oracle.Service) ([]oracle.Step, *Prediction, error) {
+	if budget < 0 {
+		return nil, nil, fmt.Errorf("vesta: negative optimization budget %d", budget)
+	}
 	pred, err := s.PredictOnline(target, meter)
 	if err != nil {
 		return nil, nil, err
@@ -855,8 +910,13 @@ func (s *System) OptimizeFor(target workload.App, budget int, objective Objectiv
 			ObservedUSD: usd, BestSec: bestSec, BestUSD: bestUSD})
 	}
 	// The initialization runs count toward the budget, in a deterministic
-	// order (sandbox first, then the random picks sorted by name).
-	record(s.cfg.SandboxVM, pred.ObservedSec[s.cfg.SandboxVM])
+	// order (sandbox first, then the random picks sorted by name). The budget
+	// floor applies to every recorded step, the sandbox run included: with
+	// budget 0 the protocol records nothing (the initialization still charged
+	// the meter — Figure-8 accounting — but no trial enters the curve).
+	if runIdx < budget {
+		record(s.cfg.SandboxVM, pred.ObservedSec[s.cfg.SandboxVM])
+	}
 	var initVMs []string
 	for vm := range pred.ObservedSec {
 		if vm != s.cfg.SandboxVM {

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"vesta/internal/mat"
+	"vesta/internal/obs"
 	"vesta/internal/parallel"
 	"vesta/internal/rng"
 )
@@ -37,6 +38,12 @@ type Config struct {
 	// model: restart r always draws from src.Split(r), and ties on inertia
 	// resolve to the lowest restart index.
 	Workers int
+	// Tracer, when enabled, receives one inertia gauge sample per restart
+	// (indexed by restart number) under TraceKey plus the winning restart as
+	// an event. Nil disables at the cost of a pointer check.
+	Tracer *obs.Tracer
+	// TraceKey namespaces this fit's records; defaults to "kmeans".
+	TraceKey string
 }
 
 // Fit clusters the points (each a feature vector of equal length) into k
@@ -80,14 +87,27 @@ func Fit(points [][]float64, cfg Config, src *rng.Source) (*Model, error) {
 	// Restart attempts are independent: each draws from its own Split child,
 	// so the attempts can run on any number of workers without changing the
 	// result (the seeds do not depend on execution order).
-	models := parallel.Map(cfg.Workers, cfg.Restarts, func(r int) *Model {
+	key := cfg.TraceKey
+	if key == "" {
+		key = "kmeans"
+	}
+	models := parallel.MapObs(cfg.Tracer, key+"/restarts", cfg.Workers, cfg.Restarts, func(r int) *Model {
 		return fitOnce(points, cfg, src.Split(uint64(r)))
 	})
-	best := models[0]
-	for _, m := range models[1:] {
+	best, bestR := models[0], 0
+	for r, m := range models[1:] {
 		if m.Inertia < best.Inertia {
-			best = m
+			best, bestR = m, r+1
 		}
+	}
+	if cfg.Tracer.Enabled() {
+		// Restart r's inertia is a pure function of Split(r), so the gauge
+		// stream is identical at every worker count.
+		for r, m := range models {
+			cfg.Tracer.Gauge(key+"/inertia", r, m.Inertia)
+		}
+		cfg.Tracer.Event(key+"/winner",
+			fmt.Sprintf("restart=%d inertia=%s iters=%d", bestR, obs.FormatValue(best.Inertia), best.Iterations))
 	}
 	return best, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"vesta/internal/cloud"
+	"vesta/internal/obs"
 	"vesta/internal/parallel"
 	"vesta/internal/sim"
 	"vesta/internal/workload"
@@ -165,14 +166,53 @@ type Meter struct {
 	Sim  *sim.Simulator
 	Seed uint64
 
-	mu   sync.Mutex
-	runs int
-	log  []Key
+	mu     sync.Mutex
+	runs   int
+	log    []Key
+	tracer *obs.Tracer
 }
 
 // NewMeter wraps a simulator with run accounting.
 func NewMeter(s *sim.Simulator, seed uint64) *Meter {
 	return &Meter{Sim: s, Seed: seed}
+}
+
+// SetTracer attaches an observability tracer: every charged profiling gets a
+// span keyed by (app, vm) whose duration is the simulated cluster time the
+// campaign burned, plus a meter.runs counter increment. The span content is
+// a pure function of (app, vm, meter seed), so traces are byte-identical at
+// any worker count. Returns the meter for chaining.
+func (m *Meter) SetTracer(t *obs.Tracer) *Meter {
+	m.mu.Lock()
+	m.tracer = t
+	m.mu.Unlock()
+	return m
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (m *Meter) Tracer() *obs.Tracer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tracer
+}
+
+// startProfileSpan charges the meter.runs trace counter and opens the
+// per-profile span. attempt < 0 marks the ground-truth (non-chaos) path,
+// whose key omits the attempt. Close the returned span with
+// EndSim(profileSpentSec(p)) so the serialized duration is simulated cluster
+// time — a pure function of (app, vm, meter seed[, attempt]) — while the
+// wall timing stays on the verbose stream.
+func (m *Meter) startProfileSpan(app, vm string, attempt int) obs.Span {
+	t := m.Tracer()
+	if !t.Enabled() {
+		return obs.Span{}
+	}
+	t.Count("meter.runs", 1)
+	key := "profile/app=" + app + "/vm=" + vm
+	if attempt >= 0 {
+		key = fmt.Sprintf("%s/attempt=%d", key, attempt)
+	}
+	return t.Start(key)
 }
 
 // Profile measures app on vm (the full repeated-run P90 protocol) and
@@ -182,7 +222,10 @@ func (m *Meter) Profile(app workload.App, vm cloud.VMType) sim.Profile {
 	m.runs++
 	m.log = append(m.log, Key{App: app.Name, VM: vm.Name})
 	m.mu.Unlock()
-	return m.Sim.ProfileRun(app, vm, m.Seed)
+	sp := m.startProfileSpan(app.Name, vm.Name, -1)
+	p := m.Sim.ProfileRun(app, vm, m.Seed)
+	sp.EndSim(profileSpentSec(p))
+	return p
 }
 
 // TryProfile implements Service. On a ground-truth meter the measurement
@@ -202,7 +245,10 @@ func (m *Meter) TryProfileAttempt(app workload.App, vm cloud.VMType, attempt uin
 	m.runs++
 	m.log = append(m.log, Key{App: app.Name, VM: vm.Name})
 	m.mu.Unlock()
-	return m.Sim.ProfileAttempt(app, vm, m.Seed, attempt)
+	sp := m.startProfileSpan(app.Name, vm.Name, int(attempt))
+	p, err := m.Sim.ProfileAttempt(app, vm, m.Seed, attempt)
+	sp.EndSim(profileSpentSec(p))
+	return p, err
 }
 
 // ProfileWith measures app on vm using an alternative simulator
@@ -214,7 +260,10 @@ func (m *Meter) ProfileWith(s *sim.Simulator, app workload.App, vm cloud.VMType)
 	m.runs++
 	m.log = append(m.log, Key{App: app.Name, VM: vm.Name})
 	m.mu.Unlock()
-	return s.ProfileRun(app, vm, m.Seed)
+	sp := m.startProfileSpan(app.Name, vm.Name, -1)
+	p := s.ProfileRun(app, vm, m.Seed)
+	sp.EndSim(profileSpentSec(p))
+	return p
 }
 
 // Runs returns the number of reference-VM profilings charged so far.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"vesta/internal/cloud"
+	"vesta/internal/obs"
 	"vesta/internal/sim"
 	"vesta/internal/workload"
 )
@@ -152,10 +153,25 @@ func corruptReason(p sim.Profile) string {
 // corrupt attempts under the policy's backoff and deadline. On success the
 // returned profile carries the failure accounting of its own (final)
 // attempt only; the meter-wide totals live in Stats.
+//
+// Observability: when the wrapped meter carries a tracer, the whole campaign
+// gets a span whose duration is the simulated clock it consumed (runs +
+// waste + backoff), each retry and each abandonment gets an event, and the
+// Figure-8 waste totals accumulate in oracle.* counters. Every payload is
+// derived from simulated time and the deterministic chaos stream, so the
+// trace survives any worker schedule byte-identically.
 func (r *Resilient) TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, error) {
 	r.mu.Lock()
 	r.profiles++
 	r.mu.Unlock()
+	tr := r.meter.Tracer()
+	campaignKey := ""
+	var campaign obs.Span
+	if tr.Enabled() {
+		tr.Count("oracle.campaigns", 1)
+		campaignKey = "campaign/app=" + app.Name + "/vm=" + vm.Name
+		campaign = tr.Start(campaignKey)
+	}
 
 	clock := 0.0 // simulated seconds spent on this campaign
 	backoff := r.policy.BackoffSec
@@ -171,6 +187,11 @@ func (r *Resilient) TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, 
 		r.failedRuns += p.FailedRuns
 		r.wastedMS += int64(math.Round(p.WastedSec * 1e3))
 		r.mu.Unlock()
+		if tr.Enabled() {
+			tr.Count("oracle.attempts", 1)
+			tr.Count("oracle.failed_runs", int64(p.FailedRuns))
+			tr.Count("oracle.wasted_ms", int64(math.Round(p.WastedSec*1e3)))
+		}
 		clock += profileSpentSec(p)
 		lastProfile = p
 
@@ -178,6 +199,7 @@ func (r *Resilient) TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, 
 		if err == nil {
 			quarantineReason = corruptReason(p)
 			if quarantineReason == "" {
+				campaign.EndSim(clock)
 				return p, nil
 			}
 		}
@@ -192,12 +214,30 @@ func (r *Resilient) TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, 
 			r.failed++
 			r.deadlineHits++
 			r.mu.Unlock()
+			if tr.Enabled() {
+				tr.Count("oracle.failed", 1)
+				tr.Count("oracle.deadline_hits", 1)
+				tr.EventSim(campaignKey+"/deadline",
+					fmt.Sprintf("attempts=%d", attempt+1), clock)
+				campaign.EndSim(clock)
+			}
 			return lastProfile, fmt.Errorf("%w: %s on %s after %.0fs (%d attempts)",
 				ErrDeadline, app.Name, vm.Name, clock, attempt+1)
 		}
+		backoffMS := int64(math.Round(backoff * 1e3))
 		r.mu.Lock()
-		r.backoffMS += int64(math.Round(backoff * 1e3))
+		r.backoffMS += backoffMS
 		r.mu.Unlock()
+		if tr.Enabled() {
+			tr.Count("oracle.retries", 1)
+			tr.Count("oracle.backoff_ms", backoffMS)
+			reason := quarantineReason
+			if reason == "" && lastErr != nil {
+				reason = lastErr.Error()
+			}
+			tr.Event(fmt.Sprintf("%s/retry=%d", campaignKey, attempt+1),
+				fmt.Sprintf("backoff_ms=%d cause=%s", backoffMS, reason))
+		}
 		clock += backoff
 		backoff *= r.policy.BackoffMult
 	}
@@ -208,12 +248,24 @@ func (r *Resilient) TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, 
 		r.failed++
 		r.quarantined++
 		r.mu.Unlock()
+		if tr.Enabled() {
+			tr.Count("oracle.failed", 1)
+			tr.Count("oracle.quarantined", 1)
+			tr.EventSim(campaignKey+"/quarantined", corruptReason(lastProfile), clock)
+			campaign.EndSim(clock)
+		}
 		return lastProfile, fmt.Errorf("%w: %s on %s: %s",
 			ErrQuarantined, app.Name, vm.Name, corruptReason(lastProfile))
 	}
 	r.mu.Lock()
 	r.failed++
 	r.mu.Unlock()
+	if tr.Enabled() {
+		tr.Count("oracle.failed", 1)
+		tr.EventSim(campaignKey+"/failed",
+			fmt.Sprintf("attempts=%d cause=%s", r.policy.MaxRetries+1, lastErr.Error()), clock)
+		campaign.EndSim(clock)
+	}
 	return lastProfile, fmt.Errorf("%w: %s on %s (%d attempts): %v",
 		ErrProfileFailed, app.Name, vm.Name, r.policy.MaxRetries+1, lastErr)
 }

@@ -12,8 +12,11 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+
+	"vesta/internal/obs"
 )
 
 // Resolve maps a configured worker count to an effective one: values <= 0
@@ -30,6 +33,12 @@ func Resolve(workers int) int {
 // finished. With workers == 1 (or n < 2) the loop runs inline on the calling
 // goroutine, so serial callers pay no synchronization cost.
 func For(workers, n int, fn func(i int)) {
+	forWorkers(workers, n, func(_, i int) { fn(i) })
+}
+
+// forWorkers is the shared pool body; fn additionally receives the worker
+// index so the instrumented variants can attribute tasks to workers.
+func forWorkers(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -39,7 +48,7 @@ func For(workers, n int, fn func(i int)) {
 	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -53,7 +62,7 @@ func For(workers, n int, fn func(i int)) {
 	)
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -63,11 +72,54 @@ func For(workers, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(g, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
+}
+
+// ForObs is For with loop-shape observability: deterministic counters for
+// the task volume (parallel.loops, parallel.tasks, parallel.tasks:<key>)
+// plus a verbose-only worker-occupancy report. Per-worker occupancy is a
+// wall-scheduling artifact — it legitimately varies across runs — so it is
+// confined to the verbose stream and never enters the deterministic trace
+// records (DESIGN.md §9). A nil tracer makes ForObs exactly For.
+func ForObs(t *obs.Tracer, key string, workers, n int, fn func(i int)) {
+	if !t.Enabled() || n <= 0 {
+		For(workers, n, fn)
+		return
+	}
+	sp := t.Start("parallel/" + key)
+	t.Count("parallel.loops", 1)
+	t.Count("parallel.tasks", int64(n))
+	t.Count("parallel.tasks:"+key, int64(n))
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	occupancy := make([]int64, w)
+	var mu sync.Mutex
+	forWorkers(workers, n, func(worker, i int) {
+		fn(i)
+		mu.Lock()
+		occupancy[worker]++
+		mu.Unlock()
+	})
+	// The trace must be byte-identical at every -workers value, so the
+	// deterministic records carry only the task volume; the pool width and
+	// per-worker occupancy are schedule facts and stay verbose-only.
+	sp.End()
+	t.VerboseLine(fmt.Sprintf("parallel %-36s workers=%d occupancy=%v", key, w, occupancy))
+}
+
+// MapObs is Map over ForObs.
+func MapObs[T any](t *obs.Tracer, key string, workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForObs(t, key, workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
 }
 
 // Map runs fn(i) for every i in [0, n) under For and collects the results in
@@ -88,6 +140,22 @@ func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	For(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// MapErrObs is MapErr over ForObs: same fallible-task semantics with the
+// loop-shape observability of ForObs.
+func MapErrObs[T any](t *obs.Tracer, key string, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForObs(t, key, workers, n, func(i int) {
 		out[i], errs[i] = fn(i)
 	})
 	for _, err := range errs {

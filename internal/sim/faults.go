@@ -20,6 +20,7 @@ import (
 	"vesta/internal/chaos"
 	"vesta/internal/cloud"
 	"vesta/internal/metrics"
+	"vesta/internal/obs"
 	"vesta/internal/rng"
 	"vesta/internal/stats"
 	"vesta/internal/workload"
@@ -61,6 +62,7 @@ func (s *Simulator) RunAttempt(app workload.App, vm cloud.VMType, seed, attempt 
 		// no physics executed, no trace collected.
 		p := paramsFor(app.Framework)
 		wasted := p.launchOverhead + p.planOverhead
+		s.faultEvent(app.Name, vm.Name, seed, attempt, chaos.LaunchFailure, "", wasted)
 		return RunResult{
 				App: app, VM: vm, Nodes: s.cfg.Nodes,
 				Seconds: wasted,
@@ -79,6 +81,8 @@ func (s *Simulator) RunAttempt(app workload.App, vm cloud.VMType, seed, attempt 
 		}
 		r.Seconds *= f.StragglerFactor
 		r.CostUSD = r.Seconds / 3600 * vm.PriceHour * float64(r.Nodes)
+		s.faultEvent(app.Name, vm.Name, seed, attempt, chaos.Straggler,
+			fmt.Sprintf("factor=%s", obs.FormatValue(f.StragglerFactor)), -1)
 	}
 
 	// Terminal kills: preemption strikes any run; the OOM killer only runs
@@ -96,6 +100,8 @@ func (s *Simulator) RunAttempt(app workload.App, vm cloud.VMType, seed, attempt 
 		r.Trace = s.sampleTrace(r.Phases, src)
 		r.Trace.Partial = true
 		applyDropout(r.Trace, f)
+		s.faultEvent(app.Name, vm.Name, seed, attempt, kill,
+			fmt.Sprintf("frac=%s", obs.FormatValue(frac)), r.Seconds)
 		return r, &RunError{
 			Fault: kill, App: app.Name, VM: vm.Name, WastedSec: r.Seconds,
 		}
@@ -103,7 +109,31 @@ func (s *Simulator) RunAttempt(app workload.App, vm cloud.VMType, seed, attempt 
 
 	r.Trace = s.sampleTrace(r.Phases, src)
 	applyDropout(r.Trace, f)
+	if r.Trace.Dropped > 0 {
+		s.faultEvent(app.Name, vm.Name, seed, attempt, chaos.SamplerDropout,
+			fmt.Sprintf("dropped=%d", r.Trace.Dropped), -1)
+	}
 	return r, nil
+}
+
+// faultEvent emits one injected-fault trace event plus a per-class counter.
+// The key embeds everything the chaos decision depends on, so the record is
+// a pure function of the plan and survives any execution schedule.
+func (s *Simulator) faultEvent(app, vm string, seed, attempt uint64, f chaos.Fault, detail string, wastedSec float64) {
+	if !s.cfg.Tracer.Enabled() {
+		return
+	}
+	key := fmt.Sprintf("sim/fault/app=%s/vm=%s/seed=%d/attempt=%d", app, vm, seed, attempt)
+	msg := f.String()
+	if detail != "" {
+		msg += " " + detail
+	}
+	if wastedSec >= 0 {
+		s.cfg.Tracer.EventSim(key, msg, wastedSec)
+	} else {
+		s.cfg.Tracer.Event(key, msg)
+	}
+	s.cfg.Tracer.Count("sim.faults."+f.String(), 1)
 }
 
 // truncateRun cuts the run after frac of its phase time: completed phases
@@ -221,9 +251,9 @@ func (s *Simulator) ProfileAttempt(app workload.App, vm cloud.VMType, seed, atte
 	return Profile{
 		App: app, VM: vm, Nodes: s.cfg.Nodes,
 		Runs: runs, P90Seconds: p90, MeanSec: stats.Mean(runs),
-		CostUSD:      p90 / 3600 * vm.PriceHour * float64(s.cfg.Nodes),
-		Trace:        first.Trace, Exec: first.Exec, Corr: corrSum,
+		CostUSD: p90 / 3600 * vm.PriceHour * float64(s.cfg.Nodes),
+		Trace:   first.Trace, Exec: first.Exec, Corr: corrSum,
 		P90LatencyMS: stats.P90(lats), ThroughputMBps: thr / float64(len(runs)),
-		FailedRuns:   failed, WastedSec: wasted,
+		FailedRuns: failed, WastedSec: wasted,
 	}, nil
 }

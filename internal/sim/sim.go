@@ -34,6 +34,7 @@ import (
 	"vesta/internal/chaos"
 	"vesta/internal/cloud"
 	"vesta/internal/metrics"
+	"vesta/internal/obs"
 	"vesta/internal/rng"
 	"vesta/internal/stats"
 	"vesta/internal/workload"
@@ -136,6 +137,10 @@ type Config struct {
 	// (Run, RunTimed, ProfileRun) never fail regardless of Chaos — they are
 	// the ground-truth physics that baselines and oracle tables rely on.
 	Chaos *chaos.Plan
+	// Tracer, when enabled, receives one event per injected fault on the
+	// checked run paths, keyed by (app, vm, seed, attempt) — a pure function
+	// of the chaos plan, so traces stay byte-identical at any worker count.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig matches the paper's measurement protocol.
