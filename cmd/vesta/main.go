@@ -8,6 +8,7 @@
 //	vesta inspect  -app A [-vm V]              render a run's trace (sparklines)
 //	vesta profile  -out knowledge.json         run the offline phase, save knowledge
 //	vesta predict  -knowledge K -app A         predict the best VM for a target
+//	vesta serve    -knowledge K -addr HOST:P   serve predictions over HTTP/JSON
 //	vesta heatmap  -app A                      Figure 1 style budget heat map
 //	vesta collect  -store DIR -app A [...]     profile and persist measurements
 //	vesta history  -store DIR [-app A]         query persisted measurements

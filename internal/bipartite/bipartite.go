@@ -79,6 +79,12 @@ func (g *Graph) VMs() []string { return append([]string(nil), g.vms...) }
 // Workloads returns the workload nodes in insertion order.
 func (g *Graph) Workloads() []string { return append([]string(nil), g.workloads...) }
 
+// HasWorkload reports whether a workload node with the given name exists.
+func (g *Graph) HasWorkload(name string) bool {
+	_, ok := g.wIndex[name]
+	return ok
+}
+
 // AddWorkload inserts a workload node with its label-affinity row (length
 // = len(labels)). Re-adding a workload replaces its row and kind.
 func (g *Graph) AddWorkload(name string, kind Kind, labelWeights []float64) error {
@@ -226,6 +232,34 @@ func (g *Graph) Stats(eps float64) Stats {
 		st.MeanLabelsPerWorkload = float64(totalLabels) / float64(len(g.workloads))
 	}
 	return st
+}
+
+// Clone returns a deep copy of the graph. Mutations on either copy
+// (AddWorkload, SetLabelVM) never reach the other, which is what lets a
+// published serving snapshot stay immutable while the original keeps
+// absorbing targets.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		workloads: append([]string(nil), g.workloads...),
+		labels:    append([]string(nil), g.labels...),
+		vms:       append([]string(nil), g.vms...),
+		wIndex:    make(map[string]int, len(g.wIndex)),
+		lIndex:    make(map[string]int, len(g.lIndex)),
+		vIndex:    make(map[string]int, len(g.vIndex)),
+		isSource:  append([]bool(nil), g.isSource...),
+		wl:        g.wl.Clone(),
+		lv:        g.lv.Clone(),
+	}
+	for k, v := range g.wIndex {
+		c.wIndex[k] = v
+	}
+	for k, v := range g.lIndex {
+		c.lIndex[k] = v
+	}
+	for k, v := range g.vIndex {
+		c.vIndex[k] = v
+	}
+	return c
 }
 
 // jsonGraph is the serialization schema.

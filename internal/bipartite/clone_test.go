@@ -1,0 +1,88 @@
+package bipartite
+
+import (
+	"reflect"
+	"testing"
+)
+
+func cloneFixture(t *testing.T) *Graph {
+	t.Helper()
+	g, err := New([]string{"l1", "l2"}, []string{"vm1", "vm2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWorkload("w1", SourceEdge, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddWorkload("w2", TargetEdge, []float64{0.9, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetLabelVM("l1", "vm1", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphCloneIsDeep(t *testing.T) {
+	g := cloneFixture(t)
+	c := g.Clone()
+
+	if !reflect.DeepEqual(g.Workloads(), c.Workloads()) ||
+		!reflect.DeepEqual(g.Labels(), c.Labels()) ||
+		!reflect.DeepEqual(g.VMs(), c.VMs()) {
+		t.Fatal("clone vocabulary differs")
+	}
+	gs, cs := g.ScoreVMs, c.ScoreVMs
+	a, err := gs("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cs("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("clone scores differ")
+	}
+
+	// Mutations on the original must not reach the clone, in any direction.
+	if err := g.AddWorkload("w3", TargetEdge, []float64{0.2, 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetLabelVM("l2", "vm2", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasWorkload("w3") {
+		t.Fatal("AddWorkload on original reached clone")
+	}
+	if w, err := c.LabelVM("l2", "vm2"); err != nil || w != 0 {
+		t.Fatalf("SetLabelVM on original reached clone: %v %v", w, err)
+	}
+	if err := c.AddWorkload("w1", SourceEdge, []float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if row, err := g.WorkloadLabels("w1"); err != nil || !reflect.DeepEqual(row, []float64{0.5, 0.5}) {
+		t.Fatalf("upsert on clone reached original: %v %v", row, err)
+	}
+
+	// Source/target kinds survive the clone.
+	if src, err := c.IsSource("w2"); err != nil || src {
+		t.Fatalf("w2 kind wrong after clone: %v %v", src, err)
+	}
+}
+
+func TestGraphCloneMatchesJSONRoundTrip(t *testing.T) {
+	g := cloneFixture(t)
+	c := g.Clone()
+	a, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("clone serializes differently:\n%s\n%s", a, b)
+	}
+}

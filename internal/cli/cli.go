@@ -9,6 +9,7 @@
 //	vesta simulate -app A -vm V [-nodes N]     profile one app on one VM type
 //	vesta profile  -out knowledge.json         run the offline phase and save knowledge
 //	vesta predict  -knowledge K -app A         predict the best VM for a target
+//	vesta serve    -knowledge K -addr HOST:P   serve predictions over HTTP/JSON
 //
 // profile and predict accept -fault-rate R and -retries N to rehearse the
 // pipeline under deterministic infrastructure fault injection (spot
@@ -72,6 +73,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdProfile(args[1:])
 	case "predict":
 		err = cmdPredict(args[1:])
+	case "serve":
+		err = cmdServe(args[1:])
 	case "heatmap":
 		err = cmdHeatmap(args[1:])
 	case "inspect":
@@ -118,6 +121,7 @@ subcommands:
   simulate    profile one application on one VM type
   profile     run the offline phase on the source workloads, save knowledge
   predict     predict the best VM type for a target workload
+  serve       serve predictions concurrently over HTTP/JSON
   heatmap     render a budget heat map for an application (Figure 1 style)
   inspect     render a profiling run's metric trace (sparklines + phases)
   collect     profile applications and persist the measurements to a store

@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/serve"
+	"vesta/internal/sim"
+)
+
+// serveListen starts the HTTP server; swapped out by tests so cmdServe can
+// be exercised without binding a real port.
+var serveListen = func(srv *http.Server) error { return srv.ListenAndServe() }
+
+// cmdServe loads a knowledge file and serves predictions over HTTP/JSON
+// until the listener fails (Ctrl-C). Responses are byte-identical for a
+// given (snapshot, request) at every -workers value and cache state.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	knowledgeFile := fs.String("knowledge", "knowledge.json", "knowledge file from 'vesta profile'")
+	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
+	seed := fs.Uint64("seed", 1, "snapshot seed (drives the online rng of every prediction)")
+	workers := fs.Int("workers", 0, "worker pool size per batch (0 = one per CPU); responses are identical at every value")
+	queue := fs.Int("queue", 256, "admission queue capacity (full queue answers 429)")
+	batch := fs.Int("batch", 16, "max requests drained into one parallel batch")
+	cacheSize := fs.Int("cache", 1024, "LRU response cache entries (0 = default, use -no-cache to disable)")
+	noCache := fs.Bool("no-cache", false, "disable the response cache")
+	nodes := fs.Int("nodes", 4, "cluster size of the per-request measurement simulator")
+	tracePath := fs.String("trace", "", "write deterministic trace records to this JSONL file on shutdown")
+	verbose := fs.Bool("v", false, "stream verbose progress (batch shapes, wall timings) to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tracer := newTracer(*tracePath, *verbose)
+	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers, Tracer: tracer}, cloud.Catalog120())
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*knowledgeFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sys.LoadKnowledge(f); err != nil {
+		return err
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		return err
+	}
+	server, err := serve.New(snap, serve.Config{
+		Workers:   *workers,
+		QueueSize: *queue,
+		BatchSize: *batch,
+		CacheSize: *cacheSize,
+		NoCache:   *noCache,
+		SimConfig: sim.Config{Nodes: *nodes},
+		Tracer:    tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	fmt.Fprintf(outW, "serving knowledge from %s (epoch %d, %d workloads) on http://%s\n",
+		*knowledgeFile, snap.Epoch(), snap.Workloads(), *addr)
+	fmt.Fprintf(outW, "endpoints: POST /predict, GET /healthz, GET /stats\n")
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := serveListen(httpSrv); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return writeTrace(tracer, *tracePath)
+}

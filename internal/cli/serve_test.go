@@ -1,0 +1,71 @@
+package cli
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServeCommand drives `vesta serve` end to end without binding a port:
+// the listener hook is swapped for one that exercises the handler in-process
+// while the command is live, then returns as if the server shut down.
+func TestServeCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full offline phase is expensive")
+	}
+	kfile := filepath.Join(t.TempDir(), "k.json")
+	if code, _, stderr := run("profile", "-out", kfile, "-k", "9"); code != 0 {
+		t.Fatalf("profile exit=%d stderr=%q", code, stderr)
+	}
+
+	orig := serveListen
+	defer func() { serveListen = orig }()
+
+	var predictBody, healthBody string
+	var predictStatus int
+	serveListen = func(srv *http.Server) error {
+		req := httptest.NewRequest(http.MethodPost, "/predict",
+			strings.NewReader(`{"app":"Spark-kmeans","top":3}`))
+		rec := httptest.NewRecorder()
+		srv.Handler.ServeHTTP(rec, req)
+		predictStatus = rec.Code
+		predictBody = rec.Body.String()
+
+		req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		rec = httptest.NewRecorder()
+		srv.Handler.ServeHTTP(rec, req)
+		healthBody = rec.Body.String()
+		return http.ErrServerClosed
+	}
+
+	code, stdout, stderr := run("serve", "-knowledge", kfile, "-addr", "127.0.0.1:0", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("serve exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "serving knowledge from") || !strings.Contains(stdout, "POST /predict") {
+		t.Fatalf("banner missing: %q", stdout)
+	}
+	if predictStatus != http.StatusOK {
+		t.Fatalf("predict status=%d body=%q", predictStatus, predictBody)
+	}
+	if !strings.Contains(predictBody, `"target":"Spark-kmeans"`) ||
+		!strings.Contains(predictBody, `"epoch":0`) {
+		t.Fatalf("predict body: %q", predictBody)
+	}
+	if !strings.Contains(healthBody, `"status":"ok"`) {
+		t.Fatalf("health body: %q", healthBody)
+	}
+}
+
+func TestServeCommandErrors(t *testing.T) {
+	// Missing knowledge file fails before any listener is started.
+	if code, _, _ := run("serve", "-knowledge", "/nonexistent.json"); code != 1 {
+		t.Fatal("missing knowledge file accepted")
+	}
+	// Flag errors are reported, not fatal to the process.
+	if code, _, _ := run("serve", "-bogus-flag"); code != 1 {
+		t.Fatal("bogus flag accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Snapshot extraction: the serving layer (internal/serve) publishes trained
+// state to many concurrent readers through an atomic pointer, so the state
+// it publishes must be immutable. A Snapshot is a self-contained deep copy
+// of a trained System — predictions against it are read-only, and updates
+// (absorbing a completed target) produce a *new* Snapshot copy-on-write
+// instead of mutating the published one.
+package core
+
+import (
+	"fmt"
+
+	"vesta/internal/cloud"
+	"vesta/internal/oracle"
+	"vesta/internal/workload"
+)
+
+// Snapshot is an immutable copy of a trained system, stamped with an epoch.
+// Epoch 0 is the snapshot taken from the trained (or loaded) system; every
+// Absorb increments it. All methods are safe for concurrent use: Predict
+// never writes, and Absorb writes only to a fresh deep copy.
+type Snapshot struct {
+	sys   *System
+	epoch uint64
+}
+
+// Snapshot captures the system's trained state as an immutable snapshot at
+// epoch 0. Later mutations of the system (AbsorbTarget, retraining) do not
+// reach the snapshot, and vice versa.
+func (s *System) Snapshot() (*Snapshot, error) {
+	if s.knowledge == nil {
+		return nil, fmt.Errorf("vesta: Snapshot before TrainOffline")
+	}
+	return &Snapshot{sys: s.cloneForSnapshot(), epoch: 0}, nil
+}
+
+// cloneForSnapshot deep-copies the parts of the system that any mutation
+// path writes to. The PCA result, measurement tables, and source rows are
+// write-once after training, so the clones share them; the graph and the
+// K-Means model are rewritten by AbsorbTarget and must be owned.
+func (s *System) cloneForSnapshot() *System {
+	k := s.knowledge
+	byName := make(map[string]cloud.VMType, len(s.byName))
+	for n, v := range s.byName {
+		byName[n] = v
+	}
+	kc := *k
+	kc.Graph = k.Graph.Clone()
+	kc.KM = k.KM.Clone()
+	return &System{
+		cfg:       s.cfg,
+		catalog:   append([]cloud.VMType(nil), s.catalog...),
+		byName:    byName,
+		knowledge: &kc,
+	}
+}
+
+// Epoch returns the snapshot's publication epoch.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Workloads returns the number of workload nodes in the snapshot's knowledge
+// graph. Together with the epoch it forms the consistency token the serving
+// layer stamps into every response: a snapshot absorbed at epoch e over a
+// base of b sources always reports exactly b+e workloads, so a torn or
+// half-published snapshot is detectable from any single response.
+func (sn *Snapshot) Workloads() int {
+	return len(sn.sys.knowledge.Graph.Workloads())
+}
+
+// Config returns the effective configuration frozen into the snapshot.
+func (sn *Snapshot) Config() Config { return sn.sys.cfg }
+
+// Catalog returns a copy of the VM catalog frozen into the snapshot.
+func (sn *Snapshot) Catalog() []cloud.VMType {
+	return append([]cloud.VMType(nil), sn.sys.catalog...)
+}
+
+// Predict runs the online predicting phase against the frozen knowledge.
+// It is read-only with respect to the snapshot: any number of Predict calls
+// may run concurrently with each other and with Absorb on the same snapshot.
+// For a fixed (snapshot, target, meter stream) the prediction is
+// bit-identical regardless of concurrency.
+func (sn *Snapshot) Predict(target workload.App, meter oracle.Service) (*Prediction, error) {
+	return sn.sys.PredictOnline(target, meter)
+}
+
+// Absorb returns a new snapshot, one epoch later, with the completed target
+// recorded in the knowledge graph (AbsorbTarget semantics). The receiver is
+// untouched — in-flight predictions against it keep their consistent view —
+// and the caller publishes the returned snapshot when ready.
+//
+// Unlike System.AbsorbTarget, Absorb rejects a name already present in the
+// graph: an upsert would advance the epoch without growing the workload set,
+// silently breaking the b+e consistency token documented on Workloads.
+func (sn *Snapshot) Absorb(name string, labelWeights, prunedVec []float64) (*Snapshot, error) {
+	if sn.sys.knowledge.Graph.HasWorkload(name) {
+		return nil, fmt.Errorf("vesta: absorb: workload %q already in the knowledge graph", name)
+	}
+	clone := sn.sys.cloneForSnapshot()
+	if err := clone.AbsorbTarget(name, labelWeights, prunedVec); err != nil {
+		return nil, err
+	}
+	return &Snapshot{sys: clone, epoch: sn.epoch + 1}, nil
+}

@@ -182,6 +182,10 @@ type Prediction struct {
 	PredictedSec map[string]float64
 	// LabelWeights is the (completed) U* row used for the graph walk.
 	LabelWeights []float64
+	// PrunedVec is the target's PCA-pruned correlation vector — exactly the
+	// shape AbsorbTarget (and Snapshot.Absorb) expects, so a completed
+	// prediction can join the knowledge graph without re-profiling.
+	PrunedVec []float64
 	// Converged is false when the SGD did not converge or the target could
 	// not match the offline knowledge (Spark-CF case).
 	Converged bool
@@ -660,7 +664,7 @@ func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Pred
 
 	return &Prediction{
 		Target: target.Name, Best: bestVM, Ranking: ranking,
-		PredictedSec: predicted, LabelWeights: weights,
+		PredictedSec: predicted, LabelWeights: weights, PrunedVec: targetVec,
 		Converged: converged, MatchDistance: matchDist,
 		OnlineRuns:        meter.Runs() - startRuns,
 		ObservedSec:       observed,

@@ -1,0 +1,50 @@
+package kmeans
+
+import (
+	"reflect"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+func TestModelCloneIsDeep(t *testing.T) {
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{5, 5}, {5.1, 5}, {5, 5.1},
+	}
+	m, err := Fit(points, Config{K: 2, Restarts: 2, MaxIters: 50}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if !reflect.DeepEqual(m, c) {
+		t.Fatal("clone not equal to original")
+	}
+
+	// Deep: mutating the clone's centroids and assignments must not reach
+	// the original (the serving snapshot relies on this).
+	c.Centroids[0][0] += 100
+	c.Assign[0] = 1 - c.Assign[0]
+	c.Inertia++
+	if m.Centroids[0][0] == c.Centroids[0][0] {
+		t.Fatal("centroid storage shared with clone")
+	}
+	if m.Assign[0] == c.Assign[0] {
+		t.Fatal("assignment storage shared with clone")
+	}
+	if m.Inertia == c.Inertia {
+		t.Fatal("inertia shared with clone")
+	}
+
+	// The original still predicts consistently after the clone was abused.
+	if got := m.Predict([]float64{0, 0}); got != m.Assign[0] {
+		t.Fatalf("Predict(%v) = %d, want %d", []float64{0, 0}, got, m.Assign[0])
+	}
+}
+
+func TestModelCloneNil(t *testing.T) {
+	var m *Model
+	if m.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+}

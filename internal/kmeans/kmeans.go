@@ -27,6 +27,26 @@ type Model struct {
 	Iterations int
 }
 
+// Clone returns a deep copy of the model, so a reader holding the copy is
+// isolated from a concurrent refit that replaces or rewrites the original
+// (the AbsorbTarget path).
+func (m *Model) Clone() *Model {
+	if m == nil {
+		return nil
+	}
+	c := &Model{
+		K:          m.K,
+		Centroids:  make([][]float64, len(m.Centroids)),
+		Assign:     append([]int(nil), m.Assign...),
+		Inertia:    m.Inertia,
+		Iterations: m.Iterations,
+	}
+	for i, row := range m.Centroids {
+		c.Centroids[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
 // Config tunes the fit.
 type Config struct {
 	K        int

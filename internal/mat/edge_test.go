@@ -1,0 +1,177 @@
+package mat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Table-driven degenerate-input tests for the dense kernels: non-square and
+// mis-shaped solves, empty and single-row construction, singular systems.
+// Every case pins whether the kernel errors, panics, or degrades gracefully.
+
+func TestSolveEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		a       *Matrix
+		b       []float64
+		wantErr string // substring; "" means success
+		want    []float64
+	}{
+		{
+			name:    "non-square",
+			a:       FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}),
+			b:       []float64{1, 2},
+			wantErr: "square",
+		},
+		{
+			name:    "rhs length mismatch",
+			a:       Identity(3),
+			b:       []float64{1, 2},
+			wantErr: "rhs length",
+		},
+		{
+			name: "empty system",
+			a:    New(0, 0),
+			b:    nil,
+			want: []float64{},
+		},
+		{
+			name: "single element",
+			a:    FromRows([][]float64{{4}}),
+			b:    []float64{8},
+			want: []float64{2},
+		},
+		{
+			name:    "singular all-zero",
+			a:       New(2, 2),
+			b:       []float64{1, 1},
+			wantErr: "singular",
+		},
+		{
+			name:    "singular duplicate rows",
+			a:       FromRows([][]float64{{1, 2}, {2, 4}}),
+			b:       []float64{3, 6},
+			wantErr: "singular",
+		},
+		{
+			name: "needs pivoting", // zero leading pivot, still solvable
+			a:    FromRows([][]float64{{0, 1}, {1, 0}}),
+			b:    []float64{2, 3},
+			want: []float64{3, 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, err := Solve(tc.a, tc.b)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(x) != len(tc.want) {
+				t.Fatalf("x = %v, want %v", x, tc.want)
+			}
+			for i := range x {
+				if math.Abs(x[i]-tc.want[i]) > 1e-12 {
+					t.Fatalf("x = %v, want %v", x, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestConstructionEdgeCases(t *testing.T) {
+	if m := FromRows(nil); m.Rows != 0 || m.Cols != 0 || len(m.Data) != 0 {
+		t.Fatalf("FromRows(nil) = %dx%d", m.Rows, m.Cols)
+	}
+	if m := FromRows([][]float64{{1, 2, 3}}); m.Rows != 1 || m.Cols != 3 {
+		t.Fatalf("single row = %dx%d", m.Rows, m.Cols)
+	}
+	if m := New(0, 5); m.Rows != 0 || m.Cols != 5 || len(m.Data) != 0 {
+		t.Fatalf("New(0,5) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+
+	mustPanic(t, "ragged rows", func() { FromRows([][]float64{{1, 2}, {3}}) })
+	mustPanic(t, "negative dimension", func() { New(-1, 2) })
+	mustPanic(t, "row 0 of empty", func() { New(0, 3).Row(0) })
+	mustPanic(t, "out of bounds", func() { New(2, 2).At(2, 0) })
+	mustPanic(t, "SetRow mismatch", func() { New(2, 2).SetRow(0, []float64{1}) })
+	mustPanic(t, "Mul mismatch", func() { New(2, 3).Mul(New(2, 3)) })
+	mustPanic(t, "MulVec mismatch", func() { New(2, 3).MulVec([]float64{1}) })
+}
+
+func TestEmptyMatrixOps(t *testing.T) {
+	e := New(0, 0)
+	if got := e.Frobenius(); got != 0 {
+		t.Fatalf("empty Frobenius = %v", got)
+	}
+	if got := e.MaxAbs(); got != 0 {
+		t.Fatalf("empty MaxAbs = %v", got)
+	}
+	if p := e.Mul(e); p.Rows != 0 || p.Cols != 0 {
+		t.Fatalf("empty product = %dx%d", p.Rows, p.Cols)
+	}
+	if tt := e.T(); tt.Rows != 0 || tt.Cols != 0 {
+		t.Fatal("empty transpose wrong shape")
+	}
+	if !e.Equal(e.Clone(), 0) {
+		t.Fatal("empty matrix not equal to its clone")
+	}
+	// Single-row matrix: transpose and multiply shapes hold.
+	r := FromRows([][]float64{{1, 2, 3}})
+	if p := r.Mul(r.T()); p.Rows != 1 || p.Cols != 1 || p.At(0, 0) != 14 {
+		t.Fatalf("1x3 * 3x1 = %v", p)
+	}
+}
+
+func TestCholeskyEdgeCases(t *testing.T) {
+	if _, err := NewCholesky(New(2, 3)); err == nil {
+		t.Fatal("non-square Cholesky accepted")
+	}
+	// Not positive definite: a negative diagonal.
+	if _, err := NewCholesky(FromRows([][]float64{{-1, 0}, {0, 1}})); err == nil {
+		t.Fatal("non-PD matrix accepted")
+	}
+	// Rank-deficient (duplicate rows) is not PD either.
+	if _, err := NewCholesky(FromRows([][]float64{{1, 1}, {1, 1}})); err == nil {
+		t.Fatal("rank-deficient matrix accepted")
+	}
+	c, err := NewCholesky(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Solve([]float64{1}); err == nil {
+		t.Fatal("short rhs accepted")
+	}
+}
+
+func TestSymEigenEdgeCases(t *testing.T) {
+	mustPanic(t, "non-square", func() { SymEigen(New(2, 3)) })
+	// Zero matrix: all eigenvalues zero, vectors orthonormal.
+	e := SymEigen(New(3, 3))
+	for i, v := range e.Values {
+		if v != 0 {
+			t.Fatalf("eigenvalue %d = %v, want 0", i, v)
+		}
+	}
+	// 1x1: trivially its own eigenvalue.
+	e = SymEigen(FromRows([][]float64{{7}}))
+	if len(e.Values) != 1 || math.Abs(e.Values[0]-7) > 1e-12 {
+		t.Fatalf("1x1 eigen = %v", e.Values)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,144 @@
+package nnls
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/mat"
+)
+
+// Table-driven degenerate-input tests: collinear columns, all-zero right-hand
+// sides, shape mismatches, and negative-only fits. NNLS must stay finite and
+// non-negative on all of them — the CMF solver calls it on whatever the
+// measurement phase produced.
+
+func TestSolveDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		a       *mat.Matrix
+		b       []float64
+		wantErr bool
+		check   func(t *testing.T, x []float64)
+	}{
+		{
+			name:    "length mismatch",
+			a:       mat.Identity(3),
+			b:       []float64{1, 2},
+			wantErr: true,
+		},
+		{
+			name:    "empty rows",
+			a:       mat.New(0, 2),
+			b:       nil,
+			wantErr: true,
+		},
+		{
+			name:    "empty cols",
+			a:       mat.New(2, 0),
+			b:       []float64{1, 2},
+			wantErr: true,
+		},
+		{
+			name: "all-zero rhs",
+			a:    mat.FromRows([][]float64{{1, 0}, {0, 1}}),
+			b:    []float64{0, 0},
+			check: func(t *testing.T, x []float64) {
+				for i, v := range x {
+					if v != 0 {
+						t.Fatalf("x[%d] = %v, want 0", i, v)
+					}
+				}
+			},
+		},
+		{
+			name: "all-zero matrix",
+			a:    mat.New(2, 2),
+			b:    []float64{1, 1},
+			check: func(t *testing.T, x []float64) {
+				// No column can reduce the residual; solution stays at zero.
+				for i, v := range x {
+					if v != 0 {
+						t.Fatalf("x[%d] = %v, want 0", i, v)
+					}
+				}
+			},
+		},
+		{
+			name: "collinear columns", // ridge term must keep this solvable
+			a: mat.FromRows([][]float64{
+				{1, 2},
+				{2, 4},
+				{3, 6},
+			}),
+			b: []float64{1, 2, 3},
+			check: func(t *testing.T, x []float64) {
+				// Any non-negative combination with x1 + 2*x2 = 1 fits
+				// exactly; whatever NNLS picked must reconstruct b.
+				res := Residual(mat.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}), x,
+					[]float64{1, 2, 3})
+				if res > 1e-6 {
+					t.Fatalf("residual = %v", res)
+				}
+			},
+		},
+		{
+			name: "negative-only target", // b in the cone's opposite half
+			a:    mat.FromRows([][]float64{{1}, {1}}),
+			b:    []float64{-1, -1},
+			check: func(t *testing.T, x []float64) {
+				if x[0] != 0 {
+					t.Fatalf("x = %v, want [0]", x)
+				}
+			},
+		},
+		{
+			name: "exact positive solution",
+			a:    mat.FromRows([][]float64{{2, 0}, {0, 3}}),
+			b:    []float64{4, 9},
+			check: func(t *testing.T, x []float64) {
+				if math.Abs(x[0]-2) > 1e-8 || math.Abs(x[1]-3) > 1e-8 {
+					t.Fatalf("x = %v, want [2 3]", x)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, err := Solve(tc.a, tc.b)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(x) != tc.a.Cols {
+				t.Fatalf("len(x) = %d, want %d", len(x), tc.a.Cols)
+			}
+			for i, v := range x {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("x[%d] = %v: not finite non-negative", i, v)
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, x)
+			}
+		})
+	}
+}
+
+func TestResidualEdgeCases(t *testing.T) {
+	// Zero-row problem: residual of nothing is zero.
+	if r := Residual(mat.New(0, 1), []float64{0}, nil); r != 0 {
+		t.Fatalf("empty residual = %v", r)
+	}
+	a := mat.FromRows([][]float64{{1, 0}, {0, 1}})
+	if r := Residual(a, []float64{1, 2}, []float64{1, 2}); r != 0 {
+		t.Fatalf("exact fit residual = %v", r)
+	}
+	if r := Residual(a, []float64{0, 0}, []float64{3, 4}); math.Abs(r-5) > 1e-12 {
+		t.Fatalf("residual = %v, want 5", r)
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMaxAggregates(t *testing.T) {
+	tr := New()
+	tr.Max("serve.max_batch", 3)
+	tr.Max("serve.max_batch", 9)
+	tr.Max("serve.max_batch", 5)
+	tr.Max("serve.epoch", 0)
+	if got := tr.Counter("serve.max_batch"); got != 9 {
+		t.Fatalf("max = %d, want 9", got)
+	}
+	if got := tr.Counter("serve.epoch"); got != 0 {
+		t.Fatalf("epoch max = %d, want 0", got)
+	}
+
+	// Max totals serialize as counter records, sorted with the counters.
+	tr.Count("serve.requests", 2)
+	var keys []string
+	for _, r := range tr.Records() {
+		if r.Kind != KindCounter {
+			t.Fatalf("unexpected kind %s", r.Kind)
+		}
+		keys = append(keys, r.Key)
+	}
+	want := []string{"serve.epoch", "serve.max_batch", "serve.requests"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+
+	// Nil tracer: no-op, no panic — same contract as Count.
+	var nilTr *Tracer
+	nilTr.Max("x", 1)
+	if nilTr.Counter("x") != 0 {
+		t.Fatal("nil tracer returned a value")
+	}
+}
+
+// TestMaxOrderIndependent proves the serving layer's claim: the serialized
+// max is identical whatever order (or interleaving) the observations arrive
+// in, because max is commutative and associative.
+func TestMaxOrderIndependent(t *testing.T) {
+	vals := []int64{4, 17, 2, 17, 9, 1}
+	serial := New()
+	for _, v := range vals {
+		serial.Max("peak", v)
+	}
+	concurrent := New()
+	var wg sync.WaitGroup
+	for _, v := range vals {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			concurrent.Max("peak", v)
+		}(v)
+	}
+	wg.Wait()
+	if a, b := serial.Counter("peak"), concurrent.Counter("peak"); a != b || a != 17 {
+		t.Fatalf("serial %d vs concurrent %d, want 17", a, b)
+	}
+}

@@ -76,12 +76,13 @@ type Tracer struct {
 	mu       sync.Mutex
 	records  []Record
 	counters map[string]int64
+	maxes    map[string]int64
 	verbose  io.Writer
 }
 
 // New returns an enabled Tracer.
 func New() *Tracer {
-	return &Tracer{counters: map[string]int64{}}
+	return &Tracer{counters: map[string]int64{}, maxes: map[string]int64{}}
 }
 
 // Enabled reports whether the tracer records anything. It is the guard hot
@@ -168,6 +169,24 @@ func (t *Tracer) Count(name string, delta int64) {
 	t.mu.Unlock()
 }
 
+// Max records the maximum of all values observed under name. Like integer
+// addition, max is commutative and associative, so concurrent observers
+// cannot perturb the serialized total — this is the aggregation the serving
+// layer uses for schedule-adjacent quantities whose *peak* is deterministic
+// even when the observation order is not (snapshot epoch, largest batch).
+// Max totals serialize alongside the counters; a name must be used with
+// either Count or Max, never both.
+func (t *Tracer) Max(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if cur, ok := t.maxes[name]; !ok || v > cur {
+		t.maxes[name] = v
+	}
+	t.mu.Unlock()
+}
+
 // Gauge records one sample of a per-epoch stream (SGD loss, learning rate,
 // restart inertia). Samples of one stream share the key and are ordered by
 // epoch in the serialized trace.
@@ -204,14 +223,17 @@ func (t *Tracer) VerboseLine(line string) {
 	}
 }
 
-// Counter returns the current total of one counter.
+// Counter returns the current total of one counter (or Max aggregate).
 func (t *Tracer) Counter(name string) int64 {
 	if t == nil {
 		return 0
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.counters[name]
+	if n, ok := t.counters[name]; ok {
+		return n
+	}
+	return t.maxes[name]
 }
 
 // Counters returns a copy of all counter totals.
@@ -237,17 +259,24 @@ func (t *Tracer) Records() []Record {
 	}
 	t.mu.Lock()
 	out := append([]Record(nil), t.records...)
-	names := make([]string, 0, len(t.counters))
-	for name := range t.counters {
+	totals := make(map[string]int64, len(t.counters)+len(t.maxes))
+	names := make([]string, 0, len(t.counters)+len(t.maxes))
+	for name, n := range t.counters {
+		totals[name] = n
 		names = append(names, name)
 	}
-	counters := t.counters
+	for name, n := range t.maxes {
+		if _, dup := totals[name]; !dup {
+			names = append(names, name)
+		}
+		totals[name] = n // Count/Max name reuse is a caller bug; max wins
+	}
 	t.mu.Unlock()
 
 	sort.Slice(out, func(a, b int) bool { return less(out[a], out[b]) })
 	sort.Strings(names)
 	for _, name := range names {
-		out = append(out, Record{Kind: KindCounter, Key: name, N: counters[name], SimSec: -1})
+		out = append(out, Record{Kind: KindCounter, Key: name, N: totals[name], SimSec: -1})
 	}
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vesta/internal/obs"
 )
@@ -53,11 +54,12 @@ func forWorkers(workers, n int, fn func(worker, i int)) {
 		return
 	}
 	// Static index counter instead of a job channel: tasks are picked up in
-	// order with one atomic-sized critical section per task, and the pool
-	// shape cannot influence which task runs (only when).
+	// order with one atomic fetch-add per task, and the pool shape cannot
+	// influence which task runs (only when). The atomic matters on the
+	// serving path, where a batch of cache hits makes tasks so short that a
+	// mutex hand-off would dominate.
 	var (
-		mu   sync.Mutex
-		next int
+		next atomic.Int64
 		wg   sync.WaitGroup
 	)
 	wg.Add(w)
@@ -65,10 +67,7 @@ func forWorkers(workers, n int, fn func(worker, i int)) {
 		go func(g int) {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
 				}

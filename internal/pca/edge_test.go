@@ -1,0 +1,142 @@
+package pca
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven degenerate-input tests: constant features, k beyond the data
+// rank, too-few samples, ragged inputs. PCA sits at the head of the pruning
+// pipeline, so its failure modes must be errors or graceful degradation,
+// never NaN propagation.
+
+func TestFitDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples [][]float64
+		wantErr bool
+	}{
+		{"no samples", nil, true},
+		{"one sample", [][]float64{{1, 2}}, true},
+		{"zero-dimensional", [][]float64{{}, {}}, true},
+		{"ragged", [][]float64{{1, 2}, {1}}, true},
+		{"two identical samples", [][]float64{{1, 2}, {1, 2}}, false},
+		{"minimal valid", [][]float64{{1, 2}, {3, 4}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Fit(tc.samples)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range r.Importance {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("importance[%d] = %v", j, v)
+				}
+			}
+		})
+	}
+}
+
+// TestConstantFeature pins the zero-variance path: a feature that never
+// moves must not poison the importance index with NaN, and the varying
+// feature must dominate it.
+func TestConstantFeature(t *testing.T) {
+	r, err := Fit([][]float64{
+		{5, 1, 0},
+		{5, 2, 0},
+		{5, 3, 0},
+		{5, 4, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range r.Importance {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("importance[%d] = %v", j, v)
+		}
+	}
+	if r.Importance[1] <= r.Importance[0] || r.Importance[1] <= r.Importance[2] {
+		t.Fatalf("varying feature not dominant: %v", r.Importance)
+	}
+	// The explained-variance ratios sum to 1 (all variance accounted for).
+	sum := 0.0
+	for _, v := range r.Ratio {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN ratio: %v", r.Ratio)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ratio sum = %v", sum)
+	}
+}
+
+// TestAllConstant pins total degeneracy: zero variance everywhere. The fit
+// succeeds, importance collapses to zeros, and SelectFeatures keeps every
+// feature (0 >= threshold*0) rather than crashing or dropping all of them.
+func TestAllConstant(t *testing.T) {
+	r, err := Fit([][]float64{{7, 7}, {7, 7}, {7, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range r.Importance {
+		if v != 0 {
+			t.Fatalf("importance[%d] = %v, want 0", j, v)
+		}
+	}
+	if got := len(r.SelectFeatures(1.0)); got != 2 {
+		t.Fatalf("kept %d features, want 2", got)
+	}
+	if f := r.PrunedFraction(1.0); f != 0 {
+		t.Fatalf("pruned fraction = %v", f)
+	}
+	// Zero variance: every component count "explains" everything.
+	if k := r.ComponentsFor(0.95); k < 1 || k > 2 {
+		t.Fatalf("ComponentsFor = %d", k)
+	}
+}
+
+// TestTransformBounds pins the k > rank contract: Transform panics on k
+// outside [1, rows(components)] instead of silently truncating, and the
+// caller-facing ComponentsFor never returns an out-of-range k.
+func TestTransformBounds(t *testing.T) {
+	r, err := Fit([][]float64{{1, 2}, {3, 5}, {4, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Transform([]float64{1, 2}, 1); len(got) != 1 {
+		t.Fatalf("Transform k=1 len = %d", len(got))
+	}
+	max := r.Components.Rows
+	if got := r.Transform([]float64{1, 2}, max); len(got) != max {
+		t.Fatalf("Transform k=max len = %d", len(got))
+	}
+	for name, f := range map[string]func(){
+		"k=0":        func() { r.Transform([]float64{1, 2}, 0) },
+		"k>rank":     func() { r.Transform([]float64{1, 2}, max+1) },
+		"wrong dim":  func() { r.Transform([]float64{1}, 1) },
+		"negative k": func() { r.Transform([]float64{1, 2}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	// ComponentsFor clamps to the available components for any fraction.
+	for _, frac := range []float64{-1, 0, 0.5, 1, 2} {
+		if k := r.ComponentsFor(frac); k < 1 || k > max {
+			t.Fatalf("ComponentsFor(%v) = %d out of [1, %d]", frac, k, max)
+		}
+	}
+}

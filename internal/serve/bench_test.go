@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// benchServe measures end-to-end request throughput at a given worker count
+// and cache setting; results/serve.md is produced from this benchmark.
+func benchServe(b *testing.B, workers int, noCache bool) {
+	s, err := New(testSnapshot(b), Config{
+		Workers:   workers,
+		QueueSize: 1024,
+		BatchSize: 32,
+		NoCache:   noCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	apps := []string{"Spark-kmeans", "Spark-lr", "Spark-sort", "Spark-grep"}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64) // bounded client concurrency
+	for i := 0; i < b.N; i++ {
+		req := Request{App: apps[i%len(apps)], Seed: uint64(i%8 + 1), Top: 3}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(req Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := s.PredictBytes(context.Background(), req); err != nil {
+				b.Error(err)
+			}
+		}(req)
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := s.Stats()
+	if st.Requests > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.Requests), "hit-rate")
+		b.ReportMetric(float64(st.MaxBatch), "max-batch")
+	}
+}
+
+// Cached arms measure steady-state traffic (repeated queries, high hit
+// rate); NoCache arms expose the raw compute scaling of the batch pool.
+func BenchmarkServeWorkers1(b *testing.B)         { benchServe(b, 1, false) }
+func BenchmarkServeWorkers4(b *testing.B)         { benchServe(b, 4, false) }
+func BenchmarkServeWorkers16(b *testing.B)        { benchServe(b, 16, false) }
+func BenchmarkServeWorkers1NoCache(b *testing.B)  { benchServe(b, 1, true) }
+func BenchmarkServeWorkers4NoCache(b *testing.B)  { benchServe(b, 4, true) }
+func BenchmarkServeWorkers16NoCache(b *testing.B) { benchServe(b, 16, true) }

@@ -1,0 +1,57 @@
+package serve
+
+import "container/list"
+
+// cacheKey identifies one cached response: the snapshot epoch plus the
+// request fingerprint (app, input override, seed, ranking depth). Keying on
+// the epoch means a hot-swap naturally invalidates the whole cache — stale
+// entries age out of the LRU instead of ever being served.
+type cacheKey struct {
+	epoch uint64
+	fp    string
+}
+
+// lruCache is a fixed-capacity LRU over serialized response bodies. It is
+// not internally synchronized; the server guards it with its own mutex and
+// keeps the critical sections to map/list operations only (never a predict).
+type lruCache struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), entries: make(map[cacheKey]*list.Element)}
+}
+
+func (c *lruCache) get(k cacheKey) ([]byte, bool) {
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+func (c *lruCache) put(k cacheKey, body []byte) {
+	if el, ok := c.entries[k]; ok {
+		// Identical key means identical bytes (the determinism contract);
+		// just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: k, body: body})
+	c.entries[k] = el
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

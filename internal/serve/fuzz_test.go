@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzServeRequest feeds arbitrary bodies through the full HTTP predict
+// path. The contract under fuzz: the handler never panics, every answer is
+// one of the documented statuses, non-200 answers carry the JSON error
+// envelope with a stable code, and 200 answers carry a consistent snapshot
+// token. Seed corpus lives in testdata/fuzz/FuzzServeRequest.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		`{"app":"Spark-kmeans"}`,
+		`{"app":"Spark-lr","seed":2,"top":3}`,
+		`{"app":"Spark-lr","input_gb":64}`,
+		`{"app":""}`,
+		`{"app":"nope"}`,
+		`{"app":"Spark-lr","top":-1}`,
+		`{"app":"Spark-lr","input_gb":-5}`,
+		`{"app":"Spark-lr","input_gb":1e309}`,
+		`{"app":1}`,
+		`{"app":"Spark-lr","bogus":1}`,
+		`{"app":"Spark-lr"} trailing`,
+		`[]`,
+		`null`,
+		`{`,
+		``,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	srv, err := New(testSnapshot(f), Config{Workers: 2, CacheSize: 64})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(srv.Close)
+	h := srv.Handler()
+	snap := srv.Snapshot()
+
+	allowed := map[int]string{
+		http.StatusOK:              "",
+		http.StatusBadRequest:      "bad_request",
+		http.StatusNotFound:        "unknown_app",
+		http.StatusTooManyRequests: "queue_full",
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // must not panic
+		wantCode, ok := allowed[rec.Code]
+		if !ok {
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+		if rec.Code == http.StatusOK {
+			resp, err := decodeResponse(rec.Body.Bytes())
+			if err != nil {
+				t.Fatalf("200 with undecodable body %q: %v", rec.Body.String(), err)
+			}
+			if resp.Workloads != baseWorkloads+int(resp.Epoch) {
+				t.Fatalf("inconsistent snapshot token: %+v", resp)
+			}
+			if resp.Epoch != snap.Epoch() {
+				t.Fatalf("epoch %d, want %d", resp.Epoch, snap.Epoch())
+			}
+			return
+		}
+		var e errorBody
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("status %d with non-envelope body %q", rec.Code, rec.Body.String())
+		}
+		if e.Code != wantCode || e.Error == "" {
+			t.Fatalf("status %d with envelope %+v, want code %q", rec.Code, e, wantCode)
+		}
+	})
+}

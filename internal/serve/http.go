@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds a predict request body; anything larger is a client
+// error, not a reason to allocate.
+const maxBodyBytes = 1 << 20
+
+// defaultRequestTimeout bounds how long an HTTP predict waits for its
+// queued work before answering 504.
+const defaultRequestTimeout = 60 * time.Second
+
+// encodeResponse renders the canonical response body. encoding/json field
+// order follows the struct definition and the float rendering is pinned by
+// jsonFloat, so the bytes are a pure function of the Response value.
+func encodeResponse(r *Response) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// decodeResponse parses a canonical body back into a Response.
+func decodeResponse(body []byte) (*Response, error) {
+	var r Response
+	if err := json.Unmarshal(body, &r); err != nil {
+		return nil, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	return &r, nil
+}
+
+// errorBody is the JSON error envelope every non-200 answer carries.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// httpStatus maps a serving error to its HTTP status and stable error code.
+func httpStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, ErrUnknownApp):
+		return http.StatusNotFound, "unknown_app"
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return 499, "canceled" // nginx convention: client closed request
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Stats and error envelopes contain no unencodable values; this is
+		// unreachable, but fail loudly rather than silently.
+		http.Error(w, `{"error":"encoding failure","code":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := httpStatus(err)
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+}
+
+// decodeRequest parses a predict body strictly: unknown fields, trailing
+// garbage, wrong JSON types, and oversized bodies all map to ErrBadRequest,
+// so the fuzz contract ("malformed bodies never panic, always a typed
+// error") holds at the decode boundary.
+func decodeRequest(r *http.Request) (Request, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// A second decode must see EOF; anything else is trailing garbage.
+	if dec.More() {
+		return Request{}, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	return req, nil
+}
+
+// Handler returns the HTTP/JSON front-end:
+//
+//	POST /predict  {"app": "...", "seed": 1, "top": 10, "input_gb": 0}
+//	GET  /healthz  liveness plus the published epoch/consistency token
+//	GET  /stats    operational counters (queue depth, cache hit rate, ...)
+//
+// Predict bodies are exactly the server's canonical bytes — byte-identical
+// for a given (snapshot, request) whatever the worker count or cache state.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		req, err := decodeRequest(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), defaultRequestTimeout)
+		defer cancel()
+		body, err := s.PredictBytes(ctx, req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"epoch":     snap.Epoch(),
+			"workloads": snap.Workloads(),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postPredict(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHTTPPredict(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	h := s.Handler()
+
+	rec := postPredict(t, h, `{"app":"Spark-kmeans","seed":2,"top":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	resp, err := decodeResponse(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Target != "Spark-kmeans" || len(resp.Ranking) != 3 {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	// The HTTP body is exactly the canonical bytes PredictBytes returns.
+	direct, err := s.PredictBytes(context.Background(), Request{App: "Spark-kmeans", Seed: 2, Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), direct) {
+		t.Fatal("HTTP body differs from PredictBytes")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantErr  string
+	}{
+		{"empty body", ``, http.StatusBadRequest, "bad_request"},
+		{"not json", `hello`, http.StatusBadRequest, "bad_request"},
+		{"wrong type", `{"app":1}`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", `{"app":"Spark-lr","bogus":true}`, http.StatusBadRequest, "bad_request"},
+		{"trailing garbage", `{"app":"Spark-lr"} extra`, http.StatusBadRequest, "bad_request"},
+		{"missing app", `{}`, http.StatusBadRequest, "bad_request"},
+		{"negative top", `{"app":"Spark-lr","top":-2}`, http.StatusBadRequest, "bad_request"},
+		{"unknown app", `{"app":"Storm-topology"}`, http.StatusNotFound, "unknown_app"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postPredict(t, h, tc.body)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantCode, rec.Body.String())
+			}
+			var e errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("error body not JSON: %v", err)
+			}
+			if e.Code != tc.wantErr || e.Error == "" {
+				t.Fatalf("error body = %+v, want code %q", e, tc.wantErr)
+			}
+		})
+	}
+
+	// Method mismatches are handled by the mux's method patterns.
+	req := httptest.NewRequest(http.MethodGet, "/predict", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict status = %d, want 405", rec.Code)
+	}
+}
+
+func TestHTTPShuttingDown(t *testing.T) {
+	s, err := New(testSnapshot(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	s.Close()
+	rec := postPredict(t, h, `{"app":"Spark-lr"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	var e errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != "shutting_down" {
+		t.Fatalf("error body = %s", rec.Body.String())
+	}
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Epoch     uint64 `json:"epoch"`
+		Workloads int    `json:"workloads"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Epoch != 0 || health.Workloads != baseWorkloads {
+		t.Fatalf("health = %+v", health)
+	}
+
+	if _, err := s.PredictBytes(context.Background(), Request{App: "Spark-lr"}); err != nil {
+		t.Fatal(err)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 1 || st.Workloads != baseWorkloads {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHTTPOversizedBody(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	big := `{"app":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	rec := postPredict(t, h, big)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized body status = %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,513 @@
+// Package serve implements the concurrent prediction-serving subsystem: a
+// long-lived server that amortizes one trained Vesta system across many
+// simultaneous prediction requests.
+//
+// Architecture (DESIGN.md §10):
+//
+//   - Trained state is published as an immutable core.Snapshot behind an
+//     atomic pointer. Updates (absorbing a completed target) build a new
+//     snapshot copy-on-write and hot-swap the pointer; in-flight predictions
+//     keep the snapshot they captured, so readers never block on writers and
+//     never observe a half-published state.
+//   - Admission goes through a bounded queue. A dispatcher drains the queue
+//     into batches and fans each batch out on the internal/parallel worker
+//     pool — the same PredictBatch-shaped execution the offline paths use.
+//     A full queue rejects immediately with ErrQueueFull (backpressure
+//     instead of unbounded buffering); a draining server rejects with
+//     ErrShuttingDown.
+//   - A fixed-capacity LRU cache keyed by (snapshot epoch, request
+//     fingerprint) short-circuits repeated queries past the CMF solve. The
+//     epoch in the key makes hot-swaps self-invalidating.
+//
+// Determinism contract: the response body is a pure function of (snapshot,
+// request). Worker count, batch formation, cache state, and concurrent
+// hot-swaps can change *which* snapshot a request sees and how fast it is
+// answered, but never the bytes produced for a given (snapshot, request)
+// pair — the serving extension of the repo's offline bit-identical contract.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/obs"
+	"vesta/internal/oracle"
+	"vesta/internal/parallel"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// Typed serving errors. Handlers and clients match with errors.Is.
+var (
+	// ErrQueueFull is returned when the admission queue is at capacity; the
+	// caller should back off and retry (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShuttingDown is returned for requests admitted after Close began;
+	// already-queued requests still drain to completion.
+	ErrShuttingDown = errors.New("serve: server shutting down")
+	// ErrUnknownApp is returned when the requested application is not in the
+	// workload table.
+	ErrUnknownApp = errors.New("serve: unknown application")
+	// ErrBadRequest is returned for requests that fail validation before
+	// admission (missing app, negative input size, malformed body).
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Config tunes the server. Zero values take the defaults noted per field.
+type Config struct {
+	// Workers bounds the parallel pool a batch fans out on (<= 0: one per
+	// CPU). Response bytes are identical at every value.
+	Workers int
+	// QueueSize bounds the admission queue; default 256.
+	QueueSize int
+	// BatchSize bounds how many queued requests one dispatch drains into a
+	// single parallel batch; default 16.
+	BatchSize int
+	// CacheSize is the LRU response-cache capacity in entries; default 1024.
+	// NoCache disables caching entirely (the cache-off arm of the
+	// determinism proof).
+	CacheSize int
+	NoCache   bool
+	// SimConfig configures the per-request measurement simulator (cluster
+	// size, repeats). The zero value takes sim.DefaultConfig().
+	SimConfig sim.Config
+	// MeterFor overrides the measurement service built for a request seed
+	// (fault-injection rehearsals, tests). Nil builds a fresh
+	// oracle.NewMeter(sim.New(SimConfig), seed) per request, which keeps
+	// responses a pure function of (snapshot, request).
+	MeterFor func(seed uint64) oracle.Service
+	// Tracer receives serving counters (requests, cache hits, swaps) and
+	// Max aggregates (snapshot epoch, peak batch size). Live concurrent
+	// traffic makes batch formation and cache hits schedule-dependent, so a
+	// serving trace is only byte-reproducible for sequential replays; the
+	// response bodies are always reproducible.
+	Tracer *obs.Tracer
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.SimConfig.Nodes == 0 && c.SimConfig.Repeats == 0 {
+		c.SimConfig = sim.DefaultConfig()
+	}
+}
+
+// Request is one prediction query.
+type Request struct {
+	// App is the Table 3 application name (required).
+	App string `json:"app"`
+	// InputGB overrides the application's input size when > 0.
+	InputGB float64 `json:"input_gb,omitempty"`
+	// Seed drives the request's measurement stream; 0 takes the CLI default
+	// seed 1. Requests with equal (app, input_gb, seed, top) against the
+	// same snapshot epoch produce byte-identical responses.
+	Seed uint64 `json:"seed,omitempty"`
+	// Top bounds the ranking entries in the response; 0 takes 10, values
+	// beyond the catalog return the full ranking.
+	Top int `json:"top,omitempty"`
+}
+
+// fingerprint is the cache identity of a resolved request. Float bits are
+// rendered exactly so distinct inputs can never collide.
+func (r Request) fingerprint() string {
+	return r.App + "\x00" + strconv.FormatUint(math.Float64bits(r.InputGB), 16) +
+		"\x00" + strconv.FormatUint(r.Seed, 10) + "\x00" + strconv.Itoa(r.Top)
+}
+
+// jsonFloat renders exactly like float64 except that non-finite values
+// (an Inf predicted time for a zero-scored VM) become JSON null, keeping
+// every response body valid JSON with pinned bytes.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// RankEntry is one VM in a response ranking.
+type RankEntry struct {
+	VM           string    `json:"vm"`
+	Score        jsonFloat `json:"score"`
+	PredictedSec jsonFloat `json:"predicted_sec"`
+	PredictedUSD jsonFloat `json:"predicted_usd"`
+}
+
+// Response is the serialized prediction outcome. Every field is a pure
+// function of (snapshot, request); in particular Epoch and Workloads form
+// the snapshot-consistency token (see core.Snapshot.Workloads), and nothing
+// schedule-dependent (cache state, batch shape, queue depth) is included.
+type Response struct {
+	Target        string      `json:"target"`
+	Epoch         uint64      `json:"epoch"`
+	Workloads     int         `json:"workloads"`
+	Best          string      `json:"best"`
+	Converged     bool        `json:"converged"`
+	MatchDistance jsonFloat   `json:"match_distance"`
+	OnlineRuns    int         `json:"online_runs"`
+	Ranking       []RankEntry `json:"ranking"`
+}
+
+// Stats is a point-in-time view of the server's counters. Schedule-dependent
+// by nature (queue depth, hit counts); exposed for operators, not for the
+// determinism contract.
+type Stats struct {
+	Requests     int64  `json:"requests"`
+	CacheHits    int64  `json:"cache_hits"`
+	CacheMisses  int64  `json:"cache_misses"`
+	CacheLen     int    `json:"cache_len"`
+	QueueDepth   int    `json:"queue_depth"`
+	QueueRejects int64  `json:"queue_rejects"`
+	Batches      int64  `json:"batches"`
+	MaxBatch     int64  `json:"max_batch"`
+	Swaps        int64  `json:"swaps"`
+	Epoch        uint64 `json:"epoch"`
+	Workloads    int    `json:"workloads"`
+}
+
+type task struct {
+	req  Request // resolved: defaults filled
+	app  workload.App
+	done chan taskResult
+}
+
+type taskResult struct {
+	body []byte
+	err  error
+}
+
+// Server is the concurrent prediction service. Create with New, stop with
+// Close. All exported methods are safe for concurrent use.
+type Server struct {
+	cfg      Config
+	byName   map[string]cloud.VMType
+	meterFor func(seed uint64) oracle.Service
+
+	snap atomic.Pointer[core.Snapshot]
+
+	closeMu  sync.RWMutex // guards queue sends against close
+	draining bool
+	queue    chan *task
+	wg       sync.WaitGroup
+
+	updateMu sync.Mutex // serializes Update/Absorb copy-on-write chains
+
+	cacheMu sync.Mutex
+	cache   *lruCache
+
+	requests, hits, misses, rejects, batches, maxBatch, swaps atomic.Int64
+}
+
+// New builds a server over an initial snapshot and starts its dispatcher.
+func New(snap *core.Snapshot, cfg Config) (*Server, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("serve: nil snapshot")
+	}
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:    cfg,
+		byName: cloud.ByName(snap.Catalog()),
+		queue:  make(chan *task, cfg.QueueSize),
+	}
+	s.meterFor = cfg.MeterFor
+	if s.meterFor == nil {
+		simCfg := cfg.SimConfig
+		s.meterFor = func(seed uint64) oracle.Service {
+			return oracle.NewMeter(sim.New(simCfg), seed)
+		}
+	}
+	if !cfg.NoCache {
+		s.cache = newLRU(cfg.CacheSize)
+	}
+	s.snap.Store(snap)
+	if cfg.Tracer.Enabled() {
+		cfg.Tracer.Max("serve.epoch", int64(snap.Epoch()))
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Snapshot returns the currently published snapshot.
+func (s *Server) Snapshot() *core.Snapshot { return s.snap.Load() }
+
+// Publish hot-swaps the served snapshot. In-flight predictions keep the
+// snapshot they already captured; new work sees the published one.
+func (s *Server) Publish(snap *core.Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("serve: publish nil snapshot")
+	}
+	s.snap.Store(snap)
+	s.swaps.Add(1)
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Count("serve.swaps", 1)
+		s.cfg.Tracer.Max("serve.epoch", int64(snap.Epoch()))
+	}
+	return nil
+}
+
+// Update applies fn to the current snapshot and publishes the result.
+// Concurrent Update calls are serialized, so copy-on-write chains (absorb
+// upon absorb) never lose an epoch.
+func (s *Server) Update(fn func(old *core.Snapshot) (*core.Snapshot, error)) error {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	next, err := fn(s.snap.Load())
+	if err != nil {
+		return err
+	}
+	return s.Publish(next)
+}
+
+// Absorb records a completed target into the knowledge graph copy-on-write
+// and hot-swaps the result — the serving form of core.AbsorbTarget.
+func (s *Server) Absorb(name string, labelWeights, prunedVec []float64) error {
+	return s.Update(func(old *core.Snapshot) (*core.Snapshot, error) {
+		return old.Absorb(name, labelWeights, prunedVec)
+	})
+}
+
+// Close drains the server: admission stops immediately (ErrShuttingDown),
+// already-queued requests run to completion, then the dispatcher exits.
+// Close is idempotent and safe to call concurrently.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+// resolve validates a request and fills its defaults.
+func (s *Server) resolve(req Request) (Request, workload.App, error) {
+	if req.App == "" {
+		return req, workload.App{}, fmt.Errorf("%w: missing app", ErrBadRequest)
+	}
+	if req.InputGB < 0 || math.IsNaN(req.InputGB) || math.IsInf(req.InputGB, 0) {
+		return req, workload.App{}, fmt.Errorf("%w: input_gb %v", ErrBadRequest, req.InputGB)
+	}
+	if req.Top < 0 {
+		return req, workload.App{}, fmt.Errorf("%w: top %d", ErrBadRequest, req.Top)
+	}
+	app, err := workload.ByName(req.App)
+	if err != nil {
+		return req, workload.App{}, fmt.Errorf("%w: %q", ErrUnknownApp, req.App)
+	}
+	if req.InputGB > 0 {
+		app = app.WithInput(req.InputGB)
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Top == 0 {
+		req.Top = 10
+	}
+	return req, app, nil
+}
+
+// PredictBytes answers a request with the canonical serialized response
+// body. It blocks until the response is computed, the context is done, or
+// admission is rejected (ErrQueueFull, ErrShuttingDown).
+func (s *Server) PredictBytes(ctx context.Context, req Request) ([]byte, error) {
+	req, app, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Count("serve.requests", 1)
+	}
+	t := &task{req: req, app: app, done: make(chan taskResult, 1)}
+	if err := s.enqueue(t); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-t.done:
+		return res.body, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Predict is PredictBytes decoded into a Response.
+func (s *Server) Predict(ctx context.Context, req Request) (*Response, error) {
+	body, err := s.PredictBytes(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(body)
+}
+
+// Stats returns the current operational counters.
+func (s *Server) Stats() Stats {
+	snap := s.snap.Load()
+	st := Stats{
+		Requests:     s.requests.Load(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		QueueDepth:   len(s.queue),
+		QueueRejects: s.rejects.Load(),
+		Batches:      s.batches.Load(),
+		MaxBatch:     s.maxBatch.Load(),
+		Swaps:        s.swaps.Load(),
+		Epoch:        snap.Epoch(),
+		Workloads:    snap.Workloads(),
+	}
+	if s.cache != nil {
+		s.cacheMu.Lock()
+		st.CacheLen = s.cache.len()
+		s.cacheMu.Unlock()
+	}
+	return st
+}
+
+// enqueue admits a task or rejects with a typed error. The read-lock pairs
+// with Close's write-lock so a send can never hit a closed channel.
+func (s *Server) enqueue(t *task) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.draining {
+		return ErrShuttingDown
+	}
+	select {
+	case s.queue <- t:
+		return nil
+	default:
+		s.rejects.Add(1)
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Count("serve.queue_rejects", 1)
+		}
+		return ErrQueueFull
+	}
+}
+
+// dispatch drains the queue into batches and fans each batch out on the
+// parallel pool. Closing the queue drains the backlog, then exits.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		t, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*task{t}
+	drain:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case t2, ok := <-s.queue:
+				if !ok {
+					// Queue closed and fully drained: ship the last batch.
+					s.run(batch)
+					return
+				}
+				batch = append(batch, t2)
+			default:
+				break drain // queue momentarily empty: ship what we have
+			}
+		}
+		s.run(batch)
+	}
+}
+
+// run executes one batch across the worker pool and delivers the results.
+func (s *Server) run(batch []*task) {
+	s.batches.Add(1)
+	if n := int64(len(batch)); n > s.maxBatch.Load() {
+		s.maxBatch.Store(n) // single dispatcher: load-then-store is safe
+	}
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Count("serve.batches", 1)
+		s.cfg.Tracer.Max("serve.max_batch", int64(len(batch)))
+	}
+	results := parallel.MapObs(s.cfg.Tracer, "serve/batch", s.cfg.Workers, len(batch),
+		func(i int) taskResult {
+			return s.execute(batch[i])
+		})
+	for i, t := range batch {
+		t.done <- results[i]
+	}
+}
+
+// execute answers one task: capture the current snapshot, try the cache,
+// otherwise run the full online prediction and cache the canonical bytes.
+func (s *Server) execute(t *task) taskResult {
+	snap := s.snap.Load()
+	key := cacheKey{epoch: snap.Epoch(), fp: t.req.fingerprint()}
+	if s.cache != nil {
+		s.cacheMu.Lock()
+		body, ok := s.cache.get(key)
+		s.cacheMu.Unlock()
+		if ok {
+			s.hits.Add(1)
+			s.cfg.Tracer.Count("serve.cache_hits", 1)
+			return taskResult{body: body}
+		}
+		s.misses.Add(1)
+		s.cfg.Tracer.Count("serve.cache_misses", 1)
+	}
+	meter := s.meterFor(t.req.Seed)
+	pred, err := snap.Predict(t.app, meter)
+	if err != nil {
+		return taskResult{err: fmt.Errorf("serve: predict %s: %w", t.req.App, err)}
+	}
+	body, err := s.encodeResponse(snap, t.req, pred, meter.SimConfig().Nodes)
+	if err != nil {
+		return taskResult{err: fmt.Errorf("serve: encode %s: %w", t.req.App, err)}
+	}
+	if s.cache != nil {
+		s.cacheMu.Lock()
+		s.cache.put(key, body)
+		s.cacheMu.Unlock()
+	}
+	return taskResult{body: body}
+}
+
+// encodeResponse builds the canonical response body: ranking order comes
+// from the prediction (already deterministically tie-broken), floats render
+// with pinned shortest-round-trip bytes, and no map ever reaches the
+// encoder.
+func (s *Server) encodeResponse(snap *core.Snapshot, req Request, pred *core.Prediction, nodes int) ([]byte, error) {
+	top := req.Top
+	if top > len(pred.Ranking) {
+		top = len(pred.Ranking)
+	}
+	ranking := make([]RankEntry, 0, top)
+	for _, r := range pred.Ranking[:top] {
+		sec := pred.PredictedSec[r.VM]
+		ranking = append(ranking, RankEntry{
+			VM:           r.VM,
+			Score:        jsonFloat(r.Score),
+			PredictedSec: jsonFloat(sec),
+			PredictedUSD: jsonFloat(sec / 3600 * s.byName[r.VM].PriceHour * float64(nodes)),
+		})
+	}
+	return encodeResponse(&Response{
+		Target:        pred.Target,
+		Epoch:         snap.Epoch(),
+		Workloads:     snap.Workloads(),
+		Best:          pred.Best.Name,
+		Converged:     pred.Converged,
+		MatchDistance: jsonFloat(pred.MatchDistance),
+		OnlineRuns:    pred.OnlineRuns,
+		Ranking:       ranking,
+	})
+}

@@ -1,9 +1,16 @@
 package store
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
+	"unicode/utf8"
+
+	"vesta/internal/cloud"
+	"vesta/internal/metrics"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
 )
 
 // FuzzTraceCSV verifies the CSV trace parser never panics and either errors
@@ -35,6 +42,120 @@ func FuzzTraceCSV(f *testing.F) {
 		}
 		if tr.SampleSec <= 0 {
 			t.Fatalf("parser produced non-positive sample interval %v", tr.SampleSec)
+		}
+	})
+}
+
+// fuzzProfile builds a profile from fuzzed fields. The trace always carries
+// a NaN sample (collector dropout), which must survive persistence.
+func fuzzProfile(app, vm string, p90, mean, cost, run0 float64) sim.Profile {
+	tr := &metrics.Trace{SampleSec: 5, Dropped: 1}
+	for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
+		tr.Series[id] = []float64{0.5, math.NaN(), 0.25}
+	}
+	return sim.Profile{
+		App:        workload.App{Name: app, Framework: "Fuzz", InputGB: 2},
+		VM:         cloud.VMType{Name: vm, PriceHour: 1},
+		Nodes:      4,
+		Runs:       []float64{run0},
+		P90Seconds: p90,
+		MeanSec:    mean,
+		CostUSD:    cost,
+		Trace:      tr,
+	}
+}
+
+// FuzzStoreRoundTrip feeds arbitrary app/VM names and (possibly non-finite)
+// measurements through Put. The store contract under fuzz: never panic; a
+// successful Put round-trips exactly through a reopen, including the NaN
+// samples of its trace; a failed Put (non-finite index fields are not
+// representable in the JSON index) leaves the store unchanged, reopenable,
+// and still accepting later records. Seed corpus lives in
+// testdata/fuzz/FuzzStoreRoundTrip.
+func FuzzStoreRoundTrip(f *testing.F) {
+	f.Add("Spark-lr", "c5.xlarge", 120.5, 110.25, 0.9, 118.0, true)
+	f.Add("", "", 0.0, 0.0, 0.0, 0.0, false)
+	f.Add("app/with/../traversal", "vm name:*?", math.Pi, 1e300, -5.0, 2.0, true)
+	f.Add("nan-p90", "vm", math.NaN(), 1.0, 1.0, 1.0, false)
+	f.Add("inf-cost", "vm", 1.0, 1.0, math.Inf(1), 1.0, true)
+	f.Add("bad\xffutf8", "vm\x00nul", 1.0, 1.0, 1.0, 1.0, true)
+
+	f.Fuzz(func(t *testing.T, app, vm string, p90, mean, cost, run0 float64, withTrace bool) {
+		dir := t.TempDir()
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = st.Put(fuzzProfile(app, vm, p90, mean, cost, run0), withTrace)
+		if err != nil {
+			// Rejection path: nothing persisted, nothing wedged.
+			if st.Len() != 0 {
+				t.Fatalf("failed Put left %d records in memory", st.Len())
+			}
+			re, err := Open(dir)
+			if err != nil {
+				t.Fatalf("store unopenable after failed Put: %v", err)
+			}
+			if re.Len() != 0 {
+				t.Fatalf("failed Put left %d records on disk", re.Len())
+			}
+			if err := st.Put(fuzzProfile("recovery", "vm", 1, 1, 1, 1), false); err != nil {
+				t.Fatalf("store rejects valid record after rollback: %v", err)
+			}
+			return
+		}
+
+		re, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen after Put: %v", err)
+		}
+		recs := re.Find(Query{})
+		if len(recs) != 1 {
+			t.Fatalf("found %d records, want 1", len(recs))
+		}
+		rec := recs[0]
+		// JSON coerces invalid UTF-8 to U+FFFD, so exact name fidelity is
+		// only promised for valid strings; the index must load either way.
+		if utf8.ValidString(app) && rec.App != app {
+			t.Fatalf("app %q round-tripped as %q", app, rec.App)
+		}
+		if utf8.ValidString(vm) && rec.VM != vm {
+			t.Fatalf("vm %q round-tripped as %q", vm, rec.VM)
+		}
+		for name, pair := range map[string][2]float64{
+			"p90":  {p90, rec.P90Seconds},
+			"mean": {mean, rec.MeanSec},
+			"cost": {cost, rec.CostUSD},
+			"run0": {run0, rec.Runs[0]},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("%s = %v round-tripped as %v", name, pair[0], pair[1])
+			}
+		}
+		if rec.Nodes != 4 || rec.InputGB != 2 {
+			t.Fatalf("fixed fields drifted: %+v", rec)
+		}
+
+		if !withTrace {
+			if rec.TraceFile != "" {
+				t.Fatalf("trace persisted without withTrace: %q", rec.TraceFile)
+			}
+			return
+		}
+		if rec.TraceFile == "" {
+			t.Fatal("withTrace Put recorded no trace file")
+		}
+		tr, err := re.LoadTrace(rec)
+		if err != nil {
+			t.Fatalf("loading trace back: %v", err)
+		}
+		if tr.Len() != 3 || tr.SampleSec != 5 {
+			t.Fatalf("trace shape = (%d samples, %vs)", tr.Len(), tr.SampleSec)
+		}
+		for id := metrics.SeriesID(0); id < metrics.NumSeries; id++ {
+			if tr.Series[id][0] != 0.5 || !math.IsNaN(tr.Series[id][1]) || tr.Series[id][2] != 0.25 {
+				t.Fatalf("series %v = %v: dropout NaN not preserved", id, tr.Series[id])
+			}
 		}
 	})
 }
