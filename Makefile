@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve
+.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve crash
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -91,3 +91,15 @@ fuzz:
 # results/serve.md (requests/sec vs worker count, cache on and off).
 bench-serve:
 	$(GO) test ./internal/serve -run xxx -bench BenchmarkServe -benchtime 200x
+
+# crash runs the durability crash-point matrix (DESIGN.md §11): every
+# byte-prefix truncation of a multi-record WAL, every injected fsync/rename
+# failure and power-cut offset inside checkpoint compaction, the recovery
+# edge cases, and the kill-and-restart serve round trip. Included in tier1
+# via the normal test run; this target isolates it for fast iteration on
+# the durable-state layer.
+crash:
+	$(GO) test -race ./internal/chaos -run 'TestFaultFS|TestOSFS'
+	$(GO) test -race ./internal/wal
+	$(GO) test -race ./internal/serve -run 'TestAbsorb|TestRecoveredServer'
+	$(GO) test -race ./internal/cli -run TestServeDurableRoundTrip

@@ -1,0 +1,313 @@
+// Filesystem fault injection: the durable-state layer (internal/wal) performs
+// every file operation through the small FS seam below, so tests can swap the
+// real filesystem for a FaultFS that injects the crash classes a production
+// service actually meets — power loss mid-write, a failed fsync, a failed
+// rename — at deterministic, enumerable points.
+//
+// The injection model follows the package's determinism contract: a FaultFS
+// decision depends only on the plan and on the operation counts accumulated so
+// far, never on wall-clock time or goroutine schedule. A counting pass with
+// the zero plan measures how many bytes/syncs/renames an operation performs;
+// the crash matrix then replays the operation once per enumerated fault point.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Injected fault sentinels. Callers match with errors.Is.
+var (
+	// ErrPowerCut is returned once the simulated power cut has tripped: the
+	// write that crossed the cut point wrote only its surviving prefix, and
+	// every later mutating operation fails.
+	ErrPowerCut = errors.New("chaos: simulated power cut")
+	// ErrInjectedFault is the base error of a single injected operation
+	// failure (fsync, rename, directory sync).
+	ErrInjectedFault = errors.New("chaos: injected fault")
+)
+
+// FS is the filesystem seam the durable-state layer does all its I/O through.
+// Implementations must return errors satisfying errors.Is(err, fs.ErrNotExist)
+// for missing files, mirroring the os package.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Create truncates or creates name for writing.
+	Create(name string) (File, error)
+	// Append opens (creating if absent) name for appending.
+	Append(name string) (File, error)
+	// Rename atomically moves oldpath over newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making a preceding rename durable
+	// across power loss.
+	SyncDir(dir string) error
+	// Size returns the current length of name in bytes.
+	Size(name string) (int64, error)
+}
+
+// File is a writable file handle with explicit durability control.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS returns the real filesystem.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error              { return os.MkdirAll(dir, 0o755) }
+func (osFS) ReadFile(name string) ([]byte, error)   { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+func (osFS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// FSPlan selects the deterministic filesystem fault points. The zero plan
+// injects nothing. All indices are 1-based so "the first" operation is
+// addressable; 0 disables that class.
+type FSPlan struct {
+	// CutAtByte is the index of the first written data byte that never
+	// reaches the filesystem: the write in flight keeps only its prefix, and
+	// the power cut trips — every later mutating operation (writes, syncs,
+	// renames, truncates, creates) fails with ErrPowerCut. CutAtByte 1 means
+	// nothing survives.
+	CutAtByte int64
+	// FailSync makes the Nth File.Sync call fail (once). The preceding
+	// writes stay in the page cache of the wrapped filesystem — the
+	// conservative model is that the data survived, and the caller must act
+	// as if it may not have.
+	FailSync int
+	// FailRename makes the Nth Rename call fail without renaming.
+	FailRename int
+	// FailSyncDir makes the Nth SyncDir call fail.
+	FailSyncDir int
+}
+
+// FSOps counts the operations a FaultFS has passed through (including the
+// faulted ones). A counting pass with the zero plan sizes the crash matrix.
+type FSOps struct {
+	WriteBytes int64
+	Syncs      int
+	Renames    int
+	SyncDirs   int
+}
+
+// FaultFS wraps an inner FS with the FSPlan's deterministic crash points.
+// It is safe for concurrent use; decisions depend only on the accumulated
+// operation counts.
+type FaultFS struct {
+	inner FS
+	plan  FSPlan
+
+	mu  sync.Mutex
+	ops FSOps
+	cut bool
+}
+
+// NewFaultFS wraps inner with plan's fault points.
+func NewFaultFS(inner FS, plan FSPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// Ops returns the operation counts accumulated so far.
+func (f *FaultFS) Ops() FSOps {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Cut reports whether the power cut has tripped.
+func (f *FaultFS) Cut() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cut
+}
+
+// checkAlive fails every mutating operation after the power cut.
+func (f *FaultFS) checkAlive() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cut {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// ReadFile stays available after the cut: recovery reads what survived.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FaultFS) Size(name string) (int64, error) { return f.inner.Size(name) }
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Append(name string) (File, error) {
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	if f.cut {
+		f.mu.Unlock()
+		return ErrPowerCut
+	}
+	f.ops.Renames++
+	inject := f.plan.FailRename > 0 && f.ops.Renames == f.plan.FailRename
+	f.mu.Unlock()
+	if inject {
+		return fmt.Errorf("%w: rename %s", ErrInjectedFault, newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.checkAlive(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	if f.cut {
+		f.mu.Unlock()
+		return ErrPowerCut
+	}
+	f.ops.SyncDirs++
+	inject := f.plan.FailSyncDir > 0 && f.ops.SyncDirs == f.plan.FailSyncDir
+	f.mu.Unlock()
+	if inject {
+		return fmt.Errorf("%w: syncdir %s", ErrInjectedFault, dir)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads writes and syncs through the owning FaultFS's budget.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	if w.fs.cut {
+		w.fs.mu.Unlock()
+		return 0, ErrPowerCut
+	}
+	keep := len(p)
+	if c := w.fs.plan.CutAtByte; c > 0 {
+		// Bytes are numbered from 1; byte c and beyond are lost. The cut trips
+		// only when this write actually reaches byte c — a write ending exactly
+		// at byte c-1 succeeds in full, so an append either survives complete
+		// (and is acknowledged) or loses its tail (and is not).
+		if remaining := c - 1 - w.fs.ops.WriteBytes; int64(keep) > remaining {
+			if remaining < 0 {
+				remaining = 0
+			}
+			keep = int(remaining)
+			w.fs.cut = true
+		}
+	}
+	w.fs.ops.WriteBytes += int64(keep)
+	cut := w.fs.cut
+	w.fs.mu.Unlock()
+
+	n := 0
+	if keep > 0 {
+		var err error
+		n, err = w.inner.Write(p[:keep])
+		if err != nil {
+			return n, err
+		}
+	}
+	if cut {
+		return n, ErrPowerCut
+	}
+	return n, nil
+}
+
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	if w.fs.cut {
+		w.fs.mu.Unlock()
+		return ErrPowerCut
+	}
+	w.fs.ops.Syncs++
+	inject := w.fs.plan.FailSync > 0 && w.fs.ops.Syncs == w.fs.plan.FailSync
+	w.fs.mu.Unlock()
+	if inject {
+		return fmt.Errorf("%w: fsync", ErrInjectedFault)
+	}
+	return w.inner.Sync()
+}
+
+// Close always reaches the inner file so the test directory is not left with
+// leaked descriptors, even after a cut.
+func (w *faultFile) Close() error { return w.inner.Close() }

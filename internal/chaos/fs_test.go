@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSFSRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	osfs := OSFS()
+	dir := filepath.Join(root, "a", "b")
+	if err := osfs.MkdirAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "f")
+	f, err := osfs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := osfs.Append(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := osfs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("contents = %q", data)
+	}
+	if n, err := osfs.Size(name); err != nil || n != 11 {
+		t.Fatalf("size = %d, %v", n, err)
+	}
+	if err := osfs.Truncate(name, 5); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ = osfs.ReadFile(name); string(data) != "hello" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	dst := filepath.Join(dir, "g")
+	if err := osfs.Rename(name, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := osfs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := osfs.ReadFile(name); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("renamed-away file readable: %v", err)
+	}
+	if err := osfs.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSZeroPlanPassesThroughAndCounts(t *testing.T) {
+	root := t.TempDir()
+	ffs := NewFaultFS(OSFS(), FSPlan{})
+	name := filepath.Join(root, "f")
+	f, err := ffs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(name, name+"2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir(root); err != nil {
+		t.Fatal(err)
+	}
+	ops := ffs.Ops()
+	if ops.WriteBytes != 10 || ops.Syncs != 1 || ops.Renames != 1 || ops.SyncDirs != 1 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if ffs.Cut() {
+		t.Fatal("zero plan tripped the cut")
+	}
+}
+
+func TestFaultFSPowerCutKeepsPrefixThenFailsEverything(t *testing.T) {
+	root := t.TempDir()
+	ffs := NewFaultFS(OSFS(), FSPlan{CutAtByte: 5})
+	name := filepath.Join(root, "f")
+	f, err := ffs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write err = %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("surviving bytes = %d, want 4", n)
+	}
+	if !ffs.Cut() {
+		t.Fatal("cut not tripped")
+	}
+	// Every later mutating op fails; reads still work (recovery reads what
+	// survived).
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut write err = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut sync err = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(name, name+"2"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut rename err = %v", err)
+	}
+	if err := ffs.Truncate(name, 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut truncate err = %v", err)
+	}
+	if err := ffs.SyncDir(root); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut syncdir err = %v", err)
+	}
+	if _, err := ffs.Create(name + "3"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut create err = %v", err)
+	}
+	data, err := ffs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123" {
+		t.Fatalf("survived = %q, want 0123", data)
+	}
+}
+
+func TestFaultFSCutAtByteOneLosesEverything(t *testing.T) {
+	root := t.TempDir()
+	ffs := NewFaultFS(OSFS(), FSPlan{CutAtByte: 1})
+	f, err := ffs.Create(filepath.Join(root, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abc"))
+	if n != 0 || !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	f.Close()
+}
+
+func TestFaultFSFailsExactlyTheNthOp(t *testing.T) {
+	root := t.TempDir()
+	ffs := NewFaultFS(OSFS(), FSPlan{FailSync: 2, FailRename: 1, FailSyncDir: 2})
+	name := filepath.Join(root, "f")
+	f, err := ffs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("sync 2 = %v, want injected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	f.Close()
+	if err := ffs.Rename(name, name+"2"); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("rename 1 = %v, want injected", err)
+	}
+	// The injected rename did not move the file.
+	if _, err := os.Stat(name); err != nil {
+		t.Fatalf("source gone after injected rename: %v", err)
+	}
+	if err := ffs.Rename(name, name+"2"); err != nil {
+		t.Fatalf("rename 2: %v", err)
+	}
+	if err := ffs.SyncDir(root); err != nil {
+		t.Fatalf("syncdir 1: %v", err)
+	}
+	if err := ffs.SyncDir(root); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("syncdir 2 = %v, want injected", err)
+	}
+}
+
+// TestFaultFSDeterministic replays the same op sequence twice and demands
+// identical decisions — the FS extension of the package's pure-function
+// contract.
+func TestFaultFSDeterministic(t *testing.T) {
+	run := func(root string) (string, FSOps) {
+		ffs := NewFaultFS(OSFS(), FSPlan{CutAtByte: 23, FailSync: 1})
+		name := filepath.Join(root, "f")
+		var trace string
+		f, _ := ffs.Create(name)
+		for i := 0; i < 5; i++ {
+			_, werr := f.Write([]byte("0123456789"))
+			serr := f.Sync()
+			trace += errString(werr) + "|" + errString(serr) + ";"
+		}
+		f.Close()
+		return trace, ffs.Ops()
+	}
+	t1, o1 := run(t.TempDir())
+	t2, o2 := run(t.TempDir())
+	if t1 != t2 || o1 != o2 {
+		t.Fatalf("non-deterministic fault decisions:\n %s %+v\n %s %+v", t1, o1, t2, o2)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

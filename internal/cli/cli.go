@@ -11,6 +11,12 @@
 //	vesta predict  -knowledge K -app A         predict the best VM for a target
 //	vesta serve    -knowledge K -addr HOST:P   serve predictions over HTTP/JSON
 //
+// serve accepts -state-dir DIR to make absorbed serving state durable: every
+// POST /absorb is write-ahead logged and fsynced before it is published,
+// startup recovers base + checkpoint + WAL (truncating a torn tail), and
+// SIGINT/SIGTERM drain in-flight requests then write a final checkpoint
+// (DESIGN.md §11).
+//
 // profile and predict accept -fault-rate R and -retries N to rehearse the
 // pipeline under deterministic infrastructure fault injection (spot
 // preemption, launch failures, stragglers, OOM kills, sampler dropout) with

@@ -1,25 +1,36 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"vesta/internal/cloud"
 	"vesta/internal/core"
 	"vesta/internal/serve"
 	"vesta/internal/sim"
+	"vesta/internal/wal"
 )
 
 // serveListen starts the HTTP server; swapped out by tests so cmdServe can
 // be exercised without binding a real port.
 var serveListen = func(srv *http.Server) error { return srv.ListenAndServe() }
 
-// cmdServe loads a knowledge file and serves predictions over HTTP/JSON
-// until the listener fails (Ctrl-C). Responses are byte-identical for a
-// given (snapshot, request) at every -workers value and cache state.
+// drainTimeout bounds how long a signalled shutdown waits for in-flight
+// HTTP requests before closing connections.
+const drainTimeout = 30 * time.Second
+
+// cmdServe loads a knowledge file and serves predictions over HTTP/JSON.
+// Responses are byte-identical for a given (snapshot, request) at every
+// -workers value and cache state. With -state-dir the absorbed serving state
+// is durable (DESIGN.md §11): startup recovers base + checkpoint + WAL, and
+// SIGINT/SIGTERM drain in-flight requests through the ErrShuttingDown path,
+// then write a final checkpoint instead of dying mid-request.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(errW)
@@ -32,6 +43,7 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache", 1024, "LRU response cache entries (0 = default, use -no-cache to disable)")
 	noCache := fs.Bool("no-cache", false, "disable the response cache")
 	nodes := fs.Int("nodes", 4, "cluster size of the per-request measurement simulator")
+	stateDir := fs.String("state-dir", "", "durable state directory (WAL + checkpoints); empty serves in-memory only")
 	tracePath := fs.String("trace", "", "write deterministic trace records to this JSONL file on shutdown")
 	verbose := fs.Bool("v", false, "stream verbose progress (batch shapes, wall timings) to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +66,27 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	var mgr *wal.Manager
+	var durable serve.WriteAheadLog
+	if *stateDir != "" {
+		mgr, snap, err = wal.Open(snap, wal.Config{Dir: *stateDir, Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		defer mgr.Close()
+		durable = mgr
+		st := mgr.Stats()
+		fmt.Fprintf(outW, "durable state %s: recovered epoch %d (%d replayed", *stateDir, st.Epoch, st.Replayed)
+		if st.TornTailBytes > 0 {
+			fmt.Fprintf(outW, ", %d-byte torn tail truncated", st.TornTailBytes)
+		}
+		if st.Quarantined > 0 {
+			fmt.Fprintf(outW, ", %d checkpoint quarantined", st.Quarantined)
+		}
+		fmt.Fprintf(outW, ")\n")
+	}
+
 	server, err := serve.New(snap, serve.Config{
 		Workers:   *workers,
 		QueueSize: *queue,
@@ -62,17 +95,52 @@ func cmdServe(args []string) error {
 		NoCache:   *noCache,
 		SimConfig: sim.Config{Nodes: *nodes},
 		Tracer:    tracer,
+		WAL:       durable,
 	})
 	if err != nil {
 		return err
 	}
-	defer server.Close()
+	defer server.Close() // idempotent; covers the early-error returns below
 	fmt.Fprintf(outW, "serving knowledge from %s (epoch %d, %d workloads) on http://%s\n",
 		*knowledgeFile, snap.Epoch(), snap.Workloads(), *addr)
-	fmt.Fprintf(outW, "endpoints: POST /predict, GET /healthz, GET /stats\n")
+	fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, GET /healthz, GET /stats\n")
 	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	if err := serveListen(httpSrv); err != nil && err != http.ErrServerClosed {
-		return err
+
+	// Trap SIGINT/SIGTERM: stop accepting connections, drain in-flight
+	// requests, then fall through to the queue drain + final checkpoint
+	// below — the process never dies mid-request or mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	listenErr := make(chan error, 1)
+	go func() { listenErr <- serveListen(httpSrv) }()
+	select {
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		fmt.Fprintf(outW, "signal received; draining...\n")
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		err = httpSrv.Shutdown(drainCtx)
+		cancel()
+		if lerr := <-listenErr; lerr != nil && lerr != http.ErrServerClosed && err == nil {
+			err = lerr
+		}
+		if err != nil {
+			return err
+		}
+	case err := <-listenErr:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+	}
+
+	// Drain the admission queue (already-queued predictions complete, new
+	// ones get ErrShuttingDown), then persist the final state.
+	server.Close()
+	if mgr != nil {
+		final := server.Snapshot()
+		if err := mgr.Checkpoint(final); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Fprintf(outW, "final checkpoint at epoch %d (%d workloads)\n", final.Epoch(), final.Workloads())
 	}
 	return writeTrace(tracer, *tracePath)
 }

@@ -3,8 +3,10 @@ package cli
 import (
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -67,5 +69,96 @@ func TestServeCommandErrors(t *testing.T) {
 	// Flag errors are reported, not fatal to the process.
 	if code, _, _ := run("serve", "-bogus-flag"); code != 1 {
 		t.Fatal("bogus flag accepted")
+	}
+}
+
+// TestServeDurableRoundTrip is the kill-and-restart acceptance test: serve
+// with -state-dir, absorb two targets, deliver a real SIGINT, and check that
+// a second serve run recovers the absorbed state and answers the same predict
+// request with byte-identical bodies.
+func TestServeDurableRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full offline phase is expensive")
+	}
+	tmp := t.TempDir()
+	kfile := filepath.Join(tmp, "k.json")
+	stateDir := filepath.Join(tmp, "state")
+	if code, _, stderr := run("profile", "-out", kfile, "-k", "9"); code != 0 {
+		t.Fatalf("profile exit=%d stderr=%q", code, stderr)
+	}
+
+	orig := serveListen
+	defer func() { serveListen = orig }()
+
+	do := func(srv *http.Server, method, path, body string) (int, string) {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.Handler.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	// Run 1: absorb two targets, predict, then die by signal.
+	var run1Predict string
+	serveListen = func(srv *http.Server) error {
+		for _, body := range []string{
+			`{"name":"t1","app":"Spark-kmeans","seed":7}`,
+			`{"name":"t2","app":"Spark-sort","seed":8}`,
+		} {
+			if code, resp := do(srv, http.MethodPost, "/absorb", body); code != http.StatusOK {
+				t.Errorf("absorb %s: status=%d body=%q", body, code, resp)
+			}
+		}
+		_, run1Predict = do(srv, http.MethodPost, "/predict", `{"app":"Spark-grep","top":5}`)
+		// A real SIGINT: the drain-then-checkpoint path, not a clean return.
+		done := make(chan struct{})
+		srv.RegisterOnShutdown(func() { close(done) })
+		if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+			t.Errorf("kill: %v", err)
+			return http.ErrServerClosed
+		}
+		<-done
+		return http.ErrServerClosed
+	}
+	code, stdout, stderr := run("serve", "-knowledge", kfile, "-state-dir", stateDir, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("serve run 1 exit=%d stderr=%q", code, stderr)
+	}
+	for _, want := range []string{
+		"durable state " + stateDir + ": recovered epoch 0 (0 replayed)",
+		"signal received; draining",
+		"final checkpoint at epoch 2 (15 workloads)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("run 1 stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(run1Predict, `"epoch":2`) {
+		t.Fatalf("run 1 predict body: %q", run1Predict)
+	}
+
+	// Run 2: recovery from the checkpoint, same bytes, conflicts remembered.
+	var health, run2Predict, absorbDup string
+	var dupCode int
+	serveListen = func(srv *http.Server) error {
+		_, health = do(srv, http.MethodGet, "/healthz", "")
+		_, run2Predict = do(srv, http.MethodPost, "/predict", `{"app":"Spark-grep","top":5}`)
+		dupCode, absorbDup = do(srv, http.MethodPost, "/absorb", `{"name":"t1","app":"Spark-kmeans","seed":7}`)
+		return http.ErrServerClosed
+	}
+	code, stdout, stderr = run("serve", "-knowledge", kfile, "-state-dir", stateDir, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("serve run 2 exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "durable state "+stateDir+": recovered epoch 2 (0 replayed)") {
+		t.Fatalf("run 2 recovery banner missing:\n%s", stdout)
+	}
+	if !strings.Contains(health, `"epoch":2`) || !strings.Contains(health, `"workloads":15`) {
+		t.Fatalf("run 2 health: %q", health)
+	}
+	if run2Predict != run1Predict {
+		t.Fatalf("recovered predict body differs:\nrun1: %q\nrun2: %q", run1Predict, run2Predict)
+	}
+	if dupCode != http.StatusConflict {
+		t.Fatalf("re-absorb status=%d body=%q, want 409", dupCode, absorbDup)
 	}
 }

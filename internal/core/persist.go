@@ -29,31 +29,21 @@ type knowledgeJSON struct {
 	OfflineRuns       int                           `json:"offline_runs"`
 }
 
-// SaveKnowledge writes the trained knowledge to w as JSON. It fails if the
-// system has not been trained.
-func (s *System) SaveKnowledge(w io.Writer) error {
-	k := s.knowledge
-	if k == nil {
-		return fmt.Errorf("vesta: SaveKnowledge before TrainOffline")
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(knowledgeJSON{
+// knowledgeToJSON projects the trained knowledge onto its serialization
+// schema. Shared by SaveKnowledge and the snapshot codec.
+func knowledgeToJSON(k *Knowledge) knowledgeJSON {
+	return knowledgeJSON{
 		Labels: k.Labels, Kept: k.Kept, Centroids: k.KM.Centroids,
 		Graph: k.Graph, SourceNames: k.SourceNames, SourceVecs: k.SourceVecs,
 		SourceMemberships: k.SourceMemberships, Sigma: k.Sigma,
 		BestTimes: k.BestTimes, Times: k.Times, OfflineRuns: k.OfflineRuns,
-	})
+	}
 }
 
-// LoadKnowledge restores previously saved knowledge into the system,
-// replacing any trained state. The system's catalog must contain every VM
-// the knowledge references.
-func (s *System) LoadKnowledge(r io.Reader) error {
-	var kj knowledgeJSON
-	if err := json.NewDecoder(r).Decode(&kj); err != nil {
-		return fmt.Errorf("vesta: decoding knowledge: %w", err)
-	}
+// setKnowledgeFromJSON validates a decoded schema against the system's
+// catalog and installs it as the trained state. Shared by LoadKnowledge and
+// the snapshot codec.
+func (s *System) setKnowledgeFromJSON(kj knowledgeJSON) error {
 	if len(kj.Labels) == 0 || len(kj.Centroids) == 0 || kj.Graph == nil {
 		return fmt.Errorf("vesta: knowledge file is incomplete")
 	}
@@ -78,4 +68,26 @@ func (s *System) LoadKnowledge(r io.Reader) error {
 	// Keep the configured K consistent with the loaded model.
 	s.cfg.K = km.K
 	return nil
+}
+
+// SaveKnowledge writes the trained knowledge to w as JSON. It fails if the
+// system has not been trained.
+func (s *System) SaveKnowledge(w io.Writer) error {
+	if s.knowledge == nil {
+		return fmt.Errorf("vesta: SaveKnowledge before TrainOffline")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(knowledgeToJSON(s.knowledge))
+}
+
+// LoadKnowledge restores previously saved knowledge into the system,
+// replacing any trained state. The system's catalog must contain every VM
+// the knowledge references.
+func (s *System) LoadKnowledge(r io.Reader) error {
+	var kj knowledgeJSON
+	if err := json.NewDecoder(r).Decode(&kj); err != nil {
+		return fmt.Errorf("vesta: decoding knowledge: %w", err)
+	}
+	return s.setKnowledgeFromJSON(kj)
 }

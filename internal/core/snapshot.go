@@ -66,6 +66,13 @@ func (sn *Snapshot) Workloads() int {
 	return len(sn.sys.knowledge.Graph.Workloads())
 }
 
+// HasWorkload reports whether name is already a workload node in the
+// snapshot's knowledge graph — the duplicate check Absorb enforces, exposed
+// so callers can reject early with a typed error.
+func (sn *Snapshot) HasWorkload(name string) bool {
+	return sn.sys.knowledge.Graph.HasWorkload(name)
+}
+
 // Config returns the effective configuration frozen into the snapshot.
 func (sn *Snapshot) Config() Config { return sn.sys.cfg }
 

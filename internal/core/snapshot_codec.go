@@ -1,0 +1,57 @@
+// Snapshot serialization: the durable serving layer (internal/wal) persists
+// the published snapshot into checksummed checkpoints and must restore it —
+// epoch included — after a crash. The codec reuses the knowledge schema of
+// persist.go and adds the epoch, so a decoded snapshot is indistinguishable
+// from the one that was encoded: same consistency token (epoch, workloads),
+// byte-identical predictions, and the same behaviour under further Absorbs
+// (AbsorbTarget refits K-Means from the persisted source vectors).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vesta/internal/cloud"
+)
+
+// snapshotJSON is the serialization schema of a Snapshot: the publication
+// epoch plus the knowledge schema shared with SaveKnowledge/LoadKnowledge.
+type snapshotJSON struct {
+	Epoch     uint64        `json:"epoch"`
+	Knowledge knowledgeJSON `json:"knowledge"`
+}
+
+// Encode writes the snapshot's state to w as deterministic JSON: field order
+// follows the schema structs and map keys are sorted by encoding/json, so
+// equal snapshots encode to equal bytes — the property the crash-recovery
+// tests use as a state fingerprint.
+func (sn *Snapshot) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(snapshotJSON{Epoch: sn.epoch, Knowledge: knowledgeToJSON(sn.sys.knowledge)})
+}
+
+// DecodeSnapshot reconstructs an encoded snapshot. cfg and catalog play the
+// role they play in New: the catalog must contain every VM the knowledge
+// references, and cfg carries the seed the absorb-time K-Means refits draw
+// from — pass the same configuration the encoding system ran with, or
+// recovered state will diverge from the pre-crash state on the next Absorb.
+func DecodeSnapshot(r io.Reader, cfg Config, catalog []cloud.VMType) (*Snapshot, error) {
+	var sj snapshotJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("vesta: decoding snapshot: %w", err)
+	}
+	sys, err := New(cfg, catalog)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.setKnowledgeFromJSON(sj.Knowledge); err != nil {
+		return nil, err
+	}
+	sn, err := sys.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	sn.epoch = sj.Epoch
+	return sn, nil
+}

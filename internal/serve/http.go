@@ -46,6 +46,8 @@ func httpStatus(err error) (int, string) {
 		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrUnknownApp):
 		return http.StatusNotFound, "unknown_app"
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict, "conflict"
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrShuttingDown):
@@ -77,20 +79,28 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
-// decodeRequest parses a predict body strictly: unknown fields, trailing
+// decodeBody parses a request body strictly into v: unknown fields, trailing
 // garbage, wrong JSON types, and oversized bodies all map to ErrBadRequest,
 // so the fuzz contract ("malformed bodies never panic, always a typed
 // error") holds at the decode boundary.
-func decodeRequest(r *http.Request) (Request, error) {
+func decodeBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	var req Request
-	if err := dec.Decode(&req); err != nil {
-		return Request{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	// A second decode must see EOF; anything else is trailing garbage.
 	if dec.More() {
-		return Request{}, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+		return fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	return nil
+}
+
+// decodeRequest parses a predict body strictly (see decodeBody).
+func decodeRequest(r *http.Request) (Request, error) {
+	var req Request
+	if err := decodeBody(r, &req); err != nil {
+		return Request{}, err
 	}
 	return req, nil
 }
@@ -98,11 +108,15 @@ func decodeRequest(r *http.Request) (Request, error) {
 // Handler returns the HTTP/JSON front-end:
 //
 //	POST /predict  {"app": "...", "seed": 1, "top": 10, "input_gb": 0}
+//	POST /absorb   {"name": "...", "app": "...", "seed": 1}
 //	GET  /healthz  liveness plus the published epoch/consistency token
 //	GET  /stats    operational counters (queue depth, cache hit rate, ...)
 //
 // Predict bodies are exactly the server's canonical bytes — byte-identical
 // for a given (snapshot, request) whatever the worker count or cache state.
+// Absorb completes the named application online and folds it into the
+// knowledge graph (durably, when the server has a WAL); re-absorbing a name
+// answers 409.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
@@ -120,6 +134,19 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
+	})
+	mux.HandleFunc("POST /absorb", func(w http.ResponseWriter, r *http.Request) {
+		var req AbsorbRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		resp, err := s.AbsorbApp(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()

@@ -156,3 +156,94 @@ func TestHTTPOversizedBody(t *testing.T) {
 		t.Fatalf("oversized body status = %d, want 400", rec.Code)
 	}
 }
+
+func postAbsorb(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/absorb", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHTTPAbsorb(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	rec := postAbsorb(t, h, `{"name":"t1","app":"Spark-kmeans","seed":7}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var resp AbsorbResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != "t1" || resp.Epoch != 1 || resp.Workloads != baseWorkloads+1 {
+		t.Fatalf("absorb response = %+v", resp)
+	}
+	if resp.Durable {
+		t.Fatal("in-memory server reported durable")
+	}
+
+	// Responses now carry the advanced consistency token.
+	pr := postPredict(t, h, `{"app":"Spark-lr"}`)
+	if pr.Code != http.StatusOK {
+		t.Fatalf("predict status = %d", pr.Code)
+	}
+	presp, err := decodeResponse(pr.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.Epoch != 1 || presp.Workloads != baseWorkloads+1 {
+		t.Fatalf("post-absorb token = (%d, %d)", presp.Epoch, presp.Workloads)
+	}
+}
+
+func TestHTTPAbsorbErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	if rec := postAbsorb(t, h, `{"name":"dup","app":"Spark-sort"}`); rec.Code != http.StatusOK {
+		t.Fatalf("setup absorb failed: %s", rec.Body.String())
+	}
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantErr  string
+	}{
+		{"duplicate name", `{"name":"dup","app":"Spark-sort"}`, http.StatusConflict, "conflict"},
+		{"missing name", `{"app":"Spark-sort"}`, http.StatusBadRequest, "bad_request"},
+		{"missing app", `{"name":"t9"}`, http.StatusBadRequest, "bad_request"},
+		{"unknown app", `{"name":"t9","app":"no-such-app"}`, http.StatusNotFound, "unknown_app"},
+		{"unknown field", `{"name":"t9","app":"Spark-sort","nope":1}`, http.StatusBadRequest, "bad_request"},
+		{"not json", `hello`, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postAbsorb(t, h, tc.body)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantCode, rec.Body.String())
+			}
+			var e errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != tc.wantErr {
+				t.Fatalf("error body = %s, want code %q", rec.Body.String(), tc.wantErr)
+			}
+		})
+	}
+	// The failed absorbs moved nothing: still exactly one absorb applied.
+	if got := s.Snapshot().Epoch(); got != 1 {
+		t.Fatalf("epoch after rejected absorbs = %d, want 1", got)
+	}
+}
+
+func TestHTTPAbsorbShuttingDown(t *testing.T) {
+	s, err := New(testSnapshot(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	s.Close()
+	rec := postAbsorb(t, h, `{"name":"t1","app":"Spark-kmeans"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+}

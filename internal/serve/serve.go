@@ -18,6 +18,10 @@
 //   - A fixed-capacity LRU cache keyed by (snapshot epoch, request
 //     fingerprint) short-circuits repeated queries past the CMF solve. The
 //     epoch in the key makes hot-swaps self-invalidating.
+//   - With a configured write-ahead log (Config.WAL, DESIGN.md §11) the
+//     absorb path is durable: the record is appended and fsynced before the
+//     hot-swap publishes it, so a crash-restarted server recovers every
+//     absorbed workload instead of re-profiling it.
 //
 // Determinism contract: the response body is a pure function of (snapshot,
 // request). Worker count, batch formation, cache state, and concurrent
@@ -58,7 +62,24 @@ var (
 	// ErrBadRequest is returned for requests that fail validation before
 	// admission (missing app, negative input size, malformed body).
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrConflict is returned when an absorb names a workload already in the
+	// knowledge graph (HTTP 409).
+	ErrConflict = errors.New("serve: workload already absorbed")
 )
+
+// WriteAheadLog is the durability hook of the absorb path (implemented by
+// internal/wal.Manager). When configured, Absorb appends the record and waits
+// for the durable acknowledgement *before* publishing the new snapshot, so a
+// crash can never forget a state a response has already revealed; Committed
+// runs after the hot-swap and may compact the log.
+type WriteAheadLog interface {
+	// Append durably records one absorb; returning nil is the ack.
+	Append(name string, labelWeights, prunedVec []float64, epoch uint64) error
+	// Committed observes the published snapshot carrying the last appended
+	// record. An error here is operational (failed compaction), never a
+	// reason to unpublish: the record itself is already durable.
+	Committed(snap *core.Snapshot) error
+}
 
 // Config tunes the server. Zero values take the defaults noted per field.
 type Config struct {
@@ -89,6 +110,10 @@ type Config struct {
 	// serving trace is only byte-reproducible for sequential replays; the
 	// response bodies are always reproducible.
 	Tracer *obs.Tracer
+	// WAL, when non-nil, makes absorbed state durable (DESIGN.md §11): every
+	// Absorb is appended and fsynced through this hook before its snapshot is
+	// published. Nil serves in-memory only (restart loses absorbed targets).
+	WAL WriteAheadLog
 }
 
 func (c *Config) fillDefaults() {
@@ -177,14 +202,18 @@ type Stats struct {
 	QueueRejects int64  `json:"queue_rejects"`
 	Batches      int64  `json:"batches"`
 	MaxBatch     int64  `json:"max_batch"`
+	Canceled     int64  `json:"canceled"`
 	Swaps        int64  `json:"swaps"`
 	Epoch        uint64 `json:"epoch"`
 	Workloads    int    `json:"workloads"`
+	Durable      bool   `json:"durable"`
+	WALAppends   int64  `json:"wal_appends"`
 }
 
 type task struct {
 	req  Request // resolved: defaults filled
 	app  workload.App
+	ctx  context.Context // the requester's context; a canceled task is skipped, not computed
 	done chan taskResult
 }
 
@@ -213,6 +242,7 @@ type Server struct {
 	cache   *lruCache
 
 	requests, hits, misses, rejects, batches, maxBatch, swaps atomic.Int64
+	canceled, walAppends                                      atomic.Int64
 }
 
 // New builds a server over an initial snapshot and starts its dispatcher.
@@ -277,11 +307,102 @@ func (s *Server) Update(fn func(old *core.Snapshot) (*core.Snapshot, error)) err
 }
 
 // Absorb records a completed target into the knowledge graph copy-on-write
-// and hot-swaps the result — the serving form of core.AbsorbTarget.
+// and hot-swaps the result — the serving form of core.AbsorbTarget. With a
+// configured WAL the ordering is append → fsync ack → publish: the swap is
+// visible to readers only once the record is durable, so no response can
+// reveal a state a crash would forget.
 func (s *Server) Absorb(name string, labelWeights, prunedVec []float64) error {
-	return s.Update(func(old *core.Snapshot) (*core.Snapshot, error) {
-		return old.Absorb(name, labelWeights, prunedVec)
-	})
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	old := s.snap.Load()
+	if old.HasWorkload(name) {
+		return fmt.Errorf("%w: %q", ErrConflict, name)
+	}
+	next, err := old.Absorb(name, labelWeights, prunedVec)
+	if err != nil {
+		return err
+	}
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Append(name, labelWeights, prunedVec, next.Epoch()); err != nil {
+			return fmt.Errorf("serve: absorb %q not published: %w", name, err)
+		}
+		s.walAppends.Add(1)
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Count("serve.wal_appends", 1)
+		}
+	}
+	if err := s.Publish(next); err != nil {
+		return err
+	}
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Committed(next); err != nil {
+			// The record is durable and published; a failed compaction only
+			// delays log trimming. Surface it on the trace, not to the caller.
+			if s.cfg.Tracer.Enabled() {
+				s.cfg.Tracer.Event("serve/wal", "compaction failed: "+err.Error())
+			}
+		}
+	}
+	return nil
+}
+
+// AbsorbRequest asks the server to complete a target application online and
+// fold the result into the knowledge graph under Name.
+type AbsorbRequest struct {
+	// Name is the workload node recorded in the graph (required, unique).
+	Name string `json:"name"`
+	// App is the completed Table 3 application (required).
+	App string `json:"app"`
+	// InputGB overrides the application's input size when > 0.
+	InputGB float64 `json:"input_gb,omitempty"`
+	// Seed drives the online measurement stream; 0 takes the default seed 1.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// AbsorbResponse reports the post-absorb consistency token.
+type AbsorbResponse struct {
+	Name      string `json:"name"`
+	Epoch     uint64 `json:"epoch"`
+	Workloads int    `json:"workloads"`
+	Durable   bool   `json:"durable"`
+}
+
+// AbsorbApp runs the online predicting phase for the request's application
+// against the current snapshot and absorbs the completed target — the
+// control-plane flow behind POST /absorb. It bypasses the admission queue
+// (absorbs are rare and serialized) but honours shutdown.
+func (s *Server) AbsorbApp(req AbsorbRequest) (*AbsorbResponse, error) {
+	if req.Name == "" {
+		return nil, fmt.Errorf("%w: missing name", ErrBadRequest)
+	}
+	preq, app, err := s.resolve(Request{App: req.App, InputGB: req.InputGB, Seed: req.Seed})
+	if err != nil {
+		return nil, err
+	}
+	s.closeMu.RLock()
+	draining := s.draining
+	s.closeMu.RUnlock()
+	if draining {
+		return nil, ErrShuttingDown
+	}
+	snap := s.snap.Load()
+	if snap.HasWorkload(req.Name) {
+		return nil, fmt.Errorf("%w: %q", ErrConflict, req.Name)
+	}
+	pred, err := snap.Predict(app, s.meterFor(preq.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("serve: absorb %s: %w", req.App, err)
+	}
+	if err := s.Absorb(req.Name, pred.LabelWeights, pred.PrunedVec); err != nil {
+		return nil, err
+	}
+	cur := s.snap.Load()
+	return &AbsorbResponse{
+		Name:      req.Name,
+		Epoch:     cur.Epoch(),
+		Workloads: cur.Workloads(),
+		Durable:   s.cfg.WAL != nil,
+	}, nil
 }
 
 // Close drains the server: admission stops immediately (ErrShuttingDown),
@@ -336,7 +457,7 @@ func (s *Server) PredictBytes(ctx context.Context, req Request) ([]byte, error) 
 	if s.cfg.Tracer.Enabled() {
 		s.cfg.Tracer.Count("serve.requests", 1)
 	}
-	t := &task{req: req, app: app, done: make(chan taskResult, 1)}
+	t := &task{req: req, app: app, ctx: ctx, done: make(chan taskResult, 1)}
 	if err := s.enqueue(t); err != nil {
 		return nil, err
 	}
@@ -368,9 +489,12 @@ func (s *Server) Stats() Stats {
 		QueueRejects: s.rejects.Load(),
 		Batches:      s.batches.Load(),
 		MaxBatch:     s.maxBatch.Load(),
+		Canceled:     s.canceled.Load(),
 		Swaps:        s.swaps.Load(),
 		Epoch:        snap.Epoch(),
 		Workloads:    snap.Workloads(),
+		Durable:      s.cfg.WAL != nil,
+		WALAppends:   s.walAppends.Load(),
 	}
 	if s.cache != nil {
 		s.cacheMu.Lock()
@@ -449,7 +573,15 @@ func (s *Server) run(batch []*task) {
 
 // execute answers one task: capture the current snapshot, try the cache,
 // otherwise run the full online prediction and cache the canonical bytes.
+// A task whose requester has already gone away (canceled or timed-out
+// context) releases its worker slot immediately instead of computing a
+// response nobody reads.
 func (s *Server) execute(t *task) taskResult {
+	if err := t.ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		s.cfg.Tracer.Count("serve.canceled", 1)
+		return taskResult{err: err}
+	}
 	snap := s.snap.Load()
 	key := cacheKey{epoch: snap.Epoch(), fp: t.req.fingerprint()}
 	if s.cache != nil {

@@ -113,10 +113,45 @@ func (s *Store) flushLocked() error {
 		return err
 	}
 	tmp := s.idxPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
 		return fmt.Errorf("store: writing index: %w", err)
 	}
-	return os.Rename(tmp, s.idxPath)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing index: %w", err)
+	}
+	// fsync before the rename so the renamed file has contents, and fsync
+	// the parent directory after it so the rename itself survives power
+	// loss — without the directory sync the "atomic" write is only atomic
+	// against crashes of the process, not of the machine.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: fsyncing index: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing index: %w", err)
+	}
+	if err := os.Rename(tmp, s.idxPath); err != nil {
+		return fmt.Errorf("store: installing index: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory, making a preceding rename in it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening %s for sync: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("store: fsyncing %s: %w", dir, err)
+	}
+	return d.Close()
 }
 
 // Query filters records; zero-valued fields match everything.
@@ -224,6 +259,9 @@ func writeTraceCSV(path string, tr *metrics.Trace) (err error) {
 	if err = w.Error(); err != nil {
 		return err
 	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("store: fsyncing trace file: %w", err)
+	}
 	// Close errors are write errors on buffered filesystems — surface them
 	// instead of swallowing via defer.
 	if err = f.Close(); err != nil {
@@ -232,7 +270,7 @@ func writeTraceCSV(path string, tr *metrics.Trace) (err error) {
 	if err = os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("store: installing trace file: %w", err)
 	}
-	return nil
+	return syncDir(filepath.Dir(path))
 }
 
 // readTraceCSV parses a trace written by writeTraceCSV.

@@ -1,0 +1,273 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vesta/internal/chaos"
+)
+
+// copyDir clones a flat state directory so each crash trial starts from the
+// same on-disk prototype.
+func copyDir(t testing.TB, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("unexpected subdirectory %s in state dir", e.Name())
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// refEncodes returns the state fingerprint for every epoch in the fixture
+// chain.
+func refEncodes(t testing.TB) [][]byte {
+	t.Helper()
+	snaps, _ := fixture(t)
+	refs := make([][]byte, len(snaps))
+	for i, sn := range snaps {
+		refs[i] = encodeSnap(t, sn)
+	}
+	return refs
+}
+
+// TestEveryBytePrefixRecovers is the tentpole acceptance matrix: a crash can
+// leave any byte-prefix of the log on disk, and for every single prefix
+// recovery must (a) succeed, (b) land on an epoch no later than the last
+// durably acknowledged one, (c) reproduce that epoch's exact pre-crash state,
+// and (d) truncate the torn tail so the log is appendable again.
+func TestEveryBytePrefixRecovers(t *testing.T) {
+	snaps, recs := fixture(t)
+	refs := refEncodes(t)
+
+	var data []byte
+	boundaries := []int64{0} // byte offset after each durably acked record
+	for _, r := range recs {
+		data = append(data, mustFrame(t, r)...)
+		boundaries = append(boundaries, int64(len(data)))
+	}
+	lastAcked := uint64(len(recs))
+
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, logName)
+	for l := 0; l <= len(data); l++ {
+		if err := os.WriteFile(logPath, data[:l], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, snap, err := Open(snaps[0], Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("prefix %d: recovery failed: %v", l, err)
+		}
+		epoch := snap.Epoch()
+		if epoch > lastAcked {
+			t.Fatalf("prefix %d: recovered epoch %d beyond last ack %d", l, epoch, lastAcked)
+		}
+		// The recovered epoch is exactly the number of complete frames in the
+		// prefix: acked records survive, the torn record does not.
+		wantEpoch := uint64(0)
+		for int(wantEpoch) < len(recs) && boundaries[wantEpoch+1] <= int64(l) {
+			wantEpoch++
+		}
+		if epoch != wantEpoch {
+			t.Fatalf("prefix %d: recovered epoch %d, want %d", l, epoch, wantEpoch)
+		}
+		if got := encodeSnap(t, snap); !bytes.Equal(got, refs[epoch]) {
+			t.Fatalf("prefix %d: recovered state diverges from pre-crash epoch %d", l, epoch)
+		}
+		if st := m.Stats(); st.TornTailBytes != int64(l)-boundaries[epoch] {
+			t.Fatalf("prefix %d: torn tail %d, want %d", l, st.TornTailBytes, int64(l)-boundaries[epoch])
+		}
+		if n := logSize(t, dir); n != boundaries[epoch] {
+			t.Fatalf("prefix %d: log left at %d bytes, want %d", l, n, boundaries[epoch])
+		}
+		m.Close()
+	}
+}
+
+// appendCrashOffsets picks the power-cut positions for the append matrix:
+// every frame boundary ±1 plus a stride sweep, deduplicated and sorted by
+// construction.
+func appendCrashOffsets(total int64, boundaries []int64) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	add := func(c int64) {
+		if c >= 1 && c <= total+1 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	for c := int64(1); c <= total+1; c += 17 {
+		add(c)
+	}
+	for _, b := range boundaries {
+		add(b)
+		add(b + 1)
+		add(b + 2)
+	}
+	return out
+}
+
+// TestAppendPowerCutMatrix drives the writer side of the ack invariant: cut
+// the power at (a sweep of) byte positions during a run of appends and check
+// that exactly the acknowledged appends survive restart — never more, never
+// fewer — and that the cut manager refuses further work with ErrLogBroken.
+func TestAppendPowerCutMatrix(t *testing.T) {
+	snaps, recs := fixture(t)
+	refs := refEncodes(t)
+	var total int64
+	boundaries := []int64{0}
+	for _, r := range recs {
+		total += int64(len(mustFrame(t, r)))
+		boundaries = append(boundaries, total)
+	}
+
+	for _, cut := range appendCrashOffsets(total, boundaries) {
+		ffs := chaos.NewFaultFS(chaos.OSFS(), chaos.FSPlan{CutAtByte: cut})
+		dir := t.TempDir()
+		m, _, err := Open(snaps[0], Config{Dir: dir, FS: ffs})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		acked := uint64(0)
+		var lastErr error
+		for _, r := range recs {
+			if lastErr = m.Append(r.Name, r.LabelWeights, r.PrunedVec, r.Epoch); lastErr != nil {
+				break
+			}
+			acked++
+		}
+		if cut > total && (lastErr != nil || acked != uint64(len(recs))) {
+			t.Fatalf("cut %d beyond the run failed appends: acked %d, err %v", cut, acked, lastErr)
+		}
+		if cut <= total {
+			if lastErr == nil {
+				t.Fatalf("cut %d: all appends acknowledged through a power cut", cut)
+			}
+			// After a power cut the rollback fsync cannot succeed either: the
+			// manager must fail closed.
+			r := recs[0]
+			if err := m.Append(r.Name, r.LabelWeights, r.PrunedVec, m.Epoch()+1); !errors.Is(err, ErrLogBroken) {
+				t.Fatalf("cut %d: append after power cut = %v, want ErrLogBroken", cut, err)
+			}
+		}
+		m.Close()
+
+		m2, snap, err := Open(snaps[0], Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: recovery: %v", cut, err)
+		}
+		if snap.Epoch() != acked {
+			t.Fatalf("cut %d: recovered epoch %d, want %d acked", cut, snap.Epoch(), acked)
+		}
+		if got := encodeSnap(t, snap); !bytes.Equal(got, refs[acked]) {
+			t.Fatalf("cut %d: recovered state diverges from acked epoch %d", cut, acked)
+		}
+		m2.Close()
+	}
+}
+
+// TestCheckpointCrashMatrix injects a fault at every fsync, every rename, the
+// directory sync, and a sweep of power-cut byte positions inside checkpoint
+// compaction. Whatever the crash point, a clean restart must recover the full
+// acknowledged state — either from the installed checkpoint or from the
+// not-yet-trimmed log.
+func TestCheckpointCrashMatrix(t *testing.T) {
+	snaps, recs := fixture(t)
+	refs := refEncodes(t)
+	lastAcked := uint64(len(recs))
+
+	// Prototype state dir: three acked records, no checkpoint yet.
+	proto := t.TempDir()
+	m0, _ := mustOpen(t, snaps[0], Config{Dir: proto})
+	appendRecs(t, m0, recs)
+	m0.Close()
+
+	// Counting pass: run the checkpoint fault-free through a FaultFS to learn
+	// how many of each op it performs; the matrix then aims one fault at each.
+	cntDir := t.TempDir()
+	copyDir(t, proto, cntDir)
+	probe := chaos.NewFaultFS(chaos.OSFS(), chaos.FSPlan{})
+	mc, snapc, err := Open(snaps[0], Config{Dir: cntDir, FS: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Checkpoint(snapc); err != nil {
+		t.Fatal(err)
+	}
+	mc.Close()
+	ops := probe.Ops()
+	if ops.Syncs == 0 || ops.Renames == 0 || ops.SyncDirs == 0 || ops.WriteBytes == 0 {
+		t.Fatalf("counting pass saw no ops: %+v", ops)
+	}
+
+	type plan struct {
+		name string
+		p    chaos.FSPlan
+	}
+	var plans []plan
+	for i := 1; i <= ops.Syncs; i++ {
+		plans = append(plans, plan{fmt.Sprintf("fail-sync-%d", i), chaos.FSPlan{FailSync: i}})
+	}
+	for i := 1; i <= ops.Renames; i++ {
+		plans = append(plans, plan{fmt.Sprintf("fail-rename-%d", i), chaos.FSPlan{FailRename: i}})
+	}
+	for i := 1; i <= ops.SyncDirs; i++ {
+		plans = append(plans, plan{fmt.Sprintf("fail-syncdir-%d", i), chaos.FSPlan{FailSyncDir: i}})
+	}
+	stride := ops.WriteBytes / 23
+	if stride < 1 {
+		stride = 1
+	}
+	for c := int64(1); c <= ops.WriteBytes; c += stride {
+		plans = append(plans, plan{fmt.Sprintf("power-cut-%d", c), chaos.FSPlan{CutAtByte: c}})
+	}
+	plans = append(plans, plan{fmt.Sprintf("power-cut-%d", ops.WriteBytes), chaos.FSPlan{CutAtByte: ops.WriteBytes}})
+
+	for _, pl := range plans {
+		t.Run(pl.name, func(t *testing.T) {
+			dir := t.TempDir()
+			copyDir(t, proto, dir)
+			ffs := chaos.NewFaultFS(chaos.OSFS(), pl.p)
+			m, snap, err := Open(snaps[0], Config{Dir: dir, FS: ffs})
+			if err != nil {
+				t.Fatalf("open under plan: %v", err)
+			}
+			if cerr := m.Checkpoint(snap); cerr == nil {
+				t.Fatal("checkpoint succeeded through an injected crash point")
+			}
+			m.Close()
+
+			// Clean restart: whatever the checkpoint left behind, the
+			// acknowledged state must come back intact.
+			m2, snap2, err := Open(snaps[0], Config{Dir: dir})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer m2.Close()
+			if snap2.Epoch() != lastAcked {
+				t.Fatalf("recovered epoch %d, want %d", snap2.Epoch(), lastAcked)
+			}
+			if got := encodeSnap(t, snap2); !bytes.Equal(got, refs[lastAcked]) {
+				t.Fatal("recovered state diverges from the acknowledged state")
+			}
+			// And the recovered dir still checkpoints cleanly afterwards.
+			if err := m2.Checkpoint(snap2); err != nil {
+				t.Fatalf("post-recovery checkpoint: %v", err)
+			}
+		})
+	}
+}

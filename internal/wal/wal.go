@@ -1,0 +1,107 @@
+// Package wal is the durable-state subsystem of the serving layer. The
+// paper's Data Collector persists every profiling sample to MySQL precisely
+// so knowledge survives sessions (Section 4.1); this package gives the
+// in-memory serving snapshot the same property: every absorbed target
+// workload is appended to a write-ahead log and fsynced *before* the snapshot
+// hot-swap publishes it, and a periodic compaction folds the log into a
+// checksummed checkpoint. A process that crashes — or is killed, or loses
+// power mid-write — restarts into exactly the state it had durably
+// acknowledged, instead of re-profiling the targets the transfer-learned
+// knowledge already paid for.
+//
+// Durability model (DESIGN.md §11):
+//
+//   - Log records are length-prefixed, CRC32C-framed JSON. Replay stops at
+//     the first bad frame (short header, implausible length, checksum
+//     mismatch) and truncates that torn tail: a crash mid-append loses only
+//     the unacknowledged record being written.
+//   - Checkpoints are whole-state snapshots written write-temp → fsync →
+//     rename → fsync(dir), so the installed checkpoint is either the old one
+//     or the complete new one. The payload carries its own CRC32C; a
+//     mismatch at startup quarantines the file and rebuilds from base + WAL.
+//   - Compaction trims the log only after the covering checkpoint is durable
+//     (the compaction invariant: checkpoint ∪ log always reproduces every
+//     acknowledged record).
+//
+// All file I/O goes through the chaos.FS seam, so the crash-point matrix in
+// the tests can deterministically inject power cuts, failed fsyncs and failed
+// renames at every operation.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record is one durably logged absorb: exactly the arguments of
+// core.Snapshot.Absorb plus the epoch the absorb produced.
+type Record struct {
+	Name         string    `json:"name"`
+	LabelWeights []float64 `json:"label_weights"`
+	PrunedVec    []float64 `json:"pruned_vec"`
+	Epoch        uint64    `json:"epoch"`
+}
+
+// Frame layout: uint32 LE payload length, uint32 LE CRC32C of the payload,
+// then the JSON payload.
+const frameHeaderSize = 8
+
+// maxRecordBytes bounds a frame's declared payload length; anything larger
+// is treated as a torn/garbage header, not an allocation request.
+const maxRecordBytes = 16 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptRecord marks a frame whose checksum verified but whose payload
+// does not decode: the bytes are the bytes that were written, so this is not
+// a torn write — it is an unrecoverable log corruption (or a writer bug), and
+// recovery refuses to guess.
+var ErrCorruptRecord = errors.New("wal: corrupt record")
+
+// encodeFrame renders one record as a framed log entry.
+func encodeFrame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+	return frame, nil
+}
+
+// scanLog parses a log image into its records and the byte length of the
+// valid prefix. The torn-tail rule: parsing stops at the first frame whose
+// header is short, whose declared length exceeds the remaining bytes (or
+// maxRecordBytes), or whose CRC32C mismatches — everything from that offset
+// on is an unacknowledged tail to truncate. A CRC-valid frame that fails to
+// decode returns ErrCorruptRecord instead: those bytes were durably written,
+// so silently dropping them would break the durability contract.
+func scanLog(data []byte) ([]Record, int64, error) {
+	var recs []Record
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			return recs, off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if n > maxRecordBytes || frameHeaderSize+n > int64(len(rest)) {
+			return recs, off, nil
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return recs, off, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, fmt.Errorf("%w: frame at byte %d: %v", ErrCorruptRecord, off, err)
+		}
+		recs = append(recs, rec)
+		off += frameHeaderSize + n
+	}
+}
