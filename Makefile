@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve crash
+.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -88,9 +88,18 @@ fuzz:
 	$(GO) test ./internal/bipartite -run xxx -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME)
 
 # bench-serve reruns the serving-throughput sweep recorded in
-# results/serve.md (requests/sec vs worker count, cache on and off).
+# results/serve.md (requests/sec vs worker count, cache on and off, plus the
+# uncached-arm ladder: cold / warm / warm+memo / approx).
 bench-serve:
-	$(GO) test ./internal/serve -run xxx -bench BenchmarkServe -benchtime 200x
+	$(GO) test ./internal/serve -run xxx -bench 'BenchmarkServe|BenchmarkPredictNoCache' -benchtime 200x
+
+# bench-predict is the uncached-predict regression gate (DESIGN.md §12): a
+# benchstat-style before/after comparison of the legacy arm (cold solve, no
+# memoization) against the default precomputed-plan arm, in one binary,
+# failing when the fast path loses its margin (>10% regression of the
+# no-cache arm trips the floor).
+bench-predict:
+	VESTA_BENCH_PREDICT=1 $(GO) test ./internal/serve -run TestPredictHotPathGate -v -timeout 20m
 
 # crash runs the durability crash-point matrix (DESIGN.md §11): every
 # byte-prefix truncation of a multi-record WAL, every injected fsync/rename

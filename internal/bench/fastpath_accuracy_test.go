@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/stats"
+	"vesta/internal/workload"
+)
+
+// fig7Deviation reproduces the Figure 7 metric for one prediction mode: the
+// mean absolute deviation of (predicted/observed)x100% from 100 across the
+// 10 typical VM types for Spark-lr.
+func fig7Deviation(t *testing.T, env *Env, predicted map[string]float64, app workload.App) float64 {
+	t.Helper()
+	truth := env.Truth("eval17", evalApps())
+	var dev []float64
+	for _, vm := range cloud.TypicalTen(env.Catalog) {
+		obs, err := truth.Time(app.Name, vm.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev = append(dev, math.Abs(predicted[vm.Name]/obs*100-100))
+	}
+	return stats.Mean(dev)
+}
+
+// TestFastPathAccuracyVsFigure7 holds the warm-started fast path — and its
+// opt-in FreezeSource approximate mode — to the paper's Figure 7 accuracy
+// protocol: predicted vs observed execution time of Spark-lr on the 10
+// typical VM types. The warm path optimizes the same objective as the cold
+// solve and must stay within 2 percentage points of its mean deviation; the
+// approximate mode trades the source-factor updates away and is allowed 5
+// points. Both must also agree with the cold path on the best VM.
+func TestFastPathAccuracyVsFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full system")
+	}
+	env := NewEnv(1)
+	app, err := workload.ByName("Spark-lr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vesta := trainVesta(env, core.Config{})
+	snap, err := vesta.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := snap.Predict(app, env.Meter(0x70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := snap.PredictFast(app, env.Meter(0x70), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apx, err := snap.PredictFast(app, env.Meter(0x70), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldDev := fig7Deviation(t, env, cold.PredictedSec, app)
+	warmDev := fig7Deviation(t, env, warm.PredictedSec, app)
+	apxDev := fig7Deviation(t, env, apx.PredictedSec, app)
+	t.Logf("Figure 7 mean |deviation|: cold %.1f%%, warm %.1f%%, approx %.1f%%", coldDev, warmDev, apxDev)
+
+	if warmDev > coldDev+2 {
+		t.Errorf("warm fast path mean deviation %.1f%% exceeds cold %.1f%% by more than 2 points", warmDev, coldDev)
+	}
+	if apxDev > coldDev+5 {
+		t.Errorf("approximate mode mean deviation %.1f%% exceeds cold %.1f%% by more than 5 points", apxDev, coldDev)
+	}
+	for mode, p := range map[string]string{"warm": warm.Best.Name, "approx": apx.Best.Name} {
+		if p != cold.Best.Name {
+			t.Errorf("%s mode best VM %s, cold picked %s", mode, p, cold.Best.Name)
+		}
+	}
+}

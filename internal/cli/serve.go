@@ -42,6 +42,9 @@ func cmdServe(args []string) error {
 	batch := fs.Int("batch", 16, "max requests drained into one parallel batch")
 	cacheSize := fs.Int("cache", 1024, "LRU response cache entries (0 = default, use -no-cache to disable)")
 	noCache := fs.Bool("no-cache", false, "disable the response cache")
+	cold := fs.Bool("cold", false, "serve through the historical cold CMF solve instead of the precomputed-plan fast path")
+	approx := fs.Bool("approx", false, "approximate mode: freeze source factors, fit only the target row (cheaper, small accuracy tradeoff; ignored with -cold)")
+	profileCache := fs.Int("profile-cache", 0, "memoized-measurement LRU entries (0 = default 4096, negative disables memoization)")
 	nodes := fs.Int("nodes", 4, "cluster size of the per-request measurement simulator")
 	stateDir := fs.String("state-dir", "", "durable state directory (WAL + checkpoints); empty serves in-memory only")
 	tracePath := fs.String("trace", "", "write deterministic trace records to this JSONL file on shutdown")
@@ -88,14 +91,17 @@ func cmdServe(args []string) error {
 	}
 
 	server, err := serve.New(snap, serve.Config{
-		Workers:   *workers,
-		QueueSize: *queue,
-		BatchSize: *batch,
-		CacheSize: *cacheSize,
-		NoCache:   *noCache,
-		SimConfig: sim.Config{Nodes: *nodes},
-		Tracer:    tracer,
-		WAL:       durable,
+		Workers:          *workers,
+		QueueSize:        *queue,
+		BatchSize:        *batch,
+		CacheSize:        *cacheSize,
+		NoCache:          *noCache,
+		ColdStart:        *cold,
+		Approx:           *approx,
+		ProfileCacheSize: *profileCache,
+		SimConfig:        sim.Config{Nodes: *nodes},
+		Tracer:           tracer,
+		WAL:              durable,
 	})
 	if err != nil {
 		return err

@@ -25,6 +25,7 @@ package cmf
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"vesta/internal/mat"
 	"vesta/internal/obs"
@@ -87,6 +88,43 @@ type Config struct {
 	Tracer *obs.Tracer
 	// TraceKey namespaces this solve's records; defaults to "cmf".
 	TraceKey string
+	// Warm, when non-nil, seeds the solve from previously converged source
+	// factors: X, T and L start at Warm's values (cloned — the seed is never
+	// mutated) and only the target rows X* start cold, initialized at the
+	// closed-form ridge solution of their convex subproblem given Warm.L
+	// (random fallback when that system is singular). The alternating sweeps
+	// then run exactly as in a cold solve — same updates, same convergence
+	// test — so a warm solve optimizes the same Equation 6 objective and
+	// typically stabilizes in ~Patience epochs instead of hundreds. The
+	// result is a pure function of (problem, config, rng state) either way;
+	// warm-starting changes the trajectory, not the determinism contract.
+	Warm *Factors
+	// FreezeSource is the explicit opt-in approximate mode: with Warm set,
+	// the source factors X, T and L stay frozen and only the X* rows are
+	// fitted (epochs sweep the observed U* cells alone, and the tracked loss
+	// reduces to the target term lambda*SSE(U*) + Reg*|X*|^2). Orders of
+	// magnitude cheaper than a full solve, but the label geometry no longer
+	// adapts to the target at all — callers own the accuracy tradeoff.
+	// Rejected without Warm.
+	FreezeSource bool
+}
+
+// Factors is a warm-start seed for Solve: the converged source-side factor
+// matrices of a previous solve over the same U and V. Solve treats the seed
+// as immutable.
+type Factors struct {
+	X, T, L *mat.Matrix
+	// Epochs is how many epochs the seeding solve ran. A warm solve resumes
+	// the learning-rate decay schedule at this offset — restarting the decay
+	// from zero would take SGD steps ~(1+LRDecay*Epochs)x larger than the
+	// ones the seed converged under, re-inflating the noise ball and undoing
+	// the convergence the seed carries.
+	Epochs int
+}
+
+// Clone deep-copies the seed.
+func (f *Factors) Clone() *Factors {
+	return &Factors{X: f.X.Clone(), T: f.T.Clone(), L: f.L.Clone(), Epochs: f.Epochs}
 }
 
 // WithLambda returns a copy of the config with Lambda explicitly set, so
@@ -171,13 +209,73 @@ func (p Problem) Validate() error {
 	return nil
 }
 
+// cellRC is one observed cell with its row and column pre-resolved, so the
+// sweep inner loop never divides a flat index back into coordinates.
+type cellRC struct {
+	idx, r, c int32
+}
+
+// Prepared is a validated problem with its observed-cell lists prebuilt.
+// Building the lists costs one pass over every matrix; a caller that solves
+// the same problem repeatedly (the serving hot path: one prepared source
+// problem, one fresh target row per request) prepares once and solves many
+// times. A Prepared is immutable after construction and safe for concurrent
+// Solve calls.
+type Prepared struct {
+	prob                       Problem
+	cellsUStar, cellsU, cellsV []cellRC
+}
+
+// Prepare validates the problem and prebuilds its observed-cell lists.
+func Prepare(p Problem) (*Prepared, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		prob:       p,
+		cellsUStar: observedCells(p.UStar, p.Mask),
+		cellsU:     observedCells(p.U, nil),
+		cellsV:     observedCells(p.V, nil),
+	}, nil
+}
+
+// WithTarget returns a Prepared over the same (already indexed) source
+// matrices but a new target row matrix and mask — the per-request
+// specialization of a shared source problem. Only the U* cell list is
+// rebuilt; U's and V's are shared with the receiver.
+func (pr *Prepared) WithTarget(ustar, mask *mat.Matrix) (*Prepared, error) {
+	next := &Prepared{
+		prob:   Problem{U: pr.prob.U, V: pr.prob.V, UStar: ustar, Mask: mask},
+		cellsU: pr.cellsU,
+		cellsV: pr.cellsV,
+	}
+	if err := next.prob.Validate(); err != nil {
+		return nil, err
+	}
+	next.cellsUStar = observedCells(ustar, mask)
+	return next, nil
+}
+
+// scratchPool recycles the shuffle buffers of concurrent solves. Entries are
+// pointers to slices (the usual sync.Pool idiom avoiding per-Put allocation).
+var scratchPool = sync.Pool{New: func() any { s := make([]cellRC, 0, 1280); return &s }}
+
 // Solve runs the alternating SGD of Algorithm 1: each epoch fixes all factor
 // matrices but one and sweeps SGD updates over the relevant observed cells,
 // cycling X* -> X -> T -> L until the total loss stabilizes.
 func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
-	if err := p.Validate(); err != nil {
+	pr, err := Prepare(p)
+	if err != nil {
 		return nil, err
 	}
+	return pr.Solve(cfg, src)
+}
+
+// Solve runs the alternating SGD over the prepared problem. See Solve for
+// the algorithm and Config.Warm/Config.FreezeSource for the warm-start and
+// approximate modes.
+func (pr *Prepared) Solve(cfg Config, src *rng.Source) (*Result, error) {
+	p := pr.prob
 	cfg.fillDefaults()
 	if cfg.Lambda < 0 || cfg.Lambda > 1 || math.IsNaN(cfg.Lambda) {
 		return nil, fmt.Errorf("cmf: lambda %v out of [0,1]", cfg.Lambda)
@@ -188,27 +286,51 @@ func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
 	if cfg.LRDecay < 0 || math.IsNaN(cfg.LRDecay) {
 		return nil, fmt.Errorf("cmf: negative learning-rate decay %v", cfg.LRDecay)
 	}
+	if cfg.FreezeSource && cfg.Warm == nil {
+		return nil, fmt.Errorf("cmf: FreezeSource requires Warm factors")
+	}
 
 	g := cfg.LatentDim
 	j := p.U.Cols
-	res := &Result{
-		X:     randomFactor(p.U.Rows, g, src),
-		XStar: randomFactor(p.UStar.Rows, g, src),
-		T:     randomFactor(p.V.Rows, g, src),
-		L:     randomFactor(j, g, src),
+	var res *Result
+	epochOffset := 0
+	if cfg.Warm != nil {
+		w := cfg.Warm
+		if w.X == nil || w.T == nil || w.L == nil ||
+			w.X.Rows != p.U.Rows || w.X.Cols != g ||
+			w.T.Rows != p.V.Rows || w.T.Cols != g ||
+			w.L.Rows != j || w.L.Cols != g {
+			return nil, fmt.Errorf("cmf: warm factor shapes do not match problem/latent dim %d", g)
+		}
+		if w.Epochs < 0 {
+			return nil, fmt.Errorf("cmf: negative warm epoch offset %d", w.Epochs)
+		}
+		epochOffset = w.Epochs
+		res = &Result{X: w.X.Clone(), T: w.T.Clone(), L: w.L.Clone()}
+		res.XStar = initTargetRows(p, pr.cellsUStar, res.L, cfg, src)
+	} else {
+		// Cold start: the draw order X, X*, T, L is part of the determinism
+		// contract (it pins the rng stream of every historical solve).
+		res = &Result{
+			X:     randomFactor(p.U.Rows, g, src),
+			XStar: randomFactor(p.UStar.Rows, g, src),
+			T:     randomFactor(p.V.Rows, g, src),
+			L:     randomFactor(j, g, src),
+		}
 	}
 
-	// The observed-cell index lists are fixed for the whole solve (the mask
-	// never changes), so they are built once here instead of once per sweep —
-	// the epoch loop below runs 6 sweeps x up to MaxEpochs, and rebuilding
-	// plus re-appending them dominated small solves. Each sweep still starts
-	// from the same ascending order (copied into a scratch buffer) before
-	// shuffling, so the rng draws land on identical starting permutations and
-	// the factorization stays bit-identical to the per-sweep rebuild.
-	cellsUStar := observedCells(p.UStar, p.Mask)
-	cellsU := observedCells(p.U, nil)
-	cellsV := observedCells(p.V, nil)
-	scratch := make([]int, maxLen(len(cellsUStar), len(cellsU), len(cellsV)))
+	// The observed-cell lists are fixed for the whole solve (the mask never
+	// changes), prebuilt in Prepare. Each sweep copies the ascending base
+	// list into a pooled scratch buffer and shuffles the copy, so the rng
+	// draws land on identical starting permutations every pass and the
+	// factorization stays bit-identical to the historical per-sweep rebuild.
+	scratchp := scratchPool.Get().(*[]cellRC)
+	maxCells := maxLen(len(pr.cellsUStar), len(pr.cellsU), len(pr.cellsV))
+	if cap(*scratchp) < maxCells {
+		*scratchp = make([]cellRC, 0, maxCells)
+	}
+	scratch := (*scratchp)[:maxCells]
+	defer scratchPool.Put(scratchp)
 
 	var lossKey, lrKey string
 	if cfg.Tracer.Enabled() {
@@ -222,26 +344,36 @@ func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
 	best := math.Inf(1)
 	stagnant := 0
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
-		// Decayed step size keeps late epochs from oscillating.
-		cfgE := cfg
-		cfgE.LearnRate = cfg.LearnRate / (1 + cfg.LRDecay*float64(epoch))
+		// Decayed step size keeps late epochs from oscillating; a warm solve
+		// resumes the schedule at the seed's epoch count (see Factors.Epochs).
+		lrE := cfg.LearnRate / (1 + cfg.LRDecay*float64(epochOffset+epoch))
 		// Line 8: fix U (X) and V (T), update U*'s factors.
-		sweep(p.UStar, cellsUStar, scratch, res.XStar, res.L, cfg.Lambda, cfgE, src, true, false)
-		// Line 9: fix U* and V, update U's factors.
-		sweep(p.U, cellsU, scratch, res.X, res.L, 1-cfg.Lambda, cfgE, src, true, false)
-		// Line 10: fix U and U*, update V's factors.
-		sweep(p.V, cellsV, scratch, res.T, res.L, 1-cfg.Lambda, cfgE, src, true, false)
-		// Shared label factors see every relation.
-		sweep(p.UStar, cellsUStar, scratch, res.XStar, res.L, cfg.Lambda, cfgE, src, false, true)
-		sweep(p.U, cellsU, scratch, res.X, res.L, 1-cfg.Lambda, cfgE, src, false, true)
-		sweep(p.V, cellsV, scratch, res.T, res.L, 1-cfg.Lambda, cfgE, src, false, true)
+		sweep(p.UStar, pr.cellsUStar, scratch, res.XStar, res.L, cfg.Lambda, lrE, cfg.Reg, src, true, false)
+		if !cfg.FreezeSource {
+			// Line 9: fix U* and V, update U's factors.
+			sweep(p.U, pr.cellsU, scratch, res.X, res.L, 1-cfg.Lambda, lrE, cfg.Reg, src, true, false)
+			// Line 10: fix U and U*, update V's factors.
+			sweep(p.V, pr.cellsV, scratch, res.T, res.L, 1-cfg.Lambda, lrE, cfg.Reg, src, true, false)
+			// Shared label factors see every relation.
+			sweep(p.UStar, pr.cellsUStar, scratch, res.XStar, res.L, cfg.Lambda, lrE, cfg.Reg, src, false, true)
+			sweep(p.U, pr.cellsU, scratch, res.X, res.L, 1-cfg.Lambda, lrE, cfg.Reg, src, false, true)
+			sweep(p.V, pr.cellsV, scratch, res.T, res.L, 1-cfg.Lambda, lrE, cfg.Reg, src, false, true)
+		}
 
-		loss := totalLoss(p, res, cfg)
+		var loss float64
+		if cfg.FreezeSource {
+			// Approximate mode tracks only the target term: the frozen
+			// source reconstruction is a constant that would swamp the
+			// relative-improvement convergence test.
+			loss = cfg.Lambda*maskedSSE(p.UStar, p.Mask, res.XStar, res.L) + cfg.Reg*sq(res.XStar)
+		} else {
+			loss = totalLoss(p, res, cfg)
+		}
 		res.Loss = append(res.Loss, loss)
 		res.Epochs = epoch + 1
 		if lossKey != "" {
 			cfg.Tracer.Gauge(lossKey, epoch, loss)
-			cfg.Tracer.Gauge(lrKey, epoch, cfgE.LearnRate)
+			cfg.Tracer.Gauge(lrKey, epoch, lrE)
 		}
 		if loss < best*(1-cfg.Tol) {
 			best = loss
@@ -267,14 +399,58 @@ func Solve(p Problem, cfg Config, src *rng.Source) (*Result, error) {
 	return res, nil
 }
 
-// observedCells lists the flat indices of target's observed cells (all of
-// them for a nil mask), in ascending order.
-func observedCells(target, mask *mat.Matrix) []int {
+// initTargetRows places the cold X* rows of a warm-started solve at the
+// closed-form ridge solution of their convex subproblem given the warm L:
+// per row r, minimize lambda*sum_obs (u*_rc - x.L_c)^2 + Reg*|x|^2, i.e.
+// solve (lambda*Lo^T Lo + Reg*I) x = lambda*Lo^T u*_o over the observed
+// columns o. Rows whose system is singular (or with no observed cells) fall
+// back to the historical random initialization, drawing from src.
+func initTargetRows(p Problem, cells []cellRC, l *mat.Matrix, cfg Config, src *rng.Source) *mat.Matrix {
+	g := cfg.LatentDim
+	xstar := mat.New(p.UStar.Rows, g)
+	for r := 0; r < p.UStar.Rows; r++ {
+		a := mat.New(g, g)
+		b := make([]float64, g)
+		seen := false
+		for _, cell := range cells {
+			if int(cell.r) != r {
+				continue
+			}
+			seen = true
+			lrow := l.RowView(int(cell.c))
+			u := p.UStar.Data[cell.idx]
+			for i := 0; i < g; i++ {
+				b[i] += cfg.Lambda * u * lrow[i]
+				for k := 0; k < g; k++ {
+					a.Data[i*g+k] += cfg.Lambda * lrow[i] * lrow[k]
+				}
+			}
+		}
+		for i := 0; i < g; i++ {
+			a.Data[i*g+i] += cfg.Reg
+		}
+		if seen {
+			if x, err := mat.Solve(a, b); err == nil {
+				xstar.SetRow(r, x)
+				continue
+			}
+		}
+		for f := 0; f < g; f++ {
+			xstar.Data[r*g+f] = src.Norm(0, 0.1)
+		}
+	}
+	return xstar
+}
+
+// observedCells lists target's observed cells (all of them for a nil mask)
+// in ascending flat-index order, with row/column coordinates pre-resolved.
+func observedCells(target, mask *mat.Matrix) []cellRC {
 	n := target.Rows * target.Cols
-	cells := make([]int, 0, n)
+	j := target.Cols
+	cells := make([]cellRC, 0, n)
 	for idx := 0; idx < n; idx++ {
 		if mask == nil || mask.Data[idx] != 0 {
-			cells = append(cells, idx)
+			cells = append(cells, cellRC{idx: int32(idx), r: int32(idx / j), c: int32(idx % j)})
 		}
 	}
 	return cells
@@ -300,39 +476,34 @@ func randomFactor(rows, g int, src *rng.Source) *mat.Matrix {
 }
 
 // sweep performs one SGD pass over the observed cells of target ~ row * L^T,
-// updating the row factors and/or L according to the flags. base lists the
-// observed flat indices in ascending order; each pass copies it into scratch
-// and shuffles that copy, so every pass starts from the same permutation the
-// old build-per-sweep code did (bit-identical rng consumption) without
-// re-deriving the list from the mask.
-func sweep(target *mat.Matrix, base, scratch []int, rows, l *mat.Matrix, weight float64, cfg Config, src *rng.Source, updateRows, updateL bool) {
+// updating the row factors or L according to the flags. base lists the
+// observed cells in ascending order; each pass copies it into scratch and
+// shuffles that copy, so every pass starts from the same permutation
+// (bit-identical rng consumption) without re-deriving the list from the
+// mask. The inner loops run on row slices through the fused mat helpers —
+// bit-identical to the historical scalar loops (TestSweepBitIdentical pins
+// this against a reference implementation).
+func sweep(target *mat.Matrix, base, scratch []cellRC, rows, l *mat.Matrix, weight, learnRate, reg float64, src *rng.Source, updateRows, updateL bool) {
 	if weight == 0 {
 		return
 	}
-	j := target.Cols
 	cells := scratch[:len(base)]
 	copy(cells, base)
 	src.Shuffle(len(cells), func(a, b int) { cells[a], cells[b] = cells[b], cells[a] })
 
 	g := rows.Cols
-	lr := cfg.LearnRate * weight
-	for _, idx := range cells {
-		r, c := idx/j, idx%j
-		// Prediction and residual.
-		pred := 0.0
-		for f := 0; f < g; f++ {
-			pred += rows.Data[r*g+f] * l.Data[c*g+f]
+	lr := learnRate * weight
+	tdata := target.Data
+	rdata, ldata := rows.Data, l.Data
+	for _, cell := range cells {
+		rowf := rdata[int(cell.r)*g : int(cell.r)*g+g]
+		lrow := ldata[int(cell.c)*g : int(cell.c)*g+g]
+		e := tdata[cell.idx] - mat.DotFused(rowf, lrow)
+		if updateRows {
+			mat.SGDStepFused(lr, e, reg, rowf, lrow)
 		}
-		e := target.Data[idx] - pred
-		for f := 0; f < g; f++ {
-			rv := rows.Data[r*g+f]
-			lv := l.Data[c*g+f]
-			if updateRows {
-				rows.Data[r*g+f] += lr * (e*lv - cfg.Reg*rv)
-			}
-			if updateL {
-				l.Data[c*g+f] += lr * (e*rv - cfg.Reg*lv)
-			}
+		if updateL {
+			mat.SGDStepFused(lr, e, reg, lrow, rowf)
 		}
 	}
 }
@@ -354,21 +525,25 @@ func sq(m *mat.Matrix) float64 {
 }
 
 // maskedSSE returns the squared reconstruction error of target ~ rows * L^T
-// over observed cells.
+// over observed cells. The row slices are hoisted out of the column loop and
+// the inner product runs through the fused helper — the summation order is
+// exactly the historical scalar loop's, so the value is bit-identical
+// (TestMaskedSSEBitIdentical).
 func maskedSSE(target, mask, rows, l *mat.Matrix) float64 {
 	n, j, g := target.Rows, target.Cols, rows.Cols
 	s := 0.0
 	for r := 0; r < n; r++ {
+		trow := target.Data[r*j : (r+1)*j]
+		rowf := rows.Data[r*g : r*g+g]
+		var mrow []float64
+		if mask != nil {
+			mrow = mask.Data[r*j : (r+1)*j]
+		}
 		for c := 0; c < j; c++ {
-			idx := r*j + c
-			if mask != nil && mask.Data[idx] == 0 {
+			if mrow != nil && mrow[c] == 0 {
 				continue
 			}
-			pred := 0.0
-			for f := 0; f < g; f++ {
-				pred += rows.Data[r*g+f] * l.Data[c*g+f]
-			}
-			d := target.Data[idx] - pred
+			d := trow[c] - mat.DotFused(rowf, l.Data[c*g:c*g+g])
 			s += d * d
 		}
 	}

@@ -1,0 +1,371 @@
+package cmf
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/mat"
+	"vesta/internal/rng"
+)
+
+// refSweep is the scalar SGD pass the solver used before the fused helpers
+// and cellRC lists existed — the bit-identity reference for sweep.
+func refSweep(target *mat.Matrix, base, scratch []int, rows, l *mat.Matrix, weight float64, learnRate, reg float64, src *rng.Source, updateRows, updateL bool) {
+	if weight == 0 {
+		return
+	}
+	j := target.Cols
+	cells := scratch[:len(base)]
+	copy(cells, base)
+	src.Shuffle(len(cells), func(a, b int) { cells[a], cells[b] = cells[b], cells[a] })
+
+	g := rows.Cols
+	lr := learnRate * weight
+	for _, idx := range cells {
+		r, c := idx/j, idx%j
+		pred := 0.0
+		for f := 0; f < g; f++ {
+			pred += rows.Data[r*g+f] * l.Data[c*g+f]
+		}
+		e := target.Data[idx] - pred
+		for f := 0; f < g; f++ {
+			rv := rows.Data[r*g+f]
+			lv := l.Data[c*g+f]
+			if updateRows {
+				rows.Data[r*g+f] += lr * (e*lv - reg*rv)
+			}
+			if updateL {
+				l.Data[c*g+f] += lr * (e*rv - reg*lv)
+			}
+		}
+	}
+}
+
+// refMaskedSSE is the pre-restructuring scalar loss loop.
+func refMaskedSSE(target, mask, rows, l *mat.Matrix) float64 {
+	n, j, g := target.Rows, target.Cols, rows.Cols
+	s := 0.0
+	for r := 0; r < n; r++ {
+		for c := 0; c < j; c++ {
+			idx := r*j + c
+			if mask != nil && mask.Data[idx] == 0 {
+				continue
+			}
+			pred := 0.0
+			for f := 0; f < g; f++ {
+				pred += rows.Data[r*g+f] * l.Data[c*g+f]
+			}
+			d := target.Data[idx] - pred
+			s += d * d
+		}
+	}
+	return s
+}
+
+func intCells(cells []cellRC) []int {
+	out := make([]int, len(cells))
+	for i, c := range cells {
+		out[i] = int(c.idx)
+	}
+	return out
+}
+
+func equalBits(t *testing.T, name string, got, want *mat.Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: entry %d differs: %x vs %x", name, i,
+				math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// TestSweepBitIdentical pins the restructured sweep (cellRC lists, hoisted
+// update flags, fused row-slice helpers) to the historical scalar loop,
+// bit for bit, across both update modes and masked/unmasked cell lists.
+func TestSweepBitIdentical(t *testing.T) {
+	src := rng.New(21)
+	p, _ := synthProblem(src, 9, 5, 7, 6, 3, 0.55)
+	g := 3
+	for _, mode := range []struct {
+		name                string
+		updateRows, updateL bool
+	}{
+		{"rows", true, false},
+		{"l", false, true},
+	} {
+		for _, masked := range []bool{true, false} {
+			target, mask := p.UStar, p.Mask
+			if !masked {
+				target, mask = p.U, nil
+			}
+			cells := observedCells(target, mask)
+			rows := randomFactor(target.Rows, g, rng.New(31))
+			l := randomFactor(target.Cols, g, rng.New(32))
+			rowsRef, lRef := rows.Clone(), l.Clone()
+
+			scratch := make([]cellRC, len(cells))
+			sweep(target, cells, scratch, rows, l, 0.75, 0.02, 0.02, rng.New(33), mode.updateRows, mode.updateL)
+			refScratch := make([]int, len(cells))
+			refSweep(target, intCells(cells), refScratch, rowsRef, lRef, 0.75, 0.02, 0.02, rng.New(33), mode.updateRows, mode.updateL)
+
+			equalBits(t, mode.name+"/rows", rows, rowsRef)
+			equalBits(t, mode.name+"/l", l, lRef)
+		}
+	}
+}
+
+// TestSweepZeroWeightConsumesNoRNG pins the weight==0 early return happening
+// before the shuffle — a zero-weight sweep must leave the rng stream intact.
+func TestSweepZeroWeightConsumesNoRNG(t *testing.T) {
+	src := rng.New(40)
+	p, _ := synthProblem(src, 4, 2, 3, 3, 2, 1)
+	cells := observedCells(p.U, nil)
+	rows := randomFactor(p.U.Rows, 2, rng.New(41))
+	l := randomFactor(p.U.Cols, 2, rng.New(42))
+	a, b := rng.New(43), rng.New(43)
+	sweep(p.U, cells, make([]cellRC, len(cells)), rows, l, 0, 0.02, 0.02, a, true, false)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("zero-weight sweep consumed rng draws")
+	}
+}
+
+// TestMaskedSSEBitIdentical pins the hoisted-slice loss loop to the
+// historical scalar loop.
+func TestMaskedSSEBitIdentical(t *testing.T) {
+	src := rng.New(22)
+	p, _ := synthProblem(src, 8, 5, 6, 7, 3, 0.5)
+	rows := randomFactor(5, 3, rng.New(23))
+	l := randomFactor(7, 3, rng.New(24))
+	for _, mask := range []*mat.Matrix{p.Mask, nil} {
+		got, want := maskedSSE(p.UStar, mask, rows, l), refMaskedSSE(p.UStar, mask, rows, l)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("mask=%v: maskedSSE %x, reference %x", mask != nil,
+				math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+}
+
+// TestPreparedSolveMatchesSolve pins the Prepare/Solve split: solving a
+// prepared problem is the same computation as the one-shot entry point.
+func TestPreparedSolveMatchesSolve(t *testing.T) {
+	src := rng.New(25)
+	p, _ := synthProblem(src, 8, 4, 6, 5, 2, 0.5)
+	cfg := Config{MaxEpochs: 60}
+	want, err := Solve(p, cfg, rng.New(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pr.Solve(cfg, rng.New(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBits(t, "completed", got.Completed, want.Completed)
+}
+
+// TestWithTargetMatchesFreshPrepare pins the shared-source specialization:
+// swapping in a new target row must behave exactly like preparing the full
+// problem from scratch.
+func TestWithTargetMatchesFreshPrepare(t *testing.T) {
+	src := rng.New(27)
+	p, _ := synthProblem(src, 8, 3, 6, 5, 2, 0.5)
+	pr, err := Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := synthProblem(rng.New(28), 8, 3, 6, 5, 2, 0.4)
+	p2.U, p2.V = p.U, p.V // same sources, new target
+	sub, err := pr.WithTarget(p2.UStar, p2.Mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MaxEpochs: 40}
+	got, err := sub.Solve(cfg, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(p2, cfg, rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBits(t, "completed", got.Completed, want.Completed)
+
+	if _, err := pr.WithTarget(mat.New(3, 4), nil); err == nil {
+		t.Fatal("label-dim mismatch accepted by WithTarget")
+	}
+}
+
+// warmFixture mirrors the serving architecture at membership scale: a
+// source-only "plan" problem (empty target row) is solved cold once, and the
+// request problem adds one new row with a few observed cells drawn in the
+// same label geometry — the transfer assumption warm-start exploits: source
+// factors are already right, only the target's coordinates are unknown.
+// Factor entries sit in U(0, 0.35) so matrix cells are ~0.1-0.3, like the
+// real label-membership matrices.
+func warmFixture(t *testing.T) (Problem, *Result, Problem, Config) {
+	t.Helper()
+	src := rng.New(50)
+	factor := func(rows, g int) *mat.Matrix {
+		m := mat.New(rows, g)
+		for i := range m.Data {
+			m.Data[i] = src.Range(0, 0.35)
+		}
+		return m
+	}
+	x, tt, l := factor(13, 3), factor(10, 3), factor(8, 3)
+	p := Problem{U: x.Mul(l.T()), V: tt.Mul(l.T()), UStar: mat.New(1, 8), Mask: mat.New(1, 8)}
+	cfg := Config{LatentDim: 3, MaxEpochs: 2000, Tol: 1e-4}
+	cold, err := Solve(p, cfg, rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Converged {
+		t.Fatal("fixture plan solve did not converge")
+	}
+	xs := factor(1, 3)
+	full := xs.Mul(l.T())
+	mask := mat.New(1, 8)
+	ustar := mat.New(1, 8)
+	for _, c := range []int{1, 4, 6} {
+		mask.Set(0, c, 1)
+		ustar.Set(0, c, full.At(0, c))
+	}
+	next := Problem{U: p.U, V: p.V, UStar: ustar, Mask: mask}
+	return p, cold, next, cfg
+}
+
+// TestWarmStartConvergesFaster is the warm-start value proposition: seeded
+// with converged source factors, the solve on a new target row must finish
+// in far fewer epochs than the cold solve and still fit the target well.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	_, cold, next, cfg := warmFixture(t)
+
+	coldNext, err := Solve(next, cfg, rng.New(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.Warm = &Factors{X: cold.X, T: cold.T, L: cold.L, Epochs: cold.Epochs}
+	warm, err := Solve(next, warmCfg, rng.New(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged {
+		t.Fatalf("warm solve did not converge in %d epochs", warm.Epochs)
+	}
+	if warm.Epochs*2 > coldNext.Epochs {
+		t.Fatalf("warm solve took %d epochs vs cold %d; want at least 2x fewer", warm.Epochs, coldNext.Epochs)
+	}
+	// Warm completion must fit the observed target cells about as well as
+	// cold (within 2x on observed-cell RMSE).
+	warmRMSE := warm.RMSEObserved(next.UStar, next.Mask)
+	coldRMSE := coldNext.RMSEObserved(next.UStar, next.Mask)
+	if warmRMSE > 2*coldRMSE+1e-9 {
+		t.Fatalf("warm observed RMSE %v much worse than cold %v", warmRMSE, coldRMSE)
+	}
+}
+
+// TestWarmDoesNotMutateSeedFactors: Solve clones the warm factors; the
+// caller's snapshot must never be written through.
+func TestWarmDoesNotMutateSeedFactors(t *testing.T) {
+	_, cold, next, cfg := warmFixture(t)
+	seedX, seedT, seedL := cold.X.Clone(), cold.T.Clone(), cold.L.Clone()
+	cfg.Warm = &Factors{X: cold.X, T: cold.T, L: cold.L, Epochs: cold.Epochs}
+	if _, err := Solve(next, cfg, rng.New(54)); err != nil {
+		t.Fatal(err)
+	}
+	equalBits(t, "X", cold.X, seedX)
+	equalBits(t, "T", cold.T, seedT)
+	equalBits(t, "L", cold.L, seedL)
+}
+
+// TestFreezeSourceFitsOnlyTarget: approximate mode must leave the source
+// factors byte-identical to the warm seed and still fit the target row.
+func TestFreezeSourceFitsOnlyTarget(t *testing.T) {
+	_, cold, next, cfg := warmFixture(t)
+	cfg.Warm = &Factors{X: cold.X, T: cold.T, L: cold.L, Epochs: cold.Epochs}
+	cfg.FreezeSource = true
+	res, err := Solve(next, cfg, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalBits(t, "X", res.X, cold.X)
+	equalBits(t, "T", res.T, cold.T)
+	equalBits(t, "L", res.L, cold.L)
+	// The target fit must still be reasonable relative to a full solve.
+	full, err := Solve(next, Config{LatentDim: 3, MaxEpochs: 2000, Tol: 1e-4}, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenRMSE := res.RMSEObserved(next.UStar, next.Mask)
+	fullRMSE := full.RMSEObserved(next.UStar, next.Mask)
+	if frozenRMSE > 3*fullRMSE+1e-9 {
+		t.Fatalf("frozen-source observed RMSE %v too far from full solve %v", frozenRMSE, fullRMSE)
+	}
+}
+
+func TestFreezeSourceRequiresWarm(t *testing.T) {
+	src := rng.New(60)
+	p, _ := synthProblem(src, 4, 2, 3, 3, 2, 1)
+	if _, err := Solve(p, Config{FreezeSource: true}, rng.New(1)); err == nil {
+		t.Fatal("FreezeSource without Warm accepted")
+	}
+}
+
+func TestWarmShapeValidation(t *testing.T) {
+	src := rng.New(61)
+	p, _ := synthProblem(src, 5, 3, 4, 4, 2, 0.8)
+	good := &Factors{
+		X: mat.New(5, 2), T: mat.New(4, 2), L: mat.New(4, 2),
+	}
+	if _, err := Solve(p, Config{LatentDim: 2, MaxEpochs: 2, Warm: good}, rng.New(1)); err != nil {
+		t.Fatalf("well-shaped warm factors rejected: %v", err)
+	}
+	cases := []*Factors{
+		{X: mat.New(6, 2), T: mat.New(4, 2), L: mat.New(4, 2)}, // wrong X rows
+		{X: mat.New(5, 3), T: mat.New(4, 2), L: mat.New(4, 2)}, // wrong latent dim
+		{X: mat.New(5, 2), T: mat.New(3, 2), L: mat.New(4, 2)}, // wrong T rows
+		{X: mat.New(5, 2), T: mat.New(4, 2), L: mat.New(5, 2)}, // wrong L rows
+		{X: nil, T: mat.New(4, 2), L: mat.New(4, 2)},           // nil factor
+	}
+	for i, w := range cases {
+		if _, err := Solve(p, Config{LatentDim: 2, MaxEpochs: 2, Warm: w}, rng.New(1)); err == nil {
+			t.Fatalf("case %d: bad warm shapes accepted", i)
+		}
+	}
+}
+
+func TestFactorsClone(t *testing.T) {
+	f := &Factors{X: mat.New(2, 2), T: mat.New(2, 2), L: mat.New(2, 2)}
+	f.X.Data[0] = 1
+	c := f.Clone()
+	c.X.Data[0] = 9
+	if f.X.Data[0] != 1 {
+		t.Fatal("Clone shares storage with the receiver")
+	}
+}
+
+// BenchmarkWarmVsColdSolve quantifies the warm-start epoch savings on the
+// synthetic fixture (run with -bench).
+func BenchmarkSolveWarm(b *testing.B) {
+	src := rng.New(70)
+	p, _ := synthProblem(src, 18, 12, 120, 9, 4, 0.3)
+	cold, err := Solve(p, Config{MaxEpochs: 2000, Tol: 1e-4}, rng.New(71))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{MaxEpochs: 2000, Tol: 1e-4, Warm: &Factors{X: cold.X, T: cold.T, L: cold.L}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, cfg, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Predict plan: the per-request cost of the online phase is dominated by
+// work that does not depend on the request at all — rebuilding the CMF
+// source matrices from the knowledge graph, indexing their observed cells,
+// and re-deriving the source-side factors from random initializations over
+// hundreds of SGD epochs. A PredictPlan hoists all of it to snapshot publish
+// time: it is a pure function of (knowledge, config), computed once per
+// Absorb lineage and shared by every snapshot in it (AbsorbTarget only adds
+// a workload node and refits K-Means; the source memberships U and the
+// label-VM layer LV never change after offline training, so the plan stays
+// valid across epochs). The serving layer invalidates implicitly through
+// the (epoch, workloads) consistency token: a new lineage means a new
+// snapshot chain with its own plan holder.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"vesta/internal/cmf"
+	"vesta/internal/mat"
+	"vesta/internal/rng"
+)
+
+// planSalt derives the plan solve's rng stream from the system seed. It is
+// a fixed arbitrary constant: the plan must be reproducible from (knowledge,
+// config) alone, so the stream cannot depend on any request or wall clock.
+const planSalt = 0x7653507265646374 // "VsPredct"
+
+// predictPlan is the precomputed request-independent slice of the online
+// phase: the prepared CMF source problem and its converged source factors,
+// plus the dense label-VM ranking layer. Immutable after construction and
+// safe for concurrent use by any number of predictions.
+type predictPlan struct {
+	u    *mat.Matrix   // sources x labels membership matrix (U)
+	lv   *mat.Matrix   // labels x vms ranking layer
+	pr   *cmf.Prepared // source problem with an empty target row, cells indexed
+	warm *cmf.Factors  // converged source factors of the plan solve
+}
+
+// buildPlan derives the plan from the trained knowledge: it prepares the
+// source problem once and runs one cold CMF solve over the source relations
+// only (the target row is present but unobserved, so X* stays at its random
+// init and contributes nothing to the fit). The converged X, T, L become the
+// warm seed every subsequent request-scoped solve resumes from.
+func (s *System) buildPlan() (*predictPlan, error) {
+	k := s.knowledge
+	if k == nil {
+		return nil, fmt.Errorf("vesta: plan before TrainOffline")
+	}
+	nLabels := len(k.Labels)
+	u := mat.FromRows(k.SourceMemberships)
+	lv := k.Graph.LV()
+	pr, err := cmf.Prepare(cmf.Problem{
+		U: u, V: lv.T(), UStar: mat.New(1, nLabels), Mask: mat.New(1, nLabels),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vesta: preparing plan problem: %w", err)
+	}
+	res, err := pr.Solve(s.planCMFConfig(), rng.New(s.cfg.Seed^planSalt))
+	if err != nil {
+		return nil, fmt.Errorf("vesta: plan solve: %w", err)
+	}
+	return &predictPlan{
+		u: u, lv: lv, pr: pr,
+		warm: &cmf.Factors{X: res.X, T: res.T, L: res.L, Epochs: res.Epochs},
+	}, nil
+}
+
+// planCMFConfig is the CMF configuration of both the plan solve and the
+// request-scoped warm solves — identical to the cold transfer configuration,
+// so a warm solve optimizes the same Equation 6 objective.
+func (s *System) planCMFConfig() cmf.Config {
+	return cmf.Config{
+		LatentDim: s.cfg.LatentDim,
+		Lambda:    s.cfg.Lambda,
+		LambdaSet: s.cfg.LambdaSet,
+		MaxEpochs: s.cfg.CMFEpochs,
+	}
+}
+
+// restorePlan reconstructs a plan from decoded warm factors (a snapshot
+// checkpoint's precomputed-ranking field), revalidating shapes against the
+// knowledge it is about to serve.
+func (s *System) restorePlan(warm *cmf.Factors) (*predictPlan, error) {
+	k := s.knowledge
+	if k == nil {
+		return nil, fmt.Errorf("vesta: plan before TrainOffline")
+	}
+	nLabels := len(k.Labels)
+	u := mat.FromRows(k.SourceMemberships)
+	lv := k.Graph.LV()
+	g := s.cfg.LatentDim
+	if warm.X == nil || warm.T == nil || warm.L == nil ||
+		warm.X.Rows != u.Rows || warm.X.Cols != g ||
+		warm.T.Rows != lv.Cols || warm.T.Cols != g ||
+		warm.L.Rows != nLabels || warm.L.Cols != g || warm.Epochs < 0 {
+		return nil, fmt.Errorf("vesta: decoded plan factors do not match knowledge (%d sources, %d labels, %d vms, latent dim %d)",
+			u.Rows, nLabels, lv.Cols, g)
+	}
+	pr, err := cmf.Prepare(cmf.Problem{
+		U: u, V: lv.T(), UStar: mat.New(1, nLabels), Mask: mat.New(1, nLabels),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vesta: preparing plan problem: %w", err)
+	}
+	return &predictPlan{u: u, lv: lv, pr: pr, warm: warm}, nil
+}
+
+// planHolder shares one lazily-built plan across every snapshot of an
+// Absorb lineage. The zero holder builds on first use; a holder seeded by
+// DecodeSnapshot starts done.
+type planHolder struct {
+	mu   sync.Mutex
+	done bool
+	plan *predictPlan
+	err  error
+}
+
+// get returns the lineage's plan, building it from sys on first call.
+// Because the plan is a pure function of (knowledge, config) and both are
+// frozen at publish time, it does not matter which snapshot of the lineage
+// triggers the build.
+func (h *planHolder) get(sys *System) (*predictPlan, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.done {
+		h.plan, h.err = sys.buildPlan()
+		h.done = true
+	}
+	return h.plan, h.err
+}
+
+// peek returns the plan only if it has already been built successfully.
+func (h *planHolder) peek() *predictPlan {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done && h.err == nil {
+		return h.plan
+	}
+	return nil
+}

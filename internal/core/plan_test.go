@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+)
+
+func planMeter(seed uint64) *oracle.Meter {
+	return oracle.NewMeter(sim.New(sim.DefaultConfig()), seed)
+}
+
+// planSnapshot returns a fresh snapshot of a freshly trained system (no
+// sharing — these tests exercise plan build paths, so each needs its own
+// lineage).
+func planSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	sys, _ := trainedSystem(t)
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestPredictFastDeterministicAcrossPlanOrigins is the warm-start
+// determinism contract: the prediction must be bit-identical whether the
+// plan was built lazily by the first request, eagerly via PreparePlan, or
+// restored from an encoded checkpoint.
+func TestPredictFastDeterministicAcrossPlanOrigins(t *testing.T) {
+	app := mustApp(t, "Spark-lr")
+
+	lazy := planSnapshot(t)
+	fromLazy, err := lazy.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eager := planSnapshot(t)
+	if err := eager.PreparePlan(); err != nil {
+		t.Fatal(err)
+	}
+	fromEager, err := eager.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := lazy.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(&buf, lazy.Config(), lazy.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.plan.peek() == nil {
+		t.Fatal("decoded snapshot did not restore the precomputed plan")
+	}
+	fromDecoded, err := decoded.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(fromLazy, fromEager) {
+		t.Fatal("lazy-plan and eager-plan predictions differ")
+	}
+	if !reflect.DeepEqual(fromLazy, fromDecoded) {
+		t.Fatal("lazy-plan and decoded-plan predictions differ")
+	}
+}
+
+// TestPredictFastLeavesColdPathUntouched: running the fast path must not
+// perturb the historical Predict bytes — the snapshot-isolation contract
+// extended to the plan.
+func TestPredictFastLeavesColdPathUntouched(t *testing.T) {
+	snap := planSnapshot(t)
+	app := mustApp(t, "Spark-kmeans")
+	before, err := snap.Predict(app, planMeter(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.PredictFast(app, planMeter(9), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.PredictFast(app, planMeter(9), true); err != nil {
+		t.Fatal(err)
+	}
+	after, err := snap.Predict(app, planMeter(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("PredictFast perturbed the cold Predict path")
+	}
+}
+
+// TestPlanSharedAcrossAbsorb: an absorbed snapshot inherits the lineage's
+// plan holder instead of re-solving, and PredictFast keeps working across
+// epochs.
+func TestPlanSharedAcrossAbsorb(t *testing.T) {
+	snap := planSnapshot(t)
+	app := mustApp(t, "Spark-lr")
+	pred, err := snap.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := snap.Absorb("plan-target", pred.LabelWeights, pred.PrunedVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.plan != snap.plan {
+		t.Fatal("absorbed snapshot does not share the lineage plan holder")
+	}
+	again, err := next.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same plan, new knowledge (K-Means refit): the prediction is still a
+	// pure function of (snapshot, request).
+	repeat, err := next.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, repeat) {
+		t.Fatal("post-absorb PredictFast is not deterministic")
+	}
+}
+
+// TestPredictFastAccuracyNearCold bounds the warm-start accuracy drift: the
+// fast path optimizes the same objective from a converged seed, so its
+// predicted times must sit within a few percent of the cold solve's and
+// pick the same best VM. (The Figure 7-style absolute accuracy bench for
+// the approximate mode lives in internal/bench.)
+func TestPredictFastAccuracyNearCold(t *testing.T) {
+	snap := planSnapshot(t)
+	for _, name := range []string{"Spark-lr", "Spark-kmeans", "Spark-sort"} {
+		app := mustApp(t, name)
+		cold, err := snap.Predict(app, planMeter(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, approx := range []bool{false, true} {
+			fast, err := snap.PredictFast(app, planMeter(7), approx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Best.Name != cold.Best.Name {
+				t.Errorf("%s approx=%v: best VM %s, cold picked %s", name, approx, fast.Best.Name, cold.Best.Name)
+			}
+			if fast.OnlineRuns != cold.OnlineRuns {
+				t.Errorf("%s approx=%v: OnlineRuns %d, cold %d", name, approx, fast.OnlineRuns, cold.OnlineRuns)
+			}
+			for vm, cv := range cold.PredictedSec {
+				fv := fast.PredictedSec[vm]
+				if d := (fv - cv) / cv; d > 0.10 || d < -0.10 {
+					t.Errorf("%s approx=%v: predicted %s drifted %.1f%% from cold", name, approx, vm, d*100)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeSnapshotWithoutPlanField: checkpoints written before the plan
+// field existed must still decode, with the plan rebuilt lazily to the
+// exact same state.
+func TestDecodeSnapshotWithoutPlanField(t *testing.T) {
+	snap := planSnapshot(t)
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["plan"]; !ok {
+		t.Fatal("encoded snapshot is missing the plan field")
+	}
+	delete(raw, "plan")
+	legacy, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(bytes.NewReader(legacy), snap.Config(), snap.Catalog())
+	if err != nil {
+		t.Fatalf("legacy snapshot without plan field failed to decode: %v", err)
+	}
+	if decoded.plan.peek() != nil {
+		t.Fatal("plan appeared from nowhere on a legacy snapshot")
+	}
+	app := mustApp(t, "Spark-lr")
+	want, err := snap.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decoded.PredictFast(app, planMeter(7), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("lazily rebuilt plan predicts differently than the original")
+	}
+}
+
+// TestDecodeSnapshotRejectsMalformedPlan: factors that do not match the
+// knowledge shapes must fail decoding loudly instead of serving garbage.
+func TestDecodeSnapshotRejectsMalformedPlan(t *testing.T) {
+	snap := planSnapshot(t)
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var sj map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &sj); err != nil {
+		t.Fatal(err)
+	}
+	sj["plan"] = json.RawMessage(`{"x":[[1,2]],"t":[[3,4]],"l":[[5,6]],"epochs":1}`)
+	mangled, err := json.Marshal(sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSnapshot(bytes.NewReader(mangled), snap.Config(), snap.Catalog()); err == nil ||
+		!strings.Contains(err.Error(), "plan factors") {
+		t.Fatalf("malformed plan accepted: err=%v", err)
+	}
+}
+
+// TestEncodeDeterministicRegardlessOfPlanState: encoding forces the plan, so
+// a snapshot encoded before any request and one encoded after serving must
+// produce identical bytes — the crash tests' state-fingerprint property.
+func TestEncodeDeterministicRegardlessOfPlanState(t *testing.T) {
+	fresh := planSnapshot(t)
+	var before bytes.Buffer
+	if err := fresh.Encode(&before); err != nil {
+		t.Fatal(err)
+	}
+	served := planSnapshot(t)
+	if _, err := served.PredictFast(mustApp(t, "Spark-lr"), planMeter(7), false); err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	if err := served.Encode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("plan state leaked into the encoded bytes")
+	}
+}

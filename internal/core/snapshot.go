@@ -21,6 +21,11 @@ import (
 type Snapshot struct {
 	sys   *System
 	epoch uint64
+	// plan is the lineage-shared predict plan (see plan.go): every snapshot
+	// descended from the same epoch-0 snapshot points at the same holder,
+	// because Absorb never changes the source matrices the plan is built
+	// from.
+	plan *planHolder
 }
 
 // Snapshot captures the system's trained state as an immutable snapshot at
@@ -30,7 +35,7 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	if s.knowledge == nil {
 		return nil, fmt.Errorf("vesta: Snapshot before TrainOffline")
 	}
-	return &Snapshot{sys: s.cloneForSnapshot(), epoch: 0}, nil
+	return &Snapshot{sys: s.cloneForSnapshot(), epoch: 0, plan: &planHolder{}}, nil
 }
 
 // cloneForSnapshot deep-copies the parts of the system that any mutation
@@ -90,6 +95,43 @@ func (sn *Snapshot) Predict(target workload.App, meter oracle.Service) (*Predict
 	return sn.sys.PredictOnline(target, meter)
 }
 
+// PredictFast is Predict through the lineage's precomputed plan: the CMF
+// source matrices, their observed-cell indexes, and the converged source
+// factors are reused, so the request-scoped solve warm-starts and typically
+// stabilizes in ~Patience epochs instead of hundreds. The result is a pure
+// function of (snapshot, target, meter stream) exactly like Predict — the
+// same bytes at any concurrency, whether the plan was built eagerly, lazily,
+// or decoded from a checkpoint — but the SGD trajectory differs from the
+// cold solve, so PredictFast and Predict may rank borderline VMs
+// differently. approx opts into the FreezeSource approximate mode: the
+// source factors stay frozen and only the target row is fitted, an order of
+// magnitude cheaper again with a documented accuracy tradeoff (see the
+// accuracy benches in internal/bench).
+//
+// The first PredictFast of a lineage builds the plan (one cold solve);
+// concurrent callers block on that build and then share it.
+func (sn *Snapshot) PredictFast(target workload.App, meter oracle.Service, approx bool) (*Prediction, error) {
+	plan, err := sn.plan.get(sn.sys)
+	if err != nil {
+		return nil, err
+	}
+	return sn.sys.predictWith(target, meter, plan, approx)
+}
+
+// PreparePlan forces the lineage's plan to exist (the same build PredictFast
+// triggers lazily), so a server can pay the one-time cold solve at publish
+// time instead of on the first request. Safe to call repeatedly.
+func (sn *Snapshot) PreparePlan() error {
+	_, err := sn.plan.get(sn.sys)
+	return err
+}
+
+// PlanReady reports whether the lineage's precomputed plan is already built —
+// eagerly via PreparePlan, lazily by a PredictFast, or restored from an
+// encoded checkpoint. A recovered checkpoint that carried the plan field
+// reports true without ever paying the plan solve.
+func (sn *Snapshot) PlanReady() bool { return sn.plan.peek() != nil }
+
 // Absorb returns a new snapshot, one epoch later, with the completed target
 // recorded in the knowledge graph (AbsorbTarget semantics). The receiver is
 // untouched — in-flight predictions against it keep their consistent view —
@@ -106,5 +148,8 @@ func (sn *Snapshot) Absorb(name string, labelWeights, prunedVec []float64) (*Sna
 	if err := clone.AbsorbTarget(name, labelWeights, prunedVec); err != nil {
 		return nil, err
 	}
-	return &Snapshot{sys: clone, epoch: sn.epoch + 1}, nil
+	// The plan holder is shared, not copied: AbsorbTarget only adds a
+	// workload node and refits K-Means, so the source matrices the plan is
+	// built from are unchanged and any plan already built stays valid.
+	return &Snapshot{sys: clone, epoch: sn.epoch + 1, plan: sn.plan}, nil
 }

@@ -13,22 +13,62 @@ import (
 	"io"
 
 	"vesta/internal/cloud"
+	"vesta/internal/cmf"
+	"vesta/internal/mat"
 )
 
 // snapshotJSON is the serialization schema of a Snapshot: the publication
-// epoch plus the knowledge schema shared with SaveKnowledge/LoadKnowledge.
+// epoch plus the knowledge schema shared with SaveKnowledge/LoadKnowledge,
+// and (since the precomputed-ranking release) the lineage's predict plan.
+// Plan is optional both ways for compatibility: checkpoints written before
+// the field existed decode fine (the plan rebuilds lazily on first
+// PredictFast), and a malformed-but-absent field never blocks recovery of
+// the knowledge itself.
 type snapshotJSON struct {
 	Epoch     uint64        `json:"epoch"`
 	Knowledge knowledgeJSON `json:"knowledge"`
+	Plan      *planJSON     `json:"plan,omitempty"`
+}
+
+// planJSON serializes the expensive part of a predictPlan: the converged
+// source factors of the plan solve. The matrices u/lv and the observed-cell
+// indexes are cheap pure functions of the knowledge and are rebuilt on
+// decode rather than stored.
+type planJSON struct {
+	X      [][]float64 `json:"x"`
+	T      [][]float64 `json:"t"`
+	L      [][]float64 `json:"l"`
+	Epochs int         `json:"epochs"`
+}
+
+func matrixRows(m *mat.Matrix) [][]float64 {
+	rows := make([][]float64, m.Rows)
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
 }
 
 // Encode writes the snapshot's state to w as deterministic JSON: field order
 // follows the schema structs and map keys are sorted by encoding/json, so
 // equal snapshots encode to equal bytes — the property the crash-recovery
-// tests use as a state fingerprint.
+// tests use as a state fingerprint. Encode forces the lineage's plan to
+// exist first (it is a pure function of the state being encoded, so this
+// keeps the bytes deterministic regardless of whether a request already
+// built it) and persists its factors, so a recovered server skips the plan
+// solve entirely.
 func (sn *Snapshot) Encode(w io.Writer) error {
+	sj := snapshotJSON{Epoch: sn.epoch, Knowledge: knowledgeToJSON(sn.sys.knowledge)}
+	if plan, err := sn.plan.get(sn.sys); err == nil {
+		sj.Plan = &planJSON{
+			X:      matrixRows(plan.warm.X),
+			T:      matrixRows(plan.warm.T),
+			L:      matrixRows(plan.warm.L),
+			Epochs: plan.warm.Epochs,
+		}
+	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(snapshotJSON{Epoch: sn.epoch, Knowledge: knowledgeToJSON(sn.sys.knowledge)})
+	return enc.Encode(sj)
 }
 
 // DecodeSnapshot reconstructs an encoded snapshot. cfg and catalog play the
@@ -53,5 +93,18 @@ func DecodeSnapshot(r io.Reader, cfg Config, catalog []cloud.VMType) (*Snapshot,
 		return nil, err
 	}
 	sn.epoch = sj.Epoch
+	if sj.Plan != nil {
+		warm := &cmf.Factors{
+			X:      mat.FromRows(sj.Plan.X),
+			T:      mat.FromRows(sj.Plan.T),
+			L:      mat.FromRows(sj.Plan.L),
+			Epochs: sj.Plan.Epochs,
+		}
+		plan, err := sn.sys.restorePlan(warm)
+		if err != nil {
+			return nil, err
+		}
+		sn.plan = &planHolder{done: true, plan: plan}
+	}
 	return sn, nil
 }

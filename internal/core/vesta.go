@@ -563,6 +563,13 @@ func project(v []float64, kept []int) []float64 {
 // unrecoverable sandbox run — the target's feature vector and calibration
 // anchor — aborts the prediction, with ErrSandboxFailed.
 func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Prediction, error) {
+	return s.predictWith(target, meter, nil, false)
+}
+
+// predictWith is the online phase parameterized by an optional precomputed
+// plan (see plan.go and Snapshot.PredictFast). A nil plan is the historical
+// cold path, bit-identical to every release before plans existed.
+func (s *System) predictWith(target workload.App, meter oracle.Service, plan *predictPlan, approx bool) (*Prediction, error) {
 	k := s.knowledge
 	if k == nil {
 		return nil, fmt.Errorf("vesta: PredictOnline before TrainOffline")
@@ -628,7 +635,7 @@ func (s *System) PredictOnline(target workload.App, meter oracle.Service) (*Pred
 	}
 
 	// Lines 5-12: CMF with shared label factors over U, V, and sparse U*.
-	weights, converged := s.transfer(rawMembership, src, traceKey)
+	weights, converged := s.transfer(rawMembership, src, traceKey, plan, approx)
 
 	// Convergence limitation (Section 5.3): measure how well the target
 	// matches the offline knowledge in correlation space. A target far from
@@ -693,13 +700,13 @@ func (s *System) PredictBatch(targets []workload.App, meterFor func(i int) oracl
 // transfer builds and solves the CMF problem for one target membership row,
 // returning the completed, re-normalized label weights. traceKey ("" when
 // tracing is off) scopes the per-epoch CMF gauge streams to this target.
-func (s *System) transfer(rawMembership []float64, src *rng.Source, traceKey string) ([]float64, bool) {
+// With a non-nil plan the source matrices and observed-cell indexes come
+// precomputed and the solve warm-starts from the plan's converged factors
+// (FreezeSource when approx); with nil everything is built cold, the
+// historical bit-exact path.
+func (s *System) transfer(rawMembership []float64, src *rng.Source, traceKey string, plan *predictPlan, approx bool) ([]float64, bool) {
 	k := s.knowledge
 	nLabels := len(k.Labels)
-
-	u := mat.FromRows(k.SourceMemberships)
-	lv := k.Graph.LV() // labels x vms
-	v := lv.T()        // vms x labels
 
 	ustar := mat.New(1, nLabels)
 	mask := mat.New(1, nLabels)
@@ -725,17 +732,26 @@ func (s *System) transfer(rawMembership []float64, src *rng.Source, traceKey str
 		mask.Set(0, idx, 1)
 	}
 
-	cmfCfg := cmf.Config{
-		LatentDim: s.cfg.LatentDim,
-		Lambda:    s.cfg.Lambda,
-		LambdaSet: s.cfg.LambdaSet,
-		MaxEpochs: s.cfg.CMFEpochs,
-	}
+	cmfCfg := s.planCMFConfig()
 	if traceKey != "" {
 		cmfCfg.Tracer = s.cfg.Tracer
 		cmfCfg.TraceKey = traceKey + "/cmf"
 	}
-	res, err := cmf.Solve(cmf.Problem{U: u, V: v, UStar: ustar, Mask: mask}, cmfCfg, src.Jump())
+	var res *cmf.Result
+	var err error
+	if plan != nil {
+		pr, werr := plan.pr.WithTarget(ustar, mask)
+		if werr != nil {
+			return rawMembership, false
+		}
+		cmfCfg.Warm = plan.warm
+		cmfCfg.FreezeSource = approx
+		res, err = pr.Solve(cmfCfg, src.Jump())
+	} else {
+		u := mat.FromRows(k.SourceMemberships)
+		v := k.Graph.LV().T() // vms x labels
+		res, err = cmf.Solve(cmf.Problem{U: u, V: v, UStar: ustar, Mask: mask}, cmfCfg, src.Jump())
+	}
 	if err != nil {
 		return rawMembership, false
 	}

@@ -1,0 +1,91 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"vesta/internal/rng"
+)
+
+// randSlice fills a deterministic pseudo-random slice for bit-identity
+// checks: the values must be "ugly" (full mantissas) so that any reordering
+// of the float operations in the optimized helpers would change the bits.
+func randSlice(n int, src *rng.Source) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = src.Norm(0, 1)
+	}
+	return out
+}
+
+func TestRowViewAliasesStorage(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	rv := m.RowView(1)
+	if len(rv) != 3 || cap(rv) != 3 {
+		t.Fatalf("RowView len/cap = %d/%d, want 3/3", len(rv), cap(rv))
+	}
+	rv[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Fatal("RowView does not alias the matrix storage")
+	}
+	// The capped slice must not be able to grow into the next row.
+	grown := append(rv, 99)
+	if m.At(1, 2) != 6 && len(grown) > 0 {
+		t.Fatal("append through RowView overwrote matrix storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range RowView did not panic")
+		}
+	}()
+	m.RowView(2)
+}
+
+func TestDotFusedBitIdenticalToDot(t *testing.T) {
+	src := rng.New(7)
+	for _, n := range []int{0, 1, 3, 4, 9, 128} {
+		a, b := randSlice(n, src), randSlice(n, src)
+		want, got := Dot(a, b), DotFused(a, b)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("n=%d: DotFused = %x, Dot = %x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	DotFused([]float64{1}, []float64{1, 2})
+}
+
+// sgdStepRef is the scalar update loop the CMF sweeps used before the fused
+// helper existed — the bit-identity reference.
+func sgdStepRef(lr, e, reg float64, x, y []float64) {
+	for f := range x {
+		x[f] += lr * (e*y[f] - reg*x[f])
+	}
+}
+
+func TestSGDStepFusedBitIdenticalToScalarLoop(t *testing.T) {
+	src := rng.New(11)
+	for _, n := range []int{1, 4, 6, 33} {
+		x := randSlice(n, src)
+		y := randSlice(n, src)
+		xRef := append([]float64(nil), x...)
+		lr, e, reg := 0.02*0.75, src.Norm(0, 1), 0.02
+		sgdStepRef(lr, e, reg, xRef, y)
+		SGDStepFused(lr, e, reg, x, y)
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(xRef[i]) {
+				t.Fatalf("n=%d i=%d: fused %x, ref %x", n, i,
+					math.Float64bits(x[i]), math.Float64bits(xRef[i]))
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	SGDStepFused(1, 1, 1, []float64{1}, []float64{1, 2})
+}

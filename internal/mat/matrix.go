@@ -92,6 +92,18 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing the matrix storage — no copy.
+// Mutating the slice mutates the matrix. The returned slice has length and
+// capacity exactly Cols, so an append can never silently overwrite the next
+// row. Hot loops (the CMF sweeps) use RowView to hoist the row slice out of
+// the cell loop, trading one bounds check per row for one per element.
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic("mat: row index out of bounds")
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+}
+
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	if j < 0 || j >= m.Cols {
@@ -440,6 +452,44 @@ func AXPY(alpha float64, x, y []float64) {
 	}
 	for i := range x {
 		y[i] += alpha * x[i]
+	}
+}
+
+// DotFused returns the inner product of a and b with the bounds checks
+// hoisted: the explicit reslice of b to len(a) lets the compiler fuse the
+// per-iteration multiply-adds without re-proving both indices in the loop.
+// The accumulation order is identical to Dot (left to right, one running
+// sum), so the result is bit-identical to Dot — the property the CMF hot
+// loops rely on when they swap one for the other.
+func DotFused(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: DotFused length mismatch")
+	}
+	b = b[:len(a)]
+	s := 0.0
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// SGDStepFused applies the regularized SGD update of the CMF sweeps to x
+// against the fixed factor y, element-wise over equal-length slices:
+//
+//	x[i] += lr * (e*y[i] - reg*x[i])
+//
+// The expression shape — e*y and reg*x rounded separately, their difference
+// rounded, then one multiply by lr — is exactly the shape of the scalar
+// update it replaces, so swapping a scalar loop for SGDStepFused is
+// bit-identical. The reslice of y lets the compiler drop the per-element
+// bounds check and fuse the multiply-adds.
+func SGDStepFused(lr, e, reg float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: SGDStepFused length mismatch")
+	}
+	y = y[:len(x)]
+	for i := range x {
+		x[i] += lr * (e*y[i] - reg*x[i])
 	}
 }
 

@@ -7,19 +7,20 @@ import (
 )
 
 // benchServe measures end-to-end request throughput at a given worker count
-// and cache setting; results/serve.md is produced from this benchmark.
-func benchServe(b *testing.B, workers int, noCache bool) {
-	s, err := New(testSnapshot(b), Config{
-		Workers:   workers,
-		QueueSize: 1024,
-		BatchSize: 32,
-		NoCache:   noCache,
-	})
+// under an arbitrary serving configuration; results/serve.md is produced
+// from this benchmark. Workers/queue/batch are fixed here so arms differ
+// only in the fields the arm is about (cache, cold/warm/approx, memoization).
+func benchServe(b *testing.B, workers int, cfg Config) {
+	cfg.Workers = workers
+	cfg.QueueSize = 1024
+	cfg.BatchSize = 32
+	s, err := New(testSnapshot(b), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer s.Close()
 	apps := []string{"Spark-kmeans", "Spark-lr", "Spark-sort", "Spark-grep"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, 64) // bounded client concurrency
@@ -39,16 +40,36 @@ func benchServe(b *testing.B, workers int, noCache bool) {
 	b.StopTimer()
 	st := s.Stats()
 	if st.Requests > 0 {
-		b.ReportMetric(float64(st.CacheHits)/float64(st.Requests), "hit-rate")
+		b.ReportMetric(st.HitRate, "hit-rate")
 		b.ReportMetric(float64(st.MaxBatch), "max-batch")
 	}
 }
 
 // Cached arms measure steady-state traffic (repeated queries, high hit
 // rate); NoCache arms expose the raw compute scaling of the batch pool.
-func BenchmarkServeWorkers1(b *testing.B)         { benchServe(b, 1, false) }
-func BenchmarkServeWorkers4(b *testing.B)         { benchServe(b, 4, false) }
-func BenchmarkServeWorkers16(b *testing.B)        { benchServe(b, 16, false) }
-func BenchmarkServeWorkers1NoCache(b *testing.B)  { benchServe(b, 1, true) }
-func BenchmarkServeWorkers4NoCache(b *testing.B)  { benchServe(b, 4, true) }
-func BenchmarkServeWorkers16NoCache(b *testing.B) { benchServe(b, 16, true) }
+func BenchmarkServeWorkers1(b *testing.B)         { benchServe(b, 1, Config{}) }
+func BenchmarkServeWorkers4(b *testing.B)         { benchServe(b, 4, Config{}) }
+func BenchmarkServeWorkers16(b *testing.B)        { benchServe(b, 16, Config{}) }
+func BenchmarkServeWorkers1NoCache(b *testing.B)  { benchServe(b, 1, Config{NoCache: true}) }
+func BenchmarkServeWorkers4NoCache(b *testing.B)  { benchServe(b, 4, Config{NoCache: true}) }
+func BenchmarkServeWorkers16NoCache(b *testing.B) { benchServe(b, 16, Config{NoCache: true}) }
+
+// The uncached-arm ladder of DESIGN.md §12, all at 4 workers with the
+// response cache off so every request pays the predict path:
+//
+//	Cold      — the historical arm: cold CMF solve, no profile memoization.
+//	Warm      — precomputed-plan warm start, memoization off.
+//	WarmMemo  — the default serving path (warm start + profile memoization).
+//	Approx    — FreezeSource approximate mode on top of WarmMemo.
+func BenchmarkPredictNoCacheCold(b *testing.B) {
+	benchServe(b, 4, Config{NoCache: true, ColdStart: true, ProfileCacheSize: -1})
+}
+func BenchmarkPredictNoCacheWarm(b *testing.B) {
+	benchServe(b, 4, Config{NoCache: true, ProfileCacheSize: -1})
+}
+func BenchmarkPredictNoCacheWarmMemo(b *testing.B) {
+	benchServe(b, 4, Config{NoCache: true})
+}
+func BenchmarkPredictNoCacheApprox(b *testing.B) {
+	benchServe(b, 4, Config{NoCache: true, Approx: true})
+}

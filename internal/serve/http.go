@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -22,6 +24,27 @@ const defaultRequestTimeout = 60 * time.Second
 // jsonFloat, so the bytes are a pure function of the Response value.
 func encodeResponse(r *Response) ([]byte, error) {
 	return json.Marshal(r)
+}
+
+// encodeBufPool recycles the scratch buffers of encodeResponsePooled.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeResponsePooled is encodeResponse through a pooled scratch buffer —
+// byte-identical output (json.Encoder differs from json.Marshal only by a
+// trailing newline, stripped here), with the intermediate encoding state
+// reused across requests. The returned body is a fresh copy: callers (and
+// the response cache) may hold it forever.
+func encodeResponsePooled(r *Response) ([]byte, error) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	defer encodeBufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(r); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	body := make([]byte, len(b)-1) // drop the Encoder's trailing '\n'
+	copy(body, b)
+	return body, nil
 }
 
 // decodeResponse parses a canonical body back into a Response.

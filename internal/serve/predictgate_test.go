@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// gateSpeedupFloor is the minimum in-process speedup the default uncached
+// arm (precomputed-plan warm start + profile memoization) must hold over the
+// legacy arm (cold solve, no memoization — the per-request algorithm of
+// every release before DESIGN.md §12). The margin measured when the fast
+// path shipped was ~2.2x on the reference 1-CPU container; the floor sits
+// ~20% under it so only a real regression of the no-cache arm (>10%
+// slowdown, beyond bench noise) trips the gate.
+//
+// Note the floor is deliberately NOT the tentpole's ≥5x: the §12 mat-layer
+// restructuring is bit-identical and therefore speeds the in-process legacy
+// arm too (~2.9x vs the recorded 27.7 ms seed baseline). The product of the
+// two margins is the end-to-end ≥5x recorded in results/serve.md; this gate
+// guards the half that stays measurable in one binary.
+const gateSpeedupFloor = 1.8
+
+// gateReps measurements are taken per arm and the median compared, so one
+// scheduler hiccup cannot fail (or mask a failure of) the gate.
+const gateReps = 3
+
+// TestPredictHotPathGate is the `make bench-predict` regression gate: a
+// benchstat-style before/after comparison of the uncached predict arm,
+// failing when the fast path loses its documented margin over the legacy
+// arm. Env-gated — timing assertions don't belong in tier-1 (which runs
+// under the race detector on loaded machines).
+func TestPredictHotPathGate(t *testing.T) {
+	if os.Getenv("VESTA_BENCH_PREDICT") == "" {
+		t.Skip("set VESTA_BENCH_PREDICT=1 (make bench-predict) to run the hot-path timing gate")
+	}
+	legacy := gateMedian(t, Config{NoCache: true, ColdStart: true, ProfileCacheSize: -1})
+	fast := gateMedian(t, Config{NoCache: true})
+
+	speedup := float64(legacy) / float64(fast)
+	t.Logf("name             old time/op   new time/op   delta")
+	t.Logf("PredictNoCache   %-11v   %-11v   %+.1f%%  (speedup %.2fx, floor %.2fx)",
+		legacy.Round(time.Microsecond), fast.Round(time.Microsecond),
+		(float64(fast)-float64(legacy))/float64(legacy)*100, speedup, gateSpeedupFloor)
+	if speedup < gateSpeedupFloor {
+		t.Fatalf("no-cache predict arm regressed: default %v vs legacy %v is only %.2fx (floor %.2fx)",
+			fast, legacy, speedup, gateSpeedupFloor)
+	}
+}
+
+// gateMedian measures the per-request wall time of one uncached serving arm
+// gateReps times and returns the median.
+func gateMedian(t *testing.T, cfg Config) time.Duration {
+	t.Helper()
+	times := make([]time.Duration, gateReps)
+	for i := range times {
+		times[i] = gateMeasure(t, cfg)
+	}
+	sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+	return times[gateReps/2]
+}
+
+// gateMeasure times one arm with testing.Benchmark: a fresh server, the
+// bench request mix (4 apps x 8 seeds), sequential clients — the same
+// per-request compute results/serve.md tabulates, without batching luck.
+func gateMeasure(t *testing.T, cfg Config) time.Duration {
+	t.Helper()
+	apps := []string{"Spark-kmeans", "Spark-lr", "Spark-sort", "Spark-grep"}
+	res := testing.Benchmark(func(b *testing.B) {
+		s, err := New(testSnapshot(t), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := Request{App: apps[i%len(apps)], Seed: uint64(i%8 + 1), Top: 3}
+			if _, err := s.PredictBytes(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if res.N == 0 {
+		t.Fatal("benchmark ran zero iterations")
+	}
+	per := time.Duration(res.T.Nanoseconds() / int64(res.N))
+	t.Logf("  sample: %v/op over %d ops (%s)", per.Round(time.Microsecond), res.N, gateArmName(cfg))
+	return per
+}
+
+func gateArmName(cfg Config) string {
+	if cfg.ColdStart {
+		return "legacy: cold solve, no memoization"
+	}
+	return fmt.Sprintf("default: plan warm start + memoization, approx=%v", cfg.Approx)
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"vesta/internal/cloud"
+	"vesta/internal/oracle"
+	"vesta/internal/sim"
+	"vesta/internal/workload"
+)
+
+// defaultProfileCacheSize is the memoized-measurement LRU capacity when
+// Config.ProfileCacheSize is left zero.
+const defaultProfileCacheSize = 4096
+
+// profileKey identifies one memoizable measurement. The default meter's
+// profile is a pure function of (app, vm, request seed) under a fixed
+// simulator configuration; the app itself is fully determined by its name
+// plus the input-size override, rendered as exact float bits so distinct
+// inputs can never collide.
+type profileKey struct {
+	app  string
+	gb   uint64 // math.Float64bits(app.InputGB)
+	vm   string
+	seed uint64
+}
+
+// profileLRU is a fixed-capacity, internally synchronized LRU over simulator
+// profiles. It is shared by every request's meter, so a profiling campaign
+// (sandbox + random picks) computed once serves every later request that
+// would redo the identical measurement.
+type profileLRU struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *profileEntry
+	entries map[profileKey]*list.Element
+
+	hits, misses int64
+}
+
+type profileEntry struct {
+	key profileKey
+	p   sim.Profile
+}
+
+func newProfileLRU(capacity int) *profileLRU {
+	return &profileLRU{cap: capacity, order: list.New(), entries: make(map[profileKey]*list.Element)}
+}
+
+func (c *profileLRU) get(k profileKey) (sim.Profile, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return sim.Profile{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*profileEntry).p, true
+}
+
+func (c *profileLRU) put(k profileKey, p sim.Profile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		// Identical key means an identical (pure) profile; refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&profileEntry{key: k, p: p})
+	c.entries[k] = el
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*profileEntry).key)
+	}
+}
+
+func (c *profileLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *profileLRU) counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// memoMeter is the default per-request measurement service with exact profile
+// memoization. It implements oracle.Service with the same run accounting as
+// oracle.Meter — every TryProfile charges one reference-VM unit whether the
+// profile is computed or recalled — so OnlineRuns in responses and the
+// Figure-8 overhead metric are byte-for-byte unchanged. Only the simulated
+// cluster work is skipped: the profile itself is a pure function of
+// (app, vm, seed) for a fixed simulator, which is exactly the memo key.
+type memoMeter struct {
+	sim   *sim.Simulator
+	seed  uint64
+	cache *profileLRU // nil: memoization disabled, always simulate
+
+	mu   sync.Mutex
+	runs int
+}
+
+// TryProfile implements oracle.Service. The ground-truth simulator cannot
+// fail; the error is always nil.
+func (m *memoMeter) TryProfile(app workload.App, vm cloud.VMType) (sim.Profile, error) {
+	m.mu.Lock()
+	m.runs++
+	m.mu.Unlock()
+	if m.cache == nil {
+		return m.sim.ProfileRun(app, vm, m.seed), nil
+	}
+	key := profileKey{app: app.Name, gb: math.Float64bits(app.InputGB), vm: vm.Name, seed: m.seed}
+	if p, ok := m.cache.get(key); ok {
+		return p, nil
+	}
+	p := m.sim.ProfileRun(app, vm, m.seed)
+	m.cache.put(key, p)
+	return p, nil
+}
+
+// Runs implements oracle.Service.
+func (m *memoMeter) Runs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runs
+}
+
+// SimConfig implements oracle.Service.
+func (m *memoMeter) SimConfig() sim.Config { return m.sim.Config() }
+
+// The compiler enforces the Service contract here rather than at first use.
+var _ oracle.Service = (*memoMeter)(nil)

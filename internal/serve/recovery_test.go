@@ -204,6 +204,68 @@ func TestRecoveredServerServesIdenticalBytes(t *testing.T) {
 	}
 }
 
+// TestCheckpointRoundTripsPlan is the crash-matrix entry for the precomputed
+// predict plan: a checkpoint taken from a warm server carries the plan field,
+// and recovery restores it — the recovered snapshot reports PlanReady without
+// ever re-paying the plan solve, and serves byte-identical warm responses.
+func TestCheckpointRoundTripsPlan(t *testing.T) {
+	base := testSnapshot(t)
+	dir := t.TempDir()
+	mgr, snap, err := wal.Open(base, wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(snap, Config{WAL: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.AbsorbApp(AbsorbRequest{Name: "t1", App: "Spark-kmeans", Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{App: "Spark-lr", Seed: 2, Top: 5},
+		{App: "Spark-grep", Seed: 3, Top: 7},
+	}
+	want := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		if want[i], err = s1.PredictBytes(context.Background(), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint the published (warm, plan-bearing) snapshot, then crash.
+	if err := mgr.Checkpoint(s1.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	mgr.Close()
+
+	mgr2, rsnap, err := wal.Open(base, wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	if !rsnap.PlanReady() {
+		t.Fatal("recovered checkpoint lost the precomputed plan (would re-pay the cold solve)")
+	}
+	if rsnap.Epoch() != 1 || rsnap.Workloads() != baseWorkloads+1 {
+		t.Fatalf("recovered (%d, %d), want (1, %d)", rsnap.Epoch(), rsnap.Workloads(), baseWorkloads+1)
+	}
+	s2, err := New(rsnap, Config{WAL: mgr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	for i, r := range reqs {
+		got, err := s2.PredictBytes(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("restored-plan response %d differs from pre-crash bytes", i)
+		}
+	}
+}
+
 // A request whose context is already dead must release its worker slot
 // without computing (or building a meter for) a response nobody reads.
 func TestCanceledTaskSkippedAndCounted(t *testing.T) {

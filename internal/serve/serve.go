@@ -17,7 +17,17 @@
 //     ErrShuttingDown.
 //   - A fixed-capacity LRU cache keyed by (snapshot epoch, request
 //     fingerprint) short-circuits repeated queries past the CMF solve. The
-//     epoch in the key makes hot-swaps self-invalidating.
+//     epoch in the key makes hot-swaps self-invalidating. Hits are answered
+//     at admission, before the queue — a cached response never waits behind
+//     uncached compute — and concurrent misses on the same key coalesce
+//     into a single computation (singleflight), so a thundering herd charges
+//     one solve, not N.
+//   - The uncached path itself is the precomputed-plan fast path (DESIGN.md
+//     §12): predictions run through Snapshot.PredictFast (warm-started CMF
+//     over the lineage's converged plan factors) and the default meter
+//     memoizes profiling campaigns, which are pure functions of
+//     (app, vm, seed). Config.ColdStart restores the historical cold-solve
+//     arm bit-for-bit.
 //   - With a configured write-ahead log (Config.WAL, DESIGN.md §11) the
 //     absorb path is durable: the record is appended and fsynced before the
 //     hot-swap publishes it, so a crash-restarted server recovers every
@@ -96,6 +106,25 @@ type Config struct {
 	// determinism proof).
 	CacheSize int
 	NoCache   bool
+	// ColdStart serves predictions through the historical cold CMF solve
+	// (Snapshot.Predict) instead of the warm-started plan path
+	// (Snapshot.PredictFast). The cold arm is bit-identical to every release
+	// before precomputed plans existed; the default warm arm optimizes the
+	// same objective from the plan's converged factors and may rank
+	// borderline VMs differently (accuracy bounds in internal/bench).
+	ColdStart bool
+	// Approx opts the warm path into CMF's FreezeSource approximate mode:
+	// source factors stay frozen and only the target row is fitted — an
+	// order of magnitude cheaper again, with a documented accuracy tradeoff.
+	// Ignored under ColdStart.
+	Approx bool
+	// ProfileCacheSize bounds the memoized-measurement LRU shared by the
+	// default per-request meters (0: 4096 entries; negative: memoization
+	// off). Only the default meter memoizes — its profiles are pure
+	// functions of (app, vm, seed) — so a custom MeterFor is never cached.
+	// Run accounting is unchanged either way: recalled profiles still charge
+	// the meter.
+	ProfileCacheSize int
 	// SimConfig configures the per-request measurement simulator (cluster
 	// size, repeats). The zero value takes sim.DefaultConfig().
 	SimConfig sim.Config
@@ -125,6 +154,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 1024
+	}
+	if c.ProfileCacheSize == 0 {
+		c.ProfileCacheSize = defaultProfileCacheSize
 	}
 	if c.SimConfig.Nodes == 0 && c.SimConfig.Repeats == 0 {
 		c.SimConfig = sim.DefaultConfig()
@@ -194,25 +226,46 @@ type Response struct {
 // by nature (queue depth, hit counts); exposed for operators, not for the
 // determinism contract.
 type Stats struct {
-	Requests     int64  `json:"requests"`
-	CacheHits    int64  `json:"cache_hits"`
-	CacheMisses  int64  `json:"cache_misses"`
-	CacheLen     int    `json:"cache_len"`
-	QueueDepth   int    `json:"queue_depth"`
-	QueueRejects int64  `json:"queue_rejects"`
-	Batches      int64  `json:"batches"`
-	MaxBatch     int64  `json:"max_batch"`
-	Canceled     int64  `json:"canceled"`
-	Swaps        int64  `json:"swaps"`
-	Epoch        uint64 `json:"epoch"`
-	Workloads    int    `json:"workloads"`
-	Durable      bool   `json:"durable"`
-	WALAppends   int64  `json:"wal_appends"`
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Coalesced counts the subset of CacheHits that attached to an
+	// in-flight computation of the same (epoch, fingerprint) instead of
+	// reading an already-cached body. Every request counts exactly one of
+	// CacheHits/CacheMisses (a coalesced waiter is a hit, never a second
+	// miss), so CacheHits+CacheMisses equals the cache-eligible requests.
+	Coalesced int64 `json:"coalesced"`
+	// HitRate is CacheHits/Requests — the definition the results/serve.md
+	// bench table reports. Zero when no requests have been served.
+	HitRate      float64 `json:"hit_rate"`
+	CacheLen     int     `json:"cache_len"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueRejects int64   `json:"queue_rejects"`
+	Batches      int64   `json:"batches"`
+	MaxBatch     int64   `json:"max_batch"`
+	Canceled     int64   `json:"canceled"`
+	Swaps        int64   `json:"swaps"`
+	Epoch        uint64  `json:"epoch"`
+	Workloads    int     `json:"workloads"`
+	Durable      bool    `json:"durable"`
+	WALAppends   int64   `json:"wal_appends"`
+	// Profile-memoization counters of the default meter (all zero when a
+	// custom MeterFor is configured or memoization is disabled). ProfileHits
+	// are simulated cluster campaigns skipped by recall; run accounting in
+	// responses is identical either way.
+	ProfileHits   int64 `json:"profile_hits"`
+	ProfileMisses int64 `json:"profile_misses"`
+	ProfileLen    int   `json:"profile_len"`
 }
 
 type task struct {
-	req  Request // resolved: defaults filled
-	app  workload.App
+	req Request // resolved: defaults filled
+	app workload.App
+	// snap is the snapshot captured at admission: the fast-path cache probe
+	// and the queued execution see the same epoch, so a request can never
+	// miss against one snapshot and compute against another.
+	snap *core.Snapshot
+	key  cacheKey        // valid only when caching is enabled
 	ctx  context.Context // the requester's context; a canceled task is skipped, not computed
 	done chan taskResult
 }
@@ -240,9 +293,26 @@ type Server struct {
 
 	cacheMu sync.Mutex
 	cache   *lruCache
+	// flights tracks in-progress miss computations by cache key (guarded by
+	// cacheMu like the cache itself). Concurrent requests for the same
+	// (epoch, fingerprint) attach to the one in-flight computation instead
+	// of redoing it — the singleflight half of the cache contract.
+	flights map[cacheKey]*flight
+
+	// profiles is the memoized-measurement LRU behind the default meters
+	// (nil with a custom MeterFor or ProfileCacheSize < 0).
+	profiles *profileLRU
 
 	requests, hits, misses, rejects, batches, maxBatch, swaps atomic.Int64
-	canceled, walAppends                                      atomic.Int64
+	canceled, walAppends, coalesced                           atomic.Int64
+}
+
+// flight is one in-progress miss computation. The owner fills body/err and
+// then closes done; waiters read only after done is closed.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
 }
 
 // New builds a server over an initial snapshot and starts its dispatcher.
@@ -258,13 +328,28 @@ func New(snap *core.Snapshot, cfg Config) (*Server, error) {
 	}
 	s.meterFor = cfg.MeterFor
 	if s.meterFor == nil {
-		simCfg := cfg.SimConfig
+		// Default meter: a stateless simulator shared by every request (its
+		// profiles are pure functions of (app, vm, seed)), memoized through
+		// the profile LRU unless disabled.
+		if cfg.ProfileCacheSize > 0 {
+			s.profiles = newProfileLRU(cfg.ProfileCacheSize)
+		}
+		simulator := sim.New(cfg.SimConfig)
 		s.meterFor = func(seed uint64) oracle.Service {
-			return oracle.NewMeter(sim.New(simCfg), seed)
+			return &memoMeter{sim: simulator, seed: seed, cache: s.profiles}
 		}
 	}
 	if !cfg.NoCache {
 		s.cache = newLRU(cfg.CacheSize)
+		s.flights = make(map[cacheKey]*flight)
+	}
+	if !cfg.ColdStart {
+		// Pay the lineage's one-time plan solve at construction instead of on
+		// the first request (a no-op when the snapshot was decoded from a
+		// checkpoint carrying the plan, or shares an already-built lineage).
+		if err := snap.PreparePlan(); err != nil {
+			return nil, fmt.Errorf("serve: preparing predict plan: %w", err)
+		}
 	}
 	s.snap.Store(snap)
 	if cfg.Tracer.Enabled() {
@@ -446,8 +531,11 @@ func (s *Server) resolve(req Request) (Request, workload.App, error) {
 }
 
 // PredictBytes answers a request with the canonical serialized response
-// body. It blocks until the response is computed, the context is done, or
-// admission is rejected (ErrQueueFull, ErrShuttingDown).
+// body. A cache hit returns immediately — before admission, so cached
+// traffic never queues behind uncached compute — but shutdown is checked
+// first: every request admitted after Close began gets ErrShuttingDown,
+// cached or not. A miss blocks until the response is computed, the context
+// is done, or admission is rejected (ErrQueueFull, ErrShuttingDown).
 func (s *Server) PredictBytes(ctx context.Context, req Request) ([]byte, error) {
 	req, app, err := s.resolve(req)
 	if err != nil {
@@ -457,7 +545,24 @@ func (s *Server) PredictBytes(ctx context.Context, req Request) ([]byte, error) 
 	if s.cfg.Tracer.Enabled() {
 		s.cfg.Tracer.Count("serve.requests", 1)
 	}
-	t := &task{req: req, app: app, ctx: ctx, done: make(chan taskResult, 1)}
+	s.closeMu.RLock()
+	draining := s.draining
+	s.closeMu.RUnlock()
+	if draining {
+		return nil, ErrShuttingDown
+	}
+	t := &task{req: req, app: app, snap: s.snap.Load(), ctx: ctx, done: make(chan taskResult, 1)}
+	if s.cache != nil {
+		t.key = cacheKey{epoch: t.snap.Epoch(), fp: req.fingerprint()}
+		s.cacheMu.Lock()
+		body, ok := s.cache.get(t.key)
+		s.cacheMu.Unlock()
+		if ok {
+			s.hits.Add(1)
+			s.cfg.Tracer.Count("serve.cache_hits", 1)
+			return body, nil
+		}
+	}
 	if err := s.enqueue(t); err != nil {
 		return nil, err
 	}
@@ -485,6 +590,7 @@ func (s *Server) Stats() Stats {
 		Requests:     s.requests.Load(),
 		CacheHits:    s.hits.Load(),
 		CacheMisses:  s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
 		QueueDepth:   len(s.queue),
 		QueueRejects: s.rejects.Load(),
 		Batches:      s.batches.Load(),
@@ -496,10 +602,17 @@ func (s *Server) Stats() Stats {
 		Durable:      s.cfg.WAL != nil,
 		WALAppends:   s.walAppends.Load(),
 	}
+	if st.Requests > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(st.Requests)
+	}
 	if s.cache != nil {
 		s.cacheMu.Lock()
 		st.CacheLen = s.cache.len()
 		s.cacheMu.Unlock()
+	}
+	if s.profiles != nil {
+		st.ProfileHits, st.ProfileMisses = s.profiles.counters()
+		st.ProfileLen = s.profiles.len()
 	}
 	return st
 }
@@ -571,58 +684,117 @@ func (s *Server) run(batch []*task) {
 	}
 }
 
-// execute answers one task: capture the current snapshot, try the cache,
-// otherwise run the full online prediction and cache the canonical bytes.
-// A task whose requester has already gone away (canceled or timed-out
-// context) releases its worker slot immediately instead of computing a
-// response nobody reads.
+// execute answers one task against its admission-time snapshot: try the
+// cache, attach to an in-flight computation of the same key, or own the
+// miss — run the prediction once and publish the canonical bytes to the
+// cache and every coalesced waiter. A task whose requester has already gone
+// away (canceled or timed-out context) releases its worker slot immediately
+// instead of computing a response nobody reads.
+//
+// Stats contract: each cache-eligible task counts exactly one of hits and
+// misses. The flight owner counts the miss; waiters and cached reads count
+// hits (waiters additionally count coalesced), so the /stats hit rate is
+// hits/requests however a thundering herd interleaves.
 func (s *Server) execute(t *task) taskResult {
 	if err := t.ctx.Err(); err != nil {
 		s.canceled.Add(1)
 		s.cfg.Tracer.Count("serve.canceled", 1)
 		return taskResult{err: err}
 	}
-	snap := s.snap.Load()
-	key := cacheKey{epoch: snap.Epoch(), fp: t.req.fingerprint()}
-	if s.cache != nil {
-		s.cacheMu.Lock()
-		body, ok := s.cache.get(key)
-		s.cacheMu.Unlock()
-		if ok {
-			s.hits.Add(1)
-			s.cfg.Tracer.Count("serve.cache_hits", 1)
-			return taskResult{body: body}
-		}
-		s.misses.Add(1)
-		s.cfg.Tracer.Count("serve.cache_misses", 1)
+	if s.cache == nil {
+		return s.compute(t)
 	}
+	s.cacheMu.Lock()
+	if body, ok := s.cache.get(t.key); ok {
+		// Cached between admission and execution (an earlier flight landed).
+		s.cacheMu.Unlock()
+		s.hits.Add(1)
+		s.cfg.Tracer.Count("serve.cache_hits", 1)
+		return taskResult{body: body}
+	}
+	if f, ok := s.flights[t.key]; ok {
+		// Same key already computing: wait for its bytes instead of redoing
+		// the solve. The owner holds a worker slot until it finishes, so a
+		// waiting slot can never deadlock the pool.
+		s.cacheMu.Unlock()
+		s.hits.Add(1)
+		s.coalesced.Add(1)
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Count("serve.cache_hits", 1)
+			s.cfg.Tracer.Count("serve.coalesced", 1)
+		}
+		select {
+		case <-f.done:
+			return taskResult{body: f.body, err: f.err}
+		case <-t.ctx.Done():
+			return taskResult{err: t.ctx.Err()}
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[t.key] = f
+	s.cacheMu.Unlock()
+	s.misses.Add(1)
+	s.cfg.Tracer.Count("serve.cache_misses", 1)
+
+	res := s.compute(t)
+	s.cacheMu.Lock()
+	if res.err == nil {
+		s.cache.put(t.key, res.body)
+	}
+	// The cache entry lands before the flight is removed (both under cacheMu),
+	// so at every instant a concurrent same-key request finds the bytes in
+	// exactly one place.
+	delete(s.flights, t.key)
+	s.cacheMu.Unlock()
+	f.body, f.err = res.body, res.err
+	close(f.done)
+	return res
+}
+
+// compute runs the uncached prediction arm for one task: warm-started
+// through the lineage's precomputed plan by default, the historical cold
+// solve under ColdStart.
+func (s *Server) compute(t *task) taskResult {
 	meter := s.meterFor(t.req.Seed)
-	pred, err := snap.Predict(t.app, meter)
+	var pred *core.Prediction
+	var err error
+	if s.cfg.ColdStart {
+		pred, err = t.snap.Predict(t.app, meter)
+	} else {
+		pred, err = t.snap.PredictFast(t.app, meter, s.cfg.Approx)
+	}
 	if err != nil {
 		return taskResult{err: fmt.Errorf("serve: predict %s: %w", t.req.App, err)}
 	}
-	body, err := s.encodeResponse(snap, t.req, pred, meter.SimConfig().Nodes)
+	body, err := s.encodeResponse(t.snap, t.req, pred, meter.SimConfig().Nodes)
 	if err != nil {
 		return taskResult{err: fmt.Errorf("serve: encode %s: %w", t.req.App, err)}
-	}
-	if s.cache != nil {
-		s.cacheMu.Lock()
-		s.cache.put(key, body)
-		s.cacheMu.Unlock()
 	}
 	return taskResult{body: body}
 }
 
+// rankPool recycles the request-scoped ranking slices of encodeResponse:
+// the entries live only until the response is serialized, so the backing
+// arrays are reused across requests instead of churning the allocator on
+// the hot path. 128 covers the full 120-VM catalog without regrowth.
+var rankPool = sync.Pool{New: func() any {
+	s := make([]RankEntry, 0, 128)
+	return &s
+}}
+
 // encodeResponse builds the canonical response body: ranking order comes
 // from the prediction (already deterministically tie-broken), floats render
 // with pinned shortest-round-trip bytes, and no map ever reaches the
-// encoder.
+// encoder. The scratch ranking slice and encode buffer are pooled; only the
+// returned body (which the cache may retain indefinitely) is freshly
+// allocated.
 func (s *Server) encodeResponse(snap *core.Snapshot, req Request, pred *core.Prediction, nodes int) ([]byte, error) {
 	top := req.Top
 	if top > len(pred.Ranking) {
 		top = len(pred.Ranking)
 	}
-	ranking := make([]RankEntry, 0, top)
+	rp := rankPool.Get().(*[]RankEntry)
+	ranking := (*rp)[:0]
 	for _, r := range pred.Ranking[:top] {
 		sec := pred.PredictedSec[r.VM]
 		ranking = append(ranking, RankEntry{
@@ -632,7 +804,7 @@ func (s *Server) encodeResponse(snap *core.Snapshot, req Request, pred *core.Pre
 			PredictedUSD: jsonFloat(sec / 3600 * s.byName[r.VM].PriceHour * float64(nodes)),
 		})
 	}
-	return encodeResponse(&Response{
+	body, err := encodeResponsePooled(&Response{
 		Target:        pred.Target,
 		Epoch:         snap.Epoch(),
 		Workloads:     snap.Workloads(),
@@ -642,4 +814,7 @@ func (s *Server) encodeResponse(snap *core.Snapshot, req Request, pred *core.Pre
 		OnlineRuns:    pred.OnlineRuns,
 		Ranking:       ranking,
 	})
+	*rp = ranking[:0]
+	rankPool.Put(rp)
+	return body, err
 }
