@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash
+.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash replicate-chaos replicate-report
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -112,3 +112,21 @@ crash:
 	$(GO) test -race ./internal/wal
 	$(GO) test -race ./internal/serve -run 'TestAbsorb|TestRecoveredServer'
 	$(GO) test -race ./internal/cli -run TestServeDurableRoundTrip
+
+# replicate-chaos runs the replication convergence matrix (DESIGN.md §13):
+# every partition/lag/leader-kill schedule against three followers at
+# workers 1/4/16, the WAL compaction/append races with mid-compaction crash
+# points, the router's no-stale-read and failover tests, and the CLI
+# leader→follower fleet round trip. Included in tier1 via the normal test
+# run; this target isolates it for fast iteration on the replication layer.
+replicate-chaos:
+	$(GO) test -race ./internal/chaos -run 'TestNetPlan|TestPartitioned|TestLagged|TestLeaderAlive'
+	$(GO) test -race -timeout 20m ./internal/replicate
+	$(GO) test -race ./internal/wal -run 'TestCompactionRaces|TestCrashMidCompaction'
+	$(GO) test -race ./internal/cli -run 'TestRoute|TestServeLeaderFollowerRoundTrip|TestServeReplicationFlagConflicts'
+
+# replicate-report regenerates the failover-latency and follower-lag numbers
+# in results/replicate.md (wall-clock medians; outside the determinism
+# contract, so gated behind an env var rather than run in tier1).
+replicate-report:
+	VESTA_REPLICATE_REPORT=1 $(GO) test ./internal/replicate -run TestReplicateReport -v -timeout 20m

@@ -9,6 +9,7 @@
 //	vesta profile  -out knowledge.json         run the offline phase, save knowledge
 //	vesta predict  -knowledge K -app A         predict the best VM for a target
 //	vesta serve    -knowledge K -addr HOST:P   serve predictions over HTTP/JSON
+//	vesta route    -backends URL1,URL2,...     front a replicated serving fleet
 //	vesta heatmap  -app A                      Figure 1 style budget heat map
 //	vesta collect  -store DIR -app A [...]     profile and persist measurements
 //	vesta history  -store DIR [-app A]         query persisted measurements

@@ -1,0 +1,100 @@
+// Replication-fabric fault injection: the replicated serving fleet
+// (internal/replicate) moves WAL frames from a leader to its followers in
+// discrete sync rounds, and a NetPlan decides — deterministically, as a pure
+// function of (follower index, round) — which of those rounds are lost to a
+// network partition, which are lagged, and when the leader itself dies.
+//
+// The model mirrors FSPlan: an enumerable schedule instead of a random
+// process, so the convergence matrix in internal/replicate can replay every
+// partition/lag/leader-kill combination and assert that each surviving
+// follower recovers to the leader's last acked epoch. All rounds are 1-based
+// so "the first sync" is addressable; 0 disables that clause.
+package chaos
+
+import "errors"
+
+// ErrPartitioned marks a sync round dropped by an injected network
+// partition. Callers match with errors.Is.
+var ErrPartitioned = errors.New("chaos: injected network partition")
+
+// Partition cuts one follower's link to the leader for a round interval.
+type Partition struct {
+	// Follower is the 0-based index of the partitioned follower.
+	Follower int
+	// From is the first sync round the link is down (1-based, inclusive).
+	From int
+	// Until is the first round the link is back up (exclusive). Until <= From
+	// disables the clause.
+	Until int
+}
+
+// Lag delays one follower's replication without cutting it: its first Rounds
+// sync rounds complete but deliver no new frames, so the follower trails the
+// leader until the lag budget is spent.
+type Lag struct {
+	// Follower is the 0-based index of the lagged follower.
+	Follower int
+	// Rounds is how many initial sync rounds deliver nothing.
+	Rounds int
+}
+
+// NetPlan is a deterministic replication-fault schedule. The zero plan
+// injects nothing. Decisions depend only on the plan and the (follower,
+// round) pair — never on wall-clock time or goroutine schedule — so a
+// matrix sweep over plans is exactly reproducible.
+type NetPlan struct {
+	// Partitions lists the link-down intervals.
+	Partitions []Partition
+	// Lags lists the delayed-delivery budgets.
+	Lags []Lag
+	// KillLeaderAt is the 1-based sync round at the start of which the
+	// leader process dies (0: never). The test harness, not the transport,
+	// enacts the kill; the field lives here so one plan value describes the
+	// whole schedule.
+	KillLeaderAt int
+}
+
+// Partitioned reports whether follower's fetch in round is dropped by a
+// partition clause. Rounds are 1-based.
+func (p NetPlan) Partitioned(follower, round int) bool {
+	for _, c := range p.Partitions {
+		if c.Follower == follower && round >= c.From && round < c.Until {
+			return true
+		}
+	}
+	return false
+}
+
+// Lagged reports whether follower's fetch in round completes but delivers no
+// new frames. A partitioned round does not consume lag budget: the lag
+// clause counts only rounds that actually reach the leader.
+func (p NetPlan) Lagged(follower, round int) bool {
+	budget := 0
+	for _, c := range p.Lags {
+		if c.Follower == follower && c.Rounds > budget {
+			budget = c.Rounds
+		}
+	}
+	if budget == 0 {
+		return false
+	}
+	// Count the non-partitioned rounds up to and including this one; the
+	// first `budget` of them are lagged.
+	seen := 0
+	for r := 1; r <= round; r++ {
+		if p.Partitioned(follower, r) {
+			continue
+		}
+		seen++
+		if r == round {
+			return seen <= budget
+		}
+	}
+	return false
+}
+
+// LeaderAlive reports whether the leader still accepts absorbs at the start
+// of round. Rounds are 1-based; a zero KillLeaderAt never kills.
+func (p NetPlan) LeaderAlive(round int) bool {
+	return p.KillLeaderAt == 0 || round < p.KillLeaderAt
+}

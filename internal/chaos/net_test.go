@@ -1,0 +1,115 @@
+package chaos
+
+import "testing"
+
+func TestNetPlanZeroInjectsNothing(t *testing.T) {
+	var p NetPlan
+	for f := 0; f < 3; f++ {
+		for r := 1; r <= 8; r++ {
+			if p.Partitioned(f, r) {
+				t.Fatalf("zero plan partitions follower %d round %d", f, r)
+			}
+			if p.Lagged(f, r) {
+				t.Fatalf("zero plan lags follower %d round %d", f, r)
+			}
+		}
+	}
+	for r := 1; r <= 8; r++ {
+		if !p.LeaderAlive(r) {
+			t.Fatalf("zero plan kills the leader at round %d", r)
+		}
+	}
+}
+
+func TestPartitionedInterval(t *testing.T) {
+	p := NetPlan{Partitions: []Partition{{Follower: 1, From: 2, Until: 4}}}
+	// 1-based, From inclusive, Until exclusive.
+	for r, want := range map[int]bool{1: false, 2: true, 3: true, 4: false, 5: false} {
+		if got := p.Partitioned(1, r); got != want {
+			t.Fatalf("round %d: partitioned=%v, want %v", r, got, want)
+		}
+	}
+	// Only the named follower is affected.
+	for r := 1; r <= 5; r++ {
+		if p.Partitioned(0, r) || p.Partitioned(2, r) {
+			t.Fatalf("round %d: partition leaked to another follower", r)
+		}
+	}
+}
+
+func TestPartitionedDisabledWhenUntilNotAfterFrom(t *testing.T) {
+	for _, c := range []Partition{
+		{Follower: 0, From: 3, Until: 3},
+		{Follower: 0, From: 3, Until: 2},
+		{Follower: 0, From: 3, Until: 0},
+	} {
+		p := NetPlan{Partitions: []Partition{c}}
+		for r := 1; r <= 6; r++ {
+			if p.Partitioned(0, r) {
+				t.Fatalf("clause %+v: round %d partitioned", c, r)
+			}
+		}
+	}
+}
+
+func TestPartitionedMultipleClauses(t *testing.T) {
+	p := NetPlan{Partitions: []Partition{
+		{Follower: 0, From: 1, Until: 2},
+		{Follower: 0, From: 4, Until: 6},
+	}}
+	want := map[int]bool{1: true, 2: false, 3: false, 4: true, 5: true, 6: false}
+	for r, w := range want {
+		if got := p.Partitioned(0, r); got != w {
+			t.Fatalf("round %d: partitioned=%v, want %v", r, got, w)
+		}
+	}
+}
+
+func TestLaggedBudget(t *testing.T) {
+	p := NetPlan{Lags: []Lag{{Follower: 2, Rounds: 3}}}
+	// The first three rounds are lagged, then delivery resumes.
+	for r, want := range map[int]bool{1: true, 2: true, 3: true, 4: false, 5: false} {
+		if got := p.Lagged(2, r); got != want {
+			t.Fatalf("round %d: lagged=%v, want %v", r, got, want)
+		}
+	}
+	if p.Lagged(0, 1) || p.Lagged(1, 1) {
+		t.Fatal("lag leaked to another follower")
+	}
+}
+
+func TestLaggedSkipsPartitionedRounds(t *testing.T) {
+	// Rounds 1-2 are partitioned; they must not consume the 2-round lag
+	// budget, so rounds 3 and 4 lag and round 5 delivers.
+	p := NetPlan{
+		Partitions: []Partition{{Follower: 0, From: 1, Until: 3}},
+		Lags:       []Lag{{Follower: 0, Rounds: 2}},
+	}
+	for r, want := range map[int]bool{1: false, 2: false, 3: true, 4: true, 5: false} {
+		if got := p.Lagged(0, r); got != want {
+			t.Fatalf("round %d: lagged=%v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestLaggedTakesMaxBudget(t *testing.T) {
+	p := NetPlan{Lags: []Lag{
+		{Follower: 1, Rounds: 1},
+		{Follower: 1, Rounds: 3},
+		{Follower: 1, Rounds: 2},
+	}}
+	for r, want := range map[int]bool{3: true, 4: false} {
+		if got := p.Lagged(1, r); got != want {
+			t.Fatalf("round %d: lagged=%v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestLeaderAlive(t *testing.T) {
+	p := NetPlan{KillLeaderAt: 3}
+	for r, want := range map[int]bool{1: true, 2: true, 3: false, 4: false} {
+		if got := p.LeaderAlive(r); got != want {
+			t.Fatalf("round %d: alive=%v, want %v", r, got, want)
+		}
+	}
+}

@@ -10,12 +10,17 @@
 //	vesta profile  -out knowledge.json         run the offline phase and save knowledge
 //	vesta predict  -knowledge K -app A         predict the best VM for a target
 //	vesta serve    -knowledge K -addr HOST:P   serve predictions over HTTP/JSON
+//	vesta route    -backends URL1,URL2,...     front a replicated serving fleet
 //
 // serve accepts -state-dir DIR to make absorbed serving state durable: every
 // POST /absorb is write-ahead logged and fsynced before it is published,
 // startup recovers base + checkpoint + WAL (truncating a torn tail), and
 // SIGINT/SIGTERM drain in-flight requests then write a final checkpoint
-// (DESIGN.md §11).
+// (DESIGN.md §11). With -replicate a serve node is a replication leader
+// (followers sync WAL frames from GET /replicate/frames); with -follow URL it
+// is a read-only follower replaying that leader. route consistent-hashes
+// predict traffic across follower backends, probes their /healthz, and fails
+// over with bounded retries + jittered backoff (DESIGN.md §13).
 //
 // profile and predict accept -fault-rate R and -retries N to rehearse the
 // pipeline under deterministic infrastructure fault injection (spot
@@ -81,6 +86,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdPredict(args[1:])
 	case "serve":
 		err = cmdServe(args[1:])
+	case "route":
+		err = cmdRoute(args[1:])
 	case "heatmap":
 		err = cmdHeatmap(args[1:])
 	case "inspect":
@@ -128,6 +135,7 @@ subcommands:
   profile     run the offline phase on the source workloads, save knowledge
   predict     predict the best VM type for a target workload
   serve       serve predictions concurrently over HTTP/JSON
+  route       front a replicated serving fleet (consistent hashing + failover)
   heatmap     render a budget heat map for an application (Figure 1 style)
   inspect     render a profiling run's metric trace (sparklines + phases)
   collect     profile applications and persist the measurements to a store

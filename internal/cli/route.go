@@ -1,0 +1,91 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vesta/internal/replicate"
+)
+
+// routeListen starts the router's HTTP server; swapped out by tests so
+// cmdRoute can be exercised without binding a real port.
+var routeListen = func(srv *http.Server) error { return srv.ListenAndServe() }
+
+// cmdRoute fronts a replicated serving fleet: predict requests are
+// consistent-hashed across the healthy followers, backends are health-probed
+// continuously, and a failed or stale backend is failed over with bounded
+// retries and jittered backoff (DESIGN.md §13).
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	fs.SetOutput(errW)
+	addr := fs.String("addr", "127.0.0.1:8380", "listen address")
+	backendsFlag := fs.String("backends", "", "comma-separated follower base URLs (required)")
+	vnodes := fs.Int("vnodes", 64, "ring points per backend (hash smoothing)")
+	retries := fs.Int("retries", 2, "failover attempts after the first backend fails")
+	probeInterval := fs.Duration("probe-interval", time.Second, "health probe period")
+	seed := fs.Uint64("seed", 1, "retry-jitter seed")
+	tracePath := fs.String("trace", "", "write trace records to this JSONL file on shutdown")
+	verbose := fs.Bool("v", false, "stream verbose progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backendsFlag == "" {
+		return fmt.Errorf("route: -backends is required")
+	}
+	tracer := newTracer(*tracePath, *verbose)
+	router, err := replicate.NewRouter(replicate.RouterConfig{
+		Backends: strings.Split(*backendsFlag, ","),
+		Vnodes:   *vnodes,
+		Retries:  *retries,
+		Seed:     *seed,
+		Tracer:   tracer,
+	})
+	if err != nil {
+		return err
+	}
+	healthy := router.ProbeAll()
+	st := router.Stats()
+	fmt.Fprintf(outW, "routing across %d backends (%d healthy, epoch floor %d) on http://%s\n",
+		len(st.Backends), healthy, st.Floor, *addr)
+	fmt.Fprintf(outW, "endpoints: POST /predict, GET /healthz, GET /stats\n")
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go router.Run(ctx, *probeInterval)
+	listenErr := make(chan error, 1)
+	go func() { listenErr <- routeListen(httpSrv) }()
+	select {
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(outW, "signal received; draining...\n")
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		err = httpSrv.Shutdown(drainCtx)
+		cancel()
+		if lerr := <-listenErr; lerr != nil && lerr != http.ErrServerClosed && err == nil {
+			err = lerr
+		}
+		if err != nil {
+			return err
+		}
+	case err := <-listenErr:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+	}
+	return writeTrace(tracer, *tracePath)
+}

@@ -1,0 +1,176 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRouteCommandErrors(t *testing.T) {
+	if code, _, stderr := run("route"); code != 1 || !strings.Contains(stderr, "-backends is required") {
+		t.Fatalf("missing -backends: exit=%d stderr=%q", code, stderr)
+	}
+	if code, _, _ := run("route", "-bogus-flag"); code != 1 {
+		t.Fatal("bogus flag accepted")
+	}
+	if code, _, _ := run("route", "-backends", " , "); code != 1 {
+		t.Fatal("blank backend list accepted")
+	}
+}
+
+func TestServeReplicationFlagConflicts(t *testing.T) {
+	if code, _, stderr := run("serve", "-follow", "http://x", "-replicate"); code != 1 ||
+		!strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("-follow -replicate: exit=%d stderr=%q", code, stderr)
+	}
+	if code, _, stderr := run("serve", "-follow", "http://x", "-state-dir", t.TempDir()); code != 1 ||
+		!strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("-follow -state-dir: exit=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestRouteCommand drives `vesta route` against a scripted backend without
+// binding a port: the listener hook exercises the router handler in-process.
+func TestRouteCommand(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprint(w, `{"status":"ok","epoch":4}`)
+		case "/predict":
+			fmt.Fprint(w, `{"epoch":4,"target":"backend-answer"}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer backend.Close()
+
+	orig := routeListen
+	defer func() { routeListen = orig }()
+	var predictStatus, healthStatus int
+	var predictBody string
+	routeListen = func(srv *http.Server) error {
+		req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{"app":"Spark-kmeans"}`))
+		rec := httptest.NewRecorder()
+		srv.Handler.ServeHTTP(rec, req)
+		predictStatus, predictBody = rec.Code, rec.Body.String()
+
+		req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		rec = httptest.NewRecorder()
+		srv.Handler.ServeHTTP(rec, req)
+		healthStatus = rec.Code
+		return http.ErrServerClosed
+	}
+
+	code, stdout, stderr := run("route", "-backends", backend.URL)
+	if code != 0 {
+		t.Fatalf("route exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "routing across 1 backends (1 healthy, epoch floor 4)") {
+		t.Fatalf("banner missing: %q", stdout)
+	}
+	if predictStatus != http.StatusOK || !strings.Contains(predictBody, "backend-answer") {
+		t.Fatalf("predict status=%d body=%q", predictStatus, predictBody)
+	}
+	if healthStatus != http.StatusOK {
+		t.Fatalf("healthz status=%d", healthStatus)
+	}
+}
+
+// TestServeLeaderFollowerRoundTrip wires the replication fleet end to end
+// through the CLI: a -replicate leader exposed on a real ephemeral port, an
+// absorb at the leader, then a nested `vesta serve -follow` whose listener
+// hook polls until the follower's health reports the absorbed epoch and
+// checks the follower answers the leader's exact predict bytes but refuses
+// absorbs.
+func TestServeLeaderFollowerRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full offline phase is expensive")
+	}
+	kfile := filepath.Join(t.TempDir(), "k.json")
+	if code, _, stderr := run("profile", "-out", kfile, "-k", "9"); code != 0 {
+		t.Fatalf("profile exit=%d stderr=%q", code, stderr)
+	}
+
+	orig := serveListen
+	defer func() { serveListen = orig }()
+
+	do := func(h http.Handler, method, path, body string) (int, string) {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	var leaderPredict, followerPredict, followerHealth string
+	var absorbStatus, followerAbsorbStatus int
+	var followerErr error
+	serveListen = func(leaderSrv *http.Server) error {
+		// The follower needs a real URL to poll, so the leader handler gets a
+		// live listener for the duration.
+		ts := httptest.NewServer(leaderSrv.Handler)
+		defer ts.Close()
+
+		resp, err := http.Post(ts.URL+"/absorb", "application/json",
+			strings.NewReader(`{"name":"t1","app":"Spark-kmeans","seed":7}`))
+		if err != nil {
+			return fmt.Errorf("absorb at leader: %w", err)
+		}
+		absorbStatus = resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		_, leaderPredict = do(leaderSrv.Handler, http.MethodPost, "/predict", `{"app":"Spark-grep","top":5}`)
+
+		serveListen = func(followerSrv *http.Server) error {
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				_, followerHealth = do(followerSrv.Handler, http.MethodGet, "/healthz", "")
+				if strings.Contains(followerHealth, `"epoch":1`) {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("follower never reached epoch 1: %s", followerHealth)
+				}
+				time.Sleep(25 * time.Millisecond)
+			}
+			_, followerPredict = do(followerSrv.Handler, http.MethodPost, "/predict", `{"app":"Spark-grep","top":5}`)
+			followerAbsorbStatus, _ = do(followerSrv.Handler, http.MethodPost, "/absorb",
+				`{"name":"t2","app":"Spark-sort","seed":8}`)
+			return http.ErrServerClosed
+		}
+		followerErr = cmdServe([]string{"-knowledge", kfile, "-follow", ts.URL, "-sync-interval", "25ms"})
+		return http.ErrServerClosed
+	}
+
+	code, stdout, stderr := run("serve", "-knowledge", kfile, "-replicate", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("leader exit=%d stderr=%q", code, stderr)
+	}
+	if followerErr != nil {
+		t.Fatalf("follower: %v", followerErr)
+	}
+	if !strings.Contains(stdout, "replication leader: followers sync with") ||
+		!strings.Contains(stdout, "GET /replicate/{frames,status}") {
+		t.Fatalf("leader banner missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "read-only: POST /absorb answers 403") {
+		t.Fatalf("follower banner missing:\n%s", stdout)
+	}
+	if absorbStatus != http.StatusOK {
+		t.Fatalf("leader absorb status=%d", absorbStatus)
+	}
+	if !strings.Contains(leaderPredict, `"epoch":1`) {
+		t.Fatalf("leader predict: %q", leaderPredict)
+	}
+	if followerPredict != leaderPredict {
+		t.Fatalf("follower predict differs from leader:\nleader:   %q\nfollower: %q",
+			leaderPredict, followerPredict)
+	}
+	if followerAbsorbStatus != http.StatusForbidden {
+		t.Fatalf("follower absorb status=%d, want 403", followerAbsorbStatus)
+	}
+}

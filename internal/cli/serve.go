@@ -12,6 +12,7 @@ import (
 
 	"vesta/internal/cloud"
 	"vesta/internal/core"
+	"vesta/internal/replicate"
 	"vesta/internal/serve"
 	"vesta/internal/sim"
 	"vesta/internal/wal"
@@ -38,7 +39,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
 	seed := fs.Uint64("seed", 1, "snapshot seed (drives the online rng of every prediction)")
 	workers := fs.Int("workers", 0, "worker pool size per batch (0 = one per CPU); responses are identical at every value")
-	queue := fs.Int("queue", 256, "admission queue capacity (full queue answers 429)")
+	queue := fs.Int("queue", 256, "admission queue capacity (full queue answers 503 with Retry-After)")
 	batch := fs.Int("batch", 16, "max requests drained into one parallel batch")
 	cacheSize := fs.Int("cache", 1024, "LRU response cache entries (0 = default, use -no-cache to disable)")
 	noCache := fs.Bool("no-cache", false, "disable the response cache")
@@ -47,10 +48,19 @@ func cmdServe(args []string) error {
 	profileCache := fs.Int("profile-cache", 0, "memoized-measurement LRU entries (0 = default 4096, negative disables memoization)")
 	nodes := fs.Int("nodes", 4, "cluster size of the per-request measurement simulator")
 	stateDir := fs.String("state-dir", "", "durable state directory (WAL + checkpoints); empty serves in-memory only")
+	replicateFlag := fs.Bool("replicate", false, "run as replication leader: mount GET /replicate/* so followers can sync (DESIGN.md §13)")
+	follow := fs.String("follow", "", "run as read-only follower replaying this leader URL (e.g. http://127.0.0.1:8372)")
+	syncInterval := fs.Duration("sync-interval", 500*time.Millisecond, "follower sync poll interval (used with -follow)")
 	tracePath := fs.String("trace", "", "write deterministic trace records to this JSONL file on shutdown")
 	verbose := fs.Bool("v", false, "stream verbose progress (batch shapes, wall timings) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" && *replicateFlag {
+		return fmt.Errorf("serve: -follow and -replicate are mutually exclusive (a follower never owns absorbs)")
+	}
+	if *follow != "" && *stateDir != "" {
+		return fmt.Errorf("serve: -follow and -state-dir are mutually exclusive (durability lives at the leader; a restarted follower re-syncs)")
 	}
 	tracer := newTracer(*tracePath, *verbose)
 	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers, Tracer: tracer}, cloud.Catalog120())
@@ -90,6 +100,18 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(outW, ")\n")
 	}
 
+	// Leader mode interposes the replication tail between the serve layer and
+	// the durable WAL: absorbs stay durable (inner append first), and the
+	// acked records become the follower stream.
+	var leader *replicate.Leader
+	if *replicateFlag {
+		leader, err = replicate.NewLeader(snap, durable, replicate.LeaderConfig{Tracer: tracer})
+		if err != nil {
+			return err
+		}
+		durable = leader
+	}
+
 	server, err := serve.New(snap, serve.Config{
 		Workers:          *workers,
 		QueueSize:        *queue,
@@ -102,6 +124,7 @@ func cmdServe(args []string) error {
 		SimConfig:        sim.Config{Nodes: *nodes},
 		Tracer:           tracer,
 		WAL:              durable,
+		ReadOnly:         *follow != "",
 	})
 	if err != nil {
 		return err
@@ -109,14 +132,52 @@ func cmdServe(args []string) error {
 	defer server.Close() // idempotent; covers the early-error returns below
 	fmt.Fprintf(outW, "serving knowledge from %s (epoch %d, %d workloads) on http://%s\n",
 		*knowledgeFile, snap.Epoch(), snap.Workloads(), *addr)
-	fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, GET /healthz, GET /stats\n")
-	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	handler := server.Handler()
+	switch {
+	case leader != nil:
+		m := http.NewServeMux()
+		m.Handle("/replicate/", leader.Handler())
+		m.Handle("/", handler)
+		handler = m
+		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, GET /healthz, GET /stats, GET /replicate/{frames,status}\n")
+		fmt.Fprintf(outW, "replication leader: followers sync with 'vesta serve -follow http://%s'\n", *addr)
+	case *follow != "":
+		fmt.Fprintf(outW, "endpoints: POST /predict, GET /healthz, GET /stats (read-only: POST /absorb answers 403)\n")
+		fmt.Fprintf(outW, "following %s every %s\n", *follow, *syncInterval)
+	default:
+		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, GET /healthz, GET /stats\n")
+	}
+	// Production timeouts: slow-loris reads are cut at 30s, responses must
+	// flush within 90s (above the 60s in-handler predict deadline, so the
+	// handler's 504 wins over a connection drop), idle keep-alives die at 2m.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	// Trap SIGINT/SIGTERM: stop accepting connections, drain in-flight
 	// requests, then fall through to the queue drain + final checkpoint
 	// below — the process never dies mid-request or mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *follow != "" {
+		follower, err := replicate.NewFollower(server, snap, &replicate.HTTPTransport{URL: *follow}, tracer)
+		if err != nil {
+			return err
+		}
+		go func() {
+			// Run returns only on ctx done (nil) or terminal divergence; a
+			// diverged follower keeps serving its last verified snapshot but
+			// stops advancing, and the operator rebuilds it.
+			if err := follower.Run(ctx, *syncInterval); err != nil {
+				fmt.Fprintf(errW, "vesta: follower diverged: %v\n", err)
+			}
+		}()
+	}
 	listenErr := make(chan error, 1)
 	go func() { listenErr <- serveListen(httpSrv) }()
 	select {

@@ -1,0 +1,200 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"vesta/internal/chaos"
+	"vesta/internal/serve"
+	"vesta/internal/wal"
+)
+
+// TestConvergenceMatrix is the replication analogue of the WAL crash matrix:
+// for every injected partition/lag/leader-kill schedule, every surviving
+// follower must recover to the leader's last acked epoch, reproduce the
+// leader's state byte-for-byte, and serve byte-identical predict responses at
+// workers 1, 4 and 16. The whole schedule is deterministic — a chaos.NetPlan
+// decides faults as a pure function of (follower, round), absorbs happen at
+// fixed rounds, and each follower syncs exactly once per round — so a failure
+// replays exactly.
+func TestConvergenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("offline training fixture is expensive")
+	}
+	plans := []struct {
+		name string
+		plan chaos.NetPlan
+	}{
+		{"clean", chaos.NetPlan{}},
+		{"partition-f0-early", chaos.NetPlan{
+			Partitions: []chaos.Partition{{Follower: 0, From: 1, Until: 3}},
+		}},
+		{"partition-all-round1", chaos.NetPlan{
+			Partitions: []chaos.Partition{
+				{Follower: 0, From: 1, Until: 2},
+				{Follower: 1, From: 1, Until: 2},
+				{Follower: 2, From: 1, Until: 2},
+			},
+		}},
+		{"partition-f2-long", chaos.NetPlan{
+			Partitions: []chaos.Partition{{Follower: 2, From: 1, Until: 6}},
+		}},
+		{"lag-f1", chaos.NetPlan{
+			Lags: []chaos.Lag{{Follower: 1, Rounds: 3}},
+		}},
+		{"leader-kill-r2", chaos.NetPlan{KillLeaderAt: 2}},
+		{"leader-kill-r1", chaos.NetPlan{KillLeaderAt: 1}},
+		{"kill+partition", chaos.NetPlan{
+			Partitions:   []chaos.Partition{{Follower: 2, From: 2, Until: 4}},
+			KillLeaderAt: 3,
+		}},
+		{"kill+lag", chaos.NetPlan{
+			Lags:         []chaos.Lag{{Follower: 0, Rounds: 3}},
+			KillLeaderAt: 2,
+		}},
+		{"partition+lag", chaos.NetPlan{
+			Partitions: []chaos.Partition{{Follower: 1, From: 1, Until: 3}},
+			Lags:       []chaos.Lag{{Follower: 2, Rounds: 2}},
+		}},
+	}
+	// MaxTail 16 keeps every record (pure frame catch-up); MaxTail 1 forces
+	// deep catch-ups through the snapshot-bootstrap path.
+	for _, maxTail := range []int{16, 1} {
+		for _, tc := range plans {
+			t.Run(fmt.Sprintf("tail=%d/%s", maxTail, tc.name), func(t *testing.T) {
+				runConvergence(t, tc.plan, maxTail)
+			})
+		}
+	}
+}
+
+// runConvergence drives one plan to quiescence: a durable leader absorbing
+// the fixture chain one record per round, three followers (workers 1/4/16)
+// syncing once per round through FaultTransports, a leader kill modelled as
+// close + WAL recovery + fresh Leader (empty tail, so lagging followers
+// bootstrap), and enough heal rounds for every partition to lift.
+func runConvergence(t *testing.T, plan chaos.NetPlan, maxTail int) {
+	snaps, recs := fixture(t)
+	base := snaps[0]
+	dir := t.TempDir()
+
+	mgr, recovered, err := wal.Open(base, wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	leader, err := NewLeader(recovered, mgr, LeaderConfig{MaxTail: maxTail})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workerCounts := []int{1, 4, 16}
+	servers := make([]*serve.Server, len(workerCounts))
+	followers := make([]*Follower, len(workerCounts))
+	transports := make([]*FaultTransport, len(workerCounts))
+	for i, w := range workerCounts {
+		servers[i] = newReplica(t, base, w)
+		transports[i] = &FaultTransport{Inner: leader, Plan: plan, Follower: i}
+		followers[i], err = NewFollower(servers[i], base, transports[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	next := 0
+	killed := false
+	const rounds = 10 // past every partition interval and lag budget above
+	for r := 1; r <= rounds; r++ {
+		if !plan.LeaderAlive(r) && !killed {
+			killed = true
+			prevAck := leader.Ack()
+			if err := mgr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			mgr2, recovered2, err := wal.Open(base, wal.Config{Dir: dir})
+			if err != nil {
+				t.Fatalf("leader recovery: %v", err)
+			}
+			t.Cleanup(func() { mgr2.Close() })
+			if recovered2.Epoch() != prevAck {
+				t.Fatalf("leader restart recovered epoch %d, acked %d", recovered2.Epoch(), prevAck)
+			}
+			leader, err = NewLeader(recovered2, mgr2, LeaderConfig{MaxTail: maxTail})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr = mgr2
+			// The restarted leader's tail is empty (horizon = recovered
+			// epoch): followers behind it will take the bootstrap path.
+			for _, ft := range transports {
+				ft.Inner = leader
+			}
+		}
+		if next < len(recs) {
+			rec := recs[next]
+			if err := leader.Append(rec.Name, rec.LabelWeights, rec.PrunedVec, rec.Epoch); err != nil {
+				t.Fatalf("round %d append: %v", r, err)
+			}
+			if err := leader.Committed(snaps[rec.Epoch]); err != nil {
+				t.Fatalf("round %d commit: %v", r, err)
+			}
+			next++
+		}
+		for i, f := range followers {
+			if _, err := f.SyncOnce(); err != nil && f.Broken() != nil {
+				t.Fatalf("round %d: follower %d diverged: %v", r, i, err)
+			}
+		}
+	}
+
+	// Every follower recovered to the leader's last acked epoch, with the
+	// leader's exact state.
+	ack := leader.Ack()
+	if ack != uint64(len(recs)) {
+		t.Fatalf("leader acked %d, want %d", ack, len(recs))
+	}
+	want := encodeSnap(t, snaps[len(recs)])
+	for i, srv := range servers {
+		if followers[i].Broken() != nil {
+			t.Fatalf("follower %d broken: %v", i, followers[i].Broken())
+		}
+		if got := srv.Snapshot().Epoch(); got != ack {
+			t.Fatalf("follower %d at epoch %d, leader acked %d", i, got, ack)
+		}
+		if !bytes.Equal(encodeSnap(t, srv.Snapshot()), want) {
+			t.Fatalf("follower %d state differs from the leader's", i)
+		}
+	}
+
+	// Byte-identical serving across worker counts 1/4/16.
+	req := serve.Request{App: "Hadoop-terasort", Seed: 7, Top: 5}
+	var ref []byte
+	for i, srv := range servers {
+		body, err := srv.PredictBytes(context.Background(), req)
+		if err != nil {
+			t.Fatalf("follower %d predict: %v", i, err)
+		}
+		if i == 0 {
+			ref = body
+			var resp struct {
+				Epoch     uint64 `json:"epoch"`
+				Workloads int    `json:"workloads"`
+			}
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Epoch != ack || resp.Workloads != baseWorkloads+int(ack) {
+				t.Fatalf("response token (%d, %d) disagrees with acked epoch %d",
+					resp.Epoch, resp.Workloads, ack)
+			}
+			continue
+		}
+		if !bytes.Equal(body, ref) {
+			t.Fatalf("follower %d (workers=%d) response differs from workers=%d:\n%s\nvs\n%s",
+				i, workerCounts[i], workerCounts[0], body, ref)
+		}
+	}
+}

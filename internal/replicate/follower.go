@@ -1,0 +1,326 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"vesta/internal/chaos"
+	"vesta/internal/core"
+	"vesta/internal/obs"
+	"vesta/internal/serve"
+	"vesta/internal/wal"
+)
+
+// Transport fetches one replication batch for a follower token. Implemented
+// by *Leader (in-process), HTTPTransport (the wire), and FaultTransport
+// (deterministic chaos injection for the convergence matrix).
+type Transport interface {
+	Fetch(from uint64) (*Batch, error)
+}
+
+// HTTPTransport syncs from a leader's /replicate/frames endpoint.
+type HTTPTransport struct {
+	// URL is the leader's base URL (e.g. http://127.0.0.1:8372).
+	URL string
+	// Client overrides the HTTP client; nil uses a 30-second-timeout client.
+	Client *http.Client
+}
+
+// Fetch implements Transport.
+func (t *HTTPTransport) Fetch(from uint64) (*Batch, error) {
+	client := t.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	url := fmt.Sprintf("%s/replicate/frames?from=%d", strings.TrimRight(t.URL, "/"), from)
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("replicate: reading batch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		// A 409 means the leader considers this follower ahead of its ack —
+		// divergence, surfaced as the typed sentinel so the follower fails
+		// closed rather than retrying forever.
+		if resp.StatusCode == http.StatusConflict {
+			return nil, fmt.Errorf("%w: leader answered %s", ErrFollowerAhead, strings.TrimSpace(string(body)))
+		}
+		return nil, fmt.Errorf("replicate: leader answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var b Batch
+	if err := json.Unmarshal(body, &b); err != nil {
+		return nil, fmt.Errorf("%w: undecodable batch: %v", ErrBadStream, err)
+	}
+	return &b, nil
+}
+
+// FaultTransport wraps a transport with a deterministic chaos.NetPlan: sync
+// rounds are counted per follower, partitioned rounds fail with
+// chaos.ErrPartitioned, lagged rounds complete but deliver nothing. The
+// convergence matrix swaps Inner between rounds to model a leader restart;
+// the field is read per Fetch, so single-threaded test drivers may reassign
+// it between syncs.
+type FaultTransport struct {
+	// Inner is the real transport underneath the faults.
+	Inner Transport
+	// Plan schedules the injected faults.
+	Plan chaos.NetPlan
+	// Follower is this follower's 0-based index in the plan.
+	Follower int
+
+	mu    sync.Mutex
+	round int
+}
+
+// Round returns how many sync rounds this transport has seen.
+func (t *FaultTransport) Round() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.round
+}
+
+// Fetch implements Transport.
+func (t *FaultTransport) Fetch(from uint64) (*Batch, error) {
+	t.mu.Lock()
+	t.round++
+	r := t.round
+	t.mu.Unlock()
+	if t.Plan.Partitioned(t.Follower, r) {
+		return nil, fmt.Errorf("%w: follower %d round %d", chaos.ErrPartitioned, t.Follower, r)
+	}
+	if t.Plan.Lagged(t.Follower, r) {
+		// Delivery delayed: the round completes but the follower observes no
+		// progress, exactly as if the leader had nothing new.
+		return &Batch{From: from, Ack: from}, nil
+	}
+	return t.Inner.Fetch(from)
+}
+
+// FollowerStats is a point-in-time view of a follower's replication state.
+type FollowerStats struct {
+	// Syncs counts completed fetch rounds, including empty caught-up ones.
+	Syncs int64 `json:"syncs"`
+	// Applied counts records replayed into the served snapshot.
+	Applied int64 `json:"applied"`
+	// Bootstraps counts full-snapshot installs.
+	Bootstraps int64 `json:"bootstraps"`
+	// Failures counts retryable transport errors (partitions, timeouts).
+	Failures int64 `json:"failures"`
+	// Epoch is the follower's published consistency token.
+	Epoch uint64 `json:"epoch"`
+	// LeaderAck is the leader's last acked epoch as of the last good sync.
+	LeaderAck uint64 `json:"leader_ack"`
+	// Lag is LeaderAck - Epoch at the last good sync: the replication-lag
+	// signal a router health check reads.
+	Lag uint64 `json:"lag"`
+	// Broken reports a terminal divergence; the follower has stopped
+	// replicating and must be rebuilt.
+	Broken bool `json:"broken"`
+}
+
+// Follower replays the leader's stream into a read-only serve.Server. One
+// sync loop per server; SyncOnce serializes internally.
+type Follower struct {
+	server *serve.Server
+	base   *core.Snapshot
+	tr     Transport
+	tracer *obs.Tracer
+
+	mu     sync.Mutex
+	broken error
+	stats  FollowerStats
+}
+
+// NewFollower builds a follower replaying into server. base is the epoch the
+// follower's lineage starts from (the snapshot its server was created over);
+// its config and catalog decode bootstrap images, and its (epoch, workloads)
+// pair anchors the consistency-token check.
+func NewFollower(server *serve.Server, base *core.Snapshot, tr Transport, tracer *obs.Tracer) (*Follower, error) {
+	if server == nil || base == nil || tr == nil {
+		return nil, fmt.Errorf("replicate: follower needs server, base snapshot, and transport")
+	}
+	return &Follower{server: server, base: base, tr: tr, tracer: tracer}, nil
+}
+
+// Broken returns the terminal divergence error, or nil while the follower is
+// healthy. Once broken, every further SyncOnce refuses with the same error.
+func (f *Follower) Broken() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.broken
+}
+
+// Stats returns the follower's replication counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.stats
+	st.Epoch = f.server.Snapshot().Epoch()
+	st.Broken = f.broken != nil
+	return st
+}
+
+// failClosed records a terminal divergence: the follower stops replicating
+// rather than serve state it cannot prove consistent with the leader.
+func (f *Follower) failClosed(err error) error {
+	f.broken = err
+	if f.tracer.Enabled() {
+		f.tracer.Event("replicate/follower", "diverged: "+err.Error())
+	}
+	return err
+}
+
+// tokenErr verifies the consistency token of a snapshot about to be
+// published: a lineage that started at base with W workloads must report
+// exactly W + (epoch - baseEpoch) workloads at every later epoch.
+func (f *Follower) tokenErr(snap *core.Snapshot) error {
+	wantW := f.base.Workloads() + int(snap.Epoch()-f.base.Epoch())
+	if snap.Epoch() < f.base.Epoch() || snap.Workloads() != wantW {
+		return fmt.Errorf("%w: token (epoch %d, workloads %d), want workloads %d",
+			ErrDiverged, snap.Epoch(), snap.Workloads(), wantW)
+	}
+	return nil
+}
+
+// SyncOnce performs one replication round: fetch the batch for the current
+// token, verify it, and replay it into the served snapshot. It returns how
+// many epochs the follower advanced. Transport errors (partitions,
+// timeouts) are retryable and only counted; verification failures are
+// terminal — the follower breaks and refuses further syncs.
+func (f *Follower) SyncOnce() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken != nil {
+		return 0, f.broken
+	}
+	cur := f.server.Snapshot().Epoch()
+	b, err := f.tr.Fetch(cur)
+	if err != nil {
+		if isTerminal(err) {
+			return 0, f.failClosed(err)
+		}
+		f.stats.Failures++
+		if f.tracer.Enabled() {
+			f.tracer.Count("replicate.sync_failures", 1)
+		}
+		return 0, err
+	}
+	applied, err := f.applyLocked(cur, b)
+	if err != nil {
+		return applied, f.failClosed(err)
+	}
+	f.stats.Syncs++
+	f.stats.Applied += int64(applied)
+	f.stats.LeaderAck = b.Ack
+	f.stats.Lag = b.Ack - f.server.Snapshot().Epoch()
+	if f.tracer.Enabled() {
+		f.tracer.Count("replicate.syncs", 1)
+		if applied > 0 {
+			f.tracer.Count("replicate.applied", int64(applied))
+		}
+	}
+	return applied, nil
+}
+
+// isTerminal classifies a transport error: divergence sentinels are
+// terminal, anything else (network weather) is retryable.
+func isTerminal(err error) bool {
+	return errors.Is(err, ErrFollowerAhead) || errors.Is(err, ErrBadStream) || errors.Is(err, ErrDiverged)
+}
+
+// applyLocked replays one verified batch. Caller holds f.mu.
+func (f *Follower) applyLocked(cur uint64, b *Batch) (int, error) {
+	if b.Ack < cur {
+		return 0, fmt.Errorf("%w: leader ack %d behind follower token %d", ErrDiverged, b.Ack, cur)
+	}
+	if len(b.Snapshot) > 0 {
+		snap, err := core.DecodeSnapshot(bytes.NewReader(b.Snapshot), f.base.Config(), f.base.Catalog())
+		if err != nil {
+			return 0, fmt.Errorf("%w: undecodable bootstrap: %v", ErrBadStream, err)
+		}
+		if snap.Epoch() != b.Ack {
+			return 0, fmt.Errorf("%w: bootstrap epoch %d, batch ack %d", ErrBadStream, snap.Epoch(), b.Ack)
+		}
+		if snap.Epoch() < cur {
+			return 0, fmt.Errorf("%w: bootstrap would rewind epoch %d to %d", ErrDiverged, cur, snap.Epoch())
+		}
+		if err := f.tokenErr(snap); err != nil {
+			return 0, err
+		}
+		if err := f.server.Publish(snap); err != nil {
+			return 0, fmt.Errorf("replicate: publishing bootstrap: %w", err)
+		}
+		f.stats.Bootstraps++
+		if f.tracer.Enabled() {
+			f.tracer.Count("replicate.bootstraps", 1)
+		}
+		return int(snap.Epoch() - cur), nil
+	}
+	if len(b.Frames) == 0 {
+		return 0, nil
+	}
+	recs, valid, err := wal.ScanFrames(b.Frames)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	if valid != int64(len(b.Frames)) {
+		return 0, fmt.Errorf("%w: %d trailing bytes fail frame verification",
+			ErrBadStream, int64(len(b.Frames))-valid)
+	}
+	applied := 0
+	for _, rec := range recs {
+		e := f.server.Snapshot().Epoch()
+		if rec.Epoch <= e {
+			continue // duplicate delivery of an already-applied record
+		}
+		if rec.Epoch != e+1 {
+			return applied, fmt.Errorf("%w: record epoch %d after state epoch %d (%v)",
+				ErrDiverged, rec.Epoch, e, wal.ErrEpochGap)
+		}
+		if rec.Epoch > b.Ack {
+			return applied, fmt.Errorf("%w: record epoch %d beyond batch ack %d", ErrBadStream, rec.Epoch, b.Ack)
+		}
+		if err := f.server.Absorb(rec.Name, rec.LabelWeights, rec.PrunedVec); err != nil {
+			return applied, fmt.Errorf("%w: replaying epoch %d workload %q: %v",
+				ErrDiverged, rec.Epoch, rec.Name, err)
+		}
+		if err := f.tokenErr(f.server.Snapshot()); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// Run polls the transport every interval until ctx is done or the follower
+// breaks. Retryable transport errors keep the loop alive; a terminal
+// divergence returns it.
+func (f *Follower) Run(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if _, err := f.SyncOnce(); err != nil && f.Broken() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package replicate
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReplicateReport measures the operational numbers quoted in
+// results/replicate.md: follower sync and bootstrap latency, catch-up lag,
+// and router failover latency. Wall-clock timings are explicitly outside the
+// determinism contract, so this runs only when asked for
+// (VESTA_REPLICATE_REPORT=1, `make replicate-report`).
+func TestReplicateReport(t *testing.T) {
+	if os.Getenv("VESTA_REPLICATE_REPORT") == "" {
+		t.Skip("set VESTA_REPLICATE_REPORT=1 (make replicate-report) to measure replication latencies")
+	}
+	snaps, _ := fixture(t)
+
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	const trials = 21
+
+	// Follower catch-up over real HTTP: three epochs behind, one SyncOnce.
+	measureSync := func(maxTail int) (catchUp, steady time.Duration) {
+		var cs, ss []time.Duration
+		for i := 0; i < trials; i++ {
+			leader := caughtUpLeader(t, LeaderConfig{MaxTail: maxTail})
+			ts := httptest.NewServer(leader.Handler())
+			f, err := NewFollower(newReplica(t, snaps[0], 4), snaps[0], &HTTPTransport{URL: ts.URL}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			if _, err := f.SyncOnce(); err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, time.Since(start))
+			if got := f.Stats().Epoch; got != 3 {
+				t.Fatalf("catch-up reached epoch %d", got)
+			}
+			start = time.Now()
+			if _, err := f.SyncOnce(); err != nil { // caught up: empty batch
+				t.Fatal(err)
+			}
+			ss = append(ss, time.Since(start))
+			ts.Close()
+		}
+		return median(cs), median(ss)
+	}
+	frames, steady := measureSync(16)
+	boot, _ := measureSync(-1) // empty tail forces the snapshot-bootstrap path
+
+	// Failover latency: two serve-backed followers behind a router; kill the
+	// backend that owns a key and time the first request that must fail over
+	// to the survivor.
+	counting := func(hits *atomic.Int64, inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/predict" {
+				hits.Add(1)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	var direct, failover []time.Duration
+	for i := 0; i < trials; i++ {
+		var hitsA atomic.Int64
+		tsA := httptest.NewServer(counting(&hitsA, newReplica(t, snaps[3], 4).Handler()))
+		tsB := httptest.NewServer(newReplica(t, snaps[3], 4).Handler())
+		r, err := NewRouter(RouterConfig{Backends: []string{tsA.URL, tsB.URL}, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.ProbeAll()
+		h := r.Handler()
+		// Find a key owned by A and warm its response cache.
+		var body string
+		for seed := 1; ; seed++ {
+			body = fmt.Sprintf(`{"app":"Spark-kmeans","seed":%d,"top":3}`, seed)
+			before := hitsA.Load()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("warm-up status %d: %s", rec.Code, rec.Body)
+			}
+			if hitsA.Load() > before {
+				break
+			}
+		}
+		start := time.Now()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body)))
+		direct = append(direct, time.Since(start))
+
+		tsA.Close()
+		start = time.Now()
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("failover trial %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		failover = append(failover, time.Since(start))
+		tsB.Close()
+	}
+
+	fmt.Printf("replicate-report: follower catch-up (3 epochs, frames)    median %v\n", frames)
+	fmt.Printf("replicate-report: follower catch-up (snapshot bootstrap)  median %v\n", boot)
+	fmt.Printf("replicate-report: steady-state sync (empty batch)         median %v\n", steady)
+	fmt.Printf("replicate-report: routed predict (healthy backend)        median %v\n", median(direct))
+	fmt.Printf("replicate-report: routed predict (failover to survivor)   median %v\n", median(failover))
+}

@@ -45,10 +45,10 @@ func FuzzServeRequest(f *testing.F) {
 	snap := srv.Snapshot()
 
 	allowed := map[int]string{
-		http.StatusOK:              "",
-		http.StatusBadRequest:      "bad_request",
-		http.StatusNotFound:        "unknown_app",
-		http.StatusTooManyRequests: "queue_full",
+		http.StatusOK:                 "",
+		http.StatusBadRequest:         "bad_request",
+		http.StatusNotFound:           "unknown_app",
+		http.StatusServiceUnavailable: "queue_full",
 	}
 
 	f.Fuzz(func(t *testing.T, body []byte) {

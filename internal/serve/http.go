@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"vesta/internal/wal"
 )
 
 // maxBodyBytes bounds a predict request body; anything larger is a client
@@ -72,9 +74,11 @@ func httpStatus(err error) (int, string) {
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict, "conflict"
 	case errors.Is(err, ErrQueueFull):
-		return http.StatusTooManyRequests, "queue_full"
+		return http.StatusServiceUnavailable, "queue_full"
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, ErrReadOnly):
+		return http.StatusForbidden, "read_only"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
@@ -97,8 +101,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(data)
 }
 
+// retryAfterSeconds is the backoff hint attached to 503 answers. Queue-full
+// is transient at batch-dispatch granularity and shutdown means "ask a
+// replica", so a short constant beats anything adaptive here.
+const retryAfterSeconds = "1"
+
 func writeError(w http.ResponseWriter, err error) {
 	status, code := httpStatus(err)
+	if status == http.StatusServiceUnavailable {
+		// RFC 9110 §10.2.3: tell well-behaved clients when to come back
+		// instead of letting them hammer a saturated or draining server.
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
@@ -173,11 +187,30 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()
-		writeJSON(w, http.StatusOK, map[string]any{
+		health := map[string]any{
 			"status":    "ok",
 			"epoch":     snap.Epoch(),
 			"workloads": snap.Workloads(),
-		})
+			"read_only": s.cfg.ReadOnly,
+		}
+		if ws, ok := s.cfg.WAL.(interface{ Stats() wal.Stats }); ok {
+			// Durable-state health: the last acked epoch, the live log size,
+			// and any quarantined checkpoints — the signals an operator (or a
+			// router probe) needs to judge whether this node's durability is
+			// keeping up with its serving.
+			wst := ws.Stats()
+			health["wal"] = map[string]any{
+				"acked_epoch": wst.Epoch,
+				"log_bytes":   wst.LogBytes,
+				"checkpoints": wst.Checkpoints,
+				"quarantined": wst.Quarantined,
+				"broken":      wst.Broken,
+			}
+			if wst.Broken {
+				health["status"] = "degraded"
+			}
+		}
+		writeJSON(w, http.StatusOK, health)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())

@@ -55,17 +55,22 @@ import (
 	"vesta/internal/oracle"
 	"vesta/internal/parallel"
 	"vesta/internal/sim"
+	"vesta/internal/wal"
 	"vesta/internal/workload"
 )
 
 // Typed serving errors. Handlers and clients match with errors.Is.
 var (
 	// ErrQueueFull is returned when the admission queue is at capacity; the
-	// caller should back off and retry (HTTP 429).
+	// caller should back off and retry (HTTP 503 with a Retry-After hint).
 	ErrQueueFull = errors.New("serve: admission queue full")
 	// ErrShuttingDown is returned for requests admitted after Close began;
 	// already-queued requests still drain to completion.
 	ErrShuttingDown = errors.New("serve: server shutting down")
+	// ErrReadOnly is returned for mutating control-plane requests against a
+	// read-only replica (HTTP 403): a follower's state comes from the
+	// replication stream, never from its own clients.
+	ErrReadOnly = errors.New("serve: read-only replica")
 	// ErrUnknownApp is returned when the requested application is not in the
 	// workload table.
 	ErrUnknownApp = errors.New("serve: unknown application")
@@ -143,6 +148,11 @@ type Config struct {
 	// Absorb is appended and fsynced through this hook before its snapshot is
 	// published. Nil serves in-memory only (restart loses absorbed targets).
 	WAL WriteAheadLog
+	// ReadOnly rejects client-driven absorbs (AbsorbApp, POST /absorb) with
+	// ErrReadOnly. Replication followers run read-only: their state advances
+	// exclusively through the leader's stream (Absorb/Publish stay available
+	// to the in-process replication loop).
+	ReadOnly bool
 }
 
 func (c *Config) fillDefaults() {
@@ -256,6 +266,12 @@ type Stats struct {
 	ProfileHits   int64 `json:"profile_hits"`
 	ProfileMisses int64 `json:"profile_misses"`
 	ProfileLen    int   `json:"profile_len"`
+	// ReadOnly mirrors Config.ReadOnly (follower replicas).
+	ReadOnly bool `json:"read_only"`
+	// WAL is the durable log's own health view (last acked epoch, log size,
+	// quarantined checkpoints) when the configured WriteAheadLog exposes one;
+	// nil for in-memory servers and opaque WAL implementations.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 type task struct {
@@ -457,6 +473,9 @@ type AbsorbResponse struct {
 // control-plane flow behind POST /absorb. It bypasses the admission queue
 // (absorbs are rare and serialized) but honours shutdown.
 func (s *Server) AbsorbApp(req AbsorbRequest) (*AbsorbResponse, error) {
+	if s.cfg.ReadOnly {
+		return nil, fmt.Errorf("%w: absorbs arrive via replication", ErrReadOnly)
+	}
 	if req.Name == "" {
 		return nil, fmt.Errorf("%w: missing name", ErrBadRequest)
 	}
@@ -601,6 +620,11 @@ func (s *Server) Stats() Stats {
 		Workloads:    snap.Workloads(),
 		Durable:      s.cfg.WAL != nil,
 		WALAppends:   s.walAppends.Load(),
+		ReadOnly:     s.cfg.ReadOnly,
+	}
+	if ws, ok := s.cfg.WAL.(interface{ Stats() wal.Stats }); ok {
+		w := ws.Stats()
+		st.WAL = &w
 	}
 	if st.Requests > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(st.Requests)

@@ -74,6 +74,19 @@ func encodeFrame(rec Record) ([]byte, error) {
 	return frame, nil
 }
 
+// EncodeFrame renders rec in the log's wire framing — exactly the bytes
+// Append writes. The replication stream (internal/replicate) ships these
+// frames verbatim, so a follower replay verifies the same CRC32C the durable
+// log does.
+func EncodeFrame(rec Record) ([]byte, error) { return encodeFrame(rec) }
+
+// ScanFrames parses a framed stream into its records plus the byte length of
+// the valid prefix (scanLog's torn-tail rule). Recovery tolerates a short
+// valid prefix — a torn tail is expected on a crashed log file — but
+// replication consumers must fail closed when the valid prefix does not
+// cover the whole batch: nothing tears an in-flight replication body.
+func ScanFrames(data []byte) ([]Record, int64, error) { return scanLog(data) }
+
 // scanLog parses a log image into its records and the byte length of the
 // valid prefix. The torn-tail rule: parsing stops at the first frame whose
 // header is short, whose declared length exceeds the remaining bytes (or
