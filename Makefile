@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash replicate-chaos replicate-report
+.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash replicate-chaos replicate-report catalog-transfer
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -130,3 +130,18 @@ replicate-chaos:
 # contract, so gated behind an env var rather than run in tier1).
 replicate-report:
 	VESTA_REPLICATE_REPORT=1 $(GO) test ./internal/replicate -run TestReplicateReport -v -timeout 20m
+
+# catalog-transfer regenerates the committed cross-provider transfer
+# experiment (EC2-trained knowledge ranking the Azure/GCP catalogs absorbed
+# as versioned updates, vs native per-provider training) at the pinned seed
+# and fails if the table drifts from results/catalog.md, then isolates the
+# versioned-catalog test surface: catalog invariants across providers and
+# update sequences, the catalog WAL record through crash recovery, and the
+# catalog-version consistency token through serving and replication.
+catalog-transfer:
+	$(GO) run ./cmd/vestabench -exp ext-provider-transfer -seed 1 -md results/catalog.md
+	git diff --exit-code results/catalog.md
+	$(GO) test -race ./internal/cloud
+	$(GO) test -race ./internal/wal -run 'TestCatalog|TestRecover'
+	$(GO) test -race ./internal/serve -run 'TestCatalog|TestAbsorb'
+	$(GO) test -race ./internal/replicate -run 'TestCatalog|TestFollower'

@@ -234,6 +234,7 @@ func Registry() []Experiment {
 		{"ext-interference", "Selection quality under multi-tenant interference (extension)", ExtInterference},
 		{"ext-datasize", "Generalization across input data scales (extension)", ExtDataSize},
 		{"ext-robustness", "Selection quality vs injected fault rate with resilient profiling (extension)", ExtRobustness},
+		{"ext-provider-transfer", "Cross-provider transfer: EC2-trained knowledge ranking Azure/GCP catalogs vs native training (extension)", ExtProviderTransfer},
 	}
 }
 

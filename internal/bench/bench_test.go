@@ -20,8 +20,8 @@ func TestRegistryIDsUnique(t *testing.T) {
 		seen[e.ID] = true
 	}
 	// 11 paper figures + 5 ablations + 6 extensions.
-	if len(Registry()) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(Registry()))
+	if len(Registry()) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(Registry()))
 	}
 }
 

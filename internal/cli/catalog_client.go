@@ -1,0 +1,105 @@
+// Catalog control-plane client: the `vesta catalog -addr` paths talk to a
+// running `vesta serve` node's /catalog endpoints, so an operator can inspect
+// the live catalog version and absorb retire/reprice/spot/add updates into a
+// serving fleet without restarting it (DESIGN.md §14).
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"vesta/internal/cloud"
+)
+
+// catalogClient is the HTTP client of the catalog subcommand; package-level
+// so tests can shorten the timeout.
+var catalogClient = &http.Client{Timeout: 30 * time.Second}
+
+// baseURL normalizes an -addr value into a base URL.
+func baseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// fetchCatalog reads the published catalog (version + types) from a serve
+// node's GET /catalog.
+func fetchCatalog(addr string) ([]cloud.VMType, uint64, error) {
+	resp, err := catalogClient.Get(baseURL(addr) + "/catalog")
+	if err != nil {
+		return nil, 0, fmt.Errorf("catalog: fetching: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, 0, fmt.Errorf("catalog: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("catalog: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Epoch          uint64         `json:"epoch"`
+		CatalogVersion uint64         `json:"catalog_version"`
+		Types          []cloud.VMType `json:"types"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, 0, fmt.Errorf("catalog: undecodable response: %w", err)
+	}
+	return out.Types, out.CatalogVersion, nil
+}
+
+// applyCatalogUpdate posts the cloud.Update JSON in file to a serve node's
+// POST /catalog and reports the new consistency token.
+func applyCatalogUpdate(addr, file string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	// Decode locally first: a strict parse catches typos (an unknown field
+	// would otherwise be rejected server-side with less context) and refuses
+	// an empty update before any network traffic.
+	var up cloud.Update
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&up); err != nil {
+		return fmt.Errorf("catalog: parsing %s: %w", file, err)
+	}
+	if up.Empty() {
+		return fmt.Errorf("catalog: %s describes an empty update", file)
+	}
+	resp, err := catalogClient.Post(baseURL(addr)+"/catalog", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("catalog: applying: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("catalog: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("catalog: server answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var ack struct {
+		Epoch          uint64 `json:"epoch"`
+		CatalogVersion uint64 `json:"catalog_version"`
+		VMCount        int    `json:"vm_count"`
+		Durable        bool   `json:"durable"`
+	}
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return fmt.Errorf("catalog: undecodable ack: %w", err)
+	}
+	durability := "in-memory"
+	if ack.Durable {
+		durability = "durable"
+	}
+	fmt.Fprintf(outW, "catalog update absorbed: epoch %d, catalog version %d, %d types (%s)\n",
+		ack.Epoch, ack.CatalogVersion, ack.VMCount, durability)
+	return nil
+}

@@ -154,10 +154,40 @@ func cmdCatalog(args []string) error {
 	fs.SetOutput(errW)
 	category := fs.String("category", "", "filter by category (e.g. 'Compute Optimized')")
 	family := fs.String("family", "", "filter by family (e.g. C5)")
+	provider := fs.String("provider", "", "provider catalog: ec2 (default), azure, gcp, or all (the multi-cloud union)")
+	addr := fs.String("addr", "", "query a running 'vesta serve' at this base URL instead of the built-in tables (GET /catalog)")
+	apply := fs.String("apply", "", "apply the catalog-update JSON in this file to the server at -addr (POST /catalog): live retire/reprice/spot/add")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cat := cloud.Catalog120()
+	if *apply != "" {
+		if *addr == "" {
+			return fmt.Errorf("catalog: -apply needs -addr (the server to update)")
+		}
+		return applyCatalogUpdate(*addr, *apply)
+	}
+	var cat []cloud.VMType
+	if *addr != "" {
+		live, version, err := fetchCatalog(*addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(outW, "catalog version %d (%d types) from %s\n", version, len(live), *addr)
+		cat = live
+	} else {
+		switch *provider {
+		case "", cloud.ProviderEC2:
+			cat = cloud.Catalog120()
+		case cloud.ProviderAzure:
+			cat = cloud.AzureCatalog()
+		case cloud.ProviderGCP:
+			cat = cloud.GCPCatalog()
+		case "all":
+			cat = cloud.MultiCloud()
+		default:
+			return fmt.Errorf("catalog: unknown provider %q (ec2, azure, gcp, all)", *provider)
+		}
+	}
 	if *category != "" {
 		cat = cloud.FilterCategory(cat, cloud.Category(*category))
 	}
@@ -168,10 +198,18 @@ func cmdCatalog(args []string) error {
 		return fmt.Errorf("no VM types match the filters")
 	}
 	w := tabwriter.NewWriter(outW, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "NAME\tCATEGORY\tvCPU\tMEM(GiB)\tDISK(MB/s)\tNET(Gbps)\tUSD/h")
+	fmt.Fprintln(w, "NAME\tPROVIDER\tCATEGORY\tvCPU\tMEM(GiB)\tDISK(MB/s)\tNET(Gbps)\tUSD/h\tSPOT/h")
 	for _, v := range cat {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.0f\t%.1f\t%.4f\n",
-			v.Name, v.Category, v.VCPUs, v.MemoryGiB, v.DiskMBps, v.NetworkGbps, v.PriceHour)
+		p := v.Provider
+		if p == "" {
+			p = cloud.ProviderEC2
+		}
+		spot := "-"
+		if v.HasSpot() {
+			spot = fmt.Sprintf("%.4f", v.SpotPriceHour)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%.1f\t%.0f\t%.1f\t%.4f\t%s\n",
+			v.Name, p, v.Category, v.VCPUs, v.MemoryGiB, v.DiskMBps, v.NetworkGbps, v.PriceHour, spot)
 	}
 	return w.Flush()
 }

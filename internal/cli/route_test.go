@@ -157,7 +157,7 @@ func TestServeLeaderFollowerRoundTrip(t *testing.T) {
 		!strings.Contains(stdout, "GET /replicate/{frames,status}") {
 		t.Fatalf("leader banner missing:\n%s", stdout)
 	}
-	if !strings.Contains(stdout, "read-only: POST /absorb answers 403") {
+	if !strings.Contains(stdout, "read-only: POST /absorb and POST /catalog answer 403") {
 		t.Fatalf("follower banner missing:\n%s", stdout)
 	}
 	if absorbStatus != http.StatusOK {

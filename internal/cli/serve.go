@@ -48,6 +48,7 @@ func cmdServe(args []string) error {
 	profileCache := fs.Int("profile-cache", 0, "memoized-measurement LRU entries (0 = default 4096, negative disables memoization)")
 	nodes := fs.Int("nodes", 4, "cluster size of the per-request measurement simulator")
 	stateDir := fs.String("state-dir", "", "durable state directory (WAL + checkpoints); empty serves in-memory only")
+	multicloud := fs.Bool("multicloud", false, "select across all provider catalogs (EC2+Azure+GCP, 215 types); rankings project the trained knowledge onto the wider catalog")
 	replicateFlag := fs.Bool("replicate", false, "run as replication leader: mount GET /replicate/* so followers can sync (DESIGN.md §13)")
 	follow := fs.String("follow", "", "run as read-only follower replaying this leader URL (e.g. http://127.0.0.1:8372)")
 	syncInterval := fs.Duration("sync-interval", 500*time.Millisecond, "follower sync poll interval (used with -follow)")
@@ -63,7 +64,11 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: -follow and -state-dir are mutually exclusive (durability lives at the leader; a restarted follower re-syncs)")
 	}
 	tracer := newTracer(*tracePath, *verbose)
-	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers, Tracer: tracer}, cloud.Catalog120())
+	catalog := cloud.Catalog120()
+	if *multicloud {
+		catalog = cloud.MultiCloud()
+	}
+	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers, Tracer: tracer}, catalog)
 	if err != nil {
 		return err
 	}
@@ -139,13 +144,13 @@ func cmdServe(args []string) error {
 		m.Handle("/replicate/", leader.Handler())
 		m.Handle("/", handler)
 		handler = m
-		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, GET /healthz, GET /stats, GET /replicate/{frames,status}\n")
+		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, POST+GET /catalog, GET /healthz, GET /stats, GET /replicate/{frames,status}\n")
 		fmt.Fprintf(outW, "replication leader: followers sync with 'vesta serve -follow http://%s'\n", *addr)
 	case *follow != "":
-		fmt.Fprintf(outW, "endpoints: POST /predict, GET /healthz, GET /stats (read-only: POST /absorb answers 403)\n")
+		fmt.Fprintf(outW, "endpoints: POST /predict, GET /catalog, GET /healthz, GET /stats (read-only: POST /absorb and POST /catalog answer 403)\n")
 		fmt.Fprintf(outW, "following %s every %s\n", *follow, *syncInterval)
 	default:
-		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, GET /healthz, GET /stats\n")
+		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, POST+GET /catalog, GET /healthz, GET /stats\n")
 	}
 	// Production timeouts: slow-loris reads are cut at 30s, responses must
 	// flush within 90s (above the 60s in-handler predict deadline, so the

@@ -19,6 +19,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"vesta/internal/chaos"
 )
 
 // Category is the EC2 instance category from Table 4.
@@ -33,20 +35,53 @@ const (
 	StorageOptimized     Category = "Storage Optimized"
 )
 
-// VMType describes one rentable VM configuration.
+// Provider names for the heterogeneous catalogs (providers.go). The zero
+// value on legacy VMType literals means "unspecified" and is treated as EC2
+// by convention — the paper's evaluation substrate.
+const (
+	ProviderEC2   = "ec2"
+	ProviderAzure = "azure"
+	ProviderGCP   = "gcp"
+)
+
+// VMType describes one rentable VM configuration. The JSON tags pin the
+// serialization used by versioned-catalog WAL records and snapshot
+// checkpoints (internal/wal, core's snapshot codec).
 type VMType struct {
-	Name        string   // e.g. "m5.xlarge"
-	Family      string   // e.g. "M5"
-	Size        string   // e.g. "xlarge"
-	Category    Category // Table 4 category
-	VCPUs       int
-	MemoryGiB   float64
-	CPUFactor   float64 // per-core relative speed; 1.0 = M5 baseline
-	DiskMBps    float64 // aggregate storage bandwidth
-	NetworkGbps float64
-	PriceHour   float64 // USD per hour
-	Burstable   bool    // T-family: sustained CPU below nominal
-	GPU         bool    // accelerated-computing premium hardware
+	Name        string   `json:"name"`     // e.g. "m5.xlarge"
+	Provider    string   `json:"provider"` // ProviderEC2/Azure/GCP ("" = EC2 legacy)
+	Family      string   `json:"family"`   // e.g. "M5"
+	Size        string   `json:"size"`     // e.g. "xlarge"
+	Category    Category `json:"category"` // Table 4 category
+	VCPUs       int      `json:"vcpus"`
+	MemoryGiB   float64  `json:"memory_gib"`
+	CPUFactor   float64  `json:"cpu_factor"` // per-core relative speed; 1.0 = M5 baseline
+	DiskMBps    float64  `json:"disk_mbps"`  // aggregate storage bandwidth
+	NetworkGbps float64  `json:"network_gbps"`
+	PriceHour   float64  `json:"price_hour"`          // USD per hour, on-demand
+	Burstable   bool     `json:"burstable,omitempty"` // T-family: sustained CPU below nominal
+	GPU         bool     `json:"gpu,omitempty"`       // accelerated-computing premium hardware
+	// SpotPriceHour is the spot/preemptible price tier; 0 means the type has
+	// no spot market. SpotEvictRate is the expected evictions per running
+	// hour at that tier — the parameter PreemptionRates converts into the
+	// chaos plan's per-run preemption probability.
+	SpotPriceHour float64 `json:"spot_price_hour,omitempty"`
+	SpotEvictRate float64 `json:"spot_evict_rate,omitempty"`
+}
+
+// HasSpot reports whether the type offers a spot/preemptible tier.
+func (v VMType) HasSpot() bool { return v.SpotPriceHour > 0 }
+
+// PreemptionRates converts the type's spot eviction rate into the fault
+// rates of a chaos preemption plan for runs of the given expected length:
+// evictions arrive as a Poisson process at SpotEvictRate per hour, so the
+// probability a run of runHours is preempted is 1 - exp(-rate*hours). Types
+// without a spot tier yield the zero Rates (no injected preemptions).
+func (v VMType) PreemptionRates(runHours float64) chaos.Rates {
+	if !v.HasSpot() || runHours <= 0 {
+		return chaos.Rates{}
+	}
+	return chaos.Rates{SpotPreemption: 1 - math.Exp(-v.SpotEvictRate*runHours)}
 }
 
 // MemPerVCPU returns the GiB-per-vCPU ratio, the axis the paper's Figure 1
@@ -162,7 +197,24 @@ func memoryFor(size string, ratio float64) float64 {
 	return float64(vcpusFor(size)) * ratio
 }
 
-func buildType(f familySpec, size string) VMType {
+// providerSpec carries the per-provider parameters shared by every family of
+// one cloud: the provider label plus its spot market shape. spotDiscount is
+// the fraction knocked off the on-demand price at the spot tier and
+// spotEvictRate the expected evictions per running hour; burstable families
+// have no spot tier on any provider.
+type providerSpec struct {
+	provider      string
+	spotDiscount  float64
+	spotEvictRate float64
+}
+
+// ec2Spec models the 2020-era EC2 spot market: ~68% off on-demand, with an
+// interruption rate around one eviction per 20 running hours.
+var ec2Spec = providerSpec{provider: ProviderEC2, spotDiscount: 0.68, spotEvictRate: 0.05}
+
+func buildType(f familySpec, size string) VMType { return buildTypeFor(ec2Spec, f, size) }
+
+func buildTypeFor(p providerSpec, f familySpec, size string) VMType {
 	vcpus := vcpusFor(size)
 	mem := memoryFor(size, f.memRatio)
 	// Disk bandwidth scales linearly with vCPUs up to the 16-vCPU mark and
@@ -172,18 +224,14 @@ func buildType(f familySpec, size string) VMType {
 	disk := f.diskPerCPU * math.Min(float64(vcpus), 16)
 	net := f.netBaseGbps * math.Sqrt(float64(vcpus)/2)
 	price := f.pricePerCPU * float64(vcpus)
-	// Sub-large sizes pay for their memory share rather than full vCPUs.
-	switch size {
-	case "small":
-		price *= 0.5
-	case "medium":
-		price *= 1.0
-	}
+	// The small size pays for its memory share rather than full vCPUs (it
+	// keeps 2 vCPUs with half the memory; see memoryFor).
 	if size == "small" {
-		mem = memoryFor(size, f.memRatio)
+		price *= 0.5
 	}
-	return VMType{
+	v := VMType{
 		Name:        strings.ToLower(f.name) + "." + size,
+		Provider:    p.provider,
 		Family:      f.name,
 		Size:        size,
 		Category:    f.category,
@@ -196,6 +244,11 @@ func buildType(f familySpec, size string) VMType {
 		Burstable:   f.burstable,
 		GPU:         f.gpu,
 	}
+	if !f.burstable && p.spotDiscount > 0 {
+		v.SpotPriceHour = round4(v.PriceHour * (1 - p.spotDiscount))
+		v.SpotEvictRate = p.spotEvictRate
+	}
+	return v
 }
 
 func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }

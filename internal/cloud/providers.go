@@ -1,0 +1,125 @@
+// Heterogeneous provider catalogs. The paper evaluates against a single
+// frozen EC2 table; production selection spans clouds whose CPU:mem:disk:net
+// ratio coverage differs materially (Poggi et al., *Characterizing BigBench
+// queries, Hive, and Spark in multi-cloud environments* — see PAPERS.md).
+// This file synthesizes Azure- and GCP-like catalogs with the same generator
+// the EC2 table uses, but with deliberately different coverage:
+//
+//   - The Azure-like catalog has no 2 GiB/vCPU compute line below Fv2, a
+//     much deeper memory ladder (the M family at 28 GiB/vCPU, far past
+//     EC2's X1 at 15.25), and a denser storage tier.
+//   - The GCP-like catalog's compute-optimized line (C2) keeps 4 GiB/vCPU —
+//     twice EC2's C5 ratio — while its memory families sit between R5 and
+//     X1, and its preemptible tier is the cheapest and most volatile.
+//
+// Spot markets also differ per provider: discount depth and eviction rate
+// are set on every non-burstable type (see providerSpec), and feed the chaos
+// preemption plans through VMType.PreemptionRates.
+package cloud
+
+// azureSpec models Azure spot: ~60% off pay-as-you-go with a higher
+// eviction rate than EC2.
+var azureSpec = providerSpec{provider: ProviderAzure, spotDiscount: 0.60, spotEvictRate: 0.08}
+
+// gcpSpec models GCP preemptible VMs: the deepest discount (~75%) and the
+// highest churn (24h max lifetime folded into the hourly rate).
+var gcpSpec = providerSpec{provider: ProviderGCP, spotDiscount: 0.75, spotEvictRate: 0.12}
+
+// azureFamilies is the Azure-like catalog: 9 families x 5 sizes = 45 types.
+var azureFamilies = []familySpec{
+	// General Purpose.
+	{"Bs", GeneralPurpose, 4, 0.80, 35, 0.8, 0.0095, true, false, smallLadder},
+	{"Dv5", GeneralPurpose, 4, 0.97, 55, 2.0, 0.0440, false, false, largeLadder},
+	{"Dav4", GeneralPurpose, 4, 0.88, 50, 1.75, 0.0395, false, false, largeLadder},
+	// Compute Optimized.
+	{"Fv2", ComputeOptimized, 2, 1.10, 55, 2.2, 0.0390, false, false, largeLadder},
+	// Memory Optimized — Azure's coverage reaches far past EC2's X1 ratio.
+	{"Ev5", MemoryOptimized, 8, 0.97, 55, 2.0, 0.0580, false, false, largeLadder},
+	{"Ebsv5", MemoryOptimized, 8, 0.97, 150, 2.5, 0.0640, false, false, largeLadder},
+	{"M", MemoryOptimized, 28, 0.85, 70, 2.5, 0.1550, false, false, largeLadder},
+	// Storage Optimized.
+	{"Lsv3", StorageOptimized, 8, 1.00, 600, 3.2, 0.0990, false, false, largeLadder},
+	// Accelerated Computing.
+	{"NCv3", AcceleratedComputing, 6, 0.95, 60, 2.5, 0.3060, false, true, largeLadder},
+}
+
+// gcpFamilies is the GCP-like catalog: 10 families x 5 sizes = 50 types.
+var gcpFamilies = []familySpec{
+	// General Purpose.
+	{"E2", GeneralPurpose, 4, 0.85, 45, 1.4, 0.0335, true, false, smallLadder},
+	{"N2", GeneralPurpose, 4, 1.02, 60, 2.3, 0.0485, false, false, largeLadder},
+	{"N2d", GeneralPurpose, 4, 0.93, 60, 2.3, 0.0422, false, false, largeLadder},
+	{"T2d", GeneralPurpose, 4, 0.98, 55, 2.0, 0.0380, false, false, smallLadder},
+	// Compute Optimized — C2 keeps 4 GiB/vCPU, twice the EC2 C5 ratio.
+	{"C2", ComputeOptimized, 4, 1.15, 65, 3.1, 0.0522, false, false, largeLadder},
+	{"C2d", ComputeOptimized, 2, 1.08, 70, 3.1, 0.0455, false, false, largeLadder},
+	// Memory Optimized.
+	{"M1", MemoryOptimized, 14.9, 0.90, 75, 2.8, 0.1180, false, false, largeLadder},
+	{"M2", MemoryOptimized, 11.8, 0.92, 70, 2.8, 0.0985, false, false, largeLadder},
+	// Storage Optimized.
+	{"Z3", StorageOptimized, 8, 1.05, 700, 4.0, 0.1120, false, false, largeLadder},
+	// Accelerated Computing.
+	{"A2", AcceleratedComputing, 6.3, 1.00, 80, 3.0, 0.2470, false, true, g4Ladder},
+}
+
+// buildProviderCatalog generates one provider's full catalog.
+func buildProviderCatalog(p providerSpec, families []familySpec) []VMType {
+	var out []VMType
+	for _, f := range families {
+		for _, size := range f.sizes {
+			out = append(out, buildTypeFor(p, f, size))
+		}
+	}
+	return out
+}
+
+// AzureCatalog returns the Azure-like catalog (45 types).
+func AzureCatalog() []VMType { return buildProviderCatalog(azureSpec, azureFamilies) }
+
+// GCPCatalog returns the GCP-like catalog (50 types).
+func GCPCatalog() []VMType { return buildProviderCatalog(gcpSpec, gcpFamilies) }
+
+// MultiCloud returns the union of all provider catalogs: the 120-type EC2
+// table every experiment trains on, plus the Azure- and GCP-like catalogs
+// (215 types). Names are globally unique across providers.
+func MultiCloud() []VMType {
+	out := Catalog120()
+	out = append(out, AzureCatalog()...)
+	out = append(out, GCPCatalog()...)
+	return out
+}
+
+// FilterProvider returns the catalog entries of the given provider. The
+// empty provider on a type is EC2 by convention, so FilterProvider(c,
+// ProviderEC2) also matches legacy entries with no provider set.
+func FilterProvider(catalog []VMType, provider string) []VMType {
+	var out []VMType
+	for _, v := range catalog {
+		p := v.Provider
+		if p == "" {
+			p = ProviderEC2
+		}
+		if p == provider {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Providers returns the distinct provider names in catalog order (empty
+// normalized to ProviderEC2).
+func Providers(catalog []VMType) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range catalog {
+		p := v.Provider
+		if p == "" {
+			p = ProviderEC2
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

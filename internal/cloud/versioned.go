@@ -1,0 +1,205 @@
+// Versioned catalogs: production catalogs churn — types launch, retire, and
+// reprice — while the learned knowledge stays put (Samreen et al.,
+// *Transferable Knowledge for Low-cost Decision Making*, PAPERS.md: keep the
+// decision substrate separate from the knowledge). A Versioned is an
+// immutable catalog stamped with a monotonically increasing version; Apply
+// folds one Update into a new Versioned, validating every invariant the
+// selection stack depends on (unique names, positive finite prices, finite
+// resource vectors). The serving layer logs each Update as its own WAL
+// record kind and stamps the version into every prediction response, so a
+// ranking is always attributable to the exact catalog it was computed
+// against.
+package cloud
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpotTier sets (or clears) the spot pricing of one VM type in an Update.
+type SpotTier struct {
+	// PriceHour is the spot price; 0 removes the type's spot tier.
+	PriceHour float64 `json:"price_hour"`
+	// EvictRate is the expected evictions per running hour at this tier.
+	EvictRate float64 `json:"evict_rate"`
+}
+
+// Update is one catalog change set, applied atomically: retirements first,
+// then reprices, then spot-tier changes, then additions. It is the JSON
+// payload of a catalog WAL record (internal/wal), so its encoding is stable.
+type Update struct {
+	// Note is a free-form operator annotation carried in the log.
+	Note string `json:"note,omitempty"`
+	// Retire removes types by name. Retiring a name that is not present is
+	// an error (a typo must not silently ack).
+	Retire []string `json:"retire,omitempty"`
+	// Reprice sets the on-demand hourly price of existing types by name.
+	Reprice map[string]float64 `json:"reprice,omitempty"`
+	// Spot sets or clears the spot tier of existing types by name.
+	Spot map[string]SpotTier `json:"spot,omitempty"`
+	// Add appends new types; their names must not collide with survivors.
+	Add []VMType `json:"add,omitempty"`
+}
+
+// Empty reports whether the update changes nothing.
+func (u Update) Empty() bool {
+	return len(u.Retire) == 0 && len(u.Reprice) == 0 && len(u.Spot) == 0 && len(u.Add) == 0
+}
+
+// Versioned is an immutable catalog at a specific version. Version 0 is the
+// catalog a system was constructed over; every Apply increments it.
+type Versioned struct {
+	version uint64
+	types   []VMType
+	byName  map[string]int // index into types
+}
+
+// NewVersioned builds a version-0 catalog after validating it.
+func NewVersioned(types []VMType) (*Versioned, error) { return VersionedAt(types, 0) }
+
+// VersionedAt builds a catalog at an explicit version (used when rebuilding
+// the current Versioned view from a snapshot's stored types + version).
+func VersionedAt(types []VMType, version uint64) (*Versioned, error) {
+	if err := Validate(types); err != nil {
+		return nil, err
+	}
+	c := &Versioned{
+		version: version,
+		types:   append([]VMType(nil), types...),
+		byName:  make(map[string]int, len(types)),
+	}
+	for i, v := range c.types {
+		c.byName[v.Name] = i
+	}
+	return c, nil
+}
+
+// Version returns the catalog version.
+func (c *Versioned) Version() uint64 { return c.version }
+
+// Len returns the number of types.
+func (c *Versioned) Len() int { return len(c.types) }
+
+// Types returns a copy of the catalog in its stable order (survivors keep
+// their original positions; additions append in Update order).
+func (c *Versioned) Types() []VMType { return append([]VMType(nil), c.types...) }
+
+// Find returns the named type and whether it exists at this version.
+func (c *Versioned) Find(name string) (VMType, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return VMType{}, false
+	}
+	return c.types[i], true
+}
+
+// Apply folds one update into a new catalog at version+1. The receiver is
+// unchanged. Every referenced name must exist (after retirements, for
+// reprices and spot changes), every added name must be new, and the
+// resulting catalog must be non-empty and pass Validate.
+func (c *Versioned) Apply(u Update) (*Versioned, error) {
+	if u.Empty() {
+		return nil, fmt.Errorf("cloud: empty catalog update")
+	}
+	retire := make(map[string]bool, len(u.Retire))
+	for _, name := range u.Retire {
+		if _, ok := c.byName[name]; !ok {
+			return nil, fmt.Errorf("cloud: retire %q: not in catalog version %d", name, c.version)
+		}
+		if retire[name] {
+			return nil, fmt.Errorf("cloud: retire %q listed twice", name)
+		}
+		retire[name] = true
+	}
+	next := make([]VMType, 0, len(c.types)-len(retire)+len(u.Add))
+	for _, v := range c.types {
+		if !retire[v.Name] {
+			next = append(next, v)
+		}
+	}
+	index := make(map[string]int, len(next))
+	for i, v := range next {
+		index[v.Name] = i
+	}
+	for name, price := range u.Reprice {
+		i, ok := index[name]
+		if !ok {
+			return nil, fmt.Errorf("cloud: reprice %q: not in catalog (or retired by this update)", name)
+		}
+		if !(price > 0) || math.IsInf(price, 0) {
+			return nil, fmt.Errorf("cloud: reprice %q: invalid price %v", name, price)
+		}
+		next[i].PriceHour = price
+	}
+	for name, tier := range u.Spot {
+		i, ok := index[name]
+		if !ok {
+			return nil, fmt.Errorf("cloud: spot tier for %q: not in catalog (or retired by this update)", name)
+		}
+		if tier.PriceHour == 0 {
+			next[i].SpotPriceHour, next[i].SpotEvictRate = 0, 0
+			continue
+		}
+		next[i].SpotPriceHour = tier.PriceHour
+		next[i].SpotEvictRate = tier.EvictRate
+	}
+	for _, v := range u.Add {
+		if _, ok := index[v.Name]; ok {
+			return nil, fmt.Errorf("cloud: add %q: name already in catalog", v.Name)
+		}
+		index[v.Name] = len(next)
+		next = append(next, v)
+	}
+	return VersionedAt(next, c.version+1)
+}
+
+// Validate checks the catalog invariants every consumer depends on: at least
+// one type, globally unique non-empty names, positive vCPU counts, positive
+// finite prices, coherent spot tiers (0 < spot ≤ on-demand, finite
+// non-negative eviction rate), and finite resource-vector components.
+func Validate(types []VMType) error {
+	if len(types) == 0 {
+		return fmt.Errorf("cloud: empty catalog")
+	}
+	seen := make(map[string]bool, len(types))
+	for _, v := range types {
+		if err := validateType(v); err != nil {
+			return err
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("cloud: duplicate VM type name %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	return nil
+}
+
+func validateType(v VMType) error {
+	if v.Name == "" {
+		return fmt.Errorf("cloud: VM type with empty name")
+	}
+	if v.VCPUs <= 0 {
+		return fmt.Errorf("cloud: %s: invalid vCPU count %d", v.Name, v.VCPUs)
+	}
+	if !(v.PriceHour > 0) || math.IsInf(v.PriceHour, 0) {
+		return fmt.Errorf("cloud: %s: invalid price %v", v.Name, v.PriceHour)
+	}
+	if v.SpotPriceHour < 0 || math.IsInf(v.SpotPriceHour, 0) || math.IsNaN(v.SpotPriceHour) {
+		return fmt.Errorf("cloud: %s: invalid spot price %v", v.Name, v.SpotPriceHour)
+	}
+	if v.SpotPriceHour > v.PriceHour {
+		return fmt.Errorf("cloud: %s: spot price %v above on-demand %v", v.Name, v.SpotPriceHour, v.PriceHour)
+	}
+	if v.SpotEvictRate < 0 || math.IsInf(v.SpotEvictRate, 0) || math.IsNaN(v.SpotEvictRate) {
+		return fmt.Errorf("cloud: %s: invalid spot eviction rate %v", v.Name, v.SpotEvictRate)
+	}
+	if v.SpotPriceHour == 0 && v.SpotEvictRate != 0 {
+		return fmt.Errorf("cloud: %s: eviction rate without a spot tier", v.Name)
+	}
+	for i, x := range v.ResourceVector() {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("cloud: %s: resource vector component %d is %v", v.Name, i, x)
+		}
+	}
+	return nil
+}

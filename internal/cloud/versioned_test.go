@@ -1,0 +1,321 @@
+package cloud
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vesta/internal/chaos"
+)
+
+// allCatalogs enumerates every built-in catalog the invariant tests sweep.
+func allCatalogs() map[string][]VMType {
+	return map[string][]VMType{
+		"ec2-100":    Catalog(),
+		"ec2-120":    Catalog120(),
+		"azure":      AzureCatalog(),
+		"gcp":        GCPCatalog(),
+		"multicloud": MultiCloud(),
+	}
+}
+
+// checkInvariants asserts the catalog invariants every consumer depends on:
+// Validate passes, names are unique, prices are positive and finite, spot
+// tiers are coherent, and every resource-vector component is finite.
+func checkInvariants(t *testing.T, label string, types []VMType) {
+	t.Helper()
+	if err := Validate(types); err != nil {
+		t.Fatalf("%s: Validate: %v", label, err)
+	}
+	seen := make(map[string]bool, len(types))
+	for _, v := range types {
+		if seen[v.Name] {
+			t.Fatalf("%s: duplicate name %q", label, v.Name)
+		}
+		seen[v.Name] = true
+		if !(v.PriceHour > 0) || math.IsInf(v.PriceHour, 0) {
+			t.Fatalf("%s: %s: price %v", label, v.Name, v.PriceHour)
+		}
+		if v.SpotPriceHour < 0 || v.SpotPriceHour > v.PriceHour {
+			t.Fatalf("%s: %s: spot %v vs on-demand %v", label, v.Name, v.SpotPriceHour, v.PriceHour)
+		}
+		if v.SpotPriceHour == 0 && v.SpotEvictRate != 0 {
+			t.Fatalf("%s: %s: eviction rate %v without a spot tier", label, v.Name, v.SpotEvictRate)
+		}
+		for i, x := range v.ResourceVector() {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("%s: %s: resource vector[%d] = %v", label, v.Name, i, x)
+			}
+		}
+	}
+}
+
+func TestCatalogInvariantsAcrossProviders(t *testing.T) {
+	for label, types := range allCatalogs() {
+		checkInvariants(t, label, types)
+	}
+}
+
+// TestCatalogPricingRound4 pins the pricing contract of the generated tables:
+// every on-demand and spot price is exactly representable at 4 decimal
+// places (round4 in catalog.go is idempotent on its own output). A failure
+// here means a generator edit leaked an unrounded price into the catalog.
+func TestCatalogPricingRound4(t *testing.T) {
+	round4 := func(x float64) float64 { return math.Round(x*1e4) / 1e4 }
+	for label, types := range allCatalogs() {
+		for _, v := range types {
+			if got := round4(v.PriceHour); got != v.PriceHour {
+				t.Errorf("%s: %s: PriceHour %v not round4-stable (%v)", label, v.Name, v.PriceHour, got)
+			}
+			if got := round4(v.SpotPriceHour); got != v.SpotPriceHour {
+				t.Errorf("%s: %s: SpotPriceHour %v not round4-stable (%v)", label, v.Name, v.SpotPriceHour, got)
+			}
+		}
+	}
+}
+
+func TestCatalogProviderLabelsAndSpotShape(t *testing.T) {
+	specs := map[string]providerSpec{
+		ProviderAzure: azureSpec,
+		ProviderGCP:   gcpSpec,
+	}
+	for provider, catalog := range map[string][]VMType{
+		ProviderAzure: AzureCatalog(),
+		ProviderGCP:   GCPCatalog(),
+	} {
+		spec := specs[provider]
+		for _, v := range catalog {
+			if v.Provider != provider {
+				t.Fatalf("%s catalog: %s labeled %q", provider, v.Name, v.Provider)
+			}
+			if v.Burstable {
+				if v.HasSpot() {
+					t.Fatalf("%s: burstable %s has a spot tier", provider, v.Name)
+				}
+				continue
+			}
+			if !v.HasSpot() {
+				t.Fatalf("%s: non-burstable %s has no spot tier", provider, v.Name)
+			}
+			want := math.Round(v.PriceHour*(1-spec.spotDiscount)*1e4) / 1e4
+			if v.SpotPriceHour != want {
+				t.Fatalf("%s: %s spot %v, want %v (discount %v)",
+					provider, v.Name, v.SpotPriceHour, want, spec.spotDiscount)
+			}
+			if v.SpotEvictRate != spec.spotEvictRate {
+				t.Fatalf("%s: %s evict rate %v, want %v", provider, v.Name, v.SpotEvictRate, spec.spotEvictRate)
+			}
+		}
+	}
+}
+
+func TestCatalogMultiCloudComposition(t *testing.T) {
+	multi := MultiCloud()
+	if want := len(Catalog120()) + len(AzureCatalog()) + len(GCPCatalog()); len(multi) != want {
+		t.Fatalf("MultiCloud has %d types, want %d", len(multi), want)
+	}
+	for provider, want := range map[string]int{
+		ProviderEC2:   len(Catalog120()),
+		ProviderAzure: len(AzureCatalog()),
+		ProviderGCP:   len(GCPCatalog()),
+	} {
+		if got := len(FilterProvider(multi, provider)); got != want {
+			t.Fatalf("FilterProvider(%s) = %d types, want %d", provider, got, want)
+		}
+	}
+	// Legacy literals carry Provider "" and must be treated as EC2.
+	legacy := []VMType{{Name: "m5.xlarge"}}
+	if got := FilterProvider(legacy, ProviderEC2); len(got) != 1 {
+		t.Fatalf("FilterProvider did not normalize empty provider to ec2: %v", got)
+	}
+	if got := Providers(multi); len(got) != 3 {
+		t.Fatalf("Providers(MultiCloud) = %v", got)
+	}
+}
+
+func TestPreemptionRates(t *testing.T) {
+	spot := VMType{Name: "x", SpotPriceHour: 0.1, SpotEvictRate: 0.05}
+	got := spot.PreemptionRates(2).SpotPreemption
+	want := 1 - math.Exp(-0.05*2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PreemptionRates(2) = %v, want %v", got, want)
+	}
+	if r := spot.PreemptionRates(0); r.SpotPreemption != 0 {
+		t.Fatalf("zero run hours: %v", r)
+	}
+	onDemand := VMType{Name: "y"}
+	if r := onDemand.PreemptionRates(10); r != (chaos.Rates{}) {
+		t.Fatalf("no-spot type yields %v, want zero rates", r)
+	}
+}
+
+// TestCatalogVersionedApplySequence drives a realistic multi-step evolution —
+// retire, reprice, spot change, cross-provider add — asserting after every
+// step that the version increments, the invariants hold, and Find/Types agree
+// with each other and with the update's intent.
+func TestCatalogVersionedApplySequence(t *testing.T) {
+	base, err := NewVersioned(Catalog120())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Version() != 0 || base.Len() != 120 {
+		t.Fatalf("base version=%d len=%d", base.Version(), base.Len())
+	}
+
+	updates := []Update{
+		{Note: "retire C4 xlarge tier", Retire: []string{"c4.xlarge"}},
+		{Note: "reprice m5.xlarge", Reprice: map[string]float64{"m5.xlarge": 0.2345}},
+		{Note: "deepen m5.xlarge spot discount", Spot: map[string]SpotTier{
+			"m5.xlarge": {PriceHour: 0.05, EvictRate: 0.2},
+		}},
+		{Note: "clear c5.large spot tier", Spot: map[string]SpotTier{"c5.large": {}}},
+		{Note: "add azure catalog", Add: AzureCatalog()},
+		{Note: "mixed", Retire: []string{"t3.small"},
+			Reprice: map[string]float64{"dv5.large": 0.1111},
+			Add:     GCPCatalog()},
+	}
+	cur := base
+	wantLen := base.Len()
+	for i, u := range updates {
+		next, err := cur.Apply(u)
+		if err != nil {
+			t.Fatalf("update %d (%s): %v", i, u.Note, err)
+		}
+		if next.Version() != uint64(i+1) {
+			t.Fatalf("update %d: version %d, want %d", i, next.Version(), i+1)
+		}
+		// The receiver is immutable: the prior version keeps its length.
+		if cur.Len() != wantLen {
+			t.Fatalf("update %d mutated its receiver: len %d, want %d", i, cur.Len(), wantLen)
+		}
+		wantLen += len(u.Add) - len(u.Retire)
+		if next.Len() != wantLen {
+			t.Fatalf("update %d: len %d, want %d", i, next.Len(), wantLen)
+		}
+		checkInvariants(t, u.Note, next.Types())
+		// Find agrees with Types at every version.
+		for _, v := range next.Types() {
+			got, ok := next.Find(v.Name)
+			if !ok || got.Name != v.Name || got.PriceHour != v.PriceHour {
+				t.Fatalf("update %d: Find(%q) = %+v ok=%v, Types has %+v", i, v.Name, got, ok, v)
+			}
+		}
+		for _, name := range u.Retire {
+			if _, ok := next.Find(name); ok {
+				t.Fatalf("update %d: retired %q still present", i, name)
+			}
+			if _, ok := cur.Find(name); !ok {
+				t.Fatalf("update %d: %q missing from the prior version", i, name)
+			}
+		}
+		for name, price := range u.Reprice {
+			v, ok := next.Find(name)
+			if !ok || v.PriceHour != price {
+				t.Fatalf("update %d: reprice %q → %v, got %+v ok=%v", i, name, price, v, ok)
+			}
+		}
+		for name, tier := range u.Spot {
+			v, _ := next.Find(name)
+			if v.SpotPriceHour != tier.PriceHour || v.SpotEvictRate != tier.EvictRate {
+				t.Fatalf("update %d: spot %q → %+v, got spot=%v evict=%v",
+					i, name, tier, v.SpotPriceHour, v.SpotEvictRate)
+			}
+		}
+		cur = next
+	}
+	// Survivors keep their original positions; additions append in order.
+	types := cur.Types()
+	if types[0].Name != "t3.medium" { // t3.small retired; t3.medium is the first survivor
+		t.Fatalf("first survivor is %q", types[0].Name)
+	}
+	if last := types[len(types)-1]; last.Provider != ProviderGCP {
+		t.Fatalf("last type %q provider %q, want gcp append at the tail", last.Name, last.Provider)
+	}
+}
+
+func TestCatalogVersionedApplyErrors(t *testing.T) {
+	base, err := NewVersioned(Catalog120())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		up   Update
+		want string
+	}{
+		{"empty", Update{}, "empty catalog update"},
+		{"retire unknown", Update{Retire: []string{"nope.large"}}, "not in catalog"},
+		{"retire twice", Update{Retire: []string{"m5.xlarge", "m5.xlarge"}}, "listed twice"},
+		{"reprice unknown", Update{Reprice: map[string]float64{"nope.large": 1}}, "not in catalog"},
+		{"reprice retired", Update{Retire: []string{"m5.xlarge"},
+			Reprice: map[string]float64{"m5.xlarge": 1}}, "not in catalog"},
+		{"reprice zero", Update{Reprice: map[string]float64{"m5.xlarge": 0}}, "invalid price"},
+		{"reprice NaN", Update{Reprice: map[string]float64{"m5.xlarge": math.NaN()}}, "invalid price"},
+		{"reprice +Inf", Update{Reprice: map[string]float64{"m5.xlarge": math.Inf(1)}}, "invalid price"},
+		{"spot unknown", Update{Spot: map[string]SpotTier{"nope.large": {PriceHour: 1}}}, "not in catalog"},
+		{"spot above on-demand", Update{Spot: map[string]SpotTier{
+			"m5.xlarge": {PriceHour: 1e6}}}, "above on-demand"},
+		{"spot negative evict", Update{Spot: map[string]SpotTier{
+			"m5.xlarge": {PriceHour: 0.01, EvictRate: -1}}}, "eviction rate"},
+		{"add duplicate", Update{Add: []VMType{{Name: "m5.xlarge", VCPUs: 4, PriceHour: 1}}},
+			"already in catalog"},
+		{"add invalid", Update{Add: []VMType{{Name: "bad.large", VCPUs: 0, PriceHour: 1}}},
+			"invalid vCPU count"},
+	}
+	for _, tc := range cases {
+		next, err := base.Apply(tc.up)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err=%v, want substring %q", tc.name, err, tc.want)
+		}
+		if next != nil {
+			t.Errorf("%s: non-nil catalog on error", tc.name)
+		}
+		if base.Version() != 0 || base.Len() != 120 {
+			t.Fatalf("%s: failed Apply mutated the receiver", tc.name)
+		}
+	}
+	// Retiring everything empties the catalog, which Validate rejects.
+	one, err := NewVersioned([]VMType{{Name: "solo.large", VCPUs: 2, PriceHour: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := one.Apply(Update{Retire: []string{"solo.large"}}); err == nil ||
+		!strings.Contains(err.Error(), "empty catalog") {
+		t.Fatalf("retire-all: %v", err)
+	}
+}
+
+func TestCatalogVersionedAtRejectsInvalid(t *testing.T) {
+	if _, err := VersionedAt(nil, 3); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	dup := []VMType{
+		{Name: "a.large", VCPUs: 2, PriceHour: 0.1},
+		{Name: "a.large", VCPUs: 4, PriceHour: 0.2},
+	}
+	if _, err := VersionedAt(dup, 1); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate names: %v", err)
+	}
+	ok, err := VersionedAt(Catalog120(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Version() != 7 {
+		t.Fatalf("version %d, want 7", ok.Version())
+	}
+}
+
+// TestCatalogVersionedTypesIsACopy guards the immutability contract: mutating
+// the slice Types returns must not reach the catalog.
+func TestCatalogVersionedTypesIsACopy(t *testing.T) {
+	c, err := NewVersioned(Catalog120())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Types()
+	got[0].PriceHour = 99
+	got[0].Name = "mutated"
+	if v, ok := c.Find("t3.small"); !ok || v.PriceHour == 99 {
+		t.Fatalf("Types leaked internal storage: %+v ok=%v", v, ok)
+	}
+}

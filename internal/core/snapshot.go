@@ -52,10 +52,12 @@ func (s *System) cloneForSnapshot() *System {
 	kc.Graph = k.Graph.Clone()
 	kc.KM = k.KM.Clone()
 	return &System{
-		cfg:       s.cfg,
-		catalog:   append([]cloud.VMType(nil), s.catalog...),
-		byName:    byName,
-		knowledge: &kc,
+		cfg:        s.cfg,
+		catalog:    append([]cloud.VMType(nil), s.catalog...),
+		byName:     byName,
+		catVersion: s.catVersion,
+		trained:    s.trained, // write-once at New; shared across the lineage
+		knowledge:  &kc,
 	}
 }
 
@@ -63,10 +65,13 @@ func (s *System) cloneForSnapshot() *System {
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
 
 // Workloads returns the number of workload nodes in the snapshot's knowledge
-// graph. Together with the epoch it forms the consistency token the serving
-// layer stamps into every response: a snapshot absorbed at epoch e over a
-// base of b sources always reports exactly b+e workloads, so a torn or
-// half-published snapshot is detectable from any single response.
+// graph. Together with the epoch and catalog version it forms the
+// consistency token the serving layer stamps into every response: every
+// epoch increment is either an Absorb (workloads +1) or an AbsorbCatalog
+// (catalog version +1), so a lineage over a base of b sources always
+// reports exactly b + (epoch-baseEpoch) - (catVersion-baseCatVersion)
+// workloads, and a torn or half-published snapshot is detectable from any
+// single response.
 func (sn *Snapshot) Workloads() int {
 	return len(sn.sys.knowledge.Graph.Workloads())
 }
@@ -84,6 +89,22 @@ func (sn *Snapshot) Config() Config { return sn.sys.cfg }
 // Catalog returns a copy of the VM catalog frozen into the snapshot.
 func (sn *Snapshot) Catalog() []cloud.VMType {
 	return append([]cloud.VMType(nil), sn.sys.catalog...)
+}
+
+// CatalogVersion returns the catalog version the snapshot ranks against:
+// 0 for the construction-time catalog, incremented by every AbsorbCatalog.
+// Together with the epoch it extends the consistency token — a catalog
+// update advances the epoch without growing the workload set, so workloads
+// = base + (epoch - baseEpoch) - (catalogVersion - baseCatalogVersion)
+// along any lineage.
+func (sn *Snapshot) CatalogVersion() uint64 { return sn.sys.catVersion }
+
+// VM returns the named type from the snapshot's current catalog version.
+// Serving layers use this (not a construction-time index) so prices follow
+// repricing updates.
+func (sn *Snapshot) VM(name string) (cloud.VMType, bool) {
+	v, ok := sn.sys.byName[name]
+	return v, ok
 }
 
 // Predict runs the online predicting phase against the frozen knowledge.
@@ -151,5 +172,35 @@ func (sn *Snapshot) Absorb(name string, labelWeights, prunedVec []float64) (*Sna
 	// The plan holder is shared, not copied: AbsorbTarget only adds a
 	// workload node and refits K-Means, so the source matrices the plan is
 	// built from are unchanged and any plan already built stays valid.
+	return &Snapshot{sys: clone, epoch: sn.epoch + 1, plan: sn.plan}, nil
+}
+
+// AbsorbCatalog returns a new snapshot, one epoch and one catalog version
+// later, selecting against the updated catalog. The learned knowledge is
+// untouched — the graph's VM vocabulary stays at its training set and
+// rankings are projected onto the new catalog per adaptRanking — so, like
+// Absorb, the receiver keeps serving its consistent view while the caller
+// publishes the successor. The update is validated against the catalog
+// invariants (cloud.Versioned.Apply); retiring the sandbox VM is refused
+// because every online prediction starts with a sandbox run.
+func (sn *Snapshot) AbsorbCatalog(up cloud.Update) (*Snapshot, error) {
+	cur, err := cloud.VersionedAt(sn.sys.catalog, sn.sys.catVersion)
+	if err != nil {
+		return nil, fmt.Errorf("vesta: current catalog invalid: %w", err)
+	}
+	next, err := cur.Apply(up)
+	if err != nil {
+		return nil, fmt.Errorf("vesta: absorb catalog: %w", err)
+	}
+	if _, ok := next.Find(sn.sys.cfg.SandboxVM); !ok {
+		return nil, fmt.Errorf("vesta: absorb catalog: update retires sandbox VM %q", sn.sys.cfg.SandboxVM)
+	}
+	clone := sn.sys.cloneForSnapshot()
+	clone.catalog = next.Types()
+	clone.byName = cloud.ByName(clone.catalog)
+	clone.catVersion = next.Version()
+	// The plan holder is shared for the same reason Absorb shares it: the
+	// CMF source matrices the plan is built from never reference the
+	// catalog, only the knowledge graph's trained vocabulary.
 	return &Snapshot{sys: clone, epoch: sn.epoch + 1, plan: sn.plan}, nil
 }

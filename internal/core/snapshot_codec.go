@@ -25,9 +25,16 @@ import (
 // PredictFast), and a malformed-but-absent field never blocks recovery of
 // the knowledge itself.
 type snapshotJSON struct {
-	Epoch     uint64        `json:"epoch"`
-	Knowledge knowledgeJSON `json:"knowledge"`
-	Plan      *planJSON     `json:"plan,omitempty"`
+	Epoch uint64 `json:"epoch"`
+	// CatalogVersion and Catalog persist an evolved catalog (absorbed
+	// catalog updates, DESIGN.md §14). Both are omitted at version 0 — the
+	// catalog is then the construction-time one the decoder already holds —
+	// so checkpoints written before catalogs were versioned decode
+	// unchanged, and unversioned state encodes to its historical bytes.
+	CatalogVersion uint64         `json:"catalog_version,omitempty"`
+	Catalog        []cloud.VMType `json:"catalog,omitempty"`
+	Knowledge      knowledgeJSON  `json:"knowledge"`
+	Plan           *planJSON      `json:"plan,omitempty"`
 }
 
 // planJSON serializes the expensive part of a predictPlan: the converged
@@ -59,6 +66,10 @@ func matrixRows(m *mat.Matrix) [][]float64 {
 // solve entirely.
 func (sn *Snapshot) Encode(w io.Writer) error {
 	sj := snapshotJSON{Epoch: sn.epoch, Knowledge: knowledgeToJSON(sn.sys.knowledge)}
+	if sn.sys.catVersion > 0 {
+		sj.CatalogVersion = sn.sys.catVersion
+		sj.Catalog = sn.sys.catalog
+	}
 	if plan, err := sn.plan.get(sn.sys); err == nil {
 		sj.Plan = &planJSON{
 			X:      matrixRows(plan.warm.X),
@@ -93,6 +104,23 @@ func DecodeSnapshot(r io.Reader, cfg Config, catalog []cloud.VMType) (*Snapshot,
 		return nil, err
 	}
 	sn.epoch = sj.Epoch
+	if sj.CatalogVersion > 0 {
+		// The snapshot carried an evolved catalog: validate and install it
+		// over the construction-time one. The trained index (and the
+		// knowledge validated against it above) stays anchored to the base
+		// catalog, exactly as in the encoding lineage.
+		vc, err := cloud.VersionedAt(sj.Catalog, sj.CatalogVersion)
+		if err != nil {
+			return nil, fmt.Errorf("vesta: decoding snapshot catalog: %w", err)
+		}
+		if _, ok := vc.Find(sn.sys.cfg.SandboxVM); !ok {
+			return nil, fmt.Errorf("vesta: decoding snapshot: catalog version %d lacks sandbox VM %q",
+				sj.CatalogVersion, sn.sys.cfg.SandboxVM)
+		}
+		sn.sys.catalog = vc.Types()
+		sn.sys.byName = cloud.ByName(sn.sys.catalog)
+		sn.sys.catVersion = sj.CatalogVersion
+	}
 	if sj.Plan != nil {
 		warm := &cmf.Factors{
 			X:      mat.FromRows(sj.Plan.X),

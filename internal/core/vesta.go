@@ -204,11 +204,21 @@ type Prediction struct {
 	InitFailures int
 }
 
-// System is a Vesta instance bound to a VM catalog.
+// System is a Vesta instance bound to a VM catalog. The catalog is
+// versioned: catVersion 0 is the catalog the system was constructed over,
+// and every Snapshot.AbsorbCatalog produces a successor system with the
+// updated catalog at catVersion+1. The knowledge graph's VM vocabulary stays
+// frozen at training time; trained retains those types (by name) so
+// rankings can be projected onto later catalog versions (see adaptRanking).
 type System struct {
-	cfg       Config
-	catalog   []cloud.VMType
-	byName    map[string]cloud.VMType
+	cfg        Config
+	catalog    []cloud.VMType
+	byName     map[string]cloud.VMType
+	catVersion uint64
+	// trained indexes the construction-time catalog: the resource vectors
+	// the graph's VM nodes were embedded with. Never mutated after New;
+	// shared (not copied) by every clone in the lineage.
+	trained   map[string]cloud.VMType
 	knowledge *Knowledge
 }
 
@@ -222,8 +232,17 @@ func New(cfg Config, catalog []cloud.VMType) (*System, error) {
 	if _, ok := byName[cfg.SandboxVM]; !ok {
 		return nil, fmt.Errorf("vesta: sandbox VM %q not in catalog", cfg.SandboxVM)
 	}
-	return &System{cfg: cfg, catalog: append([]cloud.VMType(nil), catalog...), byName: byName}, nil
+	return &System{
+		cfg:     cfg,
+		catalog: append([]cloud.VMType(nil), catalog...),
+		byName:  byName,
+		trained: byName,
+	}, nil
 }
+
+// CatalogVersion returns the catalog version the system currently selects
+// against (0 = the construction-time catalog).
+func (s *System) CatalogVersion() uint64 { return s.catVersion }
 
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }
@@ -659,8 +678,10 @@ func (s *System) predictWith(target workload.App, meter oracle.Service, plan *pr
 		converged = false
 	}
 
-	// Line 14: rank VM types through the label-VM layer.
-	ranking := k.Graph.ScoreVMsFromWeights(weights)
+	// Line 14: rank VM types through the label-VM layer, then project the
+	// graph-vocabulary ranking onto the current catalog version (a no-op
+	// while the catalog equals the trained vocabulary).
+	ranking := s.adaptRanking(k.Graph.ScoreVMsFromWeights(weights))
 
 	calSpan := s.cfg.Tracer.Start(traceKey + "/calibrate")
 	predicted := s.calibrate(ranking, observed)
@@ -695,6 +716,106 @@ func (s *System) PredictBatch(targets []workload.App, meterFor func(i int) oracl
 		func(i int) (*Prediction, error) {
 			return s.PredictOnline(targets[i], meterFor(i))
 		})
+}
+
+// adaptNeighbors is how many trained VM types the score interpolation of a
+// catalog newcomer averages over.
+const adaptNeighbors = 5
+
+// adaptRanking projects a knowledge-graph ranking onto the system's current
+// catalog. While the catalog is exactly the trained VM vocabulary (every
+// lineage at catalog version 0 over the training catalog) the ranking is
+// returned untouched — bit-compatible with every release before catalogs
+// became versioned. Otherwise:
+//
+//   - graph VMs retired from the catalog are dropped (never recommended),
+//     though their scores still anchor interpolation;
+//   - catalog VMs the graph has never seen (added types, other providers)
+//     are scored by inverse-square-distance interpolation over their
+//     adaptNeighbors nearest trained types in ResourceVector space — the
+//     same embedding the label-VM layer was built from.
+//
+// The result is re-sorted score-descending with the name tiebreak
+// ScoreVMsFromWeights uses, so downstream consumers see one deterministic
+// ranking over exactly the current catalog.
+func (s *System) adaptRanking(ranking []bipartite.VMScore) []bipartite.VMScore {
+	if len(s.catalog) == len(ranking) {
+		same := true
+		for _, r := range ranking {
+			if _, ok := s.byName[r.VM]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			return ranking
+		}
+	}
+	graphScore := make(map[string]float64, len(ranking))
+	for _, r := range ranking {
+		graphScore[r.VM] = r.Score
+	}
+	out := make([]bipartite.VMScore, 0, len(s.catalog))
+	for _, v := range s.catalog {
+		score, ok := graphScore[v.Name]
+		if !ok {
+			score = s.interpolateScore(v, ranking)
+		}
+		out = append(out, bipartite.VMScore{VM: v.Name, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].VM < out[j].VM
+	})
+	return out
+}
+
+// interpolateScore estimates the graph score of a VM type outside the
+// trained vocabulary: the inverse-square-distance weighted average of its
+// adaptNeighbors nearest trained types in ResourceVector space. An exact
+// resource twin (distance 0) takes that twin's score. Deterministic: the
+// neighbor order ties-breaks on name and every input is a pure function of
+// (catalog, knowledge).
+func (s *System) interpolateScore(v cloud.VMType, ranking []bipartite.VMScore) float64 {
+	rv := v.ResourceVector()
+	type neighbor struct {
+		name  string
+		d     float64
+		score float64
+	}
+	neighbors := make([]neighbor, 0, len(ranking))
+	for _, r := range ranking {
+		tv, ok := s.trained[r.VM]
+		if !ok {
+			continue // graph VM outside the trained catalog: unreachable by construction
+		}
+		neighbors = append(neighbors, neighbor{name: r.VM, d: mat.Distance(rv, tv.ResourceVector()), score: r.Score})
+	}
+	if len(neighbors) == 0 {
+		return 0
+	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		if neighbors[i].d != neighbors[j].d {
+			return neighbors[i].d < neighbors[j].d
+		}
+		return neighbors[i].name < neighbors[j].name
+	})
+	if neighbors[0].d == 0 {
+		return neighbors[0].score
+	}
+	k := adaptNeighbors
+	if k > len(neighbors) {
+		k = len(neighbors)
+	}
+	var num, den float64
+	for _, n := range neighbors[:k] {
+		w := 1 / (n.d * n.d)
+		num += w * n.score
+		den += w
+	}
+	return num / den
 }
 
 // transfer builds and solves the CMF problem for one target membership row,

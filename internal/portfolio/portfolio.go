@@ -8,6 +8,7 @@
 package portfolio
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,11 @@ import (
 	"vesta/internal/oracle"
 	"vesta/internal/workload"
 )
+
+// ErrNoCandidates is returned by Plan when a request's prediction yields no
+// assignable VM: every predicted time is NaN/Inf, or every finitely-predicted
+// VM is missing from the planning catalog.
+var ErrNoCandidates = errors.New("portfolio: no assignable VM candidates")
 
 // Request is one application with its scheduling requirement.
 type Request struct {
@@ -47,6 +53,10 @@ type Result struct {
 	// Violations counts requests whose deadline no VM type can meet (they
 	// are assigned the fastest predicted type instead).
 	Violations int
+	// UnknownVMs counts predicted VM names skipped because they are not in
+	// the planning catalog: without the skip their zero-value PriceHour would
+	// make them "free" and they would win every cost ranking.
+	UnknownVMs int
 }
 
 // Planner binds a trained Vesta system to a catalog for portfolio planning.
@@ -93,7 +103,10 @@ func (p *Planner) Plan(reqs []Request, meter *oracle.Meter) (*Result, error) {
 		}
 		res.OnlineRuns += meter.Runs() - before
 
-		a := p.assign(req, pred)
+		a, err := p.assign(req, pred, res)
+		if err != nil {
+			return nil, err
+		}
 		res.Assignments = append(res.Assignments, a)
 		res.TotalUSD += a.PredictedUSD
 		if !a.MeetsDeadline {
@@ -103,8 +116,10 @@ func (p *Planner) Plan(reqs []Request, meter *oracle.Meter) (*Result, error) {
 	return res, nil
 }
 
-// assign picks the cheapest VM meeting the deadline from a prediction.
-func (p *Planner) assign(req Request, pred *core.Prediction) Assignment {
+// assign picks the cheapest VM meeting the deadline from a prediction. It
+// errors (ErrNoCandidates) instead of guessing when the filter leaves nothing
+// to pick from; unknown-VM skips are counted on res.
+func (p *Planner) assign(req Request, pred *core.Prediction, res *Result) (Assignment, error) {
 	type cand struct {
 		vm  string
 		sec float64
@@ -115,8 +130,19 @@ func (p *Planner) assign(req Request, pred *core.Prediction) Assignment {
 		if math.IsInf(sec, 0) || math.IsNaN(sec) {
 			continue
 		}
-		usd := sec / 3600 * p.byName[vm].PriceHour * float64(p.nodes)
+		vt, ok := p.byName[vm]
+		if !ok {
+			// A VM the catalog does not price cannot be assigned: the map's
+			// zero value would cost $0/hour and win every ranking.
+			res.UnknownVMs++
+			continue
+		}
+		usd := sec / 3600 * vt.PriceHour * float64(p.nodes)
 		cands = append(cands, cand{vm: vm, sec: sec, usd: usd})
+	}
+	if len(cands) == 0 {
+		return Assignment{}, fmt.Errorf("%w: %s (all predictions non-finite or unpriced)",
+			ErrNoCandidates, req.App.Name)
 	}
 	// Deterministic order: by cost, then name.
 	sort.Slice(cands, func(i, j int) bool {
@@ -135,7 +161,7 @@ func (p *Planner) assign(req Request, pred *core.Prediction) Assignment {
 			App: req.App.Name, Framework: string(req.App.Framework),
 			VM: c.vm, PredictedSec: c.sec, PredictedUSD: c.usd,
 			MeetsDeadline: true, Converged: pred.Converged,
-		}
+		}, nil
 	}
 	// No VM meets the deadline: fall back to the fastest prediction.
 	best := cands[0]
@@ -148,7 +174,7 @@ func (p *Planner) assign(req Request, pred *core.Prediction) Assignment {
 		App: req.App.Name, Framework: string(req.App.Framework),
 		VM: best.vm, PredictedSec: best.sec, PredictedUSD: best.usd,
 		MeetsDeadline: false, Converged: pred.Converged,
-	}
+	}, nil
 }
 
 // Summary renders the plan as a compact report.

@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -202,5 +203,82 @@ func TestCheaperThanAllFastest(t *testing.T) {
 	if res.TotalUSD > fastestTotal+1e-9 {
 		t.Fatalf("plan ($%.4f) more expensive than always-fastest ($%.4f)",
 			res.TotalUSD, fastestTotal)
+	}
+}
+
+// Regression: a prediction whose every time is NaN/Inf used to panic with an
+// index-out-of-range on the empty candidate slice. Plan must return a typed
+// error instead.
+func TestAssignAllNonFiniteErrorsNotPanics(t *testing.T) {
+	sys, _ := trained(t)
+	p, err := New(sys, catalog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := &core.Prediction{PredictedSec: map[string]float64{
+		"m5.xlarge": math.Inf(1),
+		"c5.xlarge": math.NaN(),
+		"r5.xlarge": math.Inf(-1),
+	}}
+	res := &Result{}
+	_, err = p.assign(req(t, "Spark-lr", 0), pred, res)
+	if err == nil {
+		t.Fatal("assign accepted a prediction with no finite candidate")
+	}
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+// Regression: a predicted VM name missing from the planning catalog used to
+// read the map's zero value (PriceHour 0), making it "free" and therefore
+// the winner of every cost ranking. It must be skipped and counted, and can
+// never be assigned.
+func TestUnknownVMNeverWins(t *testing.T) {
+	sys, _ := trained(t)
+	p, err := New(sys, catalog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ghost.vm is both the fastest and (at zero price) would be the cheapest.
+	pred := &core.Prediction{PredictedSec: map[string]float64{
+		"ghost.vm":  1,
+		"m5.xlarge": 100,
+		"c5.xlarge": 200,
+	}}
+	res := &Result{}
+	a, err := p.assign(req(t, "Spark-lr", 0), pred, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VM == "ghost.vm" {
+		t.Fatal("unpriced VM won the assignment")
+	}
+	if res.UnknownVMs != 1 {
+		t.Fatalf("UnknownVMs = %d, want 1", res.UnknownVMs)
+	}
+	if a.PredictedUSD <= 0 {
+		t.Fatalf("assigned $%v; prices must be real", a.PredictedUSD)
+	}
+	// Same with a deadline only the unknown VM could meet: it must still not
+	// win — the request falls back to the fastest *priced* VM.
+	res2 := &Result{}
+	a2, err := p.assign(req(t, "Spark-lr", 5), pred, res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.VM == "ghost.vm" {
+		t.Fatal("unpriced VM won the deadline fallback")
+	}
+	if a2.MeetsDeadline {
+		t.Fatal("deadline only the unpriced VM meets reported as met")
+	}
+	// All-unknown degenerates to no candidates.
+	res3 := &Result{}
+	_, err = p.assign(req(t, "Spark-lr", 0), &core.Prediction{
+		PredictedSec: map[string]float64{"ghost.vm": 1},
+	}, res3)
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
 	}
 }

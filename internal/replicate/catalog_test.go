@@ -1,0 +1,205 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"vesta/internal/cloud"
+	"vesta/internal/serve"
+	"vesta/internal/wal"
+)
+
+// testCatalogUpdate is the catalog change the replication tests ship: a
+// reprice plus a cross-provider add, exercising both survivor rewrite and
+// vocabulary growth on the follower.
+func testCatalogUpdate() cloud.Update {
+	return cloud.Update{
+		Note:    "reprice + azure",
+		Reprice: map[string]float64{"m5.xlarge": 0.3737},
+		Add:     cloud.AzureCatalog(),
+	}
+}
+
+// TestCatalogUpdateReplicatesToFollower ships an absorb followed by a catalog
+// update through the frame stream and asserts the follower converges to the
+// leader's exact state: same (epoch, catalog version), byte-identical
+// snapshot encoding, and byte-identical /predict bodies.
+func TestCatalogUpdateReplicatesToFollower(t *testing.T) {
+	snaps, recs := fixture(t)
+	l, err := NewLeader(snaps[0], nil, LeaderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newReplica(t, snaps[0], 2)
+	f, err := NewFollower(srv, snaps[0], l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1: a workload absorb. Epoch 2: the catalog update.
+	if err := l.Append(recs[0].Name, recs[0].LabelWeights, recs[0].PrunedVec, recs[0].Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Committed(snaps[1]); err != nil {
+		t.Fatal(err)
+	}
+	up := testCatalogUpdate()
+	leaderState, err := snaps[1].AbsorbCatalog(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCatalog(up, leaderState.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Committed(leaderState); err != nil {
+		t.Fatal(err)
+	}
+
+	applied, err := f.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied %d records, want 2", applied)
+	}
+	got := srv.Snapshot()
+	if got.Epoch() != 2 || got.CatalogVersion() != 1 {
+		t.Fatalf("follower token (epoch %d, catalog %d), want (2, 1)", got.Epoch(), got.CatalogVersion())
+	}
+	if got.Workloads() != baseWorkloads+1 {
+		t.Fatalf("follower workloads %d, want %d", got.Workloads(), baseWorkloads+1)
+	}
+	if !bytes.Equal(encodeSnap(t, got), encodeSnap(t, leaderState)) {
+		t.Fatal("replicated state differs from the leader's snapshot")
+	}
+	if v, ok := got.VM("m5.xlarge"); !ok || v.PriceHour != 0.3737 {
+		t.Fatalf("reprice did not replicate: %+v ok=%v", v, ok)
+	}
+	if _, ok := got.VM("dv5.xlarge"); !ok {
+		t.Fatal("added azure type did not replicate")
+	}
+
+	// Byte-identical serving at the same (epoch, catalog version): a server
+	// over the leader's state and the replica must answer the same bytes.
+	leaderSrv, err := serve.New(leaderState, serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderSrv.Close()
+	for _, req := range []serve.Request{
+		{App: "Spark-lr", Top: 5},
+		{App: "Spark-kmeans", Seed: 3},
+	} {
+		want, err := leaderSrv.PredictBytes(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := srv.PredictBytes(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, gotB) {
+			t.Fatalf("%s: follower bytes differ from leader\nleader:   %s\nfollower: %s",
+				req.App, want, gotB)
+		}
+		if !bytes.Contains(gotB, []byte(`"catalog_version":1`)) {
+			t.Fatalf("%s: follower response lacks the replicated catalog version: %s", req.App, gotB)
+		}
+	}
+}
+
+// TestCatalogVersionSurvivesBootstrap: a follower too far behind the retained
+// tail installs the leader's snapshot image; the catalog version must survive
+// the codec round trip and satisfy the extended consistency token.
+func TestCatalogVersionSurvivesBootstrap(t *testing.T) {
+	snaps, recs := fixture(t)
+	// Negative MaxTail retains nothing: every catch-up is a bootstrap.
+	l, err := NewLeader(snaps[0], nil, LeaderConfig{MaxTail: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[0].Name, recs[0].LabelWeights, recs[0].PrunedVec, recs[0].Epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Committed(snaps[1]); err != nil {
+		t.Fatal(err)
+	}
+	up := testCatalogUpdate()
+	leaderState, err := snaps[1].AbsorbCatalog(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendCatalog(up, leaderState.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Committed(leaderState); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newReplica(t, snaps[0], 1)
+	f, err := NewFollower(srv, snaps[0], l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Bootstraps != 1 {
+		t.Fatalf("stats: %+v, want one bootstrap", f.Stats())
+	}
+	got := srv.Snapshot()
+	if got.Epoch() != 2 || got.CatalogVersion() != 1 {
+		t.Fatalf("bootstrapped token (epoch %d, catalog %d), want (2, 1)", got.Epoch(), got.CatalogVersion())
+	}
+	if !bytes.Equal(encodeSnap(t, got), encodeSnap(t, leaderState)) {
+		t.Fatal("bootstrapped state differs from the leader's snapshot")
+	}
+}
+
+// TestCatalogStreamFaultsFailClosed covers the poisoned-stream matrix for
+// catalog records: a catalog frame without its payload, an unappliable
+// update, and a record kind from a newer binary all break the follower
+// rather than letting it guess.
+func TestCatalogStreamFaultsFailClosed(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  wal.Record
+		want error
+	}{
+		{"nil payload", wal.Record{Kind: wal.KindCatalog, Epoch: 1}, ErrBadStream},
+		{"unappliable update", wal.Record{Kind: wal.KindCatalog, Epoch: 1,
+			Catalog: &cloud.Update{Retire: []string{"never.existed"}}}, ErrDiverged},
+		{"retires sandbox", wal.Record{Kind: wal.KindCatalog, Epoch: 1,
+			Catalog: &cloud.Update{Retire: []string{"m5.xlarge"}}}, ErrDiverged},
+		{"unknown kind", wal.Record{Kind: "hologram", Epoch: 1}, ErrDiverged},
+	}
+	snaps, _ := fixture(t)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame, err := wal.EncodeFrame(tc.rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := transportFunc(func(from uint64) (*Batch, error) {
+				return &Batch{From: from, Ack: 1, Frames: frame}, nil
+			})
+			srv := newReplica(t, snaps[0], 1)
+			f, err := NewFollower(srv, snaps[0], tr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.SyncOnce(); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if f.Broken() == nil {
+				t.Fatal("follower not broken after poisoned stream")
+			}
+			if got := srv.Snapshot(); got.Epoch() != 0 || got.CatalogVersion() != 0 {
+				t.Fatalf("poisoned stream moved state: (epoch %d, catalog %d)",
+					got.Epoch(), got.CatalogVersion())
+			}
+		})
+	}
+}

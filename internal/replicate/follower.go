@@ -183,13 +183,27 @@ func (f *Follower) failClosed(err error) error {
 }
 
 // tokenErr verifies the consistency token of a snapshot about to be
-// published: a lineage that started at base with W workloads must report
-// exactly W + (epoch - baseEpoch) workloads at every later epoch.
+// published: every epoch a lineage advances past base is either a workload
+// absorb (+1 workload) or a catalog update (+1 catalog version), so a
+// lineage that started at base with W workloads must report exactly
+// W + (epoch - baseEpoch) - (catalogVersion - baseCatalogVersion) workloads
+// at every later epoch, and neither the epoch nor the catalog version may
+// rewind.
 func (f *Follower) tokenErr(snap *core.Snapshot) error {
-	wantW := f.base.Workloads() + int(snap.Epoch()-f.base.Epoch())
-	if snap.Epoch() < f.base.Epoch() || snap.Workloads() != wantW {
-		return fmt.Errorf("%w: token (epoch %d, workloads %d), want workloads %d",
-			ErrDiverged, snap.Epoch(), snap.Workloads(), wantW)
+	if snap.Epoch() < f.base.Epoch() || snap.CatalogVersion() < f.base.CatalogVersion() {
+		return fmt.Errorf("%w: token (epoch %d, catalog %d) rewinds base (epoch %d, catalog %d)",
+			ErrDiverged, snap.Epoch(), snap.CatalogVersion(), f.base.Epoch(), f.base.CatalogVersion())
+	}
+	dCat := snap.CatalogVersion() - f.base.CatalogVersion()
+	dEpoch := snap.Epoch() - f.base.Epoch()
+	if dCat > dEpoch {
+		return fmt.Errorf("%w: token (epoch %d, catalog %d): more catalog updates than epochs since base",
+			ErrDiverged, snap.Epoch(), snap.CatalogVersion())
+	}
+	wantW := f.base.Workloads() + int(dEpoch) - int(dCat)
+	if snap.Workloads() != wantW {
+		return fmt.Errorf("%w: token (epoch %d, catalog %d, workloads %d), want workloads %d",
+			ErrDiverged, snap.Epoch(), snap.CatalogVersion(), snap.Workloads(), wantW)
 	}
 	return nil
 }
@@ -292,9 +306,26 @@ func (f *Follower) applyLocked(cur uint64, b *Batch) (int, error) {
 		if rec.Epoch > b.Ack {
 			return applied, fmt.Errorf("%w: record epoch %d beyond batch ack %d", ErrBadStream, rec.Epoch, b.Ack)
 		}
-		if err := f.server.Absorb(rec.Name, rec.LabelWeights, rec.PrunedVec); err != nil {
-			return applied, fmt.Errorf("%w: replaying epoch %d workload %q: %v",
-				ErrDiverged, rec.Epoch, rec.Name, err)
+		switch rec.Kind {
+		case wal.KindAbsorb:
+			if err := f.server.Absorb(rec.Name, rec.LabelWeights, rec.PrunedVec); err != nil {
+				return applied, fmt.Errorf("%w: replaying epoch %d workload %q: %v",
+					ErrDiverged, rec.Epoch, rec.Name, err)
+			}
+		case wal.KindCatalog:
+			if rec.Catalog == nil {
+				return applied, fmt.Errorf("%w: epoch %d catalog record without update payload",
+					ErrBadStream, rec.Epoch)
+			}
+			if err := f.server.AbsorbCatalog(*rec.Catalog); err != nil {
+				return applied, fmt.Errorf("%w: replaying epoch %d catalog update: %v",
+					ErrDiverged, rec.Epoch, err)
+			}
+		default:
+			// A record kind this binary does not know cannot be applied
+			// faithfully: fail closed rather than guess (mixed-version fleet).
+			return applied, fmt.Errorf("%w: epoch %d unknown record kind %q",
+				ErrDiverged, rec.Epoch, rec.Kind)
 		}
 		if err := f.tokenErr(f.server.Snapshot()); err != nil {
 			return applied, err

@@ -41,6 +41,7 @@ import (
 	"strconv"
 	"sync"
 
+	"vesta/internal/cloud"
 	"vesta/internal/core"
 	"vesta/internal/obs"
 	"vesta/internal/serve"
@@ -166,9 +167,36 @@ func (l *Leader) Append(name string, labelWeights, prunedVec []float64, epoch ui
 			return err
 		}
 	}
-	l.tail = append(l.tail, wal.Record{
+	l.retainLocked(wal.Record{
 		Name: name, LabelWeights: labelWeights, PrunedVec: prunedVec, Epoch: epoch,
 	})
+	return nil
+}
+
+// AppendCatalog implements serve.WriteAheadLog for the second record kind:
+// the catalog update is made durable by the inner WAL, then retained in the
+// same shipping tail as absorbs — followers replay both kinds in epoch order
+// from one stream.
+func (l *Leader) AppendCatalog(up cloud.Update, epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch != l.ack+1 {
+		return fmt.Errorf("replicate: append epoch %d, want %d", epoch, l.ack+1)
+	}
+	if l.inner != nil {
+		if err := l.inner.AppendCatalog(up, epoch); err != nil {
+			return err
+		}
+	}
+	u := up
+	l.retainLocked(wal.Record{Kind: wal.KindCatalog, Catalog: &u, Epoch: epoch})
+	return nil
+}
+
+// retainLocked appends one acked record to the shipping tail, trimming past
+// MaxTail (the horizon rises and deep catch-ups become bootstraps).
+func (l *Leader) retainLocked(rec wal.Record) {
+	l.tail = append(l.tail, rec)
 	keep := l.maxTail
 	if keep < 0 {
 		keep = 0
@@ -177,11 +205,10 @@ func (l *Leader) Append(name string, labelWeights, prunedVec []float64, epoch ui
 		l.tail = l.tail[1:]
 		l.horizon++
 	}
-	l.ack = epoch
+	l.ack = rec.Epoch
 	if l.tracer.Enabled() {
 		l.tracer.Count("replicate.appends", 1)
 	}
-	return nil
 }
 
 // Committed implements serve.WriteAheadLog: retain the published snapshot as

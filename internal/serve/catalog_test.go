@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vesta/internal/cloud"
+	"vesta/internal/wal"
+)
+
+func postCatalog(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/catalog", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestCatalogVersionInEveryResponse: the catalog version is part of the
+// consistency token — present at version 0 and advanced by every update,
+// while the workload count stays put (a catalog update is an epoch increment
+// that does not grow the graph).
+func TestCatalogVersionInEveryResponse(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+
+	pr := postPredict(t, h, `{"app":"Spark-lr"}`)
+	if pr.Code != http.StatusOK {
+		t.Fatalf("predict status = %d", pr.Code)
+	}
+	if !bytes.Contains(pr.Body.Bytes(), []byte(`"catalog_version":0`)) {
+		t.Fatalf("version-0 response lacks catalog_version: %s", pr.Body.String())
+	}
+
+	rec := postCatalog(t, h, `{"reprice":{"m5.xlarge":0.5}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("catalog status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var resp CatalogResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 1 || resp.CatalogVersion != 1 || resp.VMCount != 120 || resp.Durable {
+		t.Fatalf("catalog response = %+v", resp)
+	}
+
+	pr = postPredict(t, h, `{"app":"Spark-lr"}`)
+	presp, err := decodeResponse(pr.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.Epoch != 1 || presp.CatalogVersion != 1 || presp.Workloads != baseWorkloads {
+		t.Fatalf("post-update token = (epoch %d, catVersion %d, workloads %d)",
+			presp.Epoch, presp.CatalogVersion, presp.Workloads)
+	}
+
+	// healthz and stats expose the same version.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hr := httptest.NewRecorder()
+	h.ServeHTTP(hr, req)
+	if !bytes.Contains(hr.Body.Bytes(), []byte(`"catalog_version":1`)) {
+		t.Fatalf("healthz lacks catalog_version: %s", hr.Body.String())
+	}
+	st := s.Stats()
+	if st.CatalogVersion != 1 || st.CatalogUpdates != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCatalogRepriceReachesResponses: PredictedUSD must be computed against
+// the *current* catalog version, not a construction-time price index.
+func TestCatalogRepriceReachesResponses(t *testing.T) {
+	s := newTestServer(t, Config{})
+	bestUSD := func(resp *Response) float64 {
+		t.Helper()
+		for _, r := range resp.Ranking {
+			if r.VM == resp.Best {
+				return float64(r.PredictedUSD)
+			}
+		}
+		t.Fatalf("best %q not in ranking", resp.Best)
+		return 0
+	}
+	resp, err := s.Predict(context.Background(), Request{App: "Spark-kmeans"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := resp.Best
+	oldUSD := bestUSD(resp)
+	if oldUSD <= 0 {
+		t.Fatalf("PredictedUSD = %v", oldUSD)
+	}
+	vm, ok := s.Snapshot().VM(best)
+	if !ok {
+		t.Fatalf("best VM %q not in catalog", best)
+	}
+	if _, err := s.UpdateCatalog(cloud.Update{
+		Reprice: map[string]float64{best: vm.PriceHour * 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := s.Predict(context.Background(), Request{App: "Spark-kmeans"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Best != best {
+		t.Fatalf("ranking changed on a pure reprice: %q vs %q", resp2.Best, best)
+	}
+	if got, want := bestUSD(resp2), oldUSD*10; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("PredictedUSD after 10x reprice = %v, want ~%v", got, want)
+	}
+}
+
+// TestCatalogUpdateSelfInvalidatesCache: the response cache keys on the
+// epoch, so a catalog update (epoch bump) makes stale priced bytes
+// unreachable without an explicit flush.
+func TestCatalogUpdateSelfInvalidatesCache(t *testing.T) {
+	s := newTestServer(t, Config{CacheSize: 32})
+	req := Request{App: "Spark-sort"}
+	b1, err := s.PredictBytes(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PredictBytes(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Fatalf("warm-up stats = %+v", st)
+	}
+	if _, err := s.UpdateCatalog(cloud.Update{Reprice: map[string]float64{"m5.xlarge": 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.PredictBytes(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("post-update stats = %+v (stale hit?)", st)
+	}
+	if bytes.Equal(b1, b2) {
+		t.Fatal("post-update bytes identical to pre-update bytes (stale token)")
+	}
+}
+
+// TestCatalogUpdateDurabilityOrdering mirrors the absorb ordering contract:
+// append → ack → publish; a failed append publishes nothing.
+func TestCatalogUpdateDurabilityOrdering(t *testing.T) {
+	fw := &fakeWAL{}
+	s := newTestServer(t, Config{WAL: fw})
+	var publishedAtAppend uint64
+	fw.onAppend = func(epoch uint64) { publishedAtAppend = s.Snapshot().Epoch() }
+	up := cloud.Update{Reprice: map[string]float64{"m5.xlarge": 0.5}}
+	resp, err := s.UpdateCatalog(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if publishedAtAppend != 0 {
+		t.Fatalf("published epoch at AppendCatalog time = %d, want 0", publishedAtAppend)
+	}
+	if !resp.Durable || resp.Epoch != 1 || resp.CatalogVersion != 1 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if len(fw.appends) != 1 || fw.appends[0] != 1 || len(fw.committed) != 1 {
+		t.Fatalf("appends = %v, committed = %v", fw.appends, fw.committed)
+	}
+
+	fw.appendErr = errors.New("disk full")
+	if _, err := s.UpdateCatalog(cloud.Update{Reprice: map[string]float64{"c5.large": 0.7}}); err == nil ||
+		!errors.Is(err, fw.appendErr) {
+		t.Fatalf("err = %v, want wrapped append error", err)
+	}
+	snap := s.Snapshot()
+	if snap.Epoch() != 1 || snap.CatalogVersion() != 1 {
+		t.Fatalf("failed append advanced state: epoch %d, catVersion %d", snap.Epoch(), snap.CatalogVersion())
+	}
+}
+
+// TestCatalogHTTPErrors: invalid updates answer 400 with the state untouched;
+// read-only replicas answer 403; a draining server 503.
+func TestCatalogHTTPErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantErr  string
+	}{
+		{"empty update", `{}`, http.StatusBadRequest, "bad_request"},
+		{"not json", `hello`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", `{"nonsense":1}`, http.StatusBadRequest, "bad_request"},
+		{"unknown retiree", `{"retire":["never.existed"]}`, http.StatusBadRequest, "bad_request"},
+		{"bad price", `{"reprice":{"m5.xlarge":-1}}`, http.StatusBadRequest, "bad_request"},
+		{"retires sandbox", `{"retire":["m5.xlarge"]}`, http.StatusBadRequest, "bad_request"},
+		{"duplicate add", `{"add":[{"name":"m5.xlarge","vcpus":4,"price_hour":1}]}`,
+			http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postCatalog(t, h, tc.body)
+			if rec.Code != tc.wantCode {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantCode, rec.Body.String())
+			}
+			var e errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != tc.wantErr {
+				t.Fatalf("error body = %s, want code %q", rec.Body.String(), tc.wantErr)
+			}
+		})
+	}
+	snap := s.Snapshot()
+	if snap.Epoch() != 0 || snap.CatalogVersion() != 0 {
+		t.Fatalf("rejected updates moved state: epoch %d, catVersion %d", snap.Epoch(), snap.CatalogVersion())
+	}
+
+	ro := newTestServer(t, Config{ReadOnly: true})
+	rec := postCatalog(t, ro.Handler(), `{"reprice":{"m5.xlarge":0.5}}`)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("read-only status = %d, want 403 (body %s)", rec.Code, rec.Body.String())
+	}
+
+	dr, err := New(testSnapshot(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr.Close()
+	if rec := postCatalog(t, dr.Handler(), `{"reprice":{"m5.xlarge":0.5}}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", rec.Code)
+	}
+}
+
+// TestCatalogGetEndpoint: GET /catalog reports the live (epoch, version) and
+// the full current type list, following updates.
+func TestCatalogGetEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	get := func() (uint64, uint64, []cloud.VMType) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/catalog", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /catalog status = %d", rec.Code)
+		}
+		var out struct {
+			Epoch          uint64         `json:"epoch"`
+			CatalogVersion uint64         `json:"catalog_version"`
+			Types          []cloud.VMType `json:"types"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Epoch, out.CatalogVersion, out.Types
+	}
+	if e, v, types := get(); e != 0 || v != 0 || len(types) != 120 {
+		t.Fatalf("base catalog: epoch %d version %d types %d", e, v, len(types))
+	}
+	if rec := postCatalog(t, h, `{"retire":["c4.large"],"reprice":{"m5.xlarge":0.4242}}`); rec.Code != http.StatusOK {
+		t.Fatalf("update failed: %s", rec.Body.String())
+	}
+	e, v, types := get()
+	if e != 1 || v != 1 || len(types) != 119 {
+		t.Fatalf("updated catalog: epoch %d version %d types %d", e, v, len(types))
+	}
+	for _, vt := range types {
+		if vt.Name == "c4.large" {
+			t.Fatal("retired type still listed")
+		}
+		if vt.Name == "m5.xlarge" && vt.PriceHour != 0.4242 {
+			t.Fatalf("reprice not visible: %v", vt.PriceHour)
+		}
+	}
+}
+
+// TestCatalogRecoveredServerServesIdenticalBytes drives the full loop
+// through a real WAL: absorb + catalog updates, kill the server, recover
+// from disk, and demand byte-identical predict bytes at the same (epoch,
+// catalog version).
+func TestCatalogRecoveredServerServesIdenticalBytes(t *testing.T) {
+	base := testSnapshot(t)
+	dir := t.TempDir()
+	mgr, snap, err := wal.Open(base, wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(snap, Config{WAL: mgr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.AbsorbApp(AbsorbRequest{Name: "t1", App: "Spark-kmeans", Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.UpdateCatalog(cloud.Update{
+		Retire:  []string{"c4.large"},
+		Reprice: map[string]float64{"m5.xlarge": 0.3131},
+		Add:     cloud.GCPCatalog(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []Request{
+		{App: "Spark-lr", Top: 5},
+		{App: "Spark-kmeans", Seed: 3},
+	}
+	var want [][]byte
+	for _, r := range reqs {
+		b, err := s1.PredictBytes(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, b)
+	}
+	live := s1.Snapshot()
+	s1.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2, rec, err := wal.Open(base, wal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	if rec.Epoch() != live.Epoch() || rec.CatalogVersion() != live.CatalogVersion() {
+		t.Fatalf("recovered token (%d, %d), want (%d, %d)",
+			rec.Epoch(), rec.CatalogVersion(), live.Epoch(), live.CatalogVersion())
+	}
+	s2, err := New(rec, Config{WAL: mgr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, r := range reqs {
+		got, err := s2.PredictBytes(context.Background(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("request %d: recovered bytes differ\nlive:      %s\nrecovered: %s",
+				i, want[i], got)
+		}
+	}
+}

@@ -195,7 +195,7 @@ func TestResponseBytesAreCanonicalJSON(t *testing.T) {
 	if !bytes.Equal(body, reenc) {
 		t.Fatalf("decode/encode round trip changed bytes:\n was: %s\n now: %s", body, reenc)
 	}
-	wantPrefix := fmt.Sprintf(`{"target":"Spark-kmeans","epoch":0,"workloads":%d,"best":"`, baseWorkloads)
+	wantPrefix := fmt.Sprintf(`{"target":"Spark-kmeans","epoch":0,"workloads":%d,"catalog_version":0,"best":"`, baseWorkloads)
 	if !bytes.HasPrefix(body, []byte(wantPrefix)) {
 		t.Fatalf("body prefix = %s, want %s", body[:min(len(body), 80)], wantPrefix)
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"vesta/internal/cloud"
 	"vesta/internal/wal"
 )
 
@@ -146,6 +147,8 @@ func decodeRequest(r *http.Request) (Request, error) {
 //
 //	POST /predict  {"app": "...", "seed": 1, "top": 10, "input_gb": 0}
 //	POST /absorb   {"name": "...", "app": "...", "seed": 1}
+//	POST /catalog  cloud.Update: {"retire": [...], "reprice": {...}, "spot": {...}, "add": [...]}
+//	GET  /catalog  the published catalog version and its types
 //	GET  /healthz  liveness plus the published epoch/consistency token
 //	GET  /stats    operational counters (queue depth, cache hit rate, ...)
 //
@@ -153,7 +156,9 @@ func decodeRequest(r *http.Request) (Request, error) {
 // for a given (snapshot, request) whatever the worker count or cache state.
 // Absorb completes the named application online and folds it into the
 // knowledge graph (durably, when the server has a WAL); re-absorbing a name
-// answers 409.
+// answers 409. Catalog updates absorb with the same durability ordering and
+// answer the new (epoch, catalog_version) token; invalid updates answer 400
+// and read-only replicas 403.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
@@ -185,13 +190,35 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("POST /catalog", func(w http.ResponseWriter, r *http.Request) {
+		var up cloud.Update
+		if err := decodeBody(r, &up); err != nil {
+			writeError(w, err)
+			return
+		}
+		resp, err := s.UpdateCatalog(up)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /catalog", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch":           snap.Epoch(),
+			"catalog_version": snap.CatalogVersion(),
+			"types":           snap.Catalog(),
+		})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()
 		health := map[string]any{
-			"status":    "ok",
-			"epoch":     snap.Epoch(),
-			"workloads": snap.Workloads(),
-			"read_only": s.cfg.ReadOnly,
+			"status":          "ok",
+			"epoch":           snap.Epoch(),
+			"workloads":       snap.Workloads(),
+			"catalog_version": snap.CatalogVersion(),
+			"read_only":       s.cfg.ReadOnly,
 		}
 		if ws, ok := s.cfg.WAL.(interface{ Stats() wal.Stats }); ok {
 			// Durable-state health: the last acked epoch, the live log size,

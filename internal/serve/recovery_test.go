@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"vesta/internal/cloud"
 	"vesta/internal/core"
 	"vesta/internal/oracle"
 	"vesta/internal/sim"
@@ -25,6 +26,17 @@ type fakeWAL struct {
 }
 
 func (f *fakeWAL) Append(name string, labelWeights, prunedVec []float64, epoch uint64) error {
+	if f.onAppend != nil {
+		f.onAppend(epoch)
+	}
+	if f.appendErr != nil {
+		return f.appendErr
+	}
+	f.appends = append(f.appends, epoch)
+	return nil
+}
+
+func (f *fakeWAL) AppendCatalog(up cloud.Update, epoch uint64) error {
 	if f.onAppend != nil {
 		f.onAppend(epoch)
 	}

@@ -90,6 +90,9 @@ var (
 type WriteAheadLog interface {
 	// Append durably records one absorb; returning nil is the ack.
 	Append(name string, labelWeights, prunedVec []float64, epoch uint64) error
+	// AppendCatalog durably records one catalog update (the second WAL record
+	// kind, wal.KindCatalog) under the same contract as Append.
+	AppendCatalog(up cloud.Update, epoch uint64) error
 	// Committed observes the published snapshot carrying the last appended
 	// record. An error here is operational (failed compaction), never a
 	// reason to unpublish: the record itself is already durable.
@@ -222,14 +225,19 @@ type RankEntry struct {
 // the snapshot-consistency token (see core.Snapshot.Workloads), and nothing
 // schedule-dependent (cache state, batch shape, queue depth) is included.
 type Response struct {
-	Target        string      `json:"target"`
-	Epoch         uint64      `json:"epoch"`
-	Workloads     int         `json:"workloads"`
-	Best          string      `json:"best"`
-	Converged     bool        `json:"converged"`
-	MatchDistance jsonFloat   `json:"match_distance"`
-	OnlineRuns    int         `json:"online_runs"`
-	Ranking       []RankEntry `json:"ranking"`
+	Target    string `json:"target"`
+	Epoch     uint64 `json:"epoch"`
+	Workloads int    `json:"workloads"`
+	// CatalogVersion is the catalog the ranking was computed against
+	// (core.Snapshot.CatalogVersion): 0 until a catalog update is absorbed,
+	// then the version of the update lineage. Always emitted — together with
+	// Epoch and Workloads it completes the consistency token.
+	CatalogVersion uint64      `json:"catalog_version"`
+	Best           string      `json:"best"`
+	Converged      bool        `json:"converged"`
+	MatchDistance  jsonFloat   `json:"match_distance"`
+	OnlineRuns     int         `json:"online_runs"`
+	Ranking        []RankEntry `json:"ranking"`
 }
 
 // Stats is a point-in-time view of the server's counters. Schedule-dependent
@@ -257,8 +265,12 @@ type Stats struct {
 	Swaps        int64   `json:"swaps"`
 	Epoch        uint64  `json:"epoch"`
 	Workloads    int     `json:"workloads"`
-	Durable      bool    `json:"durable"`
-	WALAppends   int64   `json:"wal_appends"`
+	// CatalogVersion is the published snapshot's catalog version;
+	// CatalogUpdates counts catalog updates absorbed this session.
+	CatalogVersion uint64 `json:"catalog_version"`
+	CatalogUpdates int64  `json:"catalog_updates"`
+	Durable        bool   `json:"durable"`
+	WALAppends     int64  `json:"wal_appends"`
 	// Profile-memoization counters of the default meter (all zero when a
 	// custom MeterFor is configured or memoization is disabled). ProfileHits
 	// are simulated cluster campaigns skipped by recall; run accounting in
@@ -295,7 +307,6 @@ type taskResult struct {
 // Close. All exported methods are safe for concurrent use.
 type Server struct {
 	cfg      Config
-	byName   map[string]cloud.VMType
 	meterFor func(seed uint64) oracle.Service
 
 	snap atomic.Pointer[core.Snapshot]
@@ -320,7 +331,7 @@ type Server struct {
 	profiles *profileLRU
 
 	requests, hits, misses, rejects, batches, maxBatch, swaps atomic.Int64
-	canceled, walAppends, coalesced                           atomic.Int64
+	canceled, walAppends, coalesced, catalogUpdates           atomic.Int64
 }
 
 // flight is one in-progress miss computation. The owner fills body/err and
@@ -338,9 +349,8 @@ func New(snap *core.Snapshot, cfg Config) (*Server, error) {
 	}
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:    cfg,
-		byName: cloud.ByName(snap.Catalog()),
-		queue:  make(chan *task, cfg.QueueSize),
+		cfg:   cfg,
+		queue: make(chan *task, cfg.QueueSize),
 	}
 	s.meterFor = cfg.MeterFor
 	if s.meterFor == nil {
@@ -445,6 +455,85 @@ func (s *Server) Absorb(name string, labelWeights, prunedVec []float64) error {
 		}
 	}
 	return nil
+}
+
+// AbsorbCatalog folds one catalog update into the served catalog
+// copy-on-write and hot-swaps the result — the catalog twin of Absorb, with
+// the same durability ordering: with a configured WAL the update is appended
+// as a wal.KindCatalog record and fsynced before the swap, so the catalog
+// version a response reveals is always recoverable. Validation failures
+// (unknown retiree, bad price, retiring the sandbox VM) wrap ErrBadRequest.
+func (s *Server) AbsorbCatalog(up cloud.Update) error {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	old := s.snap.Load()
+	next, err := old.AbsorbCatalog(up)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.AppendCatalog(up, next.Epoch()); err != nil {
+			return fmt.Errorf("serve: catalog update not published: %w", err)
+		}
+		s.walAppends.Add(1)
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Count("serve.wal_appends", 1)
+		}
+	}
+	if err := s.Publish(next); err != nil {
+		return err
+	}
+	s.catalogUpdates.Add(1)
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Count("serve.catalog_updates", 1)
+		s.cfg.Tracer.Max("serve.catalog_version", int64(next.CatalogVersion()))
+	}
+	if s.cfg.WAL != nil {
+		if err := s.cfg.WAL.Committed(next); err != nil {
+			if s.cfg.Tracer.Enabled() {
+				s.cfg.Tracer.Event("serve/wal", "compaction failed: "+err.Error())
+			}
+		}
+	}
+	return nil
+}
+
+// CatalogResponse reports the post-update consistency token — the
+// control-plane acknowledgement of POST /catalog.
+type CatalogResponse struct {
+	Epoch          uint64 `json:"epoch"`
+	CatalogVersion uint64 `json:"catalog_version"`
+	VMCount        int    `json:"vm_count"`
+	Durable        bool   `json:"durable"`
+}
+
+// UpdateCatalog is the client-facing catalog-update flow behind POST
+// /catalog: like AbsorbApp it bypasses the admission queue but honours
+// read-only replicas (a follower's catalog advances only through the
+// replication stream) and shutdown.
+func (s *Server) UpdateCatalog(up cloud.Update) (*CatalogResponse, error) {
+	if s.cfg.ReadOnly {
+		return nil, fmt.Errorf("%w: catalog updates arrive via replication", ErrReadOnly)
+	}
+	if up.Empty() {
+		return nil, fmt.Errorf("%w: empty catalog update", ErrBadRequest)
+	}
+	s.closeMu.RLock()
+	draining := s.draining
+	s.closeMu.RUnlock()
+	if draining {
+		return nil, ErrShuttingDown
+	}
+	if err := s.AbsorbCatalog(up); err != nil {
+		return nil, err
+	}
+	cur := s.snap.Load()
+	return &CatalogResponse{
+		Epoch:          cur.Epoch(),
+		CatalogVersion: cur.CatalogVersion(),
+		VMCount:        len(cur.Catalog()),
+		Durable:        s.cfg.WAL != nil,
+	}, nil
 }
 
 // AbsorbRequest asks the server to complete a target application online and
@@ -606,21 +695,23 @@ func (s *Server) Predict(ctx context.Context, req Request) (*Response, error) {
 func (s *Server) Stats() Stats {
 	snap := s.snap.Load()
 	st := Stats{
-		Requests:     s.requests.Load(),
-		CacheHits:    s.hits.Load(),
-		CacheMisses:  s.misses.Load(),
-		Coalesced:    s.coalesced.Load(),
-		QueueDepth:   len(s.queue),
-		QueueRejects: s.rejects.Load(),
-		Batches:      s.batches.Load(),
-		MaxBatch:     s.maxBatch.Load(),
-		Canceled:     s.canceled.Load(),
-		Swaps:        s.swaps.Load(),
-		Epoch:        snap.Epoch(),
-		Workloads:    snap.Workloads(),
-		Durable:      s.cfg.WAL != nil,
-		WALAppends:   s.walAppends.Load(),
-		ReadOnly:     s.cfg.ReadOnly,
+		Requests:       s.requests.Load(),
+		CacheHits:      s.hits.Load(),
+		CacheMisses:    s.misses.Load(),
+		Coalesced:      s.coalesced.Load(),
+		QueueDepth:     len(s.queue),
+		QueueRejects:   s.rejects.Load(),
+		Batches:        s.batches.Load(),
+		MaxBatch:       s.maxBatch.Load(),
+		Canceled:       s.canceled.Load(),
+		Swaps:          s.swaps.Load(),
+		Epoch:          snap.Epoch(),
+		Workloads:      snap.Workloads(),
+		CatalogVersion: snap.CatalogVersion(),
+		CatalogUpdates: s.catalogUpdates.Load(),
+		Durable:        s.cfg.WAL != nil,
+		WALAppends:     s.walAppends.Load(),
+		ReadOnly:       s.cfg.ReadOnly,
 	}
 	if ws, ok := s.cfg.WAL.(interface{ Stats() wal.Stats }); ok {
 		w := ws.Stats()
@@ -821,22 +912,27 @@ func (s *Server) encodeResponse(snap *core.Snapshot, req Request, pred *core.Pre
 	ranking := (*rp)[:0]
 	for _, r := range pred.Ranking[:top] {
 		sec := pred.PredictedSec[r.VM]
+		// Prices come from the snapshot's catalog version (not a
+		// construction-time index), so repricing updates reach responses the
+		// moment their snapshot publishes.
+		vm, _ := snap.VM(r.VM)
 		ranking = append(ranking, RankEntry{
 			VM:           r.VM,
 			Score:        jsonFloat(r.Score),
 			PredictedSec: jsonFloat(sec),
-			PredictedUSD: jsonFloat(sec / 3600 * s.byName[r.VM].PriceHour * float64(nodes)),
+			PredictedUSD: jsonFloat(sec / 3600 * vm.PriceHour * float64(nodes)),
 		})
 	}
 	body, err := encodeResponsePooled(&Response{
-		Target:        pred.Target,
-		Epoch:         snap.Epoch(),
-		Workloads:     snap.Workloads(),
-		Best:          pred.Best.Name,
-		Converged:     pred.Converged,
-		MatchDistance: jsonFloat(pred.MatchDistance),
-		OnlineRuns:    pred.OnlineRuns,
-		Ranking:       ranking,
+		Target:         pred.Target,
+		Epoch:          snap.Epoch(),
+		Workloads:      snap.Workloads(),
+		CatalogVersion: snap.CatalogVersion(),
+		Best:           pred.Best.Name,
+		Converged:      pred.Converged,
+		MatchDistance:  jsonFloat(pred.MatchDistance),
+		OnlineRuns:     pred.OnlineRuns,
+		Ranking:        ranking,
 	})
 	*rp = ranking[:0]
 	rankPool.Put(rp)

@@ -1,0 +1,281 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+)
+
+// catalogUpdates is the evolution sequence the catalog-record tests drive:
+// a reprice, then a retire+add mix — each becomes one KindCatalog WAL record.
+func catalogUpdates() []cloud.Update {
+	return []cloud.Update{
+		{Note: "reprice m5.xlarge", Reprice: map[string]float64{"m5.xlarge": 0.2222}},
+		{Note: "swap in azure", Retire: []string{"c4.large"}, Add: cloud.AzureCatalog()},
+	}
+}
+
+// catalogChain folds an interleaved absorb/catalog history on top of the
+// fixture base through a live manager: absorb epoch 1, catalog epochs 2-3,
+// absorb epoch 4. It returns the manager, its directory, and the snapshots
+// after each appended record.
+func catalogChain(t *testing.T, dir string) (*Manager, []*core.Snapshot) {
+	t.Helper()
+	snaps, recs := fixture(t)
+	m, cur := mustOpen(t, snaps[0], Config{Dir: dir})
+
+	var chain []*core.Snapshot
+	apply := func(next *core.Snapshot, err error) *core.Snapshot {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, next)
+		return next
+	}
+	cur = apply(cur.Absorb(recs[0].Name, recs[0].LabelWeights, recs[0].PrunedVec))
+	if err := m.Append(recs[0].Name, recs[0].LabelWeights, recs[0].PrunedVec, cur.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	for _, up := range catalogUpdates() {
+		cur = apply(cur.AbsorbCatalog(up))
+		if err := m.AppendCatalog(up, cur.Epoch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur = apply(cur.Absorb(recs[1].Name, recs[1].LabelWeights, recs[1].PrunedVec))
+	if err := m.Append(recs[1].Name, recs[1].LabelWeights, recs[1].PrunedVec, cur.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	return m, chain
+}
+
+// TestCatalogRecordReplay recovers a log holding interleaved absorb and
+// catalog records and asserts the recovered snapshot is byte-identical to the
+// live one, with the consistency token intact: epoch 4, catalog version 2,
+// workloads base+2.
+func TestCatalogRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	m, chain := catalogChain(t, dir)
+	final := chain[len(chain)-1]
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := fixture(t)
+	m2, rec := mustOpen(t, snaps[0], Config{Dir: dir})
+	if rec.Epoch() != 4 || rec.CatalogVersion() != 2 {
+		t.Fatalf("recovered epoch=%d catVersion=%d, want 4/2", rec.Epoch(), rec.CatalogVersion())
+	}
+	if rec.Workloads() != baseWorkloads+2 {
+		t.Fatalf("recovered workloads=%d, want %d", rec.Workloads(), baseWorkloads+2)
+	}
+	if !bytes.Equal(encodeSnap(t, rec), encodeSnap(t, final)) {
+		t.Fatal("recovered snapshot differs from the live chain")
+	}
+	if got := m2.Stats().Replayed; got != 4 {
+		t.Fatalf("replayed %d records, want 4", got)
+	}
+	// The repriced and added types are visible; the retiree is gone.
+	if v, ok := rec.VM("m5.xlarge"); !ok || v.PriceHour != 0.2222 {
+		t.Fatalf("reprice lost in recovery: %+v ok=%v", v, ok)
+	}
+	if _, ok := rec.VM("c4.large"); ok {
+		t.Fatal("retired c4.large still present after recovery")
+	}
+	if _, ok := rec.VM("dv5.xlarge"); !ok {
+		t.Fatal("added azure type missing after recovery")
+	}
+}
+
+// TestCatalogRecordCheckpointCompaction checkpoints past the catalog records
+// and recovers from the checkpoint alone: the catalog version must survive
+// the snapshot codec, not just log replay.
+func TestCatalogRecordCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	m, chain := catalogChain(t, dir)
+	final := chain[len(chain)-1]
+	if err := m.Checkpoint(final); err != nil {
+		t.Fatal(err)
+	}
+	if logSize(t, dir) != 0 {
+		t.Fatal("checkpoint did not trim the log")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := fixture(t)
+	m2, rec := mustOpen(t, snaps[0], Config{Dir: dir})
+	if m2.Stats().Replayed != 0 {
+		t.Fatalf("replayed %d records after full compaction", m2.Stats().Replayed)
+	}
+	if rec.Epoch() != 4 || rec.CatalogVersion() != 2 {
+		t.Fatalf("checkpoint-recovered epoch=%d catVersion=%d, want 4/2", rec.Epoch(), rec.CatalogVersion())
+	}
+	if !bytes.Equal(encodeSnap(t, rec), encodeSnap(t, final)) {
+		t.Fatal("checkpoint-recovered snapshot differs from the live chain")
+	}
+}
+
+// TestCatalogRecordEveryBytePrefix is the crash matrix for the mixed log:
+// every byte-length prefix of an absorb+catalog log must recover to exactly
+// the records wholly contained in the prefix, with the rest torn away.
+func TestCatalogRecordEveryBytePrefix(t *testing.T) {
+	dir := t.TempDir()
+	m, chain := catalogChain(t, dir)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := readLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := fixture(t)
+	base := snaps[0]
+
+	// Frame boundaries: scanning the full log yields 4 records; re-encoding
+	// each gives the cumulative offsets a prefix can legally end at.
+	recs, valid, err := scanLog(full)
+	if err != nil || int64(len(full)) != valid || len(recs) != 4 {
+		t.Fatalf("full log scan: %d records, valid=%d/%d, err=%v", len(recs), valid, len(full), err)
+	}
+	boundaries := []int64{0}
+	for _, r := range recs {
+		boundaries = append(boundaries, boundaries[len(boundaries)-1]+int64(len(mustFrame(t, r))))
+	}
+	wantAt := func(prefix int64) *core.Snapshot {
+		n := 0
+		for _, b := range boundaries[1:] {
+			if prefix >= b {
+				n++
+			}
+		}
+		if n == 0 {
+			return base
+		}
+		return chain[n-1]
+	}
+
+	// Sampling every byte is ~4 recoveries/KiB; step through all boundaries
+	// plus a stride of interior offsets to keep the matrix fast under -race.
+	offsets := map[int64]bool{}
+	for _, b := range boundaries {
+		offsets[b] = true
+		if b > 0 {
+			offsets[b-1] = true
+		}
+		offsets[b+1] = true
+	}
+	for off := int64(0); off <= int64(len(full)); off += 97 {
+		offsets[off] = true
+	}
+	for off := range offsets {
+		if off > int64(len(full)) {
+			continue
+		}
+		sub := t.TempDir()
+		appendRawToLog(t, sub, full[:off])
+		m2, rec := mustOpen(t, base, Config{Dir: sub})
+		want := wantAt(off)
+		if rec.Epoch() != want.Epoch() || rec.CatalogVersion() != want.CatalogVersion() {
+			t.Fatalf("prefix %d: epoch=%d catVersion=%d, want %d/%d",
+				off, rec.Epoch(), rec.CatalogVersion(), want.Epoch(), want.CatalogVersion())
+		}
+		if !bytes.Equal(encodeSnap(t, rec), encodeSnap(t, want)) {
+			t.Fatalf("prefix %d: recovered state differs from the %d-record chain", off, rec.Epoch())
+		}
+		m2.Close()
+	}
+}
+
+// TestCatalogRecordAbsorbFramesStayLegacy pins the byte-compatibility
+// contract: an absorb record (the only kind that existed before versioned
+// catalogs) must encode without any of the new fields, so logs written by
+// this binary replay on the previous one and vice versa.
+func TestCatalogRecordAbsorbFramesStayLegacy(t *testing.T) {
+	rec := syntheticRecords(1)[0]
+	frame := mustFrame(t, rec)
+	payload := frame[frameHeaderSize:]
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(payload, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, banned := range []string{"kind", "catalog"} {
+		if _, ok := keys[banned]; ok {
+			t.Fatalf("absorb frame leaks %q field: %s", banned, payload)
+		}
+	}
+	// And the reverse direction: a legacy payload (no kind field) decodes as
+	// KindAbsorb.
+	got, _, err := scanLog(frame)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("scan: %v (%d records)", err, len(got))
+	}
+	if got[0].Kind != KindAbsorb {
+		t.Fatalf("legacy frame decoded as kind %q", got[0].Kind)
+	}
+}
+
+// TestCatalogRecordUnknownKindFailsRecovery plants a record kind from the
+// future in the log; recovery must fail closed rather than guess.
+func TestCatalogRecordUnknownKindFailsRecovery(t *testing.T) {
+	snaps, _ := fixture(t)
+	dir := t.TempDir()
+	appendRawToLog(t, dir, mustFrame(t, Record{Kind: "hologram", Epoch: 1}))
+	if _, _, err := Open(snaps[0], Config{Dir: dir}); !errors.Is(err, ErrReplayRejected) {
+		t.Fatalf("unknown kind: err=%v, want ErrReplayRejected", err)
+	}
+}
+
+// TestCatalogRecordRejections covers the CRC-valid-but-unappliable catalog
+// records: a missing payload, an update referencing a type the state does not
+// have, and one retiring the sandbox VM.
+func TestCatalogRecordRejections(t *testing.T) {
+	snaps, _ := fixture(t)
+	cases := []struct {
+		name string
+		rec  Record
+	}{
+		{"nil payload", Record{Kind: KindCatalog, Epoch: 1}},
+		{"unknown retiree", Record{Kind: KindCatalog, Epoch: 1,
+			Catalog: &cloud.Update{Retire: []string{"never.existed"}}}},
+		{"retires sandbox", Record{Kind: KindCatalog, Epoch: 1,
+			Catalog: &cloud.Update{Retire: []string{"m5.xlarge"}}}},
+		{"empty update", Record{Kind: KindCatalog, Epoch: 1, Catalog: &cloud.Update{}}},
+	}
+	for _, tc := range cases {
+		dir := t.TempDir()
+		appendRawToLog(t, dir, mustFrame(t, tc.rec))
+		if _, _, err := Open(snaps[0], Config{Dir: dir}); !errors.Is(err, ErrReplayRejected) {
+			t.Errorf("%s: err=%v, want ErrReplayRejected", tc.name, err)
+		}
+	}
+}
+
+// TestCatalogRecordAppendEpochGuard: AppendCatalog obeys the same contiguous
+// epoch contract as Append.
+func TestCatalogRecordAppendEpochGuard(t *testing.T) {
+	snaps, _ := fixture(t)
+	m, _ := mustOpen(t, snaps[0], Config{Dir: t.TempDir()})
+	up := catalogUpdates()[0]
+	if err := m.AppendCatalog(up, 2); err == nil {
+		t.Fatal("epoch-gap AppendCatalog accepted")
+	}
+	if err := m.AppendCatalog(up, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch %d after catalog append, want 1", m.Epoch())
+	}
+}
+
+func readLog(dir string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, logName))
+}

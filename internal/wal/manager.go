@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"vesta/internal/chaos"
+	"vesta/internal/cloud"
 	"vesta/internal/core"
 	"vesta/internal/obs"
 )
@@ -235,10 +236,9 @@ func (m *Manager) replayLog(snap *core.Snapshot) (*core.Snapshot, error) {
 			return nil, fmt.Errorf("%w: record epoch %d after state epoch %d",
 				ErrEpochGap, rec.Epoch, snap.Epoch())
 		}
-		next, err := snap.Absorb(rec.Name, rec.LabelWeights, rec.PrunedVec)
+		next, err := applyRecord(snap, rec)
 		if err != nil {
-			return nil, fmt.Errorf("%w: epoch %d workload %q: %v",
-				ErrReplayRejected, rec.Epoch, rec.Name, err)
+			return nil, err
 		}
 		snap = next
 		m.stats.Replayed++
@@ -251,6 +251,43 @@ func (m *Manager) replayLog(snap *core.Snapshot) (*core.Snapshot, error) {
 	return snap, nil
 }
 
+// applyRecord folds one replayed (or replicated) record into snap by its
+// kind. A record the snapshot refuses — duplicate workload, invalid catalog
+// update, or an unknown kind, which a current binary must never guess at —
+// fails with ErrReplayRejected.
+func applyRecord(snap *core.Snapshot, rec Record) (*core.Snapshot, error) {
+	switch rec.Kind {
+	case KindAbsorb:
+		next, err := snap.Absorb(rec.Name, rec.LabelWeights, rec.PrunedVec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: epoch %d workload %q: %v",
+				ErrReplayRejected, rec.Epoch, rec.Name, err)
+		}
+		return next, nil
+	case KindCatalog:
+		if rec.Catalog == nil {
+			return nil, fmt.Errorf("%w: epoch %d catalog record without update payload",
+				ErrReplayRejected, rec.Epoch)
+		}
+		next, err := snap.AbsorbCatalog(*rec.Catalog)
+		if err != nil {
+			return nil, fmt.Errorf("%w: epoch %d catalog update: %v",
+				ErrReplayRejected, rec.Epoch, err)
+		}
+		return next, nil
+	default:
+		return nil, fmt.Errorf("%w: epoch %d unknown record kind %q",
+			ErrReplayRejected, rec.Epoch, rec.Kind)
+	}
+}
+
+// ApplyRecord is applyRecord for replication consumers (internal/replicate):
+// a follower replaying shipped frames must fold each record exactly as
+// recovery would, including the fail-closed handling of unknown kinds.
+func ApplyRecord(snap *core.Snapshot, rec Record) (*core.Snapshot, error) {
+	return applyRecord(snap, rec)
+}
+
 // Append durably logs one absorb record and acknowledges it: when Append
 // returns nil the record survives any crash. It must be called *before* the
 // snapshot carrying the record is published (serve.Server.Absorb's ordering).
@@ -259,15 +296,27 @@ func (m *Manager) replayLog(snap *core.Snapshot) (*core.Snapshot, error) {
 // the rollback itself fails the log is marked broken and every further
 // Append refuses with ErrLogBroken.
 func (m *Manager) Append(name string, labelWeights, prunedVec []float64, epoch uint64) error {
+	return m.appendRecord(Record{Name: name, LabelWeights: labelWeights, PrunedVec: prunedVec, Epoch: epoch})
+}
+
+// AppendCatalog durably logs one catalog-update record with the same
+// durability and ordering contract as Append: fsynced before the snapshot
+// at the new epoch is published.
+func (m *Manager) AppendCatalog(up cloud.Update, epoch uint64) error {
+	u := up
+	return m.appendRecord(Record{Kind: KindCatalog, Catalog: &u, Epoch: epoch})
+}
+
+func (m *Manager) appendRecord(rec Record) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.broken != nil {
 		return fmt.Errorf("%w: %v", ErrLogBroken, m.broken)
 	}
-	if epoch != m.epoch+1 {
-		return fmt.Errorf("wal: append epoch %d, want %d", epoch, m.epoch+1)
+	if rec.Epoch != m.epoch+1 {
+		return fmt.Errorf("wal: append epoch %d, want %d", rec.Epoch, m.epoch+1)
 	}
-	frame, err := encodeFrame(Record{Name: name, LabelWeights: labelWeights, PrunedVec: prunedVec, Epoch: epoch})
+	frame, err := encodeFrame(rec)
 	if err != nil {
 		return err
 	}
@@ -279,7 +328,7 @@ func (m *Manager) Append(name string, labelWeights, prunedVec []float64, epoch u
 	}
 	m.logBytes += int64(len(frame))
 	m.stats.LogBytes = m.logBytes
-	m.epoch = epoch
+	m.epoch = rec.Epoch
 	m.stats.Appends++
 	if m.cfg.Tracer.Enabled() {
 		m.cfg.Tracer.Count("wal.appends", 1)

@@ -34,15 +34,35 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"vesta/internal/cloud"
 )
 
-// Record is one durably logged absorb: exactly the arguments of
-// core.Snapshot.Absorb plus the epoch the absorb produced.
+// Record kinds. The zero value (absorb) is deliberately the empty string:
+// records written before catalog updates existed carry no kind field at all,
+// and decode as absorbs — the only kind that existed when they were written.
+const (
+	// KindAbsorb is a workload absorb (core.Snapshot.Absorb).
+	KindAbsorb = ""
+	// KindCatalog is a catalog update (core.Snapshot.AbsorbCatalog); the
+	// Catalog field carries the cloud.Update.
+	KindCatalog = "catalog"
+)
+
+// Record is one durably logged epoch increment: either a workload absorb
+// (exactly the arguments of core.Snapshot.Absorb) or a catalog update
+// (the cloud.Update of core.Snapshot.AbsorbCatalog), plus the epoch the
+// mutation produced. All payload fields are omitempty so each kind encodes
+// only its own fields — an absorb record's bytes are identical to those
+// written before the Kind field existed (absorbs always have a non-empty
+// name and vectors).
 type Record struct {
-	Name         string    `json:"name"`
-	LabelWeights []float64 `json:"label_weights"`
-	PrunedVec    []float64 `json:"pruned_vec"`
-	Epoch        uint64    `json:"epoch"`
+	Kind         string        `json:"kind,omitempty"`
+	Name         string        `json:"name,omitempty"`
+	LabelWeights []float64     `json:"label_weights,omitempty"`
+	PrunedVec    []float64     `json:"pruned_vec,omitempty"`
+	Catalog      *cloud.Update `json:"catalog,omitempty"`
+	Epoch        uint64        `json:"epoch"`
 }
 
 // Frame layout: uint32 LE payload length, uint32 LE CRC32C of the payload,
