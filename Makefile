@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash replicate-chaos replicate-report catalog-transfer
+.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash replicate-chaos replicate-report catalog-transfer loadgen loadgen-report
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -67,12 +67,17 @@ chaos:
 	git diff --exit-code results/robustness.md
 
 # cover enforces the coverage ratchet: total statement coverage must not
-# fall below COVER_MIN (set slightly under the measured total — 75.9% when
+# fall below COVER_MIN (set slightly under the measured total — 76.4% when
 # the floor was last ratcheted; raise it as coverage grows, never lower it).
-COVER_MIN ?= 74.0
+# On failure (and success) it prints the per-package table so the package
+# that dragged the total down is visible without rerunning anything.
+COVER_MIN ?= 75.0
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout 30m ./...
-	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub("%","",$$3); print $$3}'); \
+	@echo "statement coverage by package:"; \
+	awk 'NR>1 { pkg=$$1; sub(/\/[^\/]*\.go:.*/,"",pkg); stmts[pkg]+=$$2; if ($$3>0) cov[pkg]+=$$2 } \
+	  END { for (k in stmts) printf "  %-36s %5.1f%%\n", k, 100*cov[k]/stmts[k] }' coverage.out | sort; \
+	total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub("%","",$$3); print $$3}'); \
 	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 	{ echo "coverage $$total% fell below the $(COVER_MIN)% ratchet"; exit 1; }
@@ -86,6 +91,25 @@ fuzz:
 	$(GO) test ./internal/store -run xxx -fuzz FuzzStoreRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run xxx -fuzz FuzzTraceCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bipartite -run xxx -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/loadgen -run xxx -fuzz FuzzLoadgenConfig -fuzztime $(FUZZTIME)
+
+# loadgen is the load-generator determinism smoke (DESIGN.md §15): a quick
+# single run and tuner sweep exercise the CLI modes, then the full
+# capacity-planning report is rendered twice at the same seed — once serial,
+# once fanned out on 8 evaluation workers — and the bytes must match.
+loadgen:
+	$(GO) run ./cmd/vesta loadgen -rps 200 -duration 5 -pattern burst -tenants 100
+	$(GO) run ./cmd/vesta loadgen -tune -rps 1000 -duration 10 -tenants 100 -target-p99 50 -plan 1000,100000
+	$(GO) run ./cmd/vesta loadgen -report -workers 1 -o /tmp/vesta-loadgen-w1.md
+	$(GO) run ./cmd/vesta loadgen -report -workers 8 -o /tmp/vesta-loadgen-w8.md
+	cmp /tmp/vesta-loadgen-w1.md /tmp/vesta-loadgen-w8.md
+	@echo "loadgen report is byte-identical at -workers 1 and 8"
+
+# loadgen-report regenerates the committed capacity-planning report at the
+# pinned seed and fails if it drifts from results/loadgen.md.
+loadgen-report:
+	$(GO) run ./cmd/vesta loadgen -report -o results/loadgen.md
+	git diff --exit-code results/loadgen.md
 
 # bench-serve reruns the serving-throughput sweep recorded in
 # results/serve.md (requests/sec vs worker count, cache on and off, plus the

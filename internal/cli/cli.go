@@ -68,6 +68,7 @@ import (
 func Run(args []string, stdout, stderr io.Writer) int {
 	outW = stdout
 	errW = stderr
+	f := newFactory(stdout, stderr)
 	if len(args) < 1 {
 		usage()
 		return 2
@@ -81,13 +82,15 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	case "simulate":
 		err = cmdSimulate(args[1:])
 	case "profile":
-		err = cmdProfile(args[1:])
+		err = cmdProfile(f, args[1:])
 	case "predict":
-		err = cmdPredict(args[1:])
+		err = cmdPredict(f, args[1:])
 	case "serve":
-		err = cmdServe(args[1:])
+		err = cmdServe(f, args[1:])
 	case "route":
-		err = cmdRoute(args[1:])
+		err = cmdRoute(f, args[1:])
+	case "loadgen":
+		err = cmdLoadgen(f, args[1:])
 	case "heatmap":
 		err = cmdHeatmap(args[1:])
 	case "inspect":
@@ -136,6 +139,7 @@ subcommands:
   predict     predict the best VM type for a target workload
   serve       serve predictions concurrently over HTTP/JSON
   route       front a replicated serving fleet (consistent hashing + failover)
+  loadgen     deterministic open-loop load generation, admission tuning, capacity plans
   heatmap     render a budget heat map for an application (Figure 1 style)
   inspect     render a profiling run's metric trace (sparklines + phases)
   collect     profile applications and persist the measurements to a store
@@ -297,57 +301,9 @@ func newService(seed uint64, faultRate float64, retries int, tracer *obs.Tracer)
 	return r, r
 }
 
-// newTracer builds the observability tracer for a subcommand: nil (tracing
-// compiled out of every hot path) unless -trace or -v asked for it. The
-// verbose stream goes to stderr so stdout stays byte-identical with and
-// without -v.
-func newTracer(tracePath string, verbose bool) *obs.Tracer {
-	if tracePath == "" && !verbose {
-		return nil
-	}
-	t := obs.New()
-	if verbose {
-		t.SetVerbose(errW)
-	}
-	return t
-}
-
-// writeTrace serializes the deterministic trace records to path as JSONL.
-// The bytes are a pure function of (seed, configuration): identical at every
-// -workers value (DESIGN.md §9).
-func writeTrace(t *obs.Tracer, path string) error {
-	if t == nil || path == "" {
-		return nil
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := t.WriteJSONL(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(outW, "trace: %d records written to %s\n", len(t.Records()), path)
-	return nil
-}
-
-// printResilience reports the retry layer's accounting; nil (faults off)
-// prints nothing, keeping the default output unchanged.
-func printResilience(r *oracle.Resilient) {
-	if r == nil {
-		return
-	}
-	st := r.Stats()
-	fmt.Fprintf(outW, "resilience: %d campaigns, %d retries, %d abandoned (%d quarantined), %d runs killed, %.0f s wasted, %.0f s backoff\n",
-		st.Profiles, st.Retries, st.Failed, st.Quarantined, st.FailedRuns, st.WastedSec, st.BackoffSec)
-}
-
-func cmdProfile(args []string) error {
+func cmdProfile(f *Factory, args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
-	fs.SetOutput(errW)
+	fs.SetOutput(f.Err)
 	out := fs.String("out", "knowledge.json", "output knowledge file")
 	k := fs.Int("k", 9, "number of K-Means labels")
 	seed := fs.Uint64("seed", 1, "training seed")
@@ -364,41 +320,41 @@ func cmdProfile(args []string) error {
 	if *testing {
 		sources = workload.SourceSet()
 	}
-	tracer := newTracer(*tracePath, *verbose)
+	tracer := f.Tracer(*tracePath, *verbose)
 	sys, err := core.New(core.Config{K: *k, Seed: *seed, Workers: *workers, Tracer: tracer}, cloud.Catalog120())
 	if err != nil {
 		return err
 	}
-	meter, resil := newService(*seed, *faultRate, *retries, tracer)
-	fmt.Fprintf(outW, "profiling %d source workloads on %d VM types...\n", len(sources), 120)
+	meter, resil := f.Service(*seed, *faultRate, *retries, tracer)
+	fmt.Fprintf(f.Out, "profiling %d source workloads on %d VM types...\n", len(sources), 120)
 	if err := sys.TrainOffline(sources, meter); err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
+	w, err := f.Create(*out)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := sys.SaveKnowledge(f); err != nil {
+	defer w.Close()
+	if err := sys.SaveKnowledge(w); err != nil {
 		return err
 	}
 	kn := sys.Knowledge()
-	fmt.Fprintf(outW, "offline phase complete: %d reference VMs, %d labels, %d/%d correlation features kept\n",
+	fmt.Fprintf(f.Out, "offline phase complete: %d reference VMs, %d labels, %d/%d correlation features kept\n",
 		kn.OfflineRuns, len(kn.Labels), len(kn.Kept), metrics.NumCorrelations)
 	if resil != nil {
-		printResilience(resil)
+		f.printResilience(resil)
 		if kn.SkippedCells > 0 || len(kn.DroppedSources) > 0 || kn.InvalidVectors > 0 {
-			fmt.Fprintf(outW, "degraded: %d cells skipped, %d invalid vectors, dropped sources %v\n",
+			fmt.Fprintf(f.Out, "degraded: %d cells skipped, %d invalid vectors, dropped sources %v\n",
 				kn.SkippedCells, kn.InvalidVectors, kn.DroppedSources)
 		}
 	}
-	fmt.Fprintf(outW, "knowledge written to %s\n", *out)
-	return writeTrace(tracer, *tracePath)
+	fmt.Fprintf(f.Out, "knowledge written to %s\n", *out)
+	return f.writeTrace(tracer, *tracePath)
 }
 
-func cmdPredict(args []string) error {
+func cmdPredict(f *Factory, args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
-	fs.SetOutput(errW)
+	fs.SetOutput(f.Err)
 	knowledgeFile := fs.String("knowledge", "knowledge.json", "knowledge file from 'vesta profile'")
 	appName := fs.String("app", "", "target application from Table 3 (required)")
 	topN := fs.Int("top", 10, "how many ranked VM types to print")
@@ -418,36 +374,36 @@ func cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	tracer := newTracer(*tracePath, *verbose)
+	tracer := f.Tracer(*tracePath, *verbose)
 	sys, err := core.New(core.Config{Seed: *seed, Workers: *workers, Tracer: tracer}, cloud.Catalog120())
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*knowledgeFile)
+	kf, err := f.Open(*knowledgeFile)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := sys.LoadKnowledge(f); err != nil {
+	defer kf.Close()
+	if err := sys.LoadKnowledge(kf); err != nil {
 		return err
 	}
-	meter, resil := newService(*seed, *faultRate, *retries, tracer)
+	meter, resil := f.Service(*seed, *faultRate, *retries, tracer)
 	pred, err := sys.PredictOnline(app, meter)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(outW, "target: %s\n", app)
-	fmt.Fprintf(outW, "online overhead: %d reference VMs (sandbox + random initialization)\n", pred.OnlineRuns)
+	fmt.Fprintf(f.Out, "target: %s\n", app)
+	fmt.Fprintf(f.Out, "online overhead: %d reference VMs (sandbox + random initialization)\n", pred.OnlineRuns)
 	if pred.InitFailures > 0 {
-		fmt.Fprintf(outW, "degraded: %d reference VM campaigns abandoned and substituted\n", pred.InitFailures)
+		fmt.Fprintf(f.Out, "degraded: %d reference VM campaigns abandoned and substituted\n", pred.InitFailures)
 	}
 	if !pred.Converged {
-		fmt.Fprintf(outW, "WARNING: transfer did not converge (match distance %.2f); falling back to sandbox-only knowledge\n",
+		fmt.Fprintf(f.Out, "WARNING: transfer did not converge (match distance %.2f); falling back to sandbox-only knowledge\n",
 			pred.MatchDistance)
 	}
-	fmt.Fprintf(outW, "predicted best VM type: %s\n\n", pred.Best)
-	fmt.Fprintf(outW, "top %d ranking:\n", *topN)
-	w := tabwriter.NewWriter(outW, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(f.Out, "predicted best VM type: %s\n\n", pred.Best)
+	fmt.Fprintf(f.Out, "top %d ranking:\n", *topN)
+	w := tabwriter.NewWriter(f.Out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "RANK\tVM TYPE\tSCORE\tPREDICTED TIME(s)\tPREDICTED BUDGET($)")
 	nodes := meter.SimConfig().Nodes
 	byName := cloud.ByName(cloud.Catalog120())
@@ -462,8 +418,8 @@ func cmdPredict(args []string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	printResilience(resil)
-	return writeTrace(tracer, *tracePath)
+	f.printResilience(resil)
+	return f.writeTrace(tracer, *tracePath)
 }
 
 func cmdHeatmap(args []string) error {

@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"vesta/internal/obs"
+	"vesta/internal/oracle"
+)
+
+// Factory assembles everything a subcommand touches outside its own
+// computation: output streams, tracer construction, the measurement service,
+// knowledge-file IO, and the HTTP listeners. Run builds exactly one
+// production factory per invocation; tests hand the command a factory wired
+// to in-memory fakes (buffers, map-backed files, nil tracer, no sockets), so
+// the profile/predict/serve/route/loadgen flows are table-testable without a
+// filesystem or a port.
+//
+// Commands that only format built-in tables (catalog, workloads, ...) keep
+// the plain outW/errW globals; only the commands with real dependency seams
+// go through the factory.
+type Factory struct {
+	Out io.Writer
+	Err io.Writer
+	// Tracer builds the observability tracer for a subcommand: nil (tracing
+	// compiled out of every hot path) unless -trace or -v asked for it.
+	Tracer func(tracePath string, verbose bool) *obs.Tracer
+	// Service builds the measurement service (and its resilient wrapper when
+	// fault injection is on) for profile/predict.
+	Service func(seed uint64, faultRate float64, retries int, tracer *obs.Tracer) (oracle.Service, *oracle.Resilient)
+	// Open and Create are the knowledge/trace/report file seams.
+	Open   func(path string) (io.ReadCloser, error)
+	Create func(path string) (io.WriteCloser, error)
+	// ServeListen and RouteListen start the serve/route HTTP servers.
+	ServeListen func(srv *http.Server) error
+	RouteListen func(srv *http.Server) error
+}
+
+// newFactory wires the production dependencies. The listener hooks delegate
+// to the serveListen/routeListen package variables so tests that swap those
+// (the pre-factory seam) keep working unchanged.
+func newFactory(stdout, stderr io.Writer) *Factory {
+	f := &Factory{
+		Out:         stdout,
+		Err:         stderr,
+		Service:     newService,
+		Open:        func(path string) (io.ReadCloser, error) { return os.Open(path) },
+		Create:      func(path string) (io.WriteCloser, error) { return os.Create(path) },
+		ServeListen: func(srv *http.Server) error { return serveListen(srv) },
+		RouteListen: func(srv *http.Server) error { return routeListen(srv) },
+	}
+	f.Tracer = func(tracePath string, verbose bool) *obs.Tracer {
+		if tracePath == "" && !verbose {
+			return nil
+		}
+		t := obs.New()
+		if verbose {
+			// Verbose goes to stderr so stdout stays byte-identical with and
+			// without -v.
+			t.SetVerbose(f.Err)
+		}
+		return t
+	}
+	return f
+}
+
+// writeTrace serializes the deterministic trace records to path as JSONL.
+// The bytes are a pure function of (seed, configuration): identical at every
+// -workers value (DESIGN.md §9).
+func (f *Factory) writeTrace(t *obs.Tracer, path string) error {
+	if t == nil || path == "" {
+		return nil
+	}
+	w, err := f.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(w); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(f.Out, "trace: %d records written to %s\n", len(t.Records()), path)
+	return nil
+}
+
+// printResilience reports the retry layer's accounting; nil (faults off)
+// prints nothing, keeping the default output unchanged.
+func (f *Factory) printResilience(r *oracle.Resilient) {
+	if r == nil {
+		return
+	}
+	st := r.Stats()
+	fmt.Fprintf(f.Out, "resilience: %d campaigns, %d retries, %d abandoned (%d quarantined), %d runs killed, %.0f s wasted, %.0f s backoff\n",
+		st.Profiles, st.Retries, st.Failed, st.Quarantined, st.FailedRuns, st.WastedSec, st.BackoffSec)
+}

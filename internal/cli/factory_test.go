@@ -1,0 +1,220 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memFS is the in-memory file seam for factory tests: Create commits bytes on
+// Close, Open reads them back. No test in this file may touch the real
+// filesystem or bind a socket.
+type memFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+func newMemFS() *memFS { return &memFS{files: map[string][]byte{}} }
+
+func (m *memFS) open(path string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("memfs: open %s: no such file", path)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+func (m *memFS) create(path string) (io.WriteCloser, error) {
+	return &memFile{commit: func(b []byte) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.files[path] = b
+	}}, nil
+}
+
+func (m *memFS) get(path string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.files[path]
+}
+
+type memFile struct {
+	bytes.Buffer
+	commit func([]byte)
+}
+
+func (f *memFile) Close() error { f.commit(f.Bytes()); return nil }
+
+// fakeFactory builds a production factory and then replaces every IO seam:
+// buffered streams, map-backed files, listeners that never bind a port.
+// Commands exercised through it run entirely in memory.
+func fakeFactory() (*Factory, *memFS, *bytes.Buffer, *bytes.Buffer) {
+	var out, errB bytes.Buffer
+	fsys := newMemFS()
+	f := newFactory(&out, &errB)
+	f.Open = fsys.open
+	f.Create = fsys.create
+	f.ServeListen = func(*http.Server) error { return http.ErrServerClosed }
+	f.RouteListen = func(*http.Server) error { return http.ErrServerClosed }
+	return f, fsys, &out, &errB
+}
+
+// TestFactoryFlagExclusions pins every flag mutual-exclusion through the fake
+// factory: each must fail fast, with the documented message, without calling
+// a listener or creating a file.
+func TestFactoryFlagExclusions(t *testing.T) {
+	cases := []struct {
+		name    string
+		cmd     func(*Factory, []string) error
+		args    []string
+		wantErr string
+	}{
+		{"loadgen config vs rps", cmdLoadgen,
+			[]string{"-config", "c.json", "-rps", "10"},
+			"-config and -rps are mutually exclusive"},
+		{"loadgen config vs several traffic flags", cmdLoadgen,
+			[]string{"-config", "c.json", "-pattern", "burst", "-mix", "predict=1", "-tenants", "5"},
+			"-config and -mix, -pattern, -tenants are mutually exclusive"},
+		{"loadgen live without knowledge", cmdLoadgen,
+			[]string{"-live"},
+			"-live requires -knowledge"},
+		{"loadgen live vs tune", cmdLoadgen,
+			[]string{"-live", "-knowledge", "k.json", "-tune"},
+			"-live and -tune are mutually exclusive"},
+		{"loadgen live vs report", cmdLoadgen,
+			[]string{"-live", "-knowledge", "k.json", "-report"},
+			"-live and -report are mutually exclusive"},
+		{"loadgen report vs tune", cmdLoadgen,
+			[]string{"-report", "-tune"},
+			"-report already includes the tuner sweep"},
+		{"loadgen unknown pattern", cmdLoadgen,
+			[]string{"-pattern", "wiggly"},
+			`unknown -pattern "wiggly"`},
+		{"loadgen malformed mix", cmdLoadgen,
+			[]string{"-mix", "predict"},
+			"want kind=weight"},
+		{"serve follow vs replicate", cmdServe,
+			[]string{"-follow", "http://leader", "-replicate"},
+			"-follow and -replicate are mutually exclusive"},
+		{"serve follow vs state-dir", cmdServe,
+			[]string{"-follow", "http://leader", "-state-dir", "d"},
+			"-follow and -state-dir are mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, fsys, _, _ := fakeFactory()
+			listened := false
+			f.ServeListen = func(*http.Server) error { listened = true; return http.ErrServerClosed }
+			f.RouteListen = func(*http.Server) error { listened = true; return http.ErrServerClosed }
+			err := tc.cmd(f, tc.args)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+			if listened {
+				t.Fatal("listener called despite the flag conflict")
+			}
+			if len(fsys.files) != 0 {
+				t.Fatalf("files created despite the flag conflict: %v", fsys.files)
+			}
+		})
+	}
+}
+
+// TestFactoryParseErrorsGoToErrStream: flag-parse failures print usage to the
+// factory's Err stream, never to the process stderr.
+func TestFactoryParseErrorsGoToErrStream(t *testing.T) {
+	f, _, out, errB := fakeFactory()
+	if err := cmdLoadgen(f, []string{"-bogus-flag"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if !strings.Contains(errB.String(), "Usage of loadgen") {
+		t.Fatalf("usage not on factory Err stream: %q", errB.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("parse error leaked to Out: %q", out.String())
+	}
+}
+
+// TestFactoryLoadgenOutputFile: -o routes the run output through the Create
+// seam; stdout keeps only the prose.
+func TestFactoryLoadgenOutputFile(t *testing.T) {
+	f, fsys, out, _ := fakeFactory()
+	err := cmdLoadgen(f, []string{
+		"-rps", "50", "-duration", "2", "-tenants", "20", "-o", "run.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(fsys.get("run.txt"))
+	if !strings.Contains(got, "offered") || !strings.Contains(got, "latency ms: p50") {
+		t.Fatalf("run output not in memfs file: %q", got)
+	}
+	if strings.Contains(out.String(), "offered") {
+		t.Fatalf("-o set but run output leaked to stdout: %q", out.String())
+	}
+}
+
+// TestFactoryFlow drives the whole lifecycle through one fake factory:
+// profile writes knowledge into the memfs, predict and serve read it back,
+// serve answers a /predict via the listener seam, and loadgen -live replays a
+// schedule against the same trained state — all without a disk or a port.
+func TestFactoryFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full offline phase is expensive")
+	}
+	f, fsys, out, _ := fakeFactory()
+
+	if err := cmdProfile(f, []string{"-out", "k.json", "-k", "9"}); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if !strings.Contains(out.String(), "knowledge written to k.json") {
+		t.Fatalf("profile banner missing: %q", out.String())
+	}
+	if len(fsys.get("k.json")) == 0 {
+		t.Fatal("knowledge file not committed to memfs")
+	}
+
+	out.Reset()
+	if err := cmdPredict(f, []string{"-knowledge", "k.json", "-app", "Spark-pca"}); err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	if !strings.Contains(out.String(), "predicted best VM type:") {
+		t.Fatalf("predict output missing ranking: %q", out.String())
+	}
+
+	// serve: the listener seam receives the fully-wired handler and drives an
+	// in-process predict before shutting the command down.
+	out.Reset()
+	var predictStatus int
+	var predictBody string
+	f.ServeListen = func(srv *http.Server) error {
+		rec := httptest.NewRecorder()
+		srv.Handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict",
+			strings.NewReader(`{"app":"Spark-pca","top":3}`)))
+		predictStatus, predictBody = rec.Code, rec.Body.String()
+		return http.ErrServerClosed
+	}
+	if err := cmdServe(f, []string{"-knowledge", "k.json"}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if predictStatus != http.StatusOK || !strings.Contains(predictBody, `"target"`) {
+		t.Fatalf("serve predict via seam: status=%d body=%q", predictStatus, predictBody)
+	}
+
+	out.Reset()
+	err := cmdLoadgen(f, []string{"-live", "-knowledge", "k.json",
+		"-rps", "40", "-duration", "1", "-tenants", "20", "-time-scale", "0.2"})
+	if err != nil {
+		t.Fatalf("loadgen -live: %v", err)
+	}
+	if !strings.Contains(out.String(), "live replay:") ||
+		!strings.Contains(out.String(), "server stats:") {
+		t.Fatalf("live replay output missing: %q", out.String())
+	}
+}

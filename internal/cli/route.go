@@ -22,9 +22,9 @@ var routeListen = func(srv *http.Server) error { return srv.ListenAndServe() }
 // consistent-hashed across the healthy followers, backends are health-probed
 // continuously, and a failed or stale backend is failed over with bounded
 // retries and jittered backoff (DESIGN.md §13).
-func cmdRoute(args []string) error {
+func cmdRoute(f *Factory, args []string) error {
 	fs := flag.NewFlagSet("route", flag.ContinueOnError)
-	fs.SetOutput(errW)
+	fs.SetOutput(f.Err)
 	addr := fs.String("addr", "127.0.0.1:8380", "listen address")
 	backendsFlag := fs.String("backends", "", "comma-separated follower base URLs (required)")
 	vnodes := fs.Int("vnodes", 64, "ring points per backend (hash smoothing)")
@@ -39,7 +39,7 @@ func cmdRoute(args []string) error {
 	if *backendsFlag == "" {
 		return fmt.Errorf("route: -backends is required")
 	}
-	tracer := newTracer(*tracePath, *verbose)
+	tracer := f.Tracer(*tracePath, *verbose)
 	router, err := replicate.NewRouter(replicate.RouterConfig{
 		Backends: strings.Split(*backendsFlag, ","),
 		Vnodes:   *vnodes,
@@ -52,9 +52,9 @@ func cmdRoute(args []string) error {
 	}
 	healthy := router.ProbeAll()
 	st := router.Stats()
-	fmt.Fprintf(outW, "routing across %d backends (%d healthy, epoch floor %d) on http://%s\n",
+	fmt.Fprintf(f.Out, "routing across %d backends (%d healthy, epoch floor %d) on http://%s\n",
 		len(st.Backends), healthy, st.Floor, *addr)
-	fmt.Fprintf(outW, "endpoints: POST /predict, GET /healthz, GET /stats\n")
+	fmt.Fprintf(f.Out, "endpoints: POST /predict, GET /healthz, GET /stats\n")
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -68,11 +68,11 @@ func cmdRoute(args []string) error {
 	defer stop()
 	go router.Run(ctx, *probeInterval)
 	listenErr := make(chan error, 1)
-	go func() { listenErr <- routeListen(httpSrv) }()
+	go func() { listenErr <- f.RouteListen(httpSrv) }()
 	select {
 	case <-ctx.Done():
 		stop()
-		fmt.Fprintf(outW, "signal received; draining...\n")
+		fmt.Fprintf(f.Out, "signal received; draining...\n")
 		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		err = httpSrv.Shutdown(drainCtx)
 		cancel()
@@ -87,5 +87,5 @@ func cmdRoute(args []string) error {
 			return err
 		}
 	}
-	return writeTrace(tracer, *tracePath)
+	return f.writeTrace(tracer, *tracePath)
 }

@@ -142,7 +142,10 @@ func TestServeLeaderFollowerRoundTrip(t *testing.T) {
 				`{"name":"t2","app":"Spark-sort","seed":8}`)
 			return http.ErrServerClosed
 		}
-		followerErr = cmdServe([]string{"-knowledge", kfile, "-follow", ts.URL, "-sync-interval", "25ms"})
+		// The nested follower shares the leader invocation's captured streams
+		// (outW/errW are still set by the enclosing Run).
+		followerErr = cmdServe(newFactory(outW, errW),
+			[]string{"-knowledge", kfile, "-follow", ts.URL, "-sync-interval", "25ms"})
 		return http.ErrServerClosed
 	}
 

@@ -32,14 +32,15 @@ const drainTimeout = 30 * time.Second
 // is durable (DESIGN.md §11): startup recovers base + checkpoint + WAL, and
 // SIGINT/SIGTERM drain in-flight requests through the ErrShuttingDown path,
 // then write a final checkpoint instead of dying mid-request.
-func cmdServe(args []string) error {
+func cmdServe(f *Factory, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	fs.SetOutput(errW)
+	fs.SetOutput(f.Err)
 	knowledgeFile := fs.String("knowledge", "knowledge.json", "knowledge file from 'vesta profile'")
 	addr := fs.String("addr", "127.0.0.1:8372", "listen address")
 	seed := fs.Uint64("seed", 1, "snapshot seed (drives the online rng of every prediction)")
 	workers := fs.Int("workers", 0, "worker pool size per batch (0 = one per CPU); responses are identical at every value")
 	queue := fs.Int("queue", 256, "admission queue capacity (full queue answers 503 with Retry-After)")
+	shedThreshold := fs.Float64("shed-threshold", 0, "shed best-effort requests (priority >= 1) once queue occupancy reaches this fraction of -queue (0 disables)")
 	batch := fs.Int("batch", 16, "max requests drained into one parallel batch")
 	cacheSize := fs.Int("cache", 1024, "LRU response cache entries (0 = default, use -no-cache to disable)")
 	noCache := fs.Bool("no-cache", false, "disable the response cache")
@@ -63,7 +64,7 @@ func cmdServe(args []string) error {
 	if *follow != "" && *stateDir != "" {
 		return fmt.Errorf("serve: -follow and -state-dir are mutually exclusive (durability lives at the leader; a restarted follower re-syncs)")
 	}
-	tracer := newTracer(*tracePath, *verbose)
+	tracer := f.Tracer(*tracePath, *verbose)
 	catalog := cloud.Catalog120()
 	if *multicloud {
 		catalog = cloud.MultiCloud()
@@ -72,12 +73,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*knowledgeFile)
+	kf, err := f.Open(*knowledgeFile)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := sys.LoadKnowledge(f); err != nil {
+	defer kf.Close()
+	if err := sys.LoadKnowledge(kf); err != nil {
 		return err
 	}
 	snap, err := sys.Snapshot()
@@ -95,14 +96,14 @@ func cmdServe(args []string) error {
 		defer mgr.Close()
 		durable = mgr
 		st := mgr.Stats()
-		fmt.Fprintf(outW, "durable state %s: recovered epoch %d (%d replayed", *stateDir, st.Epoch, st.Replayed)
+		fmt.Fprintf(f.Out, "durable state %s: recovered epoch %d (%d replayed", *stateDir, st.Epoch, st.Replayed)
 		if st.TornTailBytes > 0 {
-			fmt.Fprintf(outW, ", %d-byte torn tail truncated", st.TornTailBytes)
+			fmt.Fprintf(f.Out, ", %d-byte torn tail truncated", st.TornTailBytes)
 		}
 		if st.Quarantined > 0 {
-			fmt.Fprintf(outW, ", %d checkpoint quarantined", st.Quarantined)
+			fmt.Fprintf(f.Out, ", %d checkpoint quarantined", st.Quarantined)
 		}
-		fmt.Fprintf(outW, ")\n")
+		fmt.Fprintf(f.Out, ")\n")
 	}
 
 	// Leader mode interposes the replication tail between the serve layer and
@@ -120,6 +121,7 @@ func cmdServe(args []string) error {
 	server, err := serve.New(snap, serve.Config{
 		Workers:          *workers,
 		QueueSize:        *queue,
+		ShedThreshold:    *shedThreshold,
 		BatchSize:        *batch,
 		CacheSize:        *cacheSize,
 		NoCache:          *noCache,
@@ -135,7 +137,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer server.Close() // idempotent; covers the early-error returns below
-	fmt.Fprintf(outW, "serving knowledge from %s (epoch %d, %d workloads) on http://%s\n",
+	fmt.Fprintf(f.Out, "serving knowledge from %s (epoch %d, %d workloads) on http://%s\n",
 		*knowledgeFile, snap.Epoch(), snap.Workloads(), *addr)
 	handler := server.Handler()
 	switch {
@@ -144,13 +146,13 @@ func cmdServe(args []string) error {
 		m.Handle("/replicate/", leader.Handler())
 		m.Handle("/", handler)
 		handler = m
-		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, POST+GET /catalog, GET /healthz, GET /stats, GET /replicate/{frames,status}\n")
-		fmt.Fprintf(outW, "replication leader: followers sync with 'vesta serve -follow http://%s'\n", *addr)
+		fmt.Fprintf(f.Out, "endpoints: POST /predict, POST /absorb, POST+GET /catalog, GET /healthz, GET /stats, GET /replicate/{frames,status}\n")
+		fmt.Fprintf(f.Out, "replication leader: followers sync with 'vesta serve -follow http://%s'\n", *addr)
 	case *follow != "":
-		fmt.Fprintf(outW, "endpoints: POST /predict, GET /catalog, GET /healthz, GET /stats (read-only: POST /absorb and POST /catalog answer 403)\n")
-		fmt.Fprintf(outW, "following %s every %s\n", *follow, *syncInterval)
+		fmt.Fprintf(f.Out, "endpoints: POST /predict, GET /catalog, GET /healthz, GET /stats (read-only: POST /absorb and POST /catalog answer 403)\n")
+		fmt.Fprintf(f.Out, "following %s every %s\n", *follow, *syncInterval)
 	default:
-		fmt.Fprintf(outW, "endpoints: POST /predict, POST /absorb, POST+GET /catalog, GET /healthz, GET /stats\n")
+		fmt.Fprintf(f.Out, "endpoints: POST /predict, POST /absorb, POST+GET /catalog, GET /healthz, GET /stats\n")
 	}
 	// Production timeouts: slow-loris reads are cut at 30s, responses must
 	// flush within 90s (above the 60s in-handler predict deadline, so the
@@ -179,16 +181,16 @@ func cmdServe(args []string) error {
 			// diverged follower keeps serving its last verified snapshot but
 			// stops advancing, and the operator rebuilds it.
 			if err := follower.Run(ctx, *syncInterval); err != nil {
-				fmt.Fprintf(errW, "vesta: follower diverged: %v\n", err)
+				fmt.Fprintf(f.Err, "vesta: follower diverged: %v\n", err)
 			}
 		}()
 	}
 	listenErr := make(chan error, 1)
-	go func() { listenErr <- serveListen(httpSrv) }()
+	go func() { listenErr <- f.ServeListen(httpSrv) }()
 	select {
 	case <-ctx.Done():
 		stop() // restore default handling: a second signal kills immediately
-		fmt.Fprintf(outW, "signal received; draining...\n")
+		fmt.Fprintf(f.Out, "signal received; draining...\n")
 		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		err = httpSrv.Shutdown(drainCtx)
 		cancel()
@@ -212,7 +214,7 @@ func cmdServe(args []string) error {
 		if err := mgr.Checkpoint(final); err != nil {
 			return fmt.Errorf("final checkpoint: %w", err)
 		}
-		fmt.Fprintf(outW, "final checkpoint at epoch %d (%d workloads)\n", final.Epoch(), final.Workloads())
+		fmt.Fprintf(f.Out, "final checkpoint at epoch %d (%d workloads)\n", final.Epoch(), final.Workloads())
 	}
-	return writeTrace(tracer, *tracePath)
+	return f.writeTrace(tracer, *tracePath)
 }

@@ -1,0 +1,54 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// FuzzLoadgenConfig hammers the strict JSON boundary: arbitrary bytes never
+// panic, and anything ParseConfig accepts re-validates, re-schedules
+// deterministically, and keeps its arrivals inside the configured run.
+// Checked-in corpus: testdata/fuzz/FuzzLoadgenConfig.
+func FuzzLoadgenConfig(f *testing.F) {
+	f.Add([]byte(`{"seed":1,"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":5,"zipf_s":1.1}`))
+	f.Add([]byte(`{"duration_sec":2,"pattern":{"kind":"burst","rps":5,"amplitude":4,"period_sec":1,"duty_sec":0.25},"mix":[{"kind":"predict","weight":0.9},{"kind":"absorb","weight":0.06},{"kind":"catalog","weight":0.04}],"tenants":10,"zipf_s":1.2}`))
+	f.Add([]byte(`{"duration_sec":1,"pattern":{"kind":"diurnal","rps":8,"amplitude":0.5,"period_sec":1},"mix":[{"kind":"predict","weight":1}],"tenants":3}`))
+	f.Add([]byte(`{"duration_sec":1,"pattern":{"kind":"ramp","rps":1,"end_rps":20},"mix":[{"kind":"predict","weight":1}],"tenants":3}`))
+	f.Add([]byte(`{"duration_sec":1e308,"pattern":{"kind":"steady","rps":1e308},"mix":[{"kind":"predict","weight":1}],"tenants":1}`))
+	f.Add([]byte(`{"duration_sec":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("accepted config fails Validate: %v", verr)
+		}
+		// Only schedule bounded workloads: the schedule is ~peak*duration
+		// arrivals and the fuzzer will happily ask for 1e308 of them.
+		if cfg.Pattern.peakRate(cfg.DurationSec)*cfg.DurationSec > 20000 {
+			return
+		}
+		a, err := Schedule(cfg)
+		if err != nil {
+			t.Fatalf("valid config failed to schedule: %v", err)
+		}
+		b, err := Schedule(cfg)
+		if err != nil {
+			t.Fatalf("second schedule failed: %v", err)
+		}
+		if EncodeSchedule(a) != EncodeSchedule(b) {
+			t.Fatal("schedule not deterministic")
+		}
+		limit := cfg.DurationSec * 1000
+		for _, arr := range a {
+			if arr.AtMS < 0 || arr.AtMS >= limit {
+				t.Fatalf("arrival at %v ms outside [0, %v)", arr.AtMS, limit)
+			}
+			if arr.Tenant < 0 || arr.Tenant >= cfg.Tenants {
+				t.Fatalf("tenant %d outside [0, %d)", arr.Tenant, cfg.Tenants)
+			}
+		}
+	})
+}

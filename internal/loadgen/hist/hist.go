@@ -1,0 +1,180 @@
+// Package hist implements the fixed-bucket latency histogram of the load
+// generator (DESIGN.md §15). Bucket boundaries are a compile-time constant
+// geometric ladder, so two histograms built from the same observations are
+// byte-identical however the observations were produced or merged — the
+// histogram analogue of the repo's deterministic-trace contract. Quantiles
+// are read from the ladder (each reported percentile is a bucket upper
+// bound), trading ~5% resolution for schedule-independent bytes.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The ladder spans 1 µs to ~1000 s in NumBuckets geometric steps. Bucket i
+// covers (UpperBound(i-1), UpperBound(i)]; observations at or below Lo land
+// in bucket 0 and observations beyond the ladder land in the last bucket.
+const (
+	// NumBuckets is the fixed bucket count of every histogram.
+	NumBuckets = 400
+	// Lo is the upper bound of bucket 0 in milliseconds (1 µs).
+	Lo = 1e-3
+	// Hi is the upper bound of the last bucket in milliseconds (~1000 s).
+	Hi = 1e6
+)
+
+// growth is the per-bucket ratio: Hi = Lo * growth^(NumBuckets-1).
+var growth = math.Pow(Hi/Lo, 1/float64(NumBuckets-1))
+
+// invLogGrowth caches 1/ln(growth) for the index computation.
+var invLogGrowth = 1 / math.Log(growth)
+
+// H is a fixed-bucket latency histogram. The zero value is not ready; use
+// New. H is not safe for concurrent use — give each goroutine its own and
+// Merge, like an rng.Source.
+type H struct {
+	counts [NumBuckets]int64
+	n      int64
+	sum    float64 // of observed values, for Mean
+}
+
+// New returns an empty histogram.
+func New() *H { return &H{} }
+
+// bucketOf maps a latency in milliseconds to its bucket index.
+func bucketOf(ms float64) int {
+	if ms <= Lo {
+		return 0
+	}
+	i := int(math.Ceil(math.Log(ms/Lo) * invLogGrowth))
+	if i < 0 {
+		i = 0
+	}
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// UpperBound returns bucket i's inclusive upper bound in milliseconds.
+func UpperBound(i int) float64 {
+	if i >= NumBuckets-1 {
+		return Hi
+	}
+	return Lo * math.Pow(growth, float64(i))
+}
+
+// Observe records one latency in milliseconds. Non-finite and negative
+// observations are rejected (the engine never produces them; a caller bug
+// should fail loudly, not skew a percentile).
+func (h *H) Observe(ms float64) error {
+	if math.IsNaN(ms) || math.IsInf(ms, 0) || ms < 0 {
+		return fmt.Errorf("hist: unobservable latency %v", ms)
+	}
+	h.counts[bucketOf(ms)]++
+	h.n++
+	h.sum += ms
+	return nil
+}
+
+// Merge folds o into h. Merging in any order produces identical state.
+func (h *H) Merge(o *H) {
+	if o == nil {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Count returns the number of observations.
+func (h *H) Count() int64 { return h.n }
+
+// Mean returns the arithmetic mean of the raw observations (exact, not
+// bucketed), or 0 on an empty histogram.
+func (h *H) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the latency upper bound (ms) of the bucket holding the
+// q'th observation, q in [0, 1]. Empty histograms return 0. The value is the
+// conservative (upper) edge: "P99 < X ms" claims built on it hold for the
+// raw observations too.
+func (h *H) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return UpperBound(i)
+		}
+	}
+	return Hi
+}
+
+// Summary bundles the percentile ladder every report prints.
+type Summary struct {
+	Count               float64
+	Mean                float64
+	P50, P90, P99, P999 float64
+}
+
+// Summarize computes the standard report percentiles.
+func (h *H) Summarize() Summary {
+	return Summary{
+		Count: float64(h.n),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// Encode renders the histogram as a canonical compact string —
+// "n=<count> sum=<bits> <bucket>:<count> ..." with only non-empty buckets,
+// ascending. Byte-equal encodings imply identical histograms; tests compare
+// these instead of float percentiles.
+func (h *H) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d sum=%016x", h.n, math.Float64bits(h.sum))
+	for i, c := range h.counts {
+		if c != 0 {
+			fmt.Fprintf(&b, " %d:%d", i, c)
+		}
+	}
+	return b.String()
+}
+
+// NonEmpty returns the indices of non-empty buckets, ascending — the sparse
+// view render helpers iterate.
+func (h *H) NonEmpty() []int {
+	var idx []int
+	for i, c := range h.counts {
+		if c != 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx
+}

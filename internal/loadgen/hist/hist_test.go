@@ -1,0 +1,136 @@
+package hist
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestObserveRejectsUnobservable(t *testing.T) {
+	h := New()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.001} {
+		if err := h.Observe(v); err == nil {
+			t.Errorf("Observe(%v) accepted", v)
+		}
+	}
+	if h.Count() != 0 {
+		t.Fatalf("rejected observations counted: %d", h.Count())
+	}
+}
+
+func TestBucketLadder(t *testing.T) {
+	if got := UpperBound(NumBuckets - 1); got != Hi {
+		t.Fatalf("last bound %v, want %v", got, Hi)
+	}
+	if got := UpperBound(0); got != Lo {
+		t.Fatalf("first bound %v, want %v", got, Lo)
+	}
+	prev := 0.0
+	for i := 0; i < NumBuckets; i++ {
+		ub := UpperBound(i)
+		if ub <= prev {
+			t.Fatalf("bucket %d bound %v not increasing past %v", i, ub, prev)
+		}
+		prev = ub
+	}
+	// Resolution: adjacent bounds within ~5.5% of each other.
+	if ratio := UpperBound(10) / UpperBound(9); ratio > 1.055 {
+		t.Fatalf("growth %v too coarse", ratio)
+	}
+}
+
+// TestQuantileConservative: the reported quantile is always an upper bound on
+// the true order statistic, and within one bucket ratio of it.
+func TestQuantileConservative(t *testing.T) {
+	h := New()
+	vals := []float64{0.04, 0.05, 1, 2, 3, 4, 4.2, 4.4, 8, 1000}
+	for _, v := range vals {
+		if err := h.Observe(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	growth := math.Pow(Hi/Lo, 1/float64(NumBuckets-1))
+	for _, tc := range []struct {
+		q    float64
+		true float64
+	}{{0.5, 3}, {0.9, 8}, {1, 1000}, {0, 0.04}} {
+		got := h.Quantile(tc.q)
+		if got < tc.true {
+			t.Errorf("Quantile(%v) = %v below true %v", tc.q, got, tc.true)
+		}
+		if got > tc.true*growth {
+			t.Errorf("Quantile(%v) = %v beyond one bucket over %v", tc.q, got, tc.true)
+		}
+	}
+	if h.Quantile(0.5) > h.Quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	obs := [][]float64{{1, 2, 3}, {0.001, 500, 4.1}, {1e7, 0}}
+	build := func(order []int) *H {
+		total := New()
+		for _, i := range order {
+			part := New()
+			for _, v := range obs[i] {
+				if err := part.Observe(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			total.Merge(part)
+		}
+		return total
+	}
+	a, b := build([]int{0, 1, 2}), build([]int{2, 0, 1})
+	if a.Encode() != b.Encode() {
+		t.Fatalf("merge order changed encoding:\n%s\n%s", a.Encode(), b.Encode())
+	}
+	if a.Count() != 8 {
+		t.Fatalf("count %d, want 8", a.Count())
+	}
+	if math.Abs(a.Mean()-b.Mean()) != 0 {
+		t.Fatal("merge order changed mean")
+	}
+}
+
+func TestEncodeCanonical(t *testing.T) {
+	h := New()
+	if got := h.Encode(); !strings.HasPrefix(got, "n=0 sum=") {
+		t.Fatalf("empty encoding %q", got)
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.Observe(4.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := New()
+	for i := 0; i < 3; i++ {
+		if err := o.Observe(4.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Encode() != o.Encode() {
+		t.Fatal("identical observations encode differently")
+	}
+	if len(h.NonEmpty()) != 1 {
+		t.Fatalf("NonEmpty %v, want one bucket", h.NonEmpty())
+	}
+	s := h.Summarize()
+	if s.Count != 3 || s.Mean != 4.1 || s.P50 != s.P999 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	h := New()
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+	if err := h.Observe(5); err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q clamp broken")
+	}
+}

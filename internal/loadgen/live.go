@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vesta/internal/cloud"
+	"vesta/internal/loadgen/hist"
+	"vesta/internal/serve"
+)
+
+// LiveConfig tunes a live replay.
+type LiveConfig struct {
+	// TimeScale multiplies every scheduled arrival time: 1 replays in real
+	// time, 0.1 replays 10x faster. <= 0 takes 1.
+	TimeScale float64
+	// TimeoutMS is the per-request client deadline; <= 0 takes the default
+	// knob (250 ms).
+	TimeoutMS float64
+}
+
+// LiveReport is the outcome accounting of one live replay. Unlike the
+// virtual-time Report, its latencies are wall clock — live runs exercise the
+// real server (soak and overload tests) and are explicitly outside the
+// byte-determinism contract; only the conservation invariant
+// Offered == Good + Shed + Rejected + Timeout + Errored is pinned.
+type LiveReport struct {
+	Offered int64 `json:"offered"`
+	Good    int64 `json:"good"`
+	// Shed counts priority sheds (serve.ErrShed); Rejected counts the other
+	// queue-full 503s; Timeout counts client deadline expiries; Errored is
+	// every remaining failure (validation, shutdown).
+	Shed     int64 `json:"shed"`
+	Rejected int64 `json:"rejected"`
+	Timeout  int64 `json:"timeout"`
+	Errored  int64 `json:"errored"`
+
+	// Hist holds data-plane wall-clock latencies (ms); ControlHist the
+	// absorb/catalog arm.
+	Hist        *hist.H `json:"-"`
+	ControlHist *hist.H `json:"-"`
+
+	// Stats is the server's own counter view captured after the replay
+	// drained, so callers can cross-check (queued + shed + canceled vs
+	// offered) against the server's accounting.
+	Stats serve.Stats `json:"stats"`
+}
+
+// Answered sums every terminal outcome; it must equal Offered.
+func (r *LiveReport) Answered() int64 {
+	return r.Good + r.Shed + r.Rejected + r.Timeout + r.Errored
+}
+
+// RunLive replays a schedule against a real in-process server, open loop:
+// arrivals fire on the (scaled) schedule regardless of response latency, each
+// on its own goroutine. Absorbs register unique workload names; catalog
+// arrivals alternate a reprice of the snapshot's first VM between two valid
+// prices, so both hot-swap paths run against real state. RunLive waits for
+// every dispatched request to resolve before returning; ctx cancellation
+// stops dispatching new arrivals (already-dispatched ones still resolve).
+func RunLive(ctx context.Context, srv *serve.Server, sched []Arrival, lc LiveConfig) (*LiveReport, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("loadgen: live replay needs a server")
+	}
+	if lc.TimeScale <= 0 {
+		lc.TimeScale = 1
+	}
+	if lc.TimeoutMS <= 0 {
+		lc.TimeoutMS = DefaultKnobs().TimeoutMS
+	}
+	cat := srv.Snapshot().Catalog()
+	if len(cat) == 0 {
+		return nil, fmt.Errorf("loadgen: live replay needs a non-empty catalog")
+	}
+	repriceVM, basePrice := cat[0].Name, cat[0].PriceHour
+
+	rep := &LiveReport{Hist: hist.New(), ControlHist: hist.New()}
+	var mu sync.Mutex // guards rep
+	var wg sync.WaitGroup
+	timeout := time.Duration(lc.TimeoutMS * float64(time.Millisecond))
+	start := time.Now()
+	for i, a := range sched {
+		due := start.Add(time.Duration(a.AtMS * lc.TimeScale * float64(time.Millisecond)))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		rep.Offered++
+		wg.Add(1)
+		go func(i int, a Arrival) {
+			defer wg.Done()
+			t0 := time.Now()
+			var err error
+			control := true
+			switch a.Kind {
+			case KindAbsorb:
+				_, err = srv.AbsorbApp(serve.AbsorbRequest{
+					Name: fmt.Sprintf("live-absorb-%d", i),
+					App:  a.App,
+					Seed: a.Seed,
+				})
+			case KindCatalog:
+				// Alternate between two valid prices so every update is a real
+				// state change (an idempotent reprice would be rejected as empty).
+				price := basePrice * 1.5
+				if i%2 == 1 {
+					price = basePrice * 0.75
+				}
+				_, err = srv.UpdateCatalog(cloud.Update{
+					Note:    fmt.Sprintf("loadgen live reprice %d", i),
+					Reprice: map[string]float64{repriceVM: price},
+				})
+			default:
+				control = false
+				rctx, cancel := context.WithTimeout(ctx, timeout)
+				_, err = srv.PredictBytes(rctx, serve.Request{
+					App:      a.App,
+					Seed:     a.Seed,
+					Priority: a.Priority,
+				})
+				cancel()
+			}
+			ms := float64(time.Since(t0)) / float64(time.Millisecond)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				rep.Good++
+				h := rep.Hist
+				if control {
+					h = rep.ControlHist
+				}
+				if oerr := h.Observe(ms); oerr != nil {
+					rep.Good--
+					rep.Errored++
+				}
+			case errors.Is(err, serve.ErrShed):
+				rep.Shed++
+			case errors.Is(err, serve.ErrQueueFull):
+				rep.Rejected++
+			case errors.Is(err, context.DeadlineExceeded):
+				rep.Timeout++
+			default:
+				rep.Errored++
+			}
+		}(i, a)
+	}
+	wg.Wait()
+	rep.Stats = srv.Stats()
+	return rep, nil
+}

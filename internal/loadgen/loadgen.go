@@ -1,0 +1,400 @@
+// Package loadgen is the deterministic open-loop traffic generator of the
+// serving stack (DESIGN.md §15, ROADMAP item 5).
+//
+// Open-loop means arrivals follow a fixed schedule derived exclusively from
+// (seed, pattern, duration): a slow server does not slow the offered load
+// down, it falls behind — the regime where queue-depth, batch-size, and shed
+// decisions actually matter, and the opposite of the closed-loop bench that
+// replayed 32 requests from 64 clients. The schedule is a pure function of
+// the Config, so every run, report, and tuner sweep regenerates
+// byte-identically at any evaluation worker count.
+//
+// Three layers:
+//
+//   - Schedule: a non-homogeneous Poisson arrival process (Lewis-Shedler
+//     thinning) over composable rate patterns — steady, diurnal sine,
+//     square-wave burst, ramp — with heavy-tailed (Zipf) per-tenant workload
+//     popularity and a configurable predict/absorb/catalog traffic mix, so
+//     hot-swap and cache-invalidation paths see load too.
+//   - Engine (engine.go): a virtual-time discrete-event model of the serve
+//     admission pipeline (bounded queue, dispatcher batching, worker
+//     makespan, response cache with epoch invalidation, priority shed,
+//     deadlines) that turns a schedule into latency histograms and
+//     goodput/shed/timeout accounting without wall-clock noise.
+//   - Tuner (tuner.go): a seeded sweep over (queue depth, batch size, shed
+//     threshold) against a target P99, and a capacity plan ("N nodes for
+//     M req/s at P99 < X ms") built from the best cell.
+//
+// Replay (live.go) drives the same schedule against a real *serve.Server
+// in-process — wall-clock latencies, outside the determinism contract, for
+// soak tests and the overload-contract suite.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vesta/internal/rng"
+	"vesta/internal/workload"
+)
+
+// Kind classifies one generated request.
+type Kind string
+
+// The three traffic kinds of a mix.
+const (
+	KindPredict Kind = "predict" // data plane: POST /predict
+	KindAbsorb  Kind = "absorb"  // control plane: POST /absorb (epoch bump, cache invalidation)
+	KindCatalog Kind = "catalog" // control plane: POST /catalog (catalog version bump)
+)
+
+// PatternKind names a rate shape.
+type PatternKind string
+
+// The composable rate patterns.
+const (
+	Steady  PatternKind = "steady"  // constant RPS
+	Diurnal PatternKind = "diurnal" // RPS * (1 + Amplitude*sin(2πt/Period))
+	Burst   PatternKind = "burst"   // square wave: RPS*Amplitude for DutySec of every PeriodSec, else RPS
+	Ramp    PatternKind = "ramp"    // linear RPS -> EndRPS over the duration
+)
+
+// Pattern is one rate shape. Fields beyond Kind and RPS apply per kind and
+// are validated accordingly.
+type Pattern struct {
+	Kind PatternKind `json:"kind"`
+	// RPS is the base arrival rate in requests per second (> 0, finite).
+	RPS float64 `json:"rps"`
+	// Amplitude is the diurnal swing as a fraction of RPS in [0, 1), or the
+	// burst multiplier (>= 1).
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// PeriodSec is the diurnal/burst period (> 0 for those kinds).
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	// DutySec is the burst on-duration within each period (0 < DutySec <=
+	// PeriodSec).
+	DutySec float64 `json:"duty_sec,omitempty"`
+	// EndRPS is the ramp's final rate (>= 0, finite).
+	EndRPS float64 `json:"end_rps,omitempty"`
+}
+
+// RateAt returns the instantaneous offered rate (req/s) at t seconds into a
+// run of the given total duration. Pure and branch-stable: the schedule
+// depends only on (Config), never on the clock.
+func (p Pattern) RateAt(t, durationSec float64) float64 {
+	switch p.Kind {
+	case Steady:
+		return p.RPS
+	case Diurnal:
+		return p.RPS * (1 + p.Amplitude*math.Sin(2*math.Pi*t/p.PeriodSec))
+	case Burst:
+		phase := math.Mod(t, p.PeriodSec)
+		if phase < p.DutySec {
+			return p.RPS * p.Amplitude
+		}
+		return p.RPS
+	case Ramp:
+		if durationSec <= 0 {
+			return p.RPS
+		}
+		return p.RPS + (p.EndRPS-p.RPS)*(t/durationSec)
+	default:
+		return 0
+	}
+}
+
+// peakRate bounds RateAt over [0, durationSec] — the thinning majorant.
+func (p Pattern) peakRate(durationSec float64) float64 {
+	switch p.Kind {
+	case Steady:
+		return p.RPS
+	case Diurnal:
+		return p.RPS * (1 + p.Amplitude)
+	case Burst:
+		return p.RPS * p.Amplitude
+	case Ramp:
+		return math.Max(p.RPS, p.EndRPS)
+	default:
+		return 0
+	}
+}
+
+// validate checks the pattern's invariants.
+func (p Pattern) validate() error {
+	if !finitePos(p.RPS) {
+		return fmt.Errorf("loadgen: pattern rps %v (want finite > 0)", p.RPS)
+	}
+	switch p.Kind {
+	case Steady:
+	case Diurnal:
+		if math.IsNaN(p.Amplitude) || p.Amplitude < 0 || p.Amplitude >= 1 {
+			return fmt.Errorf("loadgen: diurnal amplitude %v (want [0, 1))", p.Amplitude)
+		}
+		if !finitePos(p.PeriodSec) {
+			return fmt.Errorf("loadgen: diurnal period %v (want finite > 0)", p.PeriodSec)
+		}
+	case Burst:
+		if math.IsNaN(p.Amplitude) || p.Amplitude < 1 || math.IsInf(p.Amplitude, 0) {
+			return fmt.Errorf("loadgen: burst amplitude %v (want finite >= 1)", p.Amplitude)
+		}
+		if !finitePos(p.PeriodSec) {
+			return fmt.Errorf("loadgen: burst period %v (want finite > 0)", p.PeriodSec)
+		}
+		if !finitePos(p.DutySec) || p.DutySec > p.PeriodSec {
+			return fmt.Errorf("loadgen: burst duty %v (want 0 < duty <= period %v)", p.DutySec, p.PeriodSec)
+		}
+	case Ramp:
+		if math.IsNaN(p.EndRPS) || math.IsInf(p.EndRPS, 0) || p.EndRPS < 0 {
+			return fmt.Errorf("loadgen: ramp end_rps %v (want finite >= 0)", p.EndRPS)
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown pattern kind %q", p.Kind)
+	}
+	return nil
+}
+
+func finitePos(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0) && x > 0
+}
+
+// MixEntry weights one traffic kind within a mix.
+type MixEntry struct {
+	Kind   Kind    `json:"kind"`
+	Weight float64 `json:"weight"`
+}
+
+// Config describes one generated workload. The schedule is a pure function
+// of this value.
+type Config struct {
+	// Seed drives every random draw (arrivals, tenants, apps, kinds,
+	// per-request seeds, service-time noise in the engine).
+	Seed uint64 `json:"seed"`
+	// DurationSec is the virtual length of the run (> 0, finite).
+	DurationSec float64 `json:"duration_sec"`
+	Pattern     Pattern `json:"pattern"`
+	// Mix weights the predict/absorb/catalog traffic. Weights must be finite
+	// and >= 0 with a positive sum; duplicate kinds are rejected.
+	Mix []MixEntry `json:"mix"`
+	// Tenants is the tenant population (> 0). Tenant popularity is
+	// Zipf(ZipfS): tenant 0 is the hottest.
+	Tenants int `json:"tenants"`
+	// ZipfS is the Zipf skew exponent (>= 0, finite; 0 = uniform). Production
+	// request mixes are strongly skewed — 1.1 is the report default.
+	ZipfS float64 `json:"zipf_s"`
+	// Apps restricts the candidate applications (Table 3 names); empty takes
+	// every application. Each tenant favors a rotated Zipf over this list, so
+	// popularity is heavy-tailed per tenant and across tenants.
+	Apps []string `json:"apps,omitempty"`
+}
+
+// DefaultMix is the report's traffic mix: predict-dominant with enough
+// absorb/catalog traffic to keep hot-swap and cache invalidation honest
+// (at 2000 req/s the default still hot-swaps a few times per second).
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{Kind: KindPredict, Weight: 0.997},
+		{Kind: KindAbsorb, Weight: 0.002},
+		{Kind: KindCatalog, Weight: 0.001},
+	}
+}
+
+// Validate checks every invariant the fuzz target exercises: NaN/Inf rates,
+// non-positive durations, empty or degenerate mixes, unknown kinds.
+func (c Config) Validate() error {
+	if !finitePos(c.DurationSec) {
+		return fmt.Errorf("loadgen: duration %v (want finite > 0)", c.DurationSec)
+	}
+	if err := c.Pattern.validate(); err != nil {
+		return err
+	}
+	if len(c.Mix) == 0 {
+		return fmt.Errorf("loadgen: empty mix")
+	}
+	seen := map[Kind]bool{}
+	total := 0.0
+	for _, m := range c.Mix {
+		switch m.Kind {
+		case KindPredict, KindAbsorb, KindCatalog:
+		default:
+			return fmt.Errorf("loadgen: unknown mix kind %q", m.Kind)
+		}
+		if seen[m.Kind] {
+			return fmt.Errorf("loadgen: duplicate mix kind %q", m.Kind)
+		}
+		seen[m.Kind] = true
+		if math.IsNaN(m.Weight) || math.IsInf(m.Weight, 0) || m.Weight < 0 {
+			return fmt.Errorf("loadgen: mix weight %v for %q (want finite >= 0)", m.Weight, m.Kind)
+		}
+		total += m.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("loadgen: mix weights sum to %v (want > 0)", total)
+	}
+	if c.Tenants <= 0 {
+		return fmt.Errorf("loadgen: tenants %d (want > 0)", c.Tenants)
+	}
+	if math.IsNaN(c.ZipfS) || math.IsInf(c.ZipfS, 0) || c.ZipfS < 0 {
+		return fmt.Errorf("loadgen: zipf_s %v (want finite >= 0)", c.ZipfS)
+	}
+	for _, name := range c.Apps {
+		if _, err := workload.ByName(name); err != nil {
+			return fmt.Errorf("loadgen: unknown app %q", name)
+		}
+	}
+	return nil
+}
+
+// ParseConfig decodes a JSON config strictly (unknown fields and trailing
+// garbage are errors) and validates it — the boundary FuzzLoadgenConfig
+// hammers: malformed bytes never panic, always a typed error.
+func ParseConfig(data []byte) (Config, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("loadgen: parsing config: %w", err)
+	}
+	if dec.More() {
+		return Config{}, fmt.Errorf("loadgen: trailing data after config object")
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Arrival is one scheduled request. The slice Schedule returns is sorted by
+// AtMS and is a pure function of the Config.
+type Arrival struct {
+	// AtMS is the virtual arrival time in milliseconds since run start.
+	AtMS float64
+	Kind Kind
+	// Tenant is the originating tenant id (0 = hottest).
+	Tenant int
+	// App is the Table 3 application name (predict/absorb traffic).
+	App string
+	// Seed is the per-request measurement seed (serve.Request.Seed).
+	Seed uint64
+	// Priority is the admission priority: 0 for control-plane traffic and the
+	// premium tenant decile, 1 (best-effort, sheddable) for the rest.
+	Priority int
+}
+
+// premiumTenants returns how many leading tenant ids count as premium
+// (priority 0): the top decile, at least one.
+func premiumTenants(tenants int) int {
+	if p := tenants / 10; p > 0 {
+		return p
+	}
+	return 1
+}
+
+// zipf is a precomputed discrete Zipf sampler over [0, n).
+type zipf struct {
+	cum []float64 // cumulative normalized weights
+}
+
+func newZipf(n int, s float64) *zipf {
+	z := &zipf{cum: make([]float64, n)}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		z.cum[i] = total
+	}
+	for i := range z.cum {
+		z.cum[i] /= total
+	}
+	return z
+}
+
+// draw maps one uniform [0,1) variate to a rank.
+func (z *zipf) draw(u float64) int {
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// Schedule generates the full arrival schedule: a non-homogeneous Poisson
+// process at Pattern's rate (Lewis-Shedler thinning against the pattern's
+// peak rate), each accepted arrival attributed from its own split rng stream
+// so the attribute draws are independent of the thinning stream's length.
+func Schedule(cfg Config) ([]Arrival, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		for _, a := range workload.All() {
+			apps = append(apps, a.Name)
+		}
+	}
+	root := rng.New(cfg.Seed)
+	thin := root.Jump() // arrival-time stream; root keeps splitting attributes
+	tenantZipf := newZipf(cfg.Tenants, cfg.ZipfS)
+	appZipf := newZipf(len(apps), cfg.ZipfS)
+	kinds := make([]Kind, len(cfg.Mix))
+	weights := make([]float64, len(cfg.Mix))
+	for i, m := range cfg.Mix {
+		kinds[i] = m.Kind
+		weights[i] = m.Weight
+	}
+	peak := cfg.Pattern.peakRate(cfg.DurationSec)
+	premium := premiumTenants(cfg.Tenants)
+
+	var out []Arrival
+	t := 0.0 // seconds
+	for i := uint64(0); ; i++ {
+		// Exponential inter-arrival at the majorant rate.
+		t += -math.Log(1-thin.Float64()) / peak
+		if t >= cfg.DurationSec {
+			break
+		}
+		accept := thin.Float64() < cfg.Pattern.RateAt(t, cfg.DurationSec)/peak
+		if !accept {
+			continue
+		}
+		attr := root.Split(i)
+		tenant := tenantZipf.draw(attr.Float64())
+		// Each tenant rotates the app popularity ladder, so the global mix is
+		// heavy-tailed while tenants disagree about which apps are hot.
+		app := apps[(appZipf.draw(attr.Float64())+tenantRotation(tenant, len(apps)))%len(apps)]
+		kind := kinds[attr.Pick(weights)]
+		pri := 0
+		if kind == KindPredict && tenant >= premium {
+			pri = 1
+		}
+		out = append(out, Arrival{
+			AtMS:   t * 1000,
+			Kind:   kind,
+			Tenant: tenant,
+			App:    app,
+			// The request seed is tenant-derived: a tenant repeating a query
+			// re-presents the same (app, seed) fingerprint, so hot tenants
+			// exercise the response cache (and absorbs exercise its epoch
+			// invalidation) instead of generating all-distinct misses.
+			Seed:     uint64(tenant)%1024 + 1,
+			Priority: pri,
+		})
+	}
+	return out, nil
+}
+
+// tenantRotation offsets a tenant's app-popularity ladder deterministically.
+func tenantRotation(tenant, napps int) int {
+	x := uint64(tenant) ^ 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(napps))
+}
+
+// EncodeSchedule renders a schedule as canonical text, one arrival per line —
+// the byte-comparison surface of the determinism matrix.
+func EncodeSchedule(sched []Arrival) string {
+	var b strings.Builder
+	for _, a := range sched {
+		fmt.Fprintf(&b, "%016x %s t%d p%d %s s%d\n",
+			math.Float64bits(a.AtMS), a.Kind, a.Tenant, a.Priority, a.App, a.Seed)
+	}
+	return b.String()
+}

@@ -1,0 +1,368 @@
+package loadgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// matrixConfigs are the determinism-matrix arms: every pattern kind, and a
+// control-plane-heavy mix so absorb/catalog traffic is exercised, not just
+// the predict fast path.
+func matrixConfigs() map[string]Config {
+	return map[string]Config{
+		"steady-predict": {
+			Seed: 7, DurationSec: 5,
+			Pattern: Pattern{Kind: Steady, RPS: 400},
+			Mix:     []MixEntry{{Kind: KindPredict, Weight: 1}},
+			Tenants: 1000, ZipfS: 1.1,
+		},
+		"diurnal-default-mix": {
+			Seed: 7, DurationSec: 5,
+			Pattern: Pattern{Kind: Diurnal, RPS: 400, Amplitude: 0.5, PeriodSec: 2},
+			Mix:     DefaultMix(),
+			Tenants: 1000, ZipfS: 1.1,
+		},
+		"burst-mixed-control": {
+			Seed: 7, DurationSec: 5,
+			Pattern: Pattern{Kind: Burst, RPS: 300, Amplitude: 4, PeriodSec: 2, DutySec: 0.5},
+			Mix: []MixEntry{
+				{Kind: KindPredict, Weight: 0.90},
+				{Kind: KindAbsorb, Weight: 0.06},
+				{Kind: KindCatalog, Weight: 0.04},
+			},
+			Tenants: 50, ZipfS: 1.2,
+		},
+		"ramp": {
+			Seed: 7, DurationSec: 5,
+			Pattern: Pattern{Kind: Ramp, RPS: 100, EndRPS: 800},
+			Mix:     DefaultMix(),
+			Tenants: 1000, ZipfS: 0,
+		},
+	}
+}
+
+// TestScheduleDeterminismMatrix pins the tentpole contract: identical
+// seed+pattern produce byte-identical schedules and histogram buckets at
+// every evaluation worker count (1/4/16), including the mixed
+// absorb/catalog arm — the loadgen analogue of TestReplayModesByteIdentical.
+func TestScheduleDeterminismMatrix(t *testing.T) {
+	tc := TunerConfig{
+		TargetP99MS: 50,
+		Queues:      []int{64, 256},
+		Batches:     []int{16},
+		Sheds:       []float64{0, 0.5},
+	}
+	for name, cfg := range matrixConfigs() {
+		t.Run(name, func(t *testing.T) {
+			sched, err := Schedule(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sched) == 0 {
+				t.Fatal("empty schedule")
+			}
+			ref := EncodeSchedule(sched)
+			again, err := Schedule(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if EncodeSchedule(again) != ref {
+				t.Fatal("regenerated schedule differs from itself")
+			}
+
+			var refCells []Cell
+			for _, workers := range []int{1, 4, 16} {
+				cells, err := Sweep(cfg, tc, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if workers == 1 {
+					refCells = cells
+					continue
+				}
+				if len(cells) != len(refCells) {
+					t.Fatalf("workers=%d: %d cells, want %d", workers, len(cells), len(refCells))
+				}
+				for i := range cells {
+					if cells[i].Knobs != refCells[i].Knobs {
+						t.Fatalf("workers=%d cell %d: knobs %+v != %+v", workers, i, cells[i].Knobs, refCells[i].Knobs)
+					}
+					if got, want := cells[i].Report.Hist.Encode(), refCells[i].Report.Hist.Encode(); got != want {
+						t.Errorf("workers=%d cell %d: goodput histogram differs", workers, i)
+					}
+					if got, want := cells[i].Report.ControlHist.Encode(), refCells[i].Report.ControlHist.Encode(); got != want {
+						t.Errorf("workers=%d cell %d: control histogram differs", workers, i)
+					}
+					if cells[i].Report.Good != refCells[i].Report.Good ||
+						cells[i].Report.Shed != refCells[i].Report.Shed ||
+						cells[i].Report.Rejected != refCells[i].Report.Rejected {
+						t.Errorf("workers=%d cell %d: outcome counts differ", workers, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleMixAndPriorities checks the schedule's attribute invariants:
+// mixed kinds all appear, arrivals are time-ordered, control traffic and the
+// premium decile carry priority 0, and everything else is best-effort.
+func TestScheduleMixAndPriorities(t *testing.T) {
+	cfg := matrixConfigs()["burst-mixed-control"]
+	sched, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	premium := premiumTenants(cfg.Tenants)
+	counts := map[Kind]int{}
+	last := -1.0
+	for _, a := range sched {
+		if a.AtMS < last {
+			t.Fatalf("arrivals out of order: %v after %v", a.AtMS, last)
+		}
+		last = a.AtMS
+		counts[a.Kind]++
+		if a.Tenant < 0 || a.Tenant >= cfg.Tenants {
+			t.Fatalf("tenant %d out of range", a.Tenant)
+		}
+		switch {
+		case a.Kind != KindPredict && a.Priority != 0:
+			t.Fatalf("control arrival with priority %d", a.Priority)
+		case a.Kind == KindPredict && a.Tenant < premium && a.Priority != 0:
+			t.Fatalf("premium tenant %d with priority %d", a.Tenant, a.Priority)
+		case a.Kind == KindPredict && a.Tenant >= premium && a.Priority != 1:
+			t.Fatalf("best-effort tenant %d with priority %d", a.Tenant, a.Priority)
+		}
+	}
+	for _, k := range []Kind{KindPredict, KindAbsorb, KindCatalog} {
+		if counts[k] == 0 {
+			t.Errorf("no %s arrivals in mixed schedule (total %d)", k, len(sched))
+		}
+	}
+}
+
+// TestRunConservation pins the overload accounting: every offered request is
+// answered exactly once whatever its fate, and overload actually produces
+// sheds/rejects rather than unbounded queueing.
+func TestRunConservation(t *testing.T) {
+	cfg := Config{
+		Seed: 3, DurationSec: 5,
+		Pattern: Pattern{Kind: Burst, RPS: 1000, Amplitude: 8, PeriodSec: 2, DutySec: 1},
+		Mix:     DefaultMix(),
+		Tenants: 1000, ZipfS: 1.1,
+	}
+	k := DefaultKnobs()
+	k.QueueDepth = 64
+	k.ShedThreshold = 0.5
+	rep, err := Run(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 {
+		t.Fatal("no offered load")
+	}
+	if rep.Answered() != rep.Offered {
+		t.Fatalf("answered %d != offered %d (good=%d shed=%d rej=%d cancel=%d timeout=%d)",
+			rep.Answered(), rep.Offered, rep.Good, rep.Shed, rep.Rejected, rep.Canceled, rep.Timeout)
+	}
+	if rep.Shed == 0 {
+		t.Error("8x burst into a 64-deep queue with shedding on shed nothing")
+	}
+	if rep.Good == 0 {
+		t.Error("no goodput at all")
+	}
+	if int64(rep.Hist.Count()) != rep.Good-goodControl(rep) {
+		t.Fatalf("goodput histogram count %d != data-plane good %d", rep.Hist.Count(), rep.Good-goodControl(rep))
+	}
+	if rep.QueueMax > k.QueueDepth {
+		t.Fatalf("queue max %d exceeded depth %d", rep.QueueMax, k.QueueDepth)
+	}
+	if rep.BatchMax > k.BatchSize {
+		t.Fatalf("batch max %d exceeded batch size %d", rep.BatchMax, k.BatchSize)
+	}
+}
+
+// goodControl counts the control-plane completions inside Report.Good.
+func goodControl(rep *Report) int64 { return rep.ControlHist.Count() }
+
+// TestPriorityShedSparesPremium: with shedding enabled, only best-effort
+// predicts are shed; disabling the threshold sheds nothing and pushes the
+// overflow into hard rejects instead.
+func TestPriorityShedSparesPremium(t *testing.T) {
+	cfg := Config{
+		Seed: 11, DurationSec: 4,
+		Pattern: Pattern{Kind: Steady, RPS: 3000},
+		Mix:     []MixEntry{{Kind: KindPredict, Weight: 1}},
+		Tenants: 100, ZipfS: 1.1,
+	}
+	sched, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := DefaultKnobs()
+	k.QueueDepth = 32
+
+	k.ShedThreshold = 0.5
+	withShed, err := replaySim(cfg, k, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.ShedThreshold = 0
+	noShed, err := replaySim(cfg, k, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withShed.Shed == 0 {
+		t.Fatal("overloaded run with threshold 0.5 shed nothing")
+	}
+	if noShed.Shed != 0 {
+		t.Fatalf("threshold 0 shed %d requests", noShed.Shed)
+	}
+	if noShed.Rejected == 0 {
+		t.Error("threshold 0 under overload produced no hard rejects")
+	}
+}
+
+// TestEpochInvalidation: control traffic bumps epochs and the cache still
+// earns hits between bumps on a hot-tenant mix.
+func TestEpochInvalidation(t *testing.T) {
+	rep, err := Run(matrixConfigs()["burst-mixed-control"], DefaultKnobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs == 0 {
+		t.Fatal("mixed run produced no epoch bumps")
+	}
+	if rep.Epochs != rep.Absorbs+rep.Catalogs {
+		t.Fatalf("epochs %d != absorbs %d + catalogs %d", rep.Epochs, rep.Absorbs, rep.Catalogs)
+	}
+	if rep.CacheHits == 0 {
+		t.Error("hot-tenant run earned no cache hits")
+	}
+}
+
+// TestBestAndCapacityPlan exercises the tuner surface end to end on a small
+// grid: Best returns a meeting cell when one exists, and the capacity plan is
+// monotone in offered load.
+func TestBestAndCapacityPlan(t *testing.T) {
+	cfg := Config{
+		Seed: 5, DurationSec: 5,
+		Pattern: Pattern{Kind: Steady, RPS: 300},
+		Mix:     DefaultMix(),
+		Tenants: 1000, ZipfS: 1.1,
+	}
+	cells, err := Sweep(cfg, TunerConfig{
+		TargetP99MS: 200,
+		Queues:      []int{64, 256},
+		Batches:     []int{16},
+		Sheds:       []float64{0},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyMeets := false
+	for _, c := range cells {
+		anyMeets = anyMeets || c.Meets
+	}
+	if anyMeets && !best.Meets {
+		t.Fatal("Best skipped a meeting cell")
+	}
+	for _, c := range cells {
+		if c.Meets && c.Report.GoodRPS > best.Report.GoodRPS {
+			t.Fatalf("Best missed higher goodput: %v > %v", c.Report.GoodRPS, best.Report.GoodRPS)
+		}
+	}
+
+	plan, err := CapacityPlan(cfg, best.Knobs, 200, []float64{100, 10000, 1000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NodeCapacityRPS <= 0 {
+		t.Fatalf("node capacity %v", plan.NodeCapacityRPS)
+	}
+	prev := 0
+	for _, row := range plan.Rows {
+		if row.Nodes < 1 || row.Nodes < prev {
+			t.Fatalf("plan not monotone: %+v", plan.Rows)
+		}
+		prev = row.Nodes
+		want := int(math.Ceil(row.OfferedRPS / (plan.NodeCapacityRPS * plan.Headroom)))
+		if want < 1 {
+			want = 1
+		}
+		if row.Nodes != want {
+			t.Fatalf("row %+v: want %d nodes", row, want)
+		}
+	}
+}
+
+// TestParseConfigRejects pins the strict-parse boundary the fuzz target
+// hammers.
+func TestParseConfigRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":          `{{`,
+		"unknown field":     `{"seed":1,"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":1,"zipf_s":0,"bogus":1}`,
+		"trailing garbage":  `{"seed":1,"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":1,"zipf_s":0} extra`,
+		"nan rate":          `{"duration_sec":1,"pattern":{"kind":"steady","rps":null},"mix":[{"kind":"predict","weight":1}],"tenants":1}`,
+		"negative duration": `{"duration_sec":-3,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":1}`,
+		"empty mix":         `{"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[],"tenants":1}`,
+		"duplicate mix":     `{"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1},{"kind":"predict","weight":1}],"tenants":1}`,
+		"zero-weight mix":   `{"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":0}],"tenants":1}`,
+		"unknown kind":      `{"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"teleport","weight":1}],"tenants":1}`,
+		"unknown pattern":   `{"duration_sec":1,"pattern":{"kind":"wobble","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":1}`,
+		"unknown app":       `{"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":1,"apps":["NoSuch-app"]}`,
+		"zero tenants":      `{"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":0}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseConfig([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good := `{"seed":1,"duration_sec":1,"pattern":{"kind":"steady","rps":10},"mix":[{"kind":"predict","weight":1}],"tenants":5,"zipf_s":1.1}`
+	cfg, err := ParseConfig([]byte(good))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if cfg.Pattern.RPS != 10 || cfg.Tenants != 5 {
+		t.Fatalf("parsed config mangled: %+v", cfg)
+	}
+}
+
+// TestRenderReportDeterministic renders a miniature report twice and compares
+// bytes — the in-process version of the `make loadgen-report` double-run diff.
+func TestRenderReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report render sweeps the tuner grid")
+	}
+	spec := ReportSpec{
+		Seed:        1,
+		TargetP99MS: 100,
+		Loads:       []float64{200, 800},
+		PlanLoads:   []float64{1000, 1000000},
+		DurationSec: 5,
+		Tenants:     500,
+		ZipfS:       1.1,
+	}
+	a, err := RenderReport(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.EvalWorkers = 16
+	b, err := RenderReport(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("report bytes differ across runs/worker counts")
+	}
+	for _, want := range []string{"steady", "diurnal", "burst", "ramp", "Winner:", "nodes"} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

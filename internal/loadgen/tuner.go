@@ -1,0 +1,250 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"vesta/internal/parallel"
+)
+
+// TunerConfig bounds the admission auto-tuner's sweep.
+type TunerConfig struct {
+	// TargetP99MS is the latency objective ("P99 < X ms").
+	TargetP99MS float64
+	// Queues, Batches, Sheds enumerate the grid; empty slices take the
+	// defaults below.
+	Queues  []int
+	Batches []int
+	Sheds   []float64
+	// Workers is the modeled per-node pool (constant across the grid);
+	// <= 0 takes DefaultKnobs().Workers.
+	Workers int
+	// TimeoutMS and CacheSize carry into every cell; <= 0 take defaults.
+	TimeoutMS float64
+	CacheSize int
+}
+
+// Default grid: queue depth spans an order of magnitude around the serve
+// default, batch sizes bracket the dispatcher default, shed thresholds span
+// off / early / late / full-only.
+var (
+	defaultQueues  = []int{64, 256, 1024}
+	defaultBatches = []int{8, 16, 32}
+	defaultSheds   = []float64{0, 0.5, 0.9}
+)
+
+func (tc TunerConfig) fill() TunerConfig {
+	def := DefaultKnobs()
+	if len(tc.Queues) == 0 {
+		tc.Queues = defaultQueues
+	}
+	if len(tc.Batches) == 0 {
+		tc.Batches = defaultBatches
+	}
+	if len(tc.Sheds) == 0 {
+		tc.Sheds = defaultSheds
+	}
+	if tc.Workers <= 0 {
+		tc.Workers = def.Workers
+	}
+	if tc.TimeoutMS <= 0 {
+		tc.TimeoutMS = def.TimeoutMS
+	}
+	if tc.CacheSize <= 0 {
+		tc.CacheSize = def.CacheSize
+	}
+	return tc
+}
+
+// Cell is one tuner grid point and its outcome.
+type Cell struct {
+	Knobs  Knobs
+	Report *Report
+	// P99 is the goodput P99 (ms) — the objective surface.
+	P99 float64
+	// Meets reports whether the cell satisfies the target with a healthy
+	// error budget (sheds+rejects+cancels+timeouts <= 1% of offered load).
+	Meets bool
+}
+
+// Sweep evaluates the full (queue, batch, shed) grid against one traffic
+// config. The schedule is generated once and replayed per cell; cells fan
+// out on the parallel pool at evalWorkers — results are byte-identical at
+// every value (grid order is fixed, each cell is a pure function of
+// (cfg, knobs)).
+func Sweep(cfg Config, tc TunerConfig, evalWorkers int) ([]Cell, error) {
+	tc = tc.fill()
+	sched, err := Schedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var grid []Knobs
+	for _, q := range tc.Queues {
+		for _, b := range tc.Batches {
+			for _, s := range tc.Sheds {
+				grid = append(grid, Knobs{
+					QueueDepth:    q,
+					BatchSize:     b,
+					Workers:       tc.Workers,
+					ShedThreshold: s,
+					TimeoutMS:     tc.TimeoutMS,
+					CacheSize:     tc.CacheSize,
+				})
+			}
+		}
+	}
+	cells, err := parallel.MapErr(evalWorkers, len(grid), func(i int) (Cell, error) {
+		rep, err := replaySim(cfg, grid[i], sched)
+		if err != nil {
+			return Cell{}, err
+		}
+		return newCell(grid[i], rep, tc.TargetP99MS), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// errorBudget is the tolerated non-goodput fraction of offered load for a
+// cell (or capacity probe) to count as meeting the objective.
+const errorBudget = 0.01
+
+func newCell(k Knobs, rep *Report, targetP99 float64) Cell {
+	p99 := rep.Hist.Quantile(0.99)
+	bad := rep.Shed + rep.Rejected + rep.Canceled + rep.Timeout
+	meets := p99 <= targetP99 && float64(bad) <= errorBudget*float64(rep.Offered)
+	return Cell{Knobs: k, Report: rep, P99: p99, Meets: meets}
+}
+
+// Best picks the winning cell: among cells meeting the target, the highest
+// goodput (ties: lower P99, then smaller queue, batch, shed in grid order —
+// cheapest configuration wins). With no cell meeting the target it falls
+// back to the lowest P99 (ties: higher goodput). Deterministic: pure
+// function of the cell slice.
+func Best(cells []Cell) (Cell, error) {
+	if len(cells) == 0 {
+		return Cell{}, fmt.Errorf("loadgen: empty sweep")
+	}
+	best := -1
+	for i, c := range cells {
+		if !c.Meets {
+			continue
+		}
+		if best < 0 || better(c, cells[best]) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return cells[best], nil
+	}
+	// Nothing meets the target: report the least-bad latency, breaking ties
+	// by goodput so a strictly more productive cell at the same P99 wins.
+	best = 0
+	for i := 1; i < len(cells); i++ {
+		c, b := cells[i], cells[best]
+		if c.P99 < b.P99 || (c.P99 == b.P99 && c.Report.GoodRPS > b.Report.GoodRPS) {
+			best = i
+		}
+	}
+	return cells[best], nil
+}
+
+func better(a, b Cell) bool {
+	if a.Report.GoodRPS != b.Report.GoodRPS {
+		return a.Report.GoodRPS > b.Report.GoodRPS
+	}
+	if a.P99 != b.P99 {
+		return a.P99 < b.P99
+	}
+	return false // earlier grid cell (smaller knobs) keeps winning ties
+}
+
+// Plan is a capacity plan: how many nodes a fleet needs for each offered
+// load so that per-node P99 stays under the target.
+type Plan struct {
+	// TargetP99MS is the latency objective the plan holds.
+	TargetP99MS float64
+	// Knobs is the per-node configuration the plan assumes (the tuner's
+	// winning cell).
+	Knobs Knobs
+	// NodeCapacityRPS is the maximum steady per-node offered load meeting
+	// the objective within the error budget.
+	NodeCapacityRPS float64
+	// Headroom is the utilization fraction the node count is provisioned at
+	// (0.8: a node is planned to carry 80% of its measured capacity).
+	Headroom float64
+	// Rows maps each requested fleet load to a node count.
+	Rows []PlanRow
+}
+
+// PlanRow is one capacity-plan line: M req/s needs Nodes nodes.
+type PlanRow struct {
+	OfferedRPS float64
+	Nodes      int
+}
+
+// planHeadroom is the provisioning margin: capacity is de-rated 20% so
+// diurnal peaks and failover surges don't immediately violate the target.
+const planHeadroom = 0.8
+
+// CapacityPlan bisects the steady-state per-node capacity under knobs (the
+// largest offered RPS whose P99 meets the target within the error budget)
+// and sizes a fleet for each requested load. The probe traffic reuses cfg's
+// seed, mix, tenants, and skew at a fixed 30-second steady pattern, so the
+// plan is a pure function of (cfg, knobs, target, loads).
+func CapacityPlan(cfg Config, k Knobs, targetP99MS float64, loads []float64) (*Plan, error) {
+	if !finitePos(targetP99MS) {
+		return nil, fmt.Errorf("loadgen: target P99 %v ms (want finite > 0)", targetP99MS)
+	}
+	probe := func(rps float64) (bool, error) {
+		pc := cfg
+		pc.DurationSec = 30
+		pc.Pattern = Pattern{Kind: Steady, RPS: rps}
+		rep, err := Run(pc, k)
+		if err != nil {
+			return false, err
+		}
+		c := newCell(k, rep, targetP99MS)
+		return c.Meets, nil
+	}
+	// Bracket then bisect in log space: 40 fixed iterations pin the result
+	// deterministically to well under 1% of capacity.
+	lo, hi := 1.0, 1e6
+	okLo, err := probe(lo)
+	if err != nil {
+		return nil, err
+	}
+	if !okLo {
+		return nil, fmt.Errorf("loadgen: node cannot meet P99 %.1f ms even at %.0f req/s", targetP99MS, lo)
+	}
+	for i := 0; i < 40 && hi/lo > 1.005; i++ {
+		mid := math.Sqrt(lo * hi)
+		ok, err := probe(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	plan := &Plan{
+		TargetP99MS:     targetP99MS,
+		Knobs:           k,
+		NodeCapacityRPS: lo,
+		Headroom:        planHeadroom,
+	}
+	for _, m := range loads {
+		if !finitePos(m) {
+			return nil, fmt.Errorf("loadgen: plan load %v req/s (want finite > 0)", m)
+		}
+		nodes := int(math.Ceil(m / (lo * planHeadroom)))
+		if nodes < 1 {
+			nodes = 1
+		}
+		plan.Rows = append(plan.Rows, PlanRow{OfferedRPS: m, Nodes: nodes})
+	}
+	return plan, nil
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitQueueDepth polls Stats until the admission queue holds want tasks.
+func waitQueueDepth(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if d := s.Stats().QueueDepth; d >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached depth %d (at %d)", want, s.Stats().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverloadContract pins the overload behaviour end to end over HTTP: a
+// burst beyond queue capacity answers 503 with Retry-After for both the
+// priority shed and the hard queue-full reject, no request is ever dropped
+// without a response, and the /stats counters reconcile exactly with the
+// offered load.
+func TestOverloadContract(t *testing.T) {
+	gate := newGate()
+	s := newTestServer(t, Config{
+		Workers:       1,
+		QueueSize:     4,
+		BatchSize:     1,
+		ShedThreshold: 0.5, // shed best-effort once 2 of 4 slots are taken
+		NoCache:       true,
+		MeterFor:      gate.meterFor,
+	})
+	t.Cleanup(gate.open)
+	handler := s.Handler()
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body)))
+		return rec
+	}
+
+	// One request occupies the dispatcher (blocked inside the gate), then
+	// premium traffic fills the queue to the shed threshold.
+	results := make(chan error, 8)
+	blockingPredicts := 0
+	predictAsync := func(ctx context.Context, app string) {
+		blockingPredicts++
+		go func() {
+			_, err := s.PredictBytes(ctx, Request{App: app})
+			results <- err
+		}()
+	}
+	predictAsync(context.Background(), "Spark-lr")
+	<-gate.entered
+	predictAsync(context.Background(), "Spark-grep")
+	predictAsync(context.Background(), "Spark-sort")
+	waitQueueDepth(t, s, 2)
+
+	// Best-effort traffic is now shed: 503, Retry-After, stable error code.
+	shedRec := post(`{"app":"Spark-kmeans","priority":1}`)
+	if shedRec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed status = %d, want 503 (body %s)", shedRec.Code, shedRec.Body)
+	}
+	if shedRec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed 503 missing Retry-After")
+	}
+	var shedBody struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(shedRec.Body.Bytes(), &shedBody); err != nil || shedBody.Code != "queue_full" {
+		t.Fatalf("shed body = %s (err %v), want code queue_full", shedRec.Body, err)
+	}
+
+	// Premium traffic still admits past the shed gate until the queue is
+	// hard-full...
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	predictAsync(cancelCtx, "Spark-bayes")
+	predictAsync(context.Background(), "Spark-pca")
+	waitQueueDepth(t, s, 4)
+
+	// ...then premium gets the hard queue-full 503, same contract.
+	rejectRec := post(`{"app":"Spark-count"}`)
+	if rejectRec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("reject status = %d, want 503", rejectRec.Code)
+	}
+	if rejectRec.Header().Get("Retry-After") == "" {
+		t.Fatal("reject 503 missing Retry-After")
+	}
+
+	// Cancel one queued request: its slot drains unserved (the canceled
+	// counter), its caller still gets an answer (ctx.Err).
+	cancel()
+
+	// Release the dispatcher and collect every outstanding response: zero
+	// dropped-without-response is the contract.
+	gate.open()
+	var good, canceled int
+	for i := 0; i < blockingPredicts; i++ {
+		select {
+		case err := <-results:
+			switch {
+			case err == nil:
+				good++
+			case errors.Is(err, context.Canceled):
+				canceled++
+			default:
+				t.Fatalf("unexpected predict error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("request dropped without a response (%d/%d answered)", i, blockingPredicts)
+		}
+	}
+	if good != blockingPredicts-1 || canceled != 1 {
+		t.Fatalf("good=%d canceled=%d, want %d/1", good, canceled, blockingPredicts-1)
+	}
+
+	// The server must finish skipping the canceled task before its counter
+	// shows up (the caller's ctx.Err answer races the dispatcher's skip).
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Canceled == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Counter reconciliation against offered load, via the public /stats
+	// endpoint: requests == served + shed + rejected, canceled tracked too.
+	statsRec := httptest.NewRecorder()
+	handler.ServeHTTP(statsRec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if statsRec.Code != http.StatusOK {
+		t.Fatalf("/stats status = %d", statsRec.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(statsRec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("/stats body: %v", err)
+	}
+	offered := int64(blockingPredicts + 2) // + shed + reject over HTTP
+	if st.Requests != offered {
+		t.Fatalf("stats.requests = %d, want %d", st.Requests, offered)
+	}
+	if st.Shed != 1 || st.QueueRejects != 1 || st.Canceled != 1 {
+		t.Fatalf("shed/rejects/canceled = %d/%d/%d, want 1/1/1", st.Shed, st.QueueRejects, st.Canceled)
+	}
+	answered := int64(good) + st.Shed + st.QueueRejects + int64(canceled)
+	if answered != offered {
+		t.Fatalf("answered %d != offered %d", answered, offered)
+	}
+}
+
+// TestShedDisabledAndPremiumBypass: with ShedThreshold 0 nothing sheds, and
+// with it on, premium (priority 0) requests are never shed — they ride to the
+// hard queue bound.
+func TestShedDisabledAndPremiumBypass(t *testing.T) {
+	gate := newGate()
+	s := newTestServer(t, Config{
+		Workers:       1,
+		QueueSize:     2,
+		BatchSize:     1,
+		ShedThreshold: 0.5,
+		NoCache:       true,
+		MeterFor:      gate.meterFor,
+	})
+	t.Cleanup(gate.open)
+
+	res := make(chan error, 4)
+	go func() {
+		_, err := s.PredictBytes(context.Background(), Request{App: "Spark-lr"})
+		res <- err
+	}()
+	<-gate.entered
+	go func() {
+		_, err := s.PredictBytes(context.Background(), Request{App: "Spark-grep"})
+		res <- err
+	}()
+	waitQueueDepth(t, s, 1)
+
+	// Occupancy 1/2 >= threshold: best-effort sheds, premium still admits.
+	if _, err := s.PredictBytes(context.Background(), Request{App: "Spark-sort", Priority: 1}); !errors.Is(err, ErrShed) {
+		t.Fatalf("best-effort err = %v, want ErrShed", err)
+	}
+	go func() {
+		_, err := s.PredictBytes(context.Background(), Request{App: "Spark-sort"})
+		res <- err
+	}()
+	waitQueueDepth(t, s, 2)
+	// Queue hard-full: premium now gets the plain reject, not a shed.
+	_, err := s.PredictBytes(context.Background(), Request{App: "Spark-count"})
+	if !errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShed) {
+		t.Fatalf("premium at full queue: %v, want bare ErrQueueFull", err)
+	}
+	st := s.Stats()
+	if st.Shed != 1 || st.QueueRejects != 1 {
+		t.Fatalf("shed/rejects = %d/%d, want 1/1", st.Shed, st.QueueRejects)
+	}
+	gate.open()
+	for i := 0; i < 3; i++ {
+		if err := <-res; err != nil {
+			t.Fatalf("queued request failed: %v", err)
+		}
+	}
+}
+
+// TestPriorityValidation: negative priorities fail validation before
+// admission; the field never changes response bytes.
+func TestPriorityValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if _, err := s.PredictBytes(context.Background(), Request{App: "Spark-lr", Priority: -1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("negative priority err = %v, want ErrBadRequest", err)
+	}
+	a, err := s.PredictBytes(context.Background(), Request{App: "Spark-lr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.PredictBytes(context.Background(), Request{App: "Spark-lr", Priority: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("priority changed response bytes")
+	}
+}
+
+// TestShedThresholdValidation: New rejects thresholds outside [0, 1].
+func TestShedThresholdValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5} {
+		if _, err := New(testSnapshot(t), Config{ShedThreshold: bad}); err == nil {
+			t.Errorf("ShedThreshold %v accepted", bad)
+		}
+	}
+}

@@ -64,6 +64,11 @@ var (
 	// ErrQueueFull is returned when the admission queue is at capacity; the
 	// caller should back off and retry (HTTP 503 with a Retry-After hint).
 	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrShed is returned when a best-effort request (Priority >= 1) is
+	// refused because queue occupancy crossed Config.ShedThreshold. It wraps
+	// ErrQueueFull so clients and handlers that already match the 503
+	// back-off contract keep working; the Stats counter tells them apart.
+	ErrShed = fmt.Errorf("%w: shed best-effort traffic", ErrQueueFull)
 	// ErrShuttingDown is returned for requests admitted after Close began;
 	// already-queued requests still drain to completion.
 	ErrShuttingDown = errors.New("serve: server shutting down")
@@ -106,6 +111,13 @@ type Config struct {
 	Workers int
 	// QueueSize bounds the admission queue; default 256.
 	QueueSize int
+	// ShedThreshold enables priority-aware load shedding: a best-effort
+	// request (Request.Priority >= 1) is rejected with ErrShed once queue
+	// occupancy reaches this fraction of QueueSize, keeping headroom for
+	// premium (Priority 0) traffic during overload. 0 disables shedding
+	// (every request competes for the full queue); values outside [0, 1]
+	// are rejected by New.
+	ShedThreshold float64
 	// BatchSize bounds how many queued requests one dispatch drains into a
 	// single parallel batch; default 16.
 	BatchSize int
@@ -189,6 +201,11 @@ type Request struct {
 	// Top bounds the ranking entries in the response; 0 takes 10, values
 	// beyond the catalog return the full ranking.
 	Top int `json:"top,omitempty"`
+	// Priority classes the request for admission control only: 0 is premium,
+	// >= 1 is best-effort and eligible for shedding under Config.ShedThreshold.
+	// The response body is independent of Priority (it is not part of the
+	// cache identity); negative values fail validation.
+	Priority int `json:"priority,omitempty"`
 }
 
 // fingerprint is the cache identity of a resolved request. Float bits are
@@ -259,12 +276,16 @@ type Stats struct {
 	CacheLen     int     `json:"cache_len"`
 	QueueDepth   int     `json:"queue_depth"`
 	QueueRejects int64   `json:"queue_rejects"`
-	Batches      int64   `json:"batches"`
-	MaxBatch     int64   `json:"max_batch"`
-	Canceled     int64   `json:"canceled"`
-	Swaps        int64   `json:"swaps"`
-	Epoch        uint64  `json:"epoch"`
-	Workloads    int     `json:"workloads"`
+	// Shed counts best-effort requests refused by the priority shed gate
+	// (Config.ShedThreshold) — disjoint from QueueRejects, which counts hard
+	// queue-full rejections.
+	Shed      int64  `json:"shed"`
+	Batches   int64  `json:"batches"`
+	MaxBatch  int64  `json:"max_batch"`
+	Canceled  int64  `json:"canceled"`
+	Swaps     int64  `json:"swaps"`
+	Epoch     uint64 `json:"epoch"`
+	Workloads int    `json:"workloads"`
 	// CatalogVersion is the published snapshot's catalog version;
 	// CatalogUpdates counts catalog updates absorbed this session.
 	CatalogVersion uint64 `json:"catalog_version"`
@@ -331,7 +352,7 @@ type Server struct {
 	profiles *profileLRU
 
 	requests, hits, misses, rejects, batches, maxBatch, swaps atomic.Int64
-	canceled, walAppends, coalesced, catalogUpdates           atomic.Int64
+	canceled, walAppends, coalesced, catalogUpdates, shed     atomic.Int64
 }
 
 // flight is one in-progress miss computation. The owner fills body/err and
@@ -346,6 +367,9 @@ type flight struct {
 func New(snap *core.Snapshot, cfg Config) (*Server, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("serve: nil snapshot")
+	}
+	if math.IsNaN(cfg.ShedThreshold) || cfg.ShedThreshold < 0 || cfg.ShedThreshold > 1 {
+		return nil, fmt.Errorf("serve: shed threshold %v (want [0, 1])", cfg.ShedThreshold)
 	}
 	cfg.fillDefaults()
 	s := &Server{
@@ -622,6 +646,9 @@ func (s *Server) resolve(req Request) (Request, workload.App, error) {
 	if req.Top < 0 {
 		return req, workload.App{}, fmt.Errorf("%w: top %d", ErrBadRequest, req.Top)
 	}
+	if req.Priority < 0 {
+		return req, workload.App{}, fmt.Errorf("%w: priority %d", ErrBadRequest, req.Priority)
+	}
 	app, err := workload.ByName(req.App)
 	if err != nil {
 		return req, workload.App{}, fmt.Errorf("%w: %q", ErrUnknownApp, req.App)
@@ -701,6 +728,7 @@ func (s *Server) Stats() Stats {
 		Coalesced:      s.coalesced.Load(),
 		QueueDepth:     len(s.queue),
 		QueueRejects:   s.rejects.Load(),
+		Shed:           s.shed.Load(),
 		Batches:        s.batches.Load(),
 		MaxBatch:       s.maxBatch.Load(),
 		Canceled:       s.canceled.Load(),
@@ -739,6 +767,18 @@ func (s *Server) enqueue(t *task) error {
 	defer s.closeMu.RUnlock()
 	if s.draining {
 		return ErrShuttingDown
+	}
+	// Priority shed gate: refuse best-effort traffic before the queue is
+	// hard-full so premium requests keep finding slots under overload. The
+	// occupancy read is advisory (len on a live channel) — the hard bound
+	// below still holds regardless.
+	if s.cfg.ShedThreshold > 0 && t.req.Priority > 0 &&
+		float64(len(s.queue)) >= s.cfg.ShedThreshold*float64(s.cfg.QueueSize) {
+		s.shed.Add(1)
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Count("serve.shed", 1)
+		}
+		return ErrShed
 	}
 	select {
 	case s.queue <- t:
