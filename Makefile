@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash replicate-chaos replicate-report catalog-transfer loadgen loadgen-report
+.PHONY: tier1 test vet build bench-parallel report chaos trace lint bench-obs cover fuzz bench-serve bench-predict crash replicate-chaos replicate-report catalog-transfer loadgen loadgen-report rollout-chaos
 
 # tier1 is the required pre-merge gate: vet, build, and the full test suite
 # under the race detector (the parallel evaluation engine's determinism
@@ -67,11 +67,11 @@ chaos:
 	git diff --exit-code results/robustness.md
 
 # cover enforces the coverage ratchet: total statement coverage must not
-# fall below COVER_MIN (set slightly under the measured total — 76.4% when
+# fall below COVER_MIN (set slightly under the measured total — 76.8% when
 # the floor was last ratcheted; raise it as coverage grows, never lower it).
 # On failure (and success) it prints the per-package table so the package
 # that dragged the total down is visible without rerunning anything.
-COVER_MIN ?= 75.0
+COVER_MIN ?= 76.0
 cover:
 	$(GO) test -coverprofile=coverage.out -timeout 30m ./...
 	@echo "statement coverage by package:"; \
@@ -92,6 +92,7 @@ fuzz:
 	$(GO) test ./internal/store -run xxx -fuzz FuzzTraceCSV -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bipartite -run xxx -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/loadgen -run xxx -fuzz FuzzLoadgenConfig -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rollout -run xxx -fuzz FuzzRolloutManifest -fuzztime $(FUZZTIME)
 
 # loadgen is the load-generator determinism smoke (DESIGN.md §15): a quick
 # single run and tuner sweep exercise the CLI modes, then the full
@@ -154,6 +155,22 @@ replicate-chaos:
 # contract, so gated behind an env var rather than run in tier1).
 replicate-report:
 	VESTA_REPLICATE_REPORT=1 $(GO) test ./internal/replicate -run TestReplicateReport -v -timeout 20m
+
+# rollout-chaos runs the health-gated rollout convergence matrix
+# (DESIGN.md §16): every chaos plan (stage faults, health flaps, golden
+# replay regressions at canary/partial/full) against a 3-follower fleet,
+# the coordinator crash-resume sweep at every journaled decision point, the
+# HTTP control-plane round trip, the long-poll edge cases (wait expiry,
+# client disconnect, server-side cap, parked-stats responsiveness), and the
+# CLI rollout command. Included in tier1 via the normal test run; this
+# target isolates it for fast iteration on the rollout layer.
+rollout-chaos:
+	$(GO) test -race ./internal/chaos -run TestRolloutPlan
+	$(GO) test -race -timeout 20m ./internal/rollout
+	$(GO) test -race ./internal/wal -run 'TestJournal|TestManagerInstall'
+	$(GO) test -race ./internal/serve -run 'TestStage|TestRollout'
+	$(GO) test -race ./internal/replicate -run 'TestFetchWait|TestFollowerRunWait|TestFollowerPauses|TestLeaderInstall|TestStatsResponsive'
+	$(GO) test -race ./internal/cli -run TestRolloutCommand
 
 # catalog-transfer regenerates the committed cross-provider transfer
 # experiment (EC2-trained knowledge ranking the Azure/GCP catalogs absorbed

@@ -1,0 +1,91 @@
+// Rollout fault injection: the staged fleet-upgrade coordinator
+// (internal/rollout) promotes a candidate version across followers in stages
+// and gates every stage on health probes plus a golden predict replay. A
+// RolloutPlan decides — deterministically, as a pure function of (node index,
+// stage) — which of those staging attempts, health probes, or replay
+// comparisons fail, and at which WAL-recorded decision the coordinator
+// process itself dies.
+//
+// The model mirrors NetPlan: an enumerable schedule instead of a random
+// process, so the rollout convergence matrix can replay every
+// kill-mid-upgrade / partition-during-canary / gate-flap combination and
+// assert the fleet ends byte-identical on exactly one version. Stages and
+// decision indices are 1-based so "the first" is addressable; 0 disables a
+// clause.
+package chaos
+
+import "errors"
+
+// ErrStageFault marks an injected staging failure (the candidate never
+// reaches the node — a partitioned or crashed upgrade push). Callers match
+// with errors.Is.
+var ErrStageFault = errors.New("chaos: injected staging failure")
+
+// ErrCoordinatorKilled marks the injected coordinator crash: the rollout
+// process dies immediately after journaling a decision, before acting on it.
+var ErrCoordinatorKilled = errors.New("chaos: injected coordinator crash")
+
+// NodeStage addresses one (node, stage) cell of a rollout: the clause fires
+// when the named node is acted on during the given promotion stage.
+type NodeStage struct {
+	// Node is the 0-based follower index in the coordinator's fleet order.
+	Node int
+	// Stage is the 1-based promotion stage (1 = canary). 0 disables.
+	Stage int
+}
+
+// RolloutPlan is a deterministic rollout-fault schedule. The zero plan
+// injects nothing. Decisions depend only on the plan and the (node, stage)
+// pair — never on wall-clock time or goroutine schedule — so a matrix sweep
+// over plans is exactly reproducible.
+type RolloutPlan struct {
+	// StageFails lists the (node, stage) cells whose candidate staging fails
+	// (the push never lands; the node keeps serving the incumbent).
+	StageFails []NodeStage
+	// HealthFails lists the (node, stage) cells whose health probe fails
+	// during the gate — a node that staged fine but then flaps.
+	HealthFails []NodeStage
+	// ReplayFails lists the (node, stage) cells whose golden predict replay
+	// deviates beyond any budget — the model regression a liveness probe
+	// cannot see.
+	ReplayFails []NodeStage
+	// KillCoordinatorAt is the 1-based journal decision index immediately
+	// after which the coordinator process dies (0: never). The crash lands
+	// between journaling a decision and acting on it — the worst point — and
+	// the resumed coordinator must reach the same terminal state.
+	KillCoordinatorAt int
+}
+
+// matches reports whether any clause addresses (node, stage).
+func matches(cells []NodeStage, node, stage int) bool {
+	for _, c := range cells {
+		if c.Node == node && c.Stage == stage && c.Stage > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// StageFailed reports whether node's staging during stage is injected to
+// fail. Stages are 1-based.
+func (p RolloutPlan) StageFailed(node, stage int) bool {
+	return matches(p.StageFails, node, stage)
+}
+
+// HealthFailed reports whether node's health probe during stage's gate is
+// injected to fail.
+func (p RolloutPlan) HealthFailed(node, stage int) bool {
+	return matches(p.HealthFails, node, stage)
+}
+
+// ReplayFailed reports whether node's golden replay during stage's gate is
+// injected to deviate beyond budget.
+func (p RolloutPlan) ReplayFailed(node, stage int) bool {
+	return matches(p.ReplayFails, node, stage)
+}
+
+// CoordinatorKilled reports whether the coordinator dies immediately after
+// journaling decision index (1-based).
+func (p RolloutPlan) CoordinatorKilled(decision int) bool {
+	return p.KillCoordinatorAt > 0 && decision == p.KillCoordinatorAt
+}

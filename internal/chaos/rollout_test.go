@@ -1,0 +1,57 @@
+package chaos
+
+import "testing"
+
+func TestRolloutPlanZero(t *testing.T) {
+	var p RolloutPlan
+	for node := 0; node < 4; node++ {
+		for stage := 0; stage <= 4; stage++ {
+			if p.StageFailed(node, stage) || p.HealthFailed(node, stage) || p.ReplayFailed(node, stage) {
+				t.Fatalf("zero plan injected a fault at node %d stage %d", node, stage)
+			}
+		}
+	}
+	for d := 0; d <= 10; d++ {
+		if p.CoordinatorKilled(d) {
+			t.Fatalf("zero plan killed the coordinator at decision %d", d)
+		}
+	}
+}
+
+func TestRolloutPlanCells(t *testing.T) {
+	p := RolloutPlan{
+		StageFails:  []NodeStage{{Node: 1, Stage: 2}},
+		HealthFails: []NodeStage{{Node: 0, Stage: 1}, {Node: 0, Stage: 3}},
+		ReplayFails: []NodeStage{{Node: 2, Stage: 3}},
+	}
+	if !p.StageFailed(1, 2) || p.StageFailed(1, 1) || p.StageFailed(2, 2) {
+		t.Fatal("StageFailed cell addressing wrong")
+	}
+	// The same node can flap at two different stages (gate-flap schedule).
+	if !p.HealthFailed(0, 1) || !p.HealthFailed(0, 3) || p.HealthFailed(0, 2) {
+		t.Fatal("HealthFailed cell addressing wrong")
+	}
+	if !p.ReplayFailed(2, 3) || p.ReplayFailed(2, 1) {
+		t.Fatal("ReplayFailed cell addressing wrong")
+	}
+}
+
+func TestRolloutPlanStageZeroDisabled(t *testing.T) {
+	// Stage 0 never fires: stages are 1-based and 0 disables the clause, so
+	// a zero-valued NodeStage cannot accidentally address anything.
+	p := RolloutPlan{HealthFails: []NodeStage{{Node: 0, Stage: 0}}}
+	for stage := 0; stage <= 3; stage++ {
+		if p.HealthFailed(0, stage) {
+			t.Fatalf("disabled (stage 0) clause fired at stage %d", stage)
+		}
+	}
+}
+
+func TestRolloutPlanKillCoordinator(t *testing.T) {
+	p := RolloutPlan{KillCoordinatorAt: 3}
+	for d := 1; d <= 6; d++ {
+		if got, want := p.CoordinatorKilled(d), d == 3; got != want {
+			t.Fatalf("CoordinatorKilled(%d) = %v, want %v", d, got, want)
+		}
+	}
+}

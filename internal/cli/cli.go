@@ -11,6 +11,7 @@
 //	vesta predict  -knowledge K -app A         predict the best VM for a target
 //	vesta serve    -knowledge K -addr HOST:P   serve predictions over HTTP/JSON
 //	vesta route    -backends URL1,URL2,...     front a replicated serving fleet
+//	vesta rollout  -leader URL -candidate F    health-gated staged fleet upgrade
 //
 // serve accepts -state-dir DIR to make absorbed serving state durable: every
 // POST /absorb is write-ahead logged and fsynced before it is published,
@@ -18,9 +19,14 @@
 // SIGINT/SIGTERM drain in-flight requests then write a final checkpoint
 // (DESIGN.md §11). With -replicate a serve node is a replication leader
 // (followers sync WAL frames from GET /replicate/frames); with -follow URL it
-// is a read-only follower replaying that leader. route consistent-hashes
-// predict traffic across follower backends, probes their /healthz, and fails
-// over with bounded retries + jittered backoff (DESIGN.md §13).
+// is a read-only follower replaying that leader (push-style long-poll
+// streaming by default; -long-poll 0 falls back to interval polling). route
+// consistent-hashes predict traffic across follower backends, probes their
+// /healthz, and fails over with bounded retries + jittered backoff
+// (DESIGN.md §13). rollout promotes an encoded candidate snapshot across the
+// fleet in health-gated stages with automatic rollback and a journaled,
+// crash-resumable decision log (DESIGN.md §16); the fleet must run with
+// -rollout to expose the control plane.
 //
 // profile and predict accept -fault-rate R and -retries N to rehearse the
 // pipeline under deterministic infrastructure fault injection (spot
@@ -89,6 +95,8 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		err = cmdServe(f, args[1:])
 	case "route":
 		err = cmdRoute(f, args[1:])
+	case "rollout":
+		err = cmdRollout(f, args[1:])
 	case "loadgen":
 		err = cmdLoadgen(f, args[1:])
 	case "heatmap":
@@ -139,6 +147,7 @@ subcommands:
   predict     predict the best VM type for a target workload
   serve       serve predictions concurrently over HTTP/JSON
   route       front a replicated serving fleet (consistent hashing + failover)
+  rollout     health-gated staged fleet upgrade with automatic rollback
   loadgen     deterministic open-loop load generation, admission tuning, capacity plans
   heatmap     render a budget heat map for an application (Figure 1 style)
   inspect     render a profiling run's metric trace (sparklines + phases)

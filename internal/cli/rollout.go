@@ -1,0 +1,196 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/rollout"
+	"vesta/internal/wal"
+)
+
+// maxRolloutInputBytes bounds the candidate and manifest files cmdRollout
+// reads; a candidate snapshot is a few MB, a manifest a few hundred bytes.
+const maxRolloutInputBytes = 256 << 20
+
+// cmdRollout drives a health-gated staged upgrade across a serving fleet
+// (DESIGN.md §16): canary -> partial -> full follower waves, each gated on
+// health probes plus a golden predict replay against the incumbent, then a
+// leader-first commit — or an automatic fleet-wide rollback on the first
+// failed gate. Every decision is journaled before it is acted on, so
+// re-running the command with the same -journal resumes a crashed rollout
+// deterministically.
+func cmdRollout(f *Factory, args []string) error {
+	fs := flag.NewFlagSet("rollout", flag.ContinueOnError)
+	fs.SetOutput(f.Err)
+	leaderURL := fs.String("leader", "", "leader base URL (required; the node must run 'vesta serve -rollout')")
+	followersFlag := fs.String("followers", "", "comma-separated follower base URLs, staged in this order (each must run with -rollout)")
+	candidateFile := fs.String("candidate", "", "raw encoded candidate snapshot file (one of -candidate / -candidate-knowledge is required)")
+	candKnow := fs.String("candidate-knowledge", "", "knowledge file from 'vesta profile' to promote; encoded locally under -seed/-multicloud, which must match the fleet's serve flags")
+	seed := fs.Uint64("seed", 1, "snapshot seed used when encoding -candidate-knowledge (must match the fleet's 'serve -seed')")
+	multicloud := fs.Bool("multicloud", false, "encode -candidate-knowledge against the multi-cloud catalog (must match the fleet's 'serve -multicloud')")
+	manifestFile := fs.String("manifest", "", "rollout manifest JSON (promotion stages + gate budgets); empty takes the defaults: canary then full, 5% deviation budget, 90% best-VM agreement")
+	journalPath := fs.String("journal", "rollout.journal", "decision journal path; an existing journal resumes the rollout it records")
+	version := fs.String("version", "", "candidate version name (default: manifest version, else sha256 of the candidate bytes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *leaderURL == "" {
+		return fmt.Errorf("rollout: -leader is required")
+	}
+	var candidate []byte
+	switch {
+	case *candidateFile != "" && *candKnow != "":
+		return fmt.Errorf("rollout: -candidate and -candidate-knowledge are mutually exclusive")
+	case *candidateFile != "":
+		data, err := readLimited(f, *candidateFile)
+		if err != nil {
+			return fmt.Errorf("rollout: reading candidate: %w", err)
+		}
+		candidate = data
+	case *candKnow != "":
+		data, err := encodeKnowledge(f, *candKnow, *seed, *multicloud)
+		if err != nil {
+			return fmt.Errorf("rollout: encoding candidate from %s: %w", *candKnow, err)
+		}
+		candidate = data
+	default:
+		return fmt.Errorf("rollout: -candidate or -candidate-knowledge is required")
+	}
+	manifest := rollout.Manifest{}
+	if *manifestFile != "" {
+		data, err := readLimited(f, *manifestFile)
+		if err != nil {
+			return fmt.Errorf("rollout: reading manifest: %w", err)
+		}
+		manifest, err = rollout.ParseManifest(data)
+		if err != nil {
+			return err
+		}
+	}
+
+	leader, err := rolloutNode("leader", *leaderURL)
+	if err != nil {
+		return err
+	}
+	var followers []rollout.Node
+	if *followersFlag != "" {
+		for i, raw := range strings.Split(*followersFlag, ",") {
+			n, err := rolloutNode(fmt.Sprintf("follower-%d", i), strings.TrimSpace(raw))
+			if err != nil {
+				return err
+			}
+			followers = append(followers, n)
+		}
+	}
+
+	journal, prior, err := wal.OpenJournal(*journalPath, nil)
+	if err != nil {
+		return err
+	}
+	defer journal.Close()
+	if len(prior) > 0 {
+		fmt.Fprintf(f.Out, "journal %s holds %d decisions; resuming that rollout\n", *journalPath, len(prior))
+	}
+
+	c, err := rollout.New(rollout.Config{
+		Manifest:  manifest,
+		Candidate: candidate,
+		Version:   *version,
+		Leader:    leader,
+		Followers: followers,
+		Journal:   journal,
+		Prior:     prior,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(f.Out, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f.Out, "rolling out %s to %d followers behind leader %s\n",
+		c.Version(), len(followers), *leaderURL)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	out, err := c.Run(ctx)
+	if err != nil {
+		return fmt.Errorf("%w (journal %s holds the resume point; re-run the same command to continue)", err, *journalPath)
+	}
+	if out.Committed {
+		fmt.Fprintf(f.Out, "rollout %s committed fleet-wide (%d decisions journaled)\n", out.Version, out.Decisions)
+		return nil
+	}
+	// A rollback is a *successful* defense, but the exit code must tell CI
+	// the candidate did not ship.
+	fmt.Fprintf(f.Out, "rollout %s rolled back (%d decisions journaled)\n", out.Version, out.Decisions)
+	return fmt.Errorf("rollout: %s rolled back: %s", out.Version, out.Reason)
+}
+
+// encodeKnowledge loads a profile-produced knowledge file and returns its
+// epoch-0 snapshot encoding — the wire form a fleet node's /rollout/stage
+// decodes against its own base. Seed and catalog must match the fleet's
+// serve flags or the staged snapshot's predictions diverge from intent.
+func encodeKnowledge(f *Factory, path string, seed uint64, multicloud bool) ([]byte, error) {
+	catalog := cloud.Catalog120()
+	if multicloud {
+		catalog = cloud.MultiCloud()
+	}
+	sys, err := core.New(core.Config{Seed: seed}, catalog)
+	if err != nil {
+		return nil, err
+	}
+	kf, err := f.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer kf.Close()
+	if err := sys.LoadKnowledge(kf); err != nil {
+		return nil, err
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// rolloutNode validates one base URL and wraps it as a fleet node.
+func rolloutNode(name, raw string) (rollout.Node, error) {
+	u, err := url.Parse(raw)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("rollout: bad node URL %q (want e.g. http://127.0.0.1:8372)", raw)
+	}
+	return rollout.NewHTTPNode(name, raw), nil
+}
+
+// readLimited slurps one input file through the factory seam with a sanity
+// cap.
+func readLimited(f *Factory, path string) ([]byte, error) {
+	r, err := f.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	data, err := io.ReadAll(io.LimitReader(r, maxRolloutInputBytes))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == maxRolloutInputBytes {
+		return nil, fmt.Errorf("%s: larger than the %d-byte cap", path, maxRolloutInputBytes)
+	}
+	return data, nil
+}

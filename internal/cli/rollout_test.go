@@ -1,0 +1,247 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"vesta/internal/cloud"
+	"vesta/internal/core"
+	"vesta/internal/serve"
+)
+
+// fakeFleetNode is a scripted rollout backend: healthy, a fixed predict
+// answer, and counters on the control verbs. The coordinator never decodes
+// the candidate, so the staged bytes can be anything.
+type fakeFleetNode struct {
+	best                    string
+	stages, commits, revert atomic.Int64
+	staged                  atomic.Bool
+}
+
+func (n *fakeFleetNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","epoch":0}`)
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"best":%q,"ranking":[{"vm":"m4.xlarge","predicted_sec":100},{"vm":"c4.xlarge","predicted_sec":120}]}`, n.best)
+	})
+	mux.HandleFunc("POST /rollout/stage", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Version  string `json:"version"`
+			Snapshot []byte `json:"snapshot"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || len(body.Snapshot) == 0 {
+			http.Error(w, "bad stage body", http.StatusBadRequest)
+			return
+		}
+		n.stages.Add(1)
+		n.staged.Store(true)
+		fmt.Fprint(w, `{}`)
+	})
+	mux.HandleFunc("POST /rollout/commit", func(w http.ResponseWriter, r *http.Request) {
+		n.commits.Add(1)
+		n.staged.Store(false)
+		fmt.Fprint(w, `{}`)
+	})
+	mux.HandleFunc("POST /rollout/revert", func(w http.ResponseWriter, r *http.Request) {
+		n.revert.Add(1)
+		n.staged.Store(false)
+		fmt.Fprint(w, `{}`)
+	})
+	return mux
+}
+
+func TestRolloutCommandErrors(t *testing.T) {
+	if code, _, stderr := run("rollout"); code != 1 || !strings.Contains(stderr, "-leader is required") {
+		t.Fatalf("missing -leader: exit=%d stderr=%q", code, stderr)
+	}
+	if code, _, stderr := run("rollout", "-leader", "http://x"); code != 1 ||
+		!strings.Contains(stderr, "-candidate or -candidate-knowledge is required") {
+		t.Fatalf("missing -candidate: exit=%d stderr=%q", code, stderr)
+	}
+	if code, _, stderr := run("rollout", "-leader", "http://x", "-candidate", "a", "-candidate-knowledge", "b"); code != 1 ||
+		!strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("candidate conflict: exit=%d stderr=%q", code, stderr)
+	}
+	dir := t.TempDir()
+	cand := filepath.Join(dir, "cand.bin")
+	if err := os.WriteFile(cand, []byte("opaque-candidate"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := run("rollout", "-leader", "not a url", "-candidate", cand); code != 1 ||
+		!strings.Contains(stderr, "bad node URL") {
+		t.Fatalf("bad leader URL: exit=%d stderr=%q", code, stderr)
+	}
+	bad := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(bad, []byte(`{"stages":[2,1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := run("rollout", "-leader", "http://127.0.0.1:1", "-candidate", cand,
+		"-manifest", bad, "-journal", filepath.Join(dir, "j")); code != 1 ||
+		!strings.Contains(stderr, "strictly increasing") {
+		t.Fatalf("bad manifest: exit=%d stderr=%q", code, stderr)
+	}
+}
+
+// TestRolloutCommand drives `vesta rollout` end to end against scripted
+// backends: a clean commit (exit 0, every node staged then committed), then
+// a divergent canary that rolls the fleet back (exit 1, reverts issued).
+func TestRolloutCommand(t *testing.T) {
+	dir := t.TempDir()
+	cand := filepath.Join(dir, "cand.bin")
+	if err := os.WriteFile(cand, []byte("opaque-candidate-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(manifest, []byte(`{"stages":[1],"golden_requests":4,"gate_timeout_sec":30}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	newFleet := func(bests ...string) (leader *fakeFleetNode, followers []*fakeFleetNode, urls []string) {
+		t.Helper()
+		leader = &fakeFleetNode{best: "m4.xlarge"}
+		lts := httptest.NewServer(leader.handler())
+		t.Cleanup(lts.Close)
+		urls = append(urls, lts.URL)
+		for _, b := range bests {
+			n := &fakeFleetNode{best: b}
+			ts := httptest.NewServer(n.handler())
+			t.Cleanup(ts.Close)
+			followers = append(followers, n)
+			urls = append(urls, ts.URL)
+		}
+		return leader, followers, urls
+	}
+
+	leader, followers, urls := newFleet("m4.xlarge", "m4.xlarge")
+	code, stdout, stderr := run("rollout",
+		"-leader", urls[0],
+		"-followers", urls[1]+","+urls[2],
+		"-candidate", cand,
+		"-manifest", manifest,
+		"-version", "v7",
+		"-journal", filepath.Join(dir, "commit.journal"))
+	if code != 0 {
+		t.Fatalf("clean rollout exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "rollout v7 committed fleet-wide") {
+		t.Fatalf("commit banner missing: %q", stdout)
+	}
+	if leader.commits.Load() != 1 || leader.stages.Load() != 1 {
+		t.Fatalf("leader stages=%d commits=%d, want 1/1", leader.stages.Load(), leader.commits.Load())
+	}
+	for i, fo := range followers {
+		if fo.stages.Load() != 1 || fo.commits.Load() != 1 || fo.revert.Load() != 0 {
+			t.Fatalf("follower %d stages=%d commits=%d reverts=%d",
+				i, fo.stages.Load(), fo.commits.Load(), fo.revert.Load())
+		}
+	}
+
+	// A canary whose best-VM disagrees with the incumbent on every golden
+	// request blows the agreement floor: automatic rollback, nonzero exit.
+	leader, followers, urls = newFleet("z9.mega", "m4.xlarge")
+	code, stdout, stderr = run("rollout",
+		"-leader", urls[0],
+		"-followers", urls[1]+","+urls[2],
+		"-candidate", cand,
+		"-manifest", manifest,
+		"-version", "v8",
+		"-journal", filepath.Join(dir, "rollback.journal"))
+	if code != 1 || !strings.Contains(stderr, "rolled back") {
+		t.Fatalf("divergent rollout exit=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "rollout v8 rolled back") || !strings.Contains(stdout, "gate stage=1 pass=false") {
+		t.Fatalf("rollback narration missing: %q", stdout)
+	}
+	if leader.commits.Load() != 0 {
+		t.Fatal("rolled-back rollout committed the leader")
+	}
+	for i, fo := range followers {
+		if fo.commits.Load() != 0 || fo.revert.Load() != 1 {
+			t.Fatalf("follower %d commits=%d reverts=%d after rollback",
+				i, fo.commits.Load(), fo.revert.Load())
+		}
+	}
+}
+
+// TestRolloutCandidateKnowledge proves the -candidate-knowledge path end to
+// end: a knowledge file from `vesta profile` is encoded locally and staged
+// onto real rollout-enabled serve nodes, whose gates compare the candidate's
+// own predictions — same knowledge, so the golden replay must pass and the
+// fleet commits.
+func TestRolloutCandidateKnowledge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full offline phase is expensive")
+	}
+	dir := t.TempDir()
+	kfile := filepath.Join(dir, "k.json")
+	if code, _, stderr := run("profile", "-out", kfile, "-k", "9"); code != 0 {
+		t.Fatalf("profile exit=%d stderr=%q", code, stderr)
+	}
+	load := func() *core.Snapshot {
+		t.Helper()
+		sys, err := core.New(core.Config{Seed: 1}, cloud.Catalog120())
+		if err != nil {
+			t.Fatal(err)
+		}
+		kf, err := os.Open(kfile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kf.Close()
+		if err := sys.LoadKnowledge(kf); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := sys.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	node := func(readOnly bool) (*serve.Server, string) {
+		t.Helper()
+		snap := load()
+		srv, err := serve.New(snap, serve.Config{
+			Workers: 1, QueueSize: 64, ReadOnly: readOnly,
+			RolloutControl: true, DecodeBase: snap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		return srv, ts.URL
+	}
+	leader, leaderURL := node(false)
+	follower, followerURL := node(true)
+
+	code, stdout, stderr := run("rollout",
+		"-leader", leaderURL,
+		"-followers", followerURL,
+		"-candidate-knowledge", kfile,
+		"-version", "retrained",
+		"-journal", filepath.Join(dir, "k.journal"))
+	if code != 0 {
+		t.Fatalf("rollout exit=%d stderr=%q stdout=%q", code, stderr, stdout)
+	}
+	if !strings.Contains(stdout, "rollout retrained committed fleet-wide") {
+		t.Fatalf("commit banner missing: %q", stdout)
+	}
+	for i, srv := range []*serve.Server{leader, follower} {
+		if got := srv.CommittedVersion(); got != "retrained" {
+			t.Fatalf("node %d committed version %q, want retrained", i, got)
+		}
+		if v := srv.StagedVersion(); v != "" {
+			t.Fatalf("node %d still staged at %q", i, v)
+		}
+	}
+}

@@ -29,7 +29,8 @@ func cmdRoute(f *Factory, args []string) error {
 	backendsFlag := fs.String("backends", "", "comma-separated follower base URLs (required)")
 	vnodes := fs.Int("vnodes", 64, "ring points per backend (hash smoothing)")
 	retries := fs.Int("retries", 2, "failover attempts after the first backend fails")
-	probeInterval := fs.Duration("probe-interval", time.Second, "health probe period")
+	probeInterval := fs.Duration("probe-interval", time.Second, "health probe period: how often every backend's /healthz is re-checked; an unhealthy backend rejoins the ring at the next passing probe")
+	probeTimeout := fs.Duration("probe-timeout", 5*time.Second, "per-probe timeout: a /healthz answer slower than this marks the backend unhealthy until a later probe passes. Note: a backend shedding load answers /predict 503 with Retry-After yet stays probe-healthy — Retry-After steers client backoff, not ring membership")
 	seed := fs.Uint64("seed", 1, "retry-jitter seed")
 	tracePath := fs.String("trace", "", "write trace records to this JSONL file on shutdown")
 	verbose := fs.Bool("v", false, "stream verbose progress to stderr")
@@ -41,11 +42,17 @@ func cmdRoute(f *Factory, args []string) error {
 	}
 	tracer := f.Tracer(*tracePath, *verbose)
 	router, err := replicate.NewRouter(replicate.RouterConfig{
-		Backends: strings.Split(*backendsFlag, ","),
-		Vnodes:   *vnodes,
-		Retries:  *retries,
-		Seed:     *seed,
-		Tracer:   tracer,
+		Backends:     strings.Split(*backendsFlag, ","),
+		Vnodes:       *vnodes,
+		Retries:      *retries,
+		Seed:         *seed,
+		ProbeTimeout: *probeTimeout,
+		Tracer:       tracer,
+		// Probe transitions (health flips, staged rollout versions, follower
+		// replication counters) are operator signal, not debug chatter.
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(f.Err, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err

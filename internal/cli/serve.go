@@ -52,7 +52,9 @@ func cmdServe(f *Factory, args []string) error {
 	multicloud := fs.Bool("multicloud", false, "select across all provider catalogs (EC2+Azure+GCP, 215 types); rankings project the trained knowledge onto the wider catalog")
 	replicateFlag := fs.Bool("replicate", false, "run as replication leader: mount GET /replicate/* so followers can sync (DESIGN.md §13)")
 	follow := fs.String("follow", "", "run as read-only follower replaying this leader URL (e.g. http://127.0.0.1:8372)")
-	syncInterval := fs.Duration("sync-interval", 500*time.Millisecond, "follower sync poll interval (used with -follow)")
+	syncInterval := fs.Duration("sync-interval", 500*time.Millisecond, "follower retry interval after an error or pause; with -long-poll 0 also the poll period (used with -follow)")
+	longPoll := fs.Duration("long-poll", 25*time.Second, "push-style frame streaming: followers park a GET /replicate/frames?wait=D this long and the leader releases them on append, cutting follower lag from the poll interval to ~RTT; 0 falls back to -sync-interval polling. As leader, also the server-side cap on client wait budgets")
+	rolloutCtl := fs.Bool("rollout", false, "mount the POST /rollout/{stage,commit,revert} + GET /rollout/status control plane so a 'vesta rollout' coordinator can drive staged upgrades of this node")
 	tracePath := fs.String("trace", "", "write deterministic trace records to this JSONL file on shutdown")
 	verbose := fs.Bool("v", false, "stream verbose progress (batch shapes, wall timings) to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +87,10 @@ func cmdServe(f *Factory, args []string) error {
 	if err != nil {
 		return err
 	}
+	// The epoch-0 knowledge snapshot is the decode basis for rollout
+	// candidates and replicated frames, even after WAL recovery replaces the
+	// served snapshot below.
+	baseSnap := snap
 
 	var mgr *wal.Manager
 	var durable serve.WriteAheadLog
@@ -111,7 +117,7 @@ func cmdServe(f *Factory, args []string) error {
 	// acked records become the follower stream.
 	var leader *replicate.Leader
 	if *replicateFlag {
-		leader, err = replicate.NewLeader(snap, durable, replicate.LeaderConfig{Tracer: tracer})
+		leader, err = replicate.NewLeader(snap, durable, replicate.LeaderConfig{Tracer: tracer, MaxWait: *longPoll})
 		if err != nil {
 			return err
 		}
@@ -132,11 +138,18 @@ func cmdServe(f *Factory, args []string) error {
 		Tracer:           tracer,
 		WAL:              durable,
 		ReadOnly:         *follow != "",
+		RolloutControl:   *rolloutCtl,
+		DecodeBase:       baseSnap,
 	})
 	if err != nil {
 		return err
 	}
 	defer server.Close() // idempotent; covers the early-error returns below
+	if leader != nil {
+		// Leader-side replication counters (waiters parked in long polls,
+		// ack/horizon) surface on /stats and /healthz.
+		server.SetReplicationStats(func() any { return leader.LeaderStats() })
+	}
 	fmt.Fprintf(f.Out, "serving knowledge from %s (epoch %d, %d workloads) on http://%s\n",
 		*knowledgeFile, snap.Epoch(), snap.Workloads(), *addr)
 	handler := server.Handler()
@@ -153,6 +166,9 @@ func cmdServe(f *Factory, args []string) error {
 		fmt.Fprintf(f.Out, "following %s every %s\n", *follow, *syncInterval)
 	default:
 		fmt.Fprintf(f.Out, "endpoints: POST /predict, POST /absorb, POST+GET /catalog, GET /healthz, GET /stats\n")
+	}
+	if *rolloutCtl {
+		fmt.Fprintf(f.Out, "rollout control: POST /rollout/{stage,commit,revert}, GET /rollout/status (drive with 'vesta rollout')\n")
 	}
 	// Production timeouts: slow-loris reads are cut at 30s, responses must
 	// flush within 90s (above the 60s in-handler predict deadline, so the
@@ -176,11 +192,17 @@ func cmdServe(f *Factory, args []string) error {
 		if err != nil {
 			return err
 		}
+		// The follower's sync counters (transient fetch failures, frames
+		// applied, rollout pauses) surface on this node's own /stats and
+		// /healthz, so routers and operators see replication health without
+		// reaching the leader.
+		server.SetReplicationStats(func() any { return follower.Stats() })
 		go func() {
-			// Run returns only on ctx done (nil) or terminal divergence; a
-			// diverged follower keeps serving its last verified snapshot but
-			// stops advancing, and the operator rebuilds it.
-			if err := follower.Run(ctx, *syncInterval); err != nil {
+			// RunWait returns only on ctx done (nil) or terminal divergence;
+			// a diverged follower keeps serving its last verified snapshot
+			// but stops advancing, and the operator rebuilds it. With
+			// -long-poll 0 it degrades to -sync-interval polling.
+			if err := follower.RunWait(ctx, *longPoll, *syncInterval); err != nil {
 				fmt.Fprintf(f.Err, "vesta: follower diverged: %v\n", err)
 			}
 		}()

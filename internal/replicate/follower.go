@@ -26,6 +26,16 @@ type Transport interface {
 	Fetch(from uint64) (*Batch, error)
 }
 
+// WaitTransport is a Transport that also supports push-style long-poll
+// fetches: FetchWait parks at the leader until an append lands or the wait
+// budget expires, cutting follower lag from the polling interval to roughly
+// one round trip. *Leader and HTTPTransport implement it; a follower run
+// with RunWait uses it when available and falls back to plain Fetch.
+type WaitTransport interface {
+	Transport
+	FetchWait(ctx context.Context, from uint64, wait time.Duration) (*Batch, error)
+}
+
 // HTTPTransport syncs from a leader's /replicate/frames endpoint.
 type HTTPTransport struct {
 	// URL is the leader's base URL (e.g. http://127.0.0.1:8372).
@@ -36,12 +46,35 @@ type HTTPTransport struct {
 
 // Fetch implements Transport.
 func (t *HTTPTransport) Fetch(from uint64) (*Batch, error) {
+	return t.fetch(context.Background(), from, 0)
+}
+
+// FetchWait implements WaitTransport: the wait budget rides the query string
+// (&wait=D) and the leader parks the request server-side. The per-call HTTP
+// timeout is the budget plus headroom, so a healthy long poll is never cut
+// off by the client while parked.
+func (t *HTTPTransport) FetchWait(ctx context.Context, from uint64, wait time.Duration) (*Batch, error) {
+	return t.fetch(ctx, from, wait)
+}
+
+func (t *HTTPTransport) fetch(ctx context.Context, from uint64, wait time.Duration) (*Batch, error) {
 	client := t.Client
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		timeout := 30 * time.Second
+		if wait > 0 {
+			timeout = wait + 30*time.Second
+		}
+		client = &http.Client{Timeout: timeout}
 	}
 	url := fmt.Sprintf("%s/replicate/frames?from=%d", strings.TrimRight(t.URL, "/"), from)
-	resp, err := client.Get(url)
+	if wait > 0 {
+		url += "&wait=" + wait.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("replicate: building fetch %s: %w", url, err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("replicate: fetch %s: %w", url, err)
 	}
@@ -93,6 +126,29 @@ func (t *FaultTransport) Round() int {
 
 // Fetch implements Transport.
 func (t *FaultTransport) Fetch(from uint64) (*Batch, error) {
+	if b, err := t.fault(from); b != nil || err != nil {
+		return b, err
+	}
+	return t.Inner.Fetch(from)
+}
+
+// FetchWait implements WaitTransport: the fault schedule applies per round
+// exactly as for Fetch, and un-faulted rounds forward to the inner
+// transport's FetchWait when it has one.
+func (t *FaultTransport) FetchWait(ctx context.Context, from uint64, wait time.Duration) (*Batch, error) {
+	if b, err := t.fault(from); b != nil || err != nil {
+		return b, err
+	}
+	if wt, ok := t.Inner.(WaitTransport); ok {
+		return wt.FetchWait(ctx, from, wait)
+	}
+	return t.Inner.Fetch(from)
+}
+
+// fault advances the round counter and applies the schedule: a partitioned
+// round returns the error, a lagged round returns its empty batch, and an
+// un-faulted round returns (nil, nil) — forward to the inner transport.
+func (t *FaultTransport) fault(from uint64) (*Batch, error) {
 	t.mu.Lock()
 	t.round++
 	r := t.round
@@ -105,7 +161,7 @@ func (t *FaultTransport) Fetch(from uint64) (*Batch, error) {
 		// progress, exactly as if the leader had nothing new.
 		return &Batch{From: from, Ack: from}, nil
 	}
-	return t.Inner.Fetch(from)
+	return nil, nil
 }
 
 // FollowerStats is a point-in-time view of a follower's replication state.
@@ -117,7 +173,13 @@ type FollowerStats struct {
 	// Bootstraps counts full-snapshot installs.
 	Bootstraps int64 `json:"bootstraps"`
 	// Failures counts retryable transport errors (partitions, timeouts).
+	// Terminal divergences set Broken instead; this counter is the
+	// "transient fetch errors" signal routers and operators watch.
 	Failures int64 `json:"failures"`
+	// Paused counts sync rounds skipped (or cut short) because the server
+	// had a rollout candidate staged: replication holds still while the node
+	// serves an uncommitted version and resumes when the stage resolves.
+	Paused int64 `json:"paused"`
 	// Epoch is the follower's published consistency token.
 	Epoch uint64 `json:"epoch"`
 	// LeaderAck is the leader's last acked epoch as of the last good sync.
@@ -131,14 +193,18 @@ type FollowerStats struct {
 }
 
 // Follower replays the leader's stream into a read-only serve.Server. One
-// sync loop per server; SyncOnce serializes internally.
+// sync loop per server; sync rounds serialize on syncMu. Counters live under
+// mu, which is never held across network I/O — a follower parked in a long
+// poll (RunWait) still answers Stats() immediately, so the /stats and
+// /healthz surfaces it feeds stay responsive to router probes.
 type Follower struct {
 	server *serve.Server
 	base   *core.Snapshot
 	tr     Transport
 	tracer *obs.Tracer
 
-	mu     sync.Mutex
+	syncMu sync.Mutex // serializes sync rounds end to end, fetch included
+	mu     sync.Mutex // guards broken + stats; fast, never held while parked
 	broken error
 	stats  FollowerStats
 }
@@ -214,26 +280,72 @@ func (f *Follower) tokenErr(snap *core.Snapshot) error {
 // timeouts) are retryable and only counted; verification failures are
 // terminal — the follower breaks and refuses further syncs.
 func (f *Follower) SyncOnce() (int, error) {
+	n, _, err := f.syncRound(context.Background(), 0)
+	return n, err
+}
+
+// SyncWait is SyncOnce through the transport's long-poll arm (WaitTransport)
+// with the given wait budget; a transport without one falls back to a plain
+// fetch.
+func (f *Follower) SyncWait(ctx context.Context, wait time.Duration) (int, error) {
+	n, _, err := f.syncRound(ctx, wait)
+	return n, err
+}
+
+// syncRound is the shared body of SyncOnce/SyncWait. The middle return
+// reports a paused round: the server has a rollout candidate staged, so the
+// round applied nothing and the caller should back off instead of spinning.
+func (f *Follower) syncRound(ctx context.Context, wait time.Duration) (int, bool, error) {
+	f.syncMu.Lock()
+	defer f.syncMu.Unlock()
+	f.mu.Lock()
+	if f.broken != nil {
+		err := f.broken
+		f.mu.Unlock()
+		return 0, false, err
+	}
+	if f.pausedLocked() {
+		f.mu.Unlock()
+		return 0, true, nil
+	}
+	f.mu.Unlock()
+	cur := f.server.Snapshot().Epoch()
+	// The fetch — which may park at the leader for the whole wait budget —
+	// runs outside f.mu so Stats() (and the /healthz it feeds) never blocks
+	// behind a parked long poll.
+	var b *Batch
+	var err error
+	if wt, ok := f.tr.(WaitTransport); ok && wait > 0 {
+		b, err = wt.FetchWait(ctx, cur, wait)
+	} else {
+		b, err = f.tr.Fetch(cur)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.broken != nil {
-		return 0, f.broken
-	}
-	cur := f.server.Snapshot().Epoch()
-	b, err := f.tr.Fetch(cur)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Shutdown (or an abandoned round), not network weather: report
+			// without counting a failure or breaking.
+			return 0, false, ctx.Err()
+		}
 		if isTerminal(err) {
-			return 0, f.failClosed(err)
+			return 0, false, f.failClosed(err)
 		}
 		f.stats.Failures++
 		if f.tracer.Enabled() {
 			f.tracer.Count("replicate.sync_failures", 1)
 		}
-		return 0, err
+		return 0, false, err
 	}
 	applied, err := f.applyLocked(cur, b)
 	if err != nil {
-		return applied, f.failClosed(err)
+		if errors.Is(err, serve.ErrStaged) {
+			// The server staged a candidate between the fetch and the replay:
+			// drop the batch (the leader still has it) and hold still.
+			f.countPauseLocked()
+			return 0, true, nil
+		}
+		return applied, false, f.failClosed(err)
 	}
 	f.stats.Syncs++
 	f.stats.Applied += int64(applied)
@@ -245,7 +357,23 @@ func (f *Follower) SyncOnce() (int, error) {
 			f.tracer.Count("replicate.applied", int64(applied))
 		}
 	}
-	return applied, nil
+	return applied, false, nil
+}
+
+// pausedLocked reports (and counts) a staged server. Caller holds f.mu.
+func (f *Follower) pausedLocked() bool {
+	if f.server.StagedVersion() == "" {
+		return false
+	}
+	f.countPauseLocked()
+	return true
+}
+
+func (f *Follower) countPauseLocked() {
+	f.stats.Paused++
+	if f.tracer.Enabled() {
+		f.tracer.Count("replicate.paused", 1)
+	}
 }
 
 // isTerminal classifies a transport error: divergence sentinels are
@@ -260,6 +388,11 @@ func (f *Follower) applyLocked(cur uint64, b *Batch) (int, error) {
 		return 0, fmt.Errorf("%w: leader ack %d behind follower token %d", ErrDiverged, b.Ack, cur)
 	}
 	if len(b.Snapshot) > 0 {
+		if v := f.server.StagedVersion(); v != "" {
+			// A rollout candidate landed between the fetch and the replay:
+			// installing a bootstrap now would clobber the staged version.
+			return 0, fmt.Errorf("%w (version %q): bootstrap deferred", serve.ErrStaged, v)
+		}
 		snap, err := core.DecodeSnapshot(bytes.NewReader(b.Snapshot), f.base.Config(), f.base.Catalog())
 		if err != nil {
 			return 0, fmt.Errorf("%w: undecodable bootstrap: %v", ErrBadStream, err)
@@ -309,6 +442,9 @@ func (f *Follower) applyLocked(cur uint64, b *Batch) (int, error) {
 		switch rec.Kind {
 		case wal.KindAbsorb:
 			if err := f.server.Absorb(rec.Name, rec.LabelWeights, rec.PrunedVec); err != nil {
+				if errors.Is(err, serve.ErrStaged) {
+					return applied, err // paused mid-batch, not diverged
+				}
 				return applied, fmt.Errorf("%w: replaying epoch %d workload %q: %v",
 					ErrDiverged, rec.Epoch, rec.Name, err)
 			}
@@ -318,6 +454,9 @@ func (f *Follower) applyLocked(cur uint64, b *Batch) (int, error) {
 					ErrBadStream, rec.Epoch)
 			}
 			if err := f.server.AbsorbCatalog(*rec.Catalog); err != nil {
+				if errors.Is(err, serve.ErrStaged) {
+					return applied, err
+				}
 				return applied, fmt.Errorf("%w: replaying epoch %d catalog update: %v",
 					ErrDiverged, rec.Epoch, err)
 			}
@@ -352,6 +491,39 @@ func (f *Follower) Run(ctx context.Context, interval time.Duration) error {
 		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
+		}
+	}
+}
+
+// RunWait is the push-style replication loop: each round long-polls the
+// leader with the given wait budget, so a caught-up follower applies a new
+// append roughly one round trip after the leader acks it instead of waiting
+// out a polling interval. Rounds that cannot make progress — transport
+// errors, a staged rollout candidate, a transport without long-poll support —
+// back off by retry (default 500ms) so the loop never spins; productive
+// rounds chain immediately, the long poll itself being the pacing.
+func (f *Follower) RunWait(ctx context.Context, wait, retry time.Duration) error {
+	if wait <= 0 {
+		return f.Run(ctx, retry)
+	}
+	if retry <= 0 {
+		retry = 500 * time.Millisecond
+	}
+	_, hasWait := f.tr.(WaitTransport)
+	for {
+		_, paused, err := f.syncRound(ctx, wait)
+		if err != nil && f.Broken() != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if paused || err != nil || !hasWait {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(retry):
+			}
 		}
 	}
 }

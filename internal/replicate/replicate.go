@@ -34,12 +34,14 @@ package replicate
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"vesta/internal/cloud"
 	"vesta/internal/core"
@@ -90,6 +92,11 @@ type LeaderConfig struct {
 	// bootstraps. Default 1024, negative keeps nothing (every sync that is
 	// not already caught up bootstraps).
 	MaxTail int
+	// MaxWait caps how long a FetchWait long-poll parks server-side,
+	// whatever the client asked for; default 25 seconds. The cap bounds how
+	// many goroutines a slow or malicious client can hold open and keeps the
+	// poll comfortably inside common proxy idle timeouts.
+	MaxWait time.Duration
 	// Tracer receives the replication counters (replicate.appends,
 	// replicate.batches, replicate.bootstraps).
 	Tracer *obs.Tracer
@@ -110,6 +117,11 @@ type LeaderStats struct {
 	Bootstraps int64 `json:"bootstraps"`
 	// FramesShipped counts records shipped inside frame batches.
 	FramesShipped int64 `json:"frames_shipped"`
+	// Waiters is the number of long-poll fetches currently parked waiting
+	// for the next append (a gauge, not a counter).
+	Waiters int64 `json:"waiters"`
+	// LongPolls counts FetchWait calls that actually parked.
+	LongPolls int64 `json:"long_polls"`
 }
 
 // Leader owns absorbs for a replicated fleet. It implements
@@ -126,6 +138,8 @@ type Leader struct {
 	inner  serve.WriteAheadLog
 	tracer *obs.Tracer
 
+	maxWait time.Duration
+
 	mu      sync.Mutex
 	ack     uint64
 	horizon uint64 // epoch before the first retained record
@@ -133,6 +147,10 @@ type Leader struct {
 	snap    *core.Snapshot // latest committed snapshot, the bootstrap image
 	maxTail int
 	stats   LeaderStats
+	// notify is closed (and replaced) whenever the ack advances or the
+	// retained state is replaced wholesale: the broadcast that wakes every
+	// parked FetchWait.
+	notify chan struct{}
 }
 
 // NewLeader builds a leader over the serving snapshot start (epoch = the
@@ -144,13 +162,18 @@ func NewLeader(start *core.Snapshot, inner serve.WriteAheadLog, cfg LeaderConfig
 	if cfg.MaxTail == 0 {
 		cfg.MaxTail = 1024
 	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 25 * time.Second
+	}
 	return &Leader{
 		inner:   inner,
 		tracer:  cfg.Tracer,
+		maxWait: cfg.MaxWait,
 		ack:     start.Epoch(),
 		horizon: start.Epoch(),
 		snap:    start,
 		maxTail: cfg.MaxTail,
+		notify:  make(chan struct{}),
 	}, nil
 }
 
@@ -206,9 +229,16 @@ func (l *Leader) retainLocked(rec wal.Record) {
 		l.horizon++
 	}
 	l.ack = rec.Epoch
+	l.wakeLocked()
 	if l.tracer.Enabled() {
 		l.tracer.Count("replicate.appends", 1)
 	}
+}
+
+// wakeLocked broadcasts progress to every parked FetchWait. Caller holds l.mu.
+func (l *Leader) wakeLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
 }
 
 // Committed implements serve.WriteAheadLog: retain the published snapshot as
@@ -299,11 +329,104 @@ func (l *Leader) Fetch(from uint64) (*Batch, error) {
 	return &Batch{From: from, Ack: l.ack, Frames: frames}, nil
 }
 
+// FetchWait is Fetch with push-style delivery: when the follower is already
+// caught up (from == ack) the call parks until the next append lands, the
+// wait budget expires, or ctx is canceled — cutting follower lag from the
+// polling interval to roughly one round trip. Expiry returns an empty
+// caught-up batch (never an error: an idle leader is healthy); cancellation
+// returns ctx.Err() after releasing the waiter slot. The wait budget is
+// capped server-side at the leader's MaxWait.
+func (l *Leader) FetchWait(ctx context.Context, from uint64, wait time.Duration) (*Batch, error) {
+	if wait > l.maxWait {
+		wait = l.maxWait
+	}
+	if wait <= 0 {
+		return l.Fetch(from)
+	}
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		l.mu.Lock()
+		if from != l.ack {
+			// Behind (frames or bootstrap), or ahead (divergence): Fetch
+			// answers immediately either way.
+			l.mu.Unlock()
+			return l.Fetch(from)
+		}
+		ch := l.notify
+		l.stats.Waiters++
+		if timer == nil {
+			l.stats.LongPolls++
+			if l.tracer.Enabled() {
+				l.tracer.Count("replicate.long_polls", 1)
+			}
+			timer = time.NewTimer(wait)
+		}
+		l.mu.Unlock()
+		release := func() {
+			l.mu.Lock()
+			l.stats.Waiters--
+			l.mu.Unlock()
+		}
+		select {
+		case <-ch:
+			release()
+			// Progress happened; loop to ship it (or re-park on a spurious
+			// wholesale-install wake that left the ack unchanged).
+		case <-timer.C:
+			release()
+			return l.Fetch(from) // caught-up empty batch
+		case <-ctx.Done():
+			release()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Install implements serve.CheckpointInstaller for staged-upgrade commits
+// (DESIGN.md §16): the candidate snapshot replaces the leader's retained
+// replication state wholesale — ack and horizon jump to its epoch, the frame
+// tail clears, and it becomes the bootstrap image — after the inner WAL (when
+// it supports installation) has made it the durable state. Followers still
+// holding the old version find their token below the new horizon on the next
+// sync and bootstrap straight to the candidate.
+func (l *Leader) Install(snap *core.Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("replicate: install nil snapshot")
+	}
+	if inst, ok := l.inner.(serve.CheckpointInstaller); ok {
+		if err := inst.Install(snap); err != nil {
+			return err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if snap.Epoch() < l.ack {
+		return fmt.Errorf("replicate: install epoch %d would rewind ack %d", snap.Epoch(), l.ack)
+	}
+	l.ack = snap.Epoch()
+	l.horizon = snap.Epoch()
+	l.tail = nil
+	l.snap = snap
+	l.wakeLocked()
+	if l.tracer.Enabled() {
+		l.tracer.Event("replicate/leader", fmt.Sprintf("installed snapshot at epoch %d", snap.Epoch()))
+	}
+	return nil
+}
+
 // Handler returns the leader's HTTP surface, mounted by `vesta serve
 // -replicate` next to the prediction endpoints:
 //
-//	GET /replicate/frames?from=N   one sync batch for follower token N
-//	GET /replicate/status          ack, horizon, shipping counters
+//	GET /replicate/frames?from=N           one sync batch for follower token N
+//	GET /replicate/frames?from=N&wait=D    long-poll: park up to D (Go duration
+//	                                       syntax, capped at the leader's
+//	                                       MaxWait) until an append lands
+//	GET /replicate/status                  ack, horizon, shipping counters
 func (l *Leader) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /replicate/frames", func(w http.ResponseWriter, r *http.Request) {
@@ -312,7 +435,22 @@ func (l *Leader) Handler() http.Handler {
 			writeJSONStatus(w, http.StatusBadRequest, errorBody{Error: "bad from token", Code: "bad_request"})
 			return
 		}
-		b, err := l.Fetch(from)
+		var b *Batch
+		if ws := r.URL.Query().Get("wait"); ws != "" {
+			wait, perr := time.ParseDuration(ws)
+			if perr != nil || wait < 0 {
+				writeJSONStatus(w, http.StatusBadRequest, errorBody{Error: "bad wait duration", Code: "bad_request"})
+				return
+			}
+			// The request context unparks the waiter the moment the client
+			// disconnects, so an abandoned long poll never leaks its slot.
+			b, err = l.FetchWait(r.Context(), from, wait)
+			if err != nil && r.Context().Err() != nil {
+				return // client gone; nothing to write
+			}
+		} else {
+			b, err = l.Fetch(from)
+		}
 		if err != nil {
 			status, code := http.StatusInternalServerError, "internal"
 			if errors.Is(err, ErrFollowerAhead) {

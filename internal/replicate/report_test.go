@@ -1,6 +1,7 @@
 package replicate
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -59,6 +60,69 @@ func TestReplicateReport(t *testing.T) {
 	frames, steady := measureSync(16)
 	boot, _ := measureSync(-1) // empty tail forces the snapshot-bootstrap path
 
+	// Push lag: a caught-up follower parked in a long poll vs one on the
+	// default 500 ms polling interval. The clock starts at the leader's
+	// Append and stops when the follower's served epoch advances.
+	measureLag := func(wait, retry time.Duration, n int) time.Duration {
+		var ls []time.Duration
+		for i := 0; i < n; i++ {
+			snaps, recs := fixture(t)
+			l, err := NewLeader(snaps[0], nil, LeaderConfig{MaxTail: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range recs[:2] { // hold epoch 3 back for the live append
+				if err := l.Append(rec.Name, rec.LabelWeights, rec.PrunedVec, rec.Epoch); err != nil {
+					t.Fatal(err)
+				}
+				if err := l.Committed(snaps[rec.Epoch]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ts := httptest.NewServer(l.Handler())
+			f, err := NewFollower(newReplica(t, snaps[0], 4), snaps[0], &HTTPTransport{URL: ts.URL}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				f.RunWait(ctx, wait, retry)
+			}()
+			epochAt := func(want uint64) {
+				deadline := time.Now().Add(10 * time.Second)
+				for f.Stats().Epoch != want {
+					if time.Now().After(deadline) {
+						t.Fatalf("follower never reached epoch %d", want)
+					}
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			epochAt(2)
+			time.Sleep(20 * time.Millisecond) // let the loop park in its next round
+			start := time.Now()
+			rec := recs[2]
+			if err := l.Append(rec.Name, rec.LabelWeights, rec.PrunedVec, rec.Epoch); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Committed(snaps[3]); err != nil {
+				t.Fatal(err)
+			}
+			epochAt(3)
+			ls = append(ls, time.Since(start))
+			cancel()
+			<-done
+			ts.Close()
+		}
+		return median(ls)
+	}
+	pushLag := measureLag(25*time.Second, 100*time.Millisecond, trials)
+	pollLag := measureLag(0, 500*time.Millisecond, 5)
+	if pushLag >= 50*time.Millisecond {
+		t.Errorf("long-poll frame lag %v; the push path promises < 50ms", pushLag)
+	}
+
 	// Failover latency: two serve-backed followers behind a router; kill the
 	// backend that owns a key and time the first request that must fail over
 	// to the survivor.
@@ -114,6 +178,8 @@ func TestReplicateReport(t *testing.T) {
 	fmt.Printf("replicate-report: follower catch-up (3 epochs, frames)    median %v\n", frames)
 	fmt.Printf("replicate-report: follower catch-up (snapshot bootstrap)  median %v\n", boot)
 	fmt.Printf("replicate-report: steady-state sync (empty batch)         median %v\n", steady)
+	fmt.Printf("replicate-report: append->applied lag, long-poll push     median %v\n", pushLag)
+	fmt.Printf("replicate-report: append->applied lag, 500ms polling      median %v\n", pollLag)
 	fmt.Printf("replicate-report: routed predict (healthy backend)        median %v\n", median(direct))
 	fmt.Printf("replicate-report: routed predict (failover to survivor)   median %v\n", median(failover))
 }

@@ -45,6 +45,11 @@ type RouterConfig struct {
 	// Tracer receives the routing counters (route.requests,
 	// route.failovers, route.stale_skips, route.probes).
 	Tracer *obs.Tracer
+	// Logf, when set, receives probe transition lines: a backend changing
+	// health state, starting or resolving a staged rollout, plus its
+	// replication counters (transient fetch failures, frames applied) as
+	// reported on its /healthz. Steady states are not repeated.
+	Logf func(format string, args ...any)
 }
 
 // backendState is one backend's health view, updated by probes and by
@@ -52,7 +57,11 @@ type RouterConfig struct {
 type backendState struct {
 	url     string
 	healthy atomic.Bool
-	epoch   atomic.Uint64
+	// known flips on the first probe so the initial state is always logged.
+	known atomic.Bool
+	epoch atomic.Uint64
+	// staged is the backend's advertised staged rollout version ("" none).
+	staged atomic.Value
 }
 
 // BackendStatus is the exported per-backend health view.
@@ -60,6 +69,8 @@ type BackendStatus struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
 	Epoch   uint64 `json:"epoch"`
+	// Staged is the rollout version the backend holds uncommitted, if any.
+	Staged string `json:"staged,omitempty"`
 }
 
 // RouterStats is a point-in-time view of the router's counters.
@@ -186,8 +197,23 @@ func (r *Router) raiseFloor(epoch uint64) {
 // Floor returns the highest epoch the router has observed in the fleet.
 func (r *Router) Floor() uint64 { return r.floor.Load() }
 
+// noteProbe records one probe outcome and logs the line when something
+// changed: the first probe ever, a health transition, or a staged-version
+// change. detail rides on the logged line only.
+func (r *Router) noteProbe(b *backendState, healthy bool, staged, detail string) {
+	prevHealthy := b.healthy.Load()
+	first := !b.known.Swap(true)
+	prevStaged, _ := b.staged.Swap(staged).(string)
+	b.healthy.Store(healthy)
+	if r.cfg.Logf != nil && (first || prevHealthy != healthy || prevStaged != staged) {
+		r.cfg.Logf("route: probe %s healthy=%v%s", b.url, healthy, detail)
+	}
+}
+
 // Probe health-checks one backend: a 200 /healthz marks it healthy and
 // records its epoch (raising the floor); anything else marks it unhealthy.
+// Probe transitions go to RouterConfig.Logf along with the backend's staged
+// rollout version and replication counters.
 func (r *Router) Probe(b *backendState) bool {
 	r.prc.Add(1)
 	if r.tracer.Enabled() {
@@ -197,30 +223,39 @@ func (r *Router) Probe(b *backendState) bool {
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
 	if err != nil {
-		b.healthy.Store(false)
+		r.noteProbe(b, false, "", fmt.Sprintf(": %v", err))
 		return false
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		b.healthy.Store(false)
+		r.noteProbe(b, false, "", fmt.Sprintf(": %v", err))
 		return false
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil || resp.StatusCode != http.StatusOK {
-		b.healthy.Store(false)
+		r.noteProbe(b, false, "", fmt.Sprintf(": status %d", resp.StatusCode))
 		return false
 	}
 	var h struct {
-		Epoch uint64 `json:"epoch"`
+		Epoch         uint64          `json:"epoch"`
+		StagedVersion string          `json:"staged_version"`
+		Replication   json.RawMessage `json:"replication"`
 	}
 	if err := json.Unmarshal(body, &h); err != nil {
-		b.healthy.Store(false)
+		r.noteProbe(b, false, "", fmt.Sprintf(": bad healthz body: %v", err))
 		return false
 	}
 	b.epoch.Store(h.Epoch)
 	r.raiseFloor(h.Epoch)
-	b.healthy.Store(true)
+	detail := fmt.Sprintf(" epoch=%d", h.Epoch)
+	if h.StagedVersion != "" {
+		detail += " staged=" + h.StagedVersion
+	}
+	if len(h.Replication) > 0 {
+		detail += " replication=" + string(h.Replication)
+	}
+	r.noteProbe(b, true, h.StagedVersion, detail)
 	return true
 }
 
@@ -312,8 +347,9 @@ func (r *Router) Stats() RouterStats {
 		Floor:      r.floor.Load(),
 	}
 	for _, b := range r.backends {
+		staged, _ := b.staged.Load().(string)
 		st.Backends = append(st.Backends, BackendStatus{
-			URL: b.url, Healthy: b.healthy.Load(), Epoch: b.epoch.Load(),
+			URL: b.url, Healthy: b.healthy.Load(), Epoch: b.epoch.Load(), Staged: staged,
 		})
 	}
 	return st

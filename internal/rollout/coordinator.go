@@ -1,0 +1,425 @@
+package rollout
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"vesta/internal/chaos"
+	"vesta/internal/serve"
+	"vesta/internal/wal"
+)
+
+// Hooks are the coordinator's chaos points, addressed by (0-based follower
+// index, 1-based stage) exactly like chaos.RolloutPlan cells. Nil members
+// inject nothing.
+type Hooks struct {
+	// StageErr fires before a node's candidate push; a non-nil error models
+	// the push never landing.
+	StageErr func(node, stage int) error
+	// HealthErr fires before a node's gate health probe; a non-nil error
+	// models a post-stage flap.
+	HealthErr func(node, stage int) error
+	// ReplayCorrupt fires before a node's golden replay; true models a model
+	// regression deviating beyond every budget.
+	ReplayCorrupt func(node, stage int) bool
+	// AfterDecision fires immediately after journal decision index (1-based,
+	// counting recovered entries) is durable and before it is acted on; a
+	// non-nil error kills the coordinator at the worst possible point.
+	AfterDecision func(index int, op string) error
+}
+
+// errHealthFlap is the injected health-probe failure PlanHooks raises.
+var errHealthFlap = errors.New("chaos: injected health-probe flap")
+
+// PlanHooks compiles a chaos.RolloutPlan into the coordinator's fault hooks.
+func PlanHooks(plan chaos.RolloutPlan) Hooks {
+	return Hooks{
+		StageErr: func(node, stage int) error {
+			if plan.StageFailed(node, stage) {
+				return chaos.ErrStageFault
+			}
+			return nil
+		},
+		HealthErr: func(node, stage int) error {
+			if plan.HealthFailed(node, stage) {
+				return errHealthFlap
+			}
+			return nil
+		},
+		ReplayCorrupt: plan.ReplayFailed,
+		AfterDecision: func(index int, _ string) error {
+			if plan.CoordinatorKilled(index) {
+				return chaos.ErrCoordinatorKilled
+			}
+			return nil
+		},
+	}
+}
+
+// Config assembles one rollout run.
+type Config struct {
+	// Manifest is the promotion schedule and gate budgets; zero gate fields
+	// take defaults.
+	Manifest Manifest
+	// Candidate is the encoded candidate snapshot (core.Snapshot.Encode) —
+	// the coordinator ships it opaque and never decodes it.
+	Candidate []byte
+	// Version overrides the manifest version; empty derives
+	// "sha256-<prefix>" from Candidate.
+	Version string
+	// Leader is the durable head of the fleet: the golden baseline source,
+	// staged and committed first so follower consistency tokens never run
+	// ahead of it.
+	Leader Node
+	// Followers is the fleet in promotion order; stage counts index into it.
+	Followers []Node
+	// Journal records every decision before it is acted on.
+	Journal *wal.Journal
+	// Prior is the decision payloads recovered by wal.OpenJournal; a
+	// non-empty slice resumes the rollout they describe.
+	Prior [][]byte
+	// Hooks inject faults (zero value: none).
+	Hooks Hooks
+	// Logf, when set, narrates decisions (the CLI wires it to stderr).
+	Logf func(format string, args ...any)
+}
+
+// Outcome is a rollout's terminal state.
+type Outcome struct {
+	Version string `json:"version"`
+	// Committed: true means the fleet runs the candidate durably; false
+	// means it was rolled back to the incumbent, with Reason saying why.
+	Committed bool   `json:"committed"`
+	Reason    string `json:"reason,omitempty"`
+	// Resumed reports whether this run continued a recovered journal.
+	Resumed bool `json:"resumed"`
+	// Decisions is the total journal length at the terminal state.
+	Decisions int `json:"decisions"`
+}
+
+// decision is one journaled coordinator step. Ops: "begin", "stage" (intent
+// to push the stage's wave), "gate" (the stage's verdict), "commit" and
+// "rollback" (terminal intents), "done" (terminal state; Pass mirrors
+// Committed). Every op is journaled before it is acted on, so the journal's
+// last entry always names the exact step a crashed coordinator must redo.
+type decision struct {
+	Op      string `json:"op"`
+	Version string `json:"version"`
+	Stage   int    `json:"stage,omitempty"`
+	Pass    bool   `json:"pass,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// Coordinator drives one health-gated rollout to a terminal state.
+type Coordinator struct {
+	cfg       Config
+	manifest  Manifest
+	version   string
+	stages    []int // effective cumulative counts; last == len(followers)
+	golden    []serve.Request
+	baseline  []serve.Response // incumbent replay, captured at first gate
+	decisions int              // journal length including recovered entries
+}
+
+// New validates the config and prepares a coordinator. The golden schedule
+// is derived eagerly so a bad manifest fails before anything is staged.
+func New(cfg Config) (*Coordinator, error) {
+	m := cfg.Manifest.withDefaults()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Leader == nil {
+		return nil, fmt.Errorf("rollout: nil leader")
+	}
+	if len(cfg.Candidate) == 0 {
+		return nil, fmt.Errorf("rollout: empty candidate")
+	}
+	if cfg.Journal == nil {
+		return nil, fmt.Errorf("rollout: nil journal")
+	}
+	version := cfg.Version
+	if version == "" {
+		version = m.Version
+	}
+	if version == "" {
+		sum := sha256.Sum256(cfg.Candidate)
+		version = fmt.Sprintf("sha256-%x", sum[:6])
+	}
+	golden, err := m.Golden()
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg:       cfg,
+		manifest:  m,
+		version:   version,
+		stages:    effectiveStages(m.Stages, len(cfg.Followers)),
+		golden:    golden,
+		decisions: len(cfg.Prior),
+	}, nil
+}
+
+// Version returns the resolved candidate version.
+func (c *Coordinator) Version() string { return c.version }
+
+// effectiveStages clamps the manifest's cumulative counts to the fleet size
+// and forces the final stage to cover every follower, so a manifest written
+// for a larger fleet still promotes everyone exactly once.
+func effectiveStages(stages []int, followers int) []int {
+	if followers == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(stages)+1)
+	for _, s := range stages {
+		if s >= followers {
+			break
+		}
+		out = append(out, s)
+	}
+	return append(out, followers)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// record journals one decision, then offers the chaos kill point.
+func (c *Coordinator) record(d decision) error {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return err
+	}
+	if err := c.cfg.Journal.Append(data); err != nil {
+		return fmt.Errorf("rollout: journaling %s: %w", d.Op, err)
+	}
+	c.decisions++
+	c.logf("rollout %s: decision %d: %s stage=%d pass=%v %s",
+		c.version, c.decisions, d.Op, d.Stage, d.Pass, d.Reason)
+	if h := c.cfg.Hooks.AfterDecision; h != nil {
+		if err := h(c.decisions, d.Op); err != nil {
+			return fmt.Errorf("rollout: after decision %d (%s): %w", c.decisions, d.Op, err)
+		}
+	}
+	return nil
+}
+
+// resumeState is where a run picks up, derived purely from the journal tail.
+type resumeState struct {
+	mode       string // "stage" | "commit" | "rollback" | "done"
+	stage      int    // first stage to run (mode "stage")
+	intentDone bool   // the stage intent for .stage is already journaled
+	committed  bool   // terminal verdict (mode "done")
+	reason     string
+}
+
+// resumePoint parses the recovered journal and names the next step. The
+// journal is append-only and every op is journaled before it is acted on, so
+// the last entry alone determines the continuation.
+func (c *Coordinator) resumePoint() (resumeState, error) {
+	if len(c.cfg.Prior) == 0 {
+		return resumeState{mode: "stage", stage: 1}, nil
+	}
+	var last decision
+	for i, raw := range c.cfg.Prior {
+		var d decision
+		if err := json.Unmarshal(raw, &d); err != nil {
+			return resumeState{}, fmt.Errorf("rollout: corrupt journal entry %d: %w", i, err)
+		}
+		if d.Version != c.version {
+			return resumeState{}, fmt.Errorf("rollout: journal holds rollout of version %q, not %q", d.Version, c.version)
+		}
+		last = d
+	}
+	switch last.Op {
+	case "begin":
+		return resumeState{mode: "stage", stage: 1}, nil
+	case "stage":
+		// Intent journaled; the wave itself may or may not have landed.
+		// Staging is idempotent per version, so redo it.
+		return resumeState{mode: "stage", stage: last.Stage, intentDone: true}, nil
+	case "gate":
+		if !last.Pass {
+			return resumeState{mode: "rollback", reason: last.Reason}, nil
+		}
+		if last.Stage >= len(c.stages) {
+			return resumeState{mode: "commit"}, nil
+		}
+		return resumeState{mode: "stage", stage: last.Stage + 1}, nil
+	case "commit":
+		return resumeState{mode: "commit", intentDone: true}, nil
+	case "rollback":
+		return resumeState{mode: "rollback", intentDone: true, reason: last.Reason}, nil
+	case "done":
+		return resumeState{mode: "done", committed: last.Pass, reason: last.Reason}, nil
+	default:
+		return resumeState{}, fmt.Errorf("rollout: unknown journal op %q", last.Op)
+	}
+}
+
+// Run drives the rollout to its terminal state: every follower stage pushed
+// and gated, then a leader-first commit — or a fleet-wide rollback the
+// moment any gate fails. With a recovered journal it resumes from the last
+// recorded decision instead of starting over. The returned error is non-nil
+// only when the run could not reach a terminal state (journal failure,
+// injected coordinator kill, context cancellation); the journal then holds
+// the resume point.
+func (c *Coordinator) Run(ctx context.Context) (*Outcome, error) {
+	rs, err := c.resumePoint()
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Version: c.version, Resumed: len(c.cfg.Prior) > 0}
+	switch rs.mode {
+	case "done":
+		out.Committed, out.Reason, out.Decisions = rs.committed, rs.reason, c.decisions
+		return out, nil
+	case "commit":
+		return c.commitPhase(ctx, out, rs.intentDone)
+	case "rollback":
+		return c.rollbackPhase(ctx, out, rs.reason, rs.intentDone)
+	}
+	if len(c.cfg.Prior) == 0 {
+		if err := c.record(decision{Op: "begin", Version: c.version}); err != nil {
+			return nil, err
+		}
+	}
+	intentDone := rs.intentDone
+	for si := rs.stage; si <= len(c.stages); si++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !intentDone {
+			if err := c.record(decision{Op: "stage", Version: c.version, Stage: si}); err != nil {
+				return nil, err
+			}
+		}
+		intentDone = false
+		if err := c.stageWave(ctx, si); err != nil {
+			return c.rollbackPhase(ctx, out, fmt.Sprintf("stage %d: %v", si, err), false)
+		}
+		pass, reason := c.gate(ctx, si)
+		if err := c.record(decision{Op: "gate", Version: c.version, Stage: si, Pass: pass, Reason: reason}); err != nil {
+			return nil, err
+		}
+		if !pass {
+			return c.rollbackPhase(ctx, out, reason, false)
+		}
+	}
+	return c.commitPhase(ctx, out, false)
+}
+
+// stageWave pushes the candidate to stage si's new followers.
+func (c *Coordinator) stageWave(ctx context.Context, si int) error {
+	prev := 0
+	if si > 1 {
+		prev = c.stages[si-2]
+	}
+	for idx := prev; idx < c.stages[si-1]; idx++ {
+		n := c.cfg.Followers[idx]
+		if h := c.cfg.Hooks.StageErr; h != nil {
+			if err := h(idx, si); err != nil {
+				return fmt.Errorf("node %s: %w", n.Name(), err)
+			}
+		}
+		if err := n.Stage(ctx, c.version, c.cfg.Candidate); err != nil {
+			return fmt.Errorf("node %s: %w", n.Name(), err)
+		}
+	}
+	return nil
+}
+
+// gate judges stage si: every follower staged so far (not just this wave —
+// a canary that flaps during a later wave must still stop the rollout) must
+// pass the health probe and replay the golden schedule within budget against
+// the incumbent baseline. The baseline is captured from the leader at the
+// first gate of the run; the leader is not staged until commit, so a resumed
+// run recaptures the identical incumbent replay.
+func (c *Coordinator) gate(ctx context.Context, si int) (bool, string) {
+	gctx, cancel := context.WithTimeout(ctx, time.Duration(c.manifest.GateTimeoutSec*float64(time.Second)))
+	defer cancel()
+	if c.baseline == nil {
+		base, err := replay(gctx, c.cfg.Leader, c.golden)
+		if err != nil {
+			return false, fmt.Sprintf("baseline replay against leader %s: %v", c.cfg.Leader.Name(), err)
+		}
+		c.baseline = base
+	}
+	for idx := 0; idx < c.stages[si-1]; idx++ {
+		n := c.cfg.Followers[idx]
+		if h := c.cfg.Hooks.HealthErr; h != nil {
+			if err := h(idx, si); err != nil {
+				return false, fmt.Sprintf("health probe %s: %v", n.Name(), err)
+			}
+		}
+		if err := n.Health(gctx); err != nil {
+			return false, fmt.Sprintf("health probe %s: %v", n.Name(), err)
+		}
+		if h := c.cfg.Hooks.ReplayCorrupt; h != nil && h(idx, si) {
+			return false, fmt.Sprintf("golden replay %s: injected deviation beyond budget", n.Name())
+		}
+		resp, err := replay(gctx, n, c.golden)
+		if err != nil {
+			return false, fmt.Sprintf("golden replay %s: %v", n.Name(), err)
+		}
+		if ok, reason := compareReplay(c.baseline, resp, c.manifest.MaxDeviation, c.manifest.MinBestAgreement); !ok {
+			return false, fmt.Sprintf("golden replay %s: %s", n.Name(), reason)
+		}
+	}
+	return true, ""
+}
+
+// commitPhase makes the candidate durable fleet-wide: the commit intent is
+// journaled, then the leader stages and commits first (its WAL adopts the
+// candidate), then every follower commits. All verbs are idempotent per
+// version, so a crash anywhere in here replays cleanly.
+func (c *Coordinator) commitPhase(ctx context.Context, out *Outcome, intentDone bool) (*Outcome, error) {
+	if !intentDone {
+		if err := c.record(decision{Op: "commit", Version: c.version}); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.cfg.Leader.Stage(ctx, c.version, c.cfg.Candidate); err != nil {
+		return nil, fmt.Errorf("rollout: staging leader %s at commit: %w", c.cfg.Leader.Name(), err)
+	}
+	if err := c.cfg.Leader.Commit(ctx, c.version); err != nil {
+		return nil, fmt.Errorf("rollout: committing leader %s: %w", c.cfg.Leader.Name(), err)
+	}
+	for _, n := range c.cfg.Followers {
+		if err := n.Commit(ctx, c.version); err != nil {
+			return nil, fmt.Errorf("rollout: committing %s: %w", n.Name(), err)
+		}
+	}
+	if err := c.record(decision{Op: "done", Version: c.version, Pass: true}); err != nil {
+		return nil, err
+	}
+	out.Committed, out.Decisions = true, c.decisions
+	return out, nil
+}
+
+// rollbackPhase abandons the candidate: the intent is journaled with the
+// gate's reason, then every follower reverts to the incumbent (a no-op on
+// nodes the rollout never reached). The leader is untouched — it stages only
+// at commit, which this path never reaches.
+func (c *Coordinator) rollbackPhase(ctx context.Context, out *Outcome, reason string, intentDone bool) (*Outcome, error) {
+	if !intentDone {
+		if err := c.record(decision{Op: "rollback", Version: c.version, Reason: reason}); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range c.cfg.Followers {
+		if err := n.Revert(ctx, c.version); err != nil {
+			return nil, fmt.Errorf("rollout: reverting %s: %w", n.Name(), err)
+		}
+	}
+	if err := c.record(decision{Op: "done", Version: c.version, Reason: reason}); err != nil {
+		return nil, err
+	}
+	out.Committed, out.Reason, out.Decisions = false, reason, c.decisions
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package rollout
+
+import (
+	"testing"
+)
+
+// FuzzRolloutManifest hammers the strict JSON manifest boundary: arbitrary
+// bytes never panic, and anything ParseManifest accepts re-validates, stays
+// inside the documented bounds, and derives its golden schedule
+// deterministically. Checked-in corpus: testdata/fuzz/FuzzRolloutManifest.
+func FuzzRolloutManifest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":"v2","stages":[1,3,7],"golden_seed":9,"golden_requests":16,"max_deviation":0.1,"min_best_agreement":0.8,"gate_timeout_sec":10}`))
+	f.Add([]byte(`{"stages":[1],"apps":["Spark-kmeans","Hadoop-terasort"]}`))
+	f.Add([]byte(`{"stages":[2,1]}`))
+	f.Add([]byte(`{"max_deviation":1e308}`))
+	f.Add([]byte(`{"golden_requests":-1}`))
+	f.Add([]byte(`{"unknown":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted manifest fails Validate: %v", verr)
+		}
+		if m.GoldenRequests < 1 || m.GoldenRequests > maxGoldenRequests {
+			t.Fatalf("accepted golden_requests %d outside bounds", m.GoldenRequests)
+		}
+		if len(m.Stages) == 0 || len(m.Stages) > maxStages {
+			t.Fatalf("accepted %d stages outside bounds", len(m.Stages))
+		}
+		// Only derive bounded schedules: the golden replay is ~8x
+		// GoldenRequests arrivals and the gate caps it anyway.
+		if m.GoldenRequests > 64 {
+			return
+		}
+		a, err := m.Golden()
+		if err != nil {
+			t.Fatalf("valid manifest failed to derive golden schedule: %v", err)
+		}
+		b, err := m.Golden()
+		if err != nil {
+			t.Fatalf("second golden derivation failed: %v", err)
+		}
+		if len(a) != m.GoldenRequests || len(a) != len(b) {
+			t.Fatalf("golden lengths %d/%d, want %d", len(a), len(b), m.GoldenRequests)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("golden schedule not deterministic")
+			}
+			if a[i].App == "" {
+				t.Fatalf("golden request %d has no app", i)
+			}
+		}
+	})
+}

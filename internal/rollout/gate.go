@@ -1,0 +1,86 @@
+package rollout
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"vesta/internal/serve"
+)
+
+// replay answers the golden schedule against one node, decoding each
+// canonical response body. Any transport or decode failure fails the whole
+// replay — a gate cannot pass on partial evidence.
+func replay(ctx context.Context, n Node, golden []serve.Request) ([]serve.Response, error) {
+	out := make([]serve.Response, len(golden))
+	for i, req := range golden {
+		body, err := n.Predict(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("golden request %d (%s): %w", i, req.App, err)
+		}
+		if err := json.Unmarshal(body, &out[i]); err != nil {
+			return nil, fmt.Errorf("golden request %d (%s): decoding response: %w", i, req.App, err)
+		}
+	}
+	return out, nil
+}
+
+// compareReplay judges a candidate replay against the incumbent baseline:
+// the mean relative |Δ predicted_sec| over ranking VMs shared per request
+// must stay within maxDev, and the fraction of requests agreeing on the best
+// VM must reach minAgree. Returns ok plus a human reason when the budget is
+// blown.
+func compareReplay(baseline, cand []serve.Response, maxDev, minAgree float64) (bool, string) {
+	if len(baseline) != len(cand) {
+		return false, fmt.Sprintf("replay length %d vs baseline %d", len(cand), len(baseline))
+	}
+	if len(baseline) == 0 {
+		return false, "empty golden replay"
+	}
+	agree, shared := 0, 0
+	devSum := 0.0
+	for i := range baseline {
+		b, c := &baseline[i], &cand[i]
+		if b.Best == c.Best {
+			agree++
+		}
+		base := make(map[string]float64, len(b.Ranking))
+		for _, e := range b.Ranking {
+			base[e.VM] = float64(e.PredictedSec)
+		}
+		for _, e := range c.Ranking {
+			bs, ok := base[e.VM]
+			if !ok {
+				continue
+			}
+			shared++
+			devSum += relDev(bs, float64(e.PredictedSec))
+		}
+	}
+	if shared == 0 {
+		return false, "no ranking VMs shared with the baseline"
+	}
+	meanDev := devSum / float64(shared)
+	if math.IsNaN(meanDev) || meanDev > maxDev {
+		return false, fmt.Sprintf("mean predicted_sec deviation %.4f exceeds budget %.4f", meanDev, maxDev)
+	}
+	agreeFrac := float64(agree) / float64(len(baseline))
+	if agreeFrac < minAgree {
+		return false, fmt.Sprintf("best-VM agreement %.3f below floor %.3f", agreeFrac, minAgree)
+	}
+	return true, ""
+}
+
+// relDev is the relative deviation of cand against base, guarded against a
+// zero or non-finite base.
+func relDev(base, cand float64) float64 {
+	if math.IsNaN(base) || math.IsNaN(cand) || math.IsInf(base, 0) || math.IsInf(cand, 0) {
+		return math.Inf(1)
+	}
+	denom := math.Abs(base)
+	if denom < 1e-9 {
+		denom = 1e-9
+	}
+	return math.Abs(cand-base) / denom
+}

@@ -1,0 +1,132 @@
+package rollout
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"vesta/internal/serve"
+)
+
+func TestParseManifestStrict(t *testing.T) {
+	m, err := ParseManifest([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stages) != 1 || m.Stages[0] != 1 || m.GoldenRequests != 32 ||
+		m.MaxDeviation != 0.05 || m.MinBestAgreement != 0.9 || m.GateTimeoutSec != 30 {
+		t.Fatalf("defaults = %+v", m)
+	}
+	for _, bad := range []string{
+		`{"stages":[2,1]}`,          // not increasing
+		`{"stages":[0]}`,            // non-positive
+		`{"unknown_field":1}`,       // strict decode
+		`{"stages":[1]} trailing`,   // trailing garbage
+		`{"golden_requests":-3}`,    // out of range
+		`{"golden_requests":99999}`, // beyond cap
+		`{"max_deviation":-0.5}`,
+		`{"min_best_agreement":1.5}`,
+		`{"gate_timeout_sec":-1}`,
+		`{"apps":["NoSuchApp"]}`,
+		`not json`,
+	} {
+		if _, err := ParseManifest([]byte(bad)); err == nil {
+			t.Fatalf("ParseManifest(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGoldenDeterministicAndBounded(t *testing.T) {
+	m := Manifest{GoldenSeed: 9, GoldenRequests: 16, Apps: []string{"Spark-kmeans", "Spark-sort"}}
+	a, err := m.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 16 {
+		t.Fatalf("golden length = %d, want 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("golden request %d differs between derivations: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].App != "Spark-kmeans" && a[i].App != "Spark-sort" {
+			t.Fatalf("golden request %d app %q outside manifest apps", i, a[i].App)
+		}
+	}
+}
+
+func TestCompareReplay(t *testing.T) {
+	base := []serve.Response{{
+		Best: "m4.xlarge",
+		Ranking: []serve.RankEntry{
+			{VM: "m4.xlarge", PredictedSec: 100},
+			{VM: "c4.large", PredictedSec: 200},
+		},
+	}}
+	same := []serve.Response{{
+		Best: "m4.xlarge",
+		Ranking: []serve.RankEntry{
+			{VM: "m4.xlarge", PredictedSec: 101},
+			{VM: "c4.large", PredictedSec: 202},
+		},
+	}}
+	if ok, reason := compareReplay(base, same, 0.05, 1); !ok {
+		t.Fatalf("1%% deviation rejected under 5%% budget: %s", reason)
+	}
+	if ok, _ := compareReplay(base, same, 0.001, 1); ok {
+		t.Fatal("1% deviation accepted under 0.1% budget")
+	}
+	flipped := []serve.Response{{
+		Best: "c4.large",
+		Ranking: []serve.RankEntry{
+			{VM: "m4.xlarge", PredictedSec: 100},
+			{VM: "c4.large", PredictedSec: 200},
+		},
+	}}
+	if ok, reason := compareReplay(base, flipped, 0.05, 0.9); ok || !strings.Contains(reason, "agreement") {
+		t.Fatalf("best flip passed (ok=%v reason=%q)", ok, reason)
+	}
+	disjoint := []serve.Response{{
+		Best:    "m4.xlarge",
+		Ranking: []serve.RankEntry{{VM: "r3.large", PredictedSec: 5}},
+	}}
+	if ok, _ := compareReplay(base, disjoint, 10, 0); ok {
+		t.Fatal("disjoint rankings passed")
+	}
+	if ok, _ := compareReplay(base, nil, 10, 0); ok {
+		t.Fatal("length mismatch passed")
+	}
+}
+
+// TestMatrixBudgetsHoldForCleanCandidate pins the matrix fixture's honest
+// gate numbers: the epoch-1 candidate replayed against the epoch-0 incumbent
+// stays inside the matrix manifest budgets. If model changes push the real
+// deviation past them, this test names the problem before the matrix flakes.
+func TestMatrixBudgetsHoldForCleanCandidate(t *testing.T) {
+	snaps := fixture(t)
+	fl := newFleet(t, snaps[0], 1)
+	m := matrixManifest().withDefaults()
+	golden, err := m.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base, err := replay(ctx, fl.leader, golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.followers[0].Stage(ctx, "v1", encodeSnap(t, snaps[1])); err != nil {
+		t.Fatal(err)
+	}
+	cand, err := replay(ctx, fl.followers[0], golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, reason := compareReplay(base, cand, m.MaxDeviation, m.MinBestAgreement); !ok {
+		t.Fatalf("clean candidate blows matrix budgets: %s", reason)
+	}
+}

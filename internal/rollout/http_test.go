@@ -1,0 +1,96 @@
+package rollout
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vesta/internal/chaos"
+	"vesta/internal/serve"
+)
+
+// TestRolloutOverHTTP drives the coordinator through real HTTP transports:
+// /rollout control verbs, /healthz probes, and /predict golden replays. One
+// clean commit, then a replay-regression rollback, both asserted on the
+// in-process servers behind the endpoints.
+func TestRolloutOverHTTP(t *testing.T) {
+	snaps := fixture(t)
+	incumbent := encodeSnap(t, snaps[0])
+	candidate := encodeSnap(t, snaps[1])
+
+	run := func(plan chaos.RolloutPlan) (*Outcome, []*serve.Server) {
+		t.Helper()
+		mk := func(readOnly bool) *serve.Server {
+			srv, err := serve.New(snaps[0], serve.Config{
+				Workers: 1, QueueSize: 64, ReadOnly: readOnly, RolloutControl: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(srv.Close)
+			return srv
+		}
+		leaderSrv := mk(false)
+		lts := httptest.NewServer(leaderSrv.Handler())
+		t.Cleanup(lts.Close)
+		servers := []*serve.Server{leaderSrv}
+		var followers []Node
+		for i := 0; i < 2; i++ {
+			srv := mk(true)
+			servers = append(servers, srv)
+			ts := httptest.NewServer(srv.Handler())
+			t.Cleanup(ts.Close)
+			followers = append(followers, NewHTTPNode("follower", ts.URL))
+		}
+		dir := t.TempDir()
+		j, prior := newJournal(t, dir)
+		c, err := New(Config{
+			Manifest:  matrixManifest(),
+			Candidate: candidate,
+			Leader:    NewHTTPNode("leader", lts.URL),
+			Followers: followers,
+			Journal:   j,
+			Prior:     prior,
+			Hooks:     PlanHooks(plan),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, servers
+	}
+
+	out, servers := run(chaos.RolloutPlan{})
+	if !out.Committed {
+		t.Fatalf("clean HTTP rollout rolled back: %s", out.Reason)
+	}
+	if !strings.HasPrefix(out.Version, "sha256-") {
+		t.Fatalf("derived version = %q, want sha256 prefix", out.Version)
+	}
+	for i, srv := range servers {
+		if got := encodeSnap(t, srv.Snapshot()); !bytes.Equal(got, candidate) {
+			t.Fatalf("HTTP fleet member %d not on candidate after commit", i)
+		}
+		if v := srv.CommittedVersion(); v != out.Version {
+			t.Fatalf("HTTP fleet member %d committed %q, want %q", i, v, out.Version)
+		}
+	}
+
+	out, servers = run(chaos.RolloutPlan{ReplayFails: []chaos.NodeStage{{Node: 1, Stage: 2}}})
+	if out.Committed {
+		t.Fatal("injected replay regression committed over HTTP")
+	}
+	for i, srv := range servers {
+		if got := encodeSnap(t, srv.Snapshot()); !bytes.Equal(got, incumbent) {
+			t.Fatalf("HTTP fleet member %d not restored to incumbent after rollback", i)
+		}
+		if v := srv.StagedVersion(); v != "" {
+			t.Fatalf("HTTP fleet member %d still staged on %q", i, v)
+		}
+	}
+}

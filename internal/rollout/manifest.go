@@ -1,0 +1,191 @@
+// Package rollout is the health-gated fleet-upgrade coordinator (DESIGN.md
+// §16). It promotes a candidate snapshot version across a replicated serving
+// fleet in stages — canary (one follower), optional partial waves, then the
+// full follower set — and gates every stage on two signals: the node health
+// probe and a golden predict replay compared against the incumbent within an
+// explicit error budget. A failed gate rolls the whole fleet back to the
+// incumbent; a passed final gate commits leader-first so follower consistency
+// tokens never run ahead of the durable leader state.
+//
+// Mender-style two-phase switch: a staged candidate serves traffic but is
+// uncommitted — nothing durable changes, and a crash or revert restores the
+// incumbent bit-for-bit. Every coordinator decision is journaled before it is
+// acted on (internal/wal.Journal), so a coordinator that dies at any decision
+// point resumes — or completes its rollback — deterministically.
+package rollout
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"vesta/internal/loadgen"
+	"vesta/internal/serve"
+	"vesta/internal/workload"
+)
+
+// Manifest bounds for fuzz-safe parsing: a hostile manifest can never force
+// the coordinator into unbounded work.
+const (
+	maxStages         = 64
+	maxStageCount     = 4096
+	maxGoldenRequests = 1024
+	maxVersionLen     = 256
+)
+
+// Manifest is the operator-authored rollout description: the promotion
+// schedule and the gate budgets. Zero-valued gate fields take the documented
+// defaults (a manifest of `{}` is the standard canary-then-full rollout);
+// negative values are rejected.
+type Manifest struct {
+	// Version names the candidate; empty derives "sha256-<prefix>" from the
+	// candidate bytes so retries of the same build are idempotent.
+	Version string `json:"version,omitempty"`
+	// Stages are cumulative follower counts per promotion stage, strictly
+	// increasing: [1, 3] stages one canary, then two more followers, then
+	// (always, appended implicitly) the remaining fleet. Empty defaults to
+	// [1] — canary then full.
+	Stages []int `json:"stages,omitempty"`
+	// GoldenSeed seeds the deterministic golden replay schedule (default 1).
+	GoldenSeed uint64 `json:"golden_seed,omitempty"`
+	// GoldenRequests is the replay length per gate probe (default 32,
+	// max 1024).
+	GoldenRequests int `json:"golden_requests,omitempty"`
+	// Apps restricts the golden replay's applications (Table 3 names);
+	// empty replays across every application.
+	Apps []string `json:"apps,omitempty"`
+	// MaxDeviation caps the mean relative |Δ predicted_sec| over ranking VMs
+	// shared between incumbent and candidate responses (default 0.05).
+	MaxDeviation float64 `json:"max_deviation,omitempty"`
+	// MinBestAgreement floors the fraction of golden requests whose best-VM
+	// pick matches the incumbent's (default 0.9).
+	MinBestAgreement float64 `json:"min_best_agreement,omitempty"`
+	// GateTimeoutSec bounds each stage's gate — every probe and replay of
+	// that stage together (default 30).
+	GateTimeoutSec float64 `json:"gate_timeout_sec,omitempty"`
+}
+
+// withDefaults fills zero-valued gate fields with the documented defaults.
+func (m Manifest) withDefaults() Manifest {
+	if len(m.Stages) == 0 {
+		m.Stages = []int{1}
+	}
+	if m.GoldenSeed == 0 {
+		m.GoldenSeed = 1
+	}
+	if m.GoldenRequests == 0 {
+		m.GoldenRequests = 32
+	}
+	if m.MaxDeviation == 0 {
+		m.MaxDeviation = 0.05
+	}
+	if m.MinBestAgreement == 0 {
+		m.MinBestAgreement = 0.9
+	}
+	if m.GateTimeoutSec == 0 {
+		m.GateTimeoutSec = 30
+	}
+	return m
+}
+
+// Validate checks the invariants FuzzRolloutManifest hammers. It validates
+// the manifest as given; ParseManifest applies defaults first.
+func (m Manifest) Validate() error {
+	if len(m.Version) > maxVersionLen {
+		return fmt.Errorf("rollout: version length %d (max %d)", len(m.Version), maxVersionLen)
+	}
+	if len(m.Stages) == 0 {
+		return fmt.Errorf("rollout: empty stages")
+	}
+	if len(m.Stages) > maxStages {
+		return fmt.Errorf("rollout: %d stages (max %d)", len(m.Stages), maxStages)
+	}
+	prev := 0
+	for _, s := range m.Stages {
+		if s <= prev {
+			return fmt.Errorf("rollout: stages %v not strictly increasing positives", m.Stages)
+		}
+		if s > maxStageCount {
+			return fmt.Errorf("rollout: stage count %d (max %d)", s, maxStageCount)
+		}
+		prev = s
+	}
+	if m.GoldenRequests < 1 || m.GoldenRequests > maxGoldenRequests {
+		return fmt.Errorf("rollout: golden_requests %d (want 1..%d)", m.GoldenRequests, maxGoldenRequests)
+	}
+	if math.IsNaN(m.MaxDeviation) || math.IsInf(m.MaxDeviation, 0) || m.MaxDeviation < 0 || m.MaxDeviation > 10 {
+		return fmt.Errorf("rollout: max_deviation %v (want finite 0..10)", m.MaxDeviation)
+	}
+	if math.IsNaN(m.MinBestAgreement) || m.MinBestAgreement < 0 || m.MinBestAgreement > 1 {
+		return fmt.Errorf("rollout: min_best_agreement %v (want 0..1)", m.MinBestAgreement)
+	}
+	if math.IsNaN(m.GateTimeoutSec) || math.IsInf(m.GateTimeoutSec, 0) ||
+		m.GateTimeoutSec <= 0 || m.GateTimeoutSec > 3600 {
+		return fmt.Errorf("rollout: gate_timeout_sec %v (want 0 < t <= 3600)", m.GateTimeoutSec)
+	}
+	for _, name := range m.Apps {
+		if _, err := workload.ByName(name); err != nil {
+			return fmt.Errorf("rollout: unknown app %q", name)
+		}
+	}
+	return nil
+}
+
+// ParseManifest decodes a JSON manifest strictly — unknown fields and
+// trailing garbage are errors — applies defaults, and validates. Malformed
+// bytes never panic; they always yield a typed error.
+func ParseManifest(data []byte) (Manifest, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("rollout: parsing manifest: %w", err)
+	}
+	if dec.More() {
+		return Manifest{}, fmt.Errorf("rollout: trailing data after manifest object")
+	}
+	m = m.withDefaults()
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// Golden derives the gate's replay schedule: the first GoldenRequests
+// predict arrivals of a deterministic loadgen schedule seeded by GoldenSeed.
+// A pure function of the manifest — incumbent baseline and candidate replay
+// see byte-identical requests, and a resumed coordinator regenerates the
+// same schedule without journaling it.
+func (m Manifest) Golden() ([]serve.Request, error) {
+	m = m.withDefaults()
+	// Steady 8 req/s for GoldenRequests seconds offers ~8x the arrivals the
+	// gate needs; the doubling retry covers the (astronomically unlikely)
+	// thin Poisson draw without breaking determinism.
+	for durMul := 1; durMul <= 8; durMul *= 2 {
+		cfg := loadgen.Config{
+			Seed:        m.GoldenSeed,
+			DurationSec: float64(m.GoldenRequests * durMul),
+			Pattern:     loadgen.Pattern{Kind: loadgen.Steady, RPS: 8},
+			Mix:         []loadgen.MixEntry{{Kind: loadgen.KindPredict, Weight: 1}},
+			Tenants:     4,
+			ZipfS:       1.1,
+			Apps:        m.Apps,
+		}
+		arrivals, err := loadgen.Schedule(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("rollout: golden schedule: %w", err)
+		}
+		reqs := make([]serve.Request, 0, m.GoldenRequests)
+		for _, a := range arrivals {
+			if a.Kind != loadgen.KindPredict {
+				continue
+			}
+			reqs = append(reqs, serve.Request{App: a.App, Seed: a.Seed, Top: 8})
+			if len(reqs) == m.GoldenRequests {
+				return reqs, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("rollout: golden schedule too thin for %d requests", m.GoldenRequests)
+}

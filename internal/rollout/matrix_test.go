@@ -1,0 +1,264 @@
+package rollout
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"vesta/internal/chaos"
+)
+
+// matrixCell is one fault-injection scenario of the convergence matrix.
+type matrixCell struct {
+	name   string
+	plan   chaos.RolloutPlan
+	commit bool   // expected terminal verdict
+	reason string // substring the rollback reason must carry
+}
+
+// matrixCells enumerates the convergence matrix: a clean run plus every
+// fault class (staging push lost, health flap, replay regression) at every
+// promotion stage (canary, partial, full), including a canary that only
+// starts flapping during a later gate.
+func matrixCells() []matrixCell {
+	return []matrixCell{
+		{name: "clean", commit: true},
+		{name: "stage-fail-canary",
+			plan:   chaos.RolloutPlan{StageFails: []chaos.NodeStage{{Node: 0, Stage: 1}}},
+			reason: "stage 1"},
+		{name: "stage-fail-partial",
+			plan:   chaos.RolloutPlan{StageFails: []chaos.NodeStage{{Node: 1, Stage: 2}}},
+			reason: "stage 2"},
+		{name: "stage-fail-full",
+			plan:   chaos.RolloutPlan{StageFails: []chaos.NodeStage{{Node: 2, Stage: 3}}},
+			reason: "stage 3"},
+		{name: "health-fail-canary",
+			plan:   chaos.RolloutPlan{HealthFails: []chaos.NodeStage{{Node: 0, Stage: 1}}},
+			reason: "health probe follower-0"},
+		{name: "health-fail-partial",
+			plan:   chaos.RolloutPlan{HealthFails: []chaos.NodeStage{{Node: 1, Stage: 2}}},
+			reason: "health probe follower-1"},
+		{name: "health-fail-full",
+			plan:   chaos.RolloutPlan{HealthFails: []chaos.NodeStage{{Node: 2, Stage: 3}}},
+			reason: "health probe follower-2"},
+		{name: "replay-fail-canary",
+			plan:   chaos.RolloutPlan{ReplayFails: []chaos.NodeStage{{Node: 0, Stage: 1}}},
+			reason: "golden replay follower-0"},
+		{name: "replay-fail-full",
+			plan:   chaos.RolloutPlan{ReplayFails: []chaos.NodeStage{{Node: 2, Stage: 3}}},
+			reason: "golden replay follower-2"},
+		// The canary staged fine and passed its own gate, then flaps during
+		// the partial gate: later gates re-probe every staged node.
+		{name: "canary-flaps-later",
+			plan:   chaos.RolloutPlan{HealthFails: []chaos.NodeStage{{Node: 0, Stage: 2}}},
+			reason: "health probe follower-0"},
+		// Canary's replay regresses only once the full wave is staged.
+		{name: "canary-replay-regresses-later",
+			plan:   chaos.RolloutPlan{ReplayFails: []chaos.NodeStage{{Node: 0, Stage: 3}}},
+			reason: "golden replay follower-0"},
+	}
+}
+
+// runCell drives one coordinator over a fresh fleet under the cell's plan
+// and returns the fleet plus journal dir for assertions.
+func runCell(t *testing.T, plan chaos.RolloutPlan) (*fleet, *Outcome, string, error) {
+	t.Helper()
+	snaps := fixture(t)
+	fl := newFleet(t, snaps[0], 3)
+	dir := t.TempDir()
+	j, prior := newJournal(t, dir)
+	c, err := New(Config{
+		Manifest:  matrixManifest(),
+		Candidate: encodeSnap(t, snaps[1]),
+		Version:   "v1",
+		Leader:    fl.leader,
+		Followers: fl.followers,
+		Journal:   j,
+		Prior:     prior,
+		Hooks:     PlanHooks(plan),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Run(context.Background())
+	return fl, out, dir, err
+}
+
+// TestRolloutConvergenceMatrix: for every injected fault the fleet ends
+// byte-identical on exactly one version — the candidate when every gate
+// passed, the incumbent otherwise — and the journal's last word agrees.
+func TestRolloutConvergenceMatrix(t *testing.T) {
+	snaps := fixture(t)
+	incumbent := encodeSnap(t, snaps[0])
+	candidate := encodeSnap(t, snaps[1])
+	for _, cell := range matrixCells() {
+		t.Run(cell.name, func(t *testing.T) {
+			fl, out, dir, err := runCell(t, cell.plan)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if out.Committed != cell.commit {
+				t.Fatalf("committed = %v (reason %q), want %v", out.Committed, out.Reason, cell.commit)
+			}
+			want := incumbent
+			if cell.commit {
+				want = candidate
+			}
+			fl.assertConverged(t, want, cell.name)
+			if !cell.commit {
+				if !strings.Contains(out.Reason, cell.reason) {
+					t.Fatalf("rollback reason %q does not name %q", out.Reason, cell.reason)
+				}
+			} else {
+				for i, srv := range fl.servers() {
+					if v := srv.CommittedVersion(); v != "v1" {
+						t.Fatalf("member %d committed version = %q, want v1", i, v)
+					}
+				}
+			}
+			ops := journalOps(t, dir)
+			last := ops[len(ops)-1]
+			if last.Op != "done" || last.Pass != cell.commit {
+				t.Fatalf("journal tail = %+v, want done pass=%v", last, cell.commit)
+			}
+			if len(ops) != out.Decisions {
+				t.Fatalf("journal holds %d decisions, outcome says %d", len(ops), out.Decisions)
+			}
+		})
+	}
+}
+
+// crashSweep runs plan uncrashed to learn its decision count and terminal
+// state, then for every decision index k kills the coordinator right after
+// journaling decision k and resumes a fresh coordinator over the recovered
+// journal — the resumed run must reach the same terminal state, byte for
+// byte.
+func crashSweep(t *testing.T, plan chaos.RolloutPlan, wantCommit bool) {
+	t.Helper()
+	snaps := fixture(t)
+	incumbent := encodeSnap(t, snaps[0])
+	candidate := encodeSnap(t, snaps[1])
+	_, ref, _, err := runCell(t, plan)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if ref.Committed != wantCommit {
+		t.Fatalf("reference committed = %v, want %v", ref.Committed, wantCommit)
+	}
+	want := incumbent
+	if wantCommit {
+		want = candidate
+	}
+	for k := 1; k <= ref.Decisions; k++ {
+		killer := plan
+		killer.KillCoordinatorAt = k
+		fl, out, dir, err := runCell(t, killer)
+		if !errors.Is(err, chaos.ErrCoordinatorKilled) {
+			t.Fatalf("kill at %d: err = %v (out %+v), want ErrCoordinatorKilled", k, err, out)
+		}
+		// Resume: a fresh coordinator over the recovered journal, same fleet,
+		// same faults minus the kill.
+		j, prior := newJournal(t, dir)
+		if len(prior) != k {
+			t.Fatalf("kill at %d: recovered %d journal entries", k, len(prior))
+		}
+		c, err := New(Config{
+			Manifest:  matrixManifest(),
+			Candidate: candidate,
+			Version:   "v1",
+			Leader:    fl.leader,
+			Followers: fl.followers,
+			Journal:   j,
+			Prior:     prior,
+			Hooks:     PlanHooks(plan),
+		})
+		if err != nil {
+			t.Fatalf("kill at %d: new resumed coordinator: %v", k, err)
+		}
+		out, err = c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("kill at %d: resumed run: %v", k, err)
+		}
+		if out.Committed != ref.Committed || !out.Resumed {
+			t.Fatalf("kill at %d: resumed outcome %+v, want committed=%v resumed", k, out, ref.Committed)
+		}
+		fl.assertConverged(t, want, "resume after kill")
+		ops := journalOps(t, dir)
+		last := ops[len(ops)-1]
+		if last.Op != "done" || last.Pass != ref.Committed {
+			t.Fatalf("kill at %d: journal tail = %+v", k, last)
+		}
+	}
+}
+
+// TestRolloutCrashResumeCommitPath sweeps the coordinator kill across every
+// decision of a clean rollout: whatever the crash point, the resumed
+// coordinator commits the fleet to the candidate.
+func TestRolloutCrashResumeCommitPath(t *testing.T) {
+	crashSweep(t, chaos.RolloutPlan{}, true)
+}
+
+// TestRolloutCrashResumeRollbackPath sweeps the kill across a rollout whose
+// partial-stage gate fails: every resume completes the rollback to the
+// incumbent.
+func TestRolloutCrashResumeRollbackPath(t *testing.T) {
+	crashSweep(t, chaos.RolloutPlan{HealthFails: []chaos.NodeStage{{Node: 1, Stage: 2}}}, false)
+}
+
+// TestRolloutResumeOfDoneIsIdempotent: re-running a finished journal touches
+// nothing and reports the recorded terminal state.
+func TestRolloutResumeOfDoneIsIdempotent(t *testing.T) {
+	snaps := fixture(t)
+	fl, out, dir, err := runCell(t, chaos.RolloutPlan{})
+	if err != nil || !out.Committed {
+		t.Fatalf("run = %+v, %v", out, err)
+	}
+	j, prior := newJournal(t, dir)
+	c, err := New(Config{
+		Manifest:  matrixManifest(),
+		Candidate: encodeSnap(t, snaps[1]),
+		Version:   "v1",
+		Leader:    fl.leader,
+		Followers: fl.followers,
+		Journal:   j,
+		Prior:     prior,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Committed || !again.Resumed || again.Decisions != out.Decisions {
+		t.Fatalf("re-run of done journal = %+v, want committed resumed with %d decisions", again, out.Decisions)
+	}
+	fl.assertConverged(t, encodeSnap(t, snaps[1]), "idempotent re-run")
+}
+
+// TestRolloutJournalVersionMismatch: a journal from a different candidate's
+// rollout is refused, never silently continued.
+func TestRolloutJournalVersionMismatch(t *testing.T) {
+	snaps := fixture(t)
+	fl, out, dir, err := runCell(t, chaos.RolloutPlan{})
+	if err != nil || !out.Committed {
+		t.Fatalf("run = %+v, %v", out, err)
+	}
+	j, prior := newJournal(t, dir)
+	c, err := New(Config{
+		Manifest:  matrixManifest(),
+		Candidate: encodeSnap(t, snaps[2]),
+		Version:   "v2",
+		Leader:    fl.leader,
+		Followers: fl.followers,
+		Journal:   j,
+		Prior:     prior,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("mismatched journal run = %v, want version error", err)
+	}
+}

@@ -1,0 +1,172 @@
+package rollout
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"vesta/internal/serve"
+)
+
+// Node is one fleet member as the coordinator sees it: a name for journal
+// and log lines, the mender-style two-phase switch verbs, and the two gate
+// probes. Stage, Commit, and Revert are idempotent per version — the
+// coordinator replays them freely after a crash.
+type Node interface {
+	Name() string
+	// Health is the liveness/durability probe: nil means the node may carry
+	// the staged candidate forward.
+	Health(ctx context.Context) error
+	// Stage publishes the encoded candidate uncommitted: the node serves it
+	// but nothing durable changes, and Revert restores the incumbent
+	// bit-for-bit.
+	Stage(ctx context.Context, version string, candidate []byte) error
+	// Commit makes the staged version the durable incumbent — the point of
+	// no return.
+	Commit(ctx context.Context, version string) error
+	// Revert abandons the staged version; a no-op if nothing is staged.
+	Revert(ctx context.Context, version string) error
+	// Predict answers one golden request with the node's canonical response
+	// bytes.
+	Predict(ctx context.Context, req serve.Request) ([]byte, error)
+}
+
+// ServeNode adapts an in-process *serve.Server — the shape the convergence
+// matrix drives, with zero transport noise between coordinator and fleet.
+type ServeNode struct {
+	name string
+	srv  *serve.Server
+}
+
+// NewServeNode wraps srv as a fleet member named name.
+func NewServeNode(name string, srv *serve.Server) *ServeNode {
+	return &ServeNode{name: name, srv: srv}
+}
+
+// Server returns the wrapped server (tests inspect terminal fleet state).
+func (n *ServeNode) Server() *serve.Server { return n.srv }
+
+func (n *ServeNode) Name() string { return n.name }
+
+func (n *ServeNode) Health(ctx context.Context) error {
+	return n.srv.HealthErr()
+}
+
+func (n *ServeNode) Stage(ctx context.Context, version string, candidate []byte) error {
+	return n.srv.StageEncoded(version, candidate)
+}
+
+func (n *ServeNode) Commit(ctx context.Context, version string) error {
+	return n.srv.CommitStaged(version)
+}
+
+func (n *ServeNode) Revert(ctx context.Context, version string) error {
+	return n.srv.RevertStaged(version)
+}
+
+func (n *ServeNode) Predict(ctx context.Context, req serve.Request) ([]byte, error) {
+	return n.srv.PredictBytes(ctx, req)
+}
+
+// HTTPNode drives a remote vesta serve process through its HTTP surface:
+// /healthz for the probe, the /rollout control plane (requires the node to
+// run with rollout control enabled), and /predict for the golden replay.
+type HTTPNode struct {
+	name   string
+	url    string
+	client *http.Client
+}
+
+// NewHTTPNode addresses a fleet member at baseURL. The client carries no
+// timeout of its own; every call is bounded by the caller's context (the
+// coordinator's gate timeout).
+func NewHTTPNode(name, baseURL string) *HTTPNode {
+	return &HTTPNode{name: name, url: strings.TrimRight(baseURL, "/"), client: &http.Client{}}
+}
+
+func (n *HTTPNode) Name() string { return n.name }
+
+func (n *HTTPNode) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("rollout: %s health: %w", n.name, err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health); err != nil {
+		return fmt.Errorf("rollout: %s health: %w", n.name, err)
+	}
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		return fmt.Errorf("rollout: %s health: status %d %q", n.name, resp.StatusCode, health.Status)
+	}
+	return nil
+}
+
+func (n *HTTPNode) Stage(ctx context.Context, version string, candidate []byte) error {
+	_, err := n.post(ctx, "/rollout/stage", rolloutBody{Version: version, Snapshot: candidate})
+	return err
+}
+
+func (n *HTTPNode) Commit(ctx context.Context, version string) error {
+	_, err := n.post(ctx, "/rollout/commit", rolloutBody{Version: version})
+	return err
+}
+
+func (n *HTTPNode) Revert(ctx context.Context, version string) error {
+	_, err := n.post(ctx, "/rollout/revert", rolloutBody{Version: version})
+	return err
+}
+
+func (n *HTTPNode) Predict(ctx context.Context, req serve.Request) ([]byte, error) {
+	return n.post(ctx, "/predict", req)
+}
+
+// rolloutBody mirrors the serve /rollout request envelope; Snapshot rides as
+// base64 inside the JSON.
+type rolloutBody struct {
+	Version  string `json:"version"`
+	Snapshot []byte `json:"snapshot,omitempty"`
+}
+
+func (n *HTTPNode) post(ctx context.Context, path string, body any) ([]byte, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.url+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("rollout: %s %s: %w", n.name, path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("rollout: %s %s: %w", n.name, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.Unmarshal(out, &eb)
+		if eb.Error == "" {
+			eb.Error = strings.TrimSpace(string(out))
+		}
+		return nil, fmt.Errorf("rollout: %s %s: status %d: %s", n.name, path, resp.StatusCode, eb.Error)
+	}
+	return out, nil
+}

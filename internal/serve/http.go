@@ -18,6 +18,24 @@ import (
 // error, not a reason to allocate.
 const maxBodyBytes = 1 << 20
 
+// HealthErr reports the node-local health signal /healthz advertises as
+// "status": nil while serving normally, an error once the durable layer is
+// broken. In-process rollout gates probe this directly; HTTP gates read the
+// same signal off /healthz.
+func (s *Server) HealthErr() error {
+	if ws, ok := s.cfg.WAL.(interface{ Stats() wal.Stats }); ok {
+		if st := ws.Stats(); st.Broken {
+			return fmt.Errorf("serve: degraded: wal broken")
+		}
+	}
+	return nil
+}
+
+// maxStageBodyBytes bounds a POST /rollout/stage body, which carries a full
+// serialized candidate snapshot (base64 inside the JSON envelope) rather than
+// a small request object.
+const maxStageBodyBytes = 64 << 20
+
 // defaultRequestTimeout bounds how long an HTTP predict waits for its
 // queued work before answering 504.
 const defaultRequestTimeout = 60 * time.Second
@@ -72,6 +90,8 @@ func httpStatus(err error) (int, string) {
 		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, ErrUnknownApp):
 		return http.StatusNotFound, "unknown_app"
+	case errors.Is(err, ErrStaged):
+		return http.StatusConflict, "staged"
 	case errors.Is(err, ErrConflict):
 		return http.StatusConflict, "conflict"
 	case errors.Is(err, ErrQueueFull):
@@ -122,7 +142,11 @@ func writeError(w http.ResponseWriter, err error) {
 // so the fuzz contract ("malformed bodies never panic, always a typed
 // error") holds at the decode boundary.
 func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	return decodeBodyLimit(r, v, maxBodyBytes)
+}
+
+func decodeBodyLimit(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -213,12 +237,30 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()
+		// The advertised epoch is the *committed* one: while a rollout
+		// candidate is staged the published snapshot runs ahead uncommitted,
+		// and advertising its epoch would raise a router's staleness floor
+		// past every incumbent node — a rollback would then strand the whole
+		// fleet below the floor. The staged_version field tells probes the
+		// node is mid-rollout.
 		health := map[string]any{
 			"status":          "ok",
-			"epoch":           snap.Epoch(),
+			"epoch":           s.committedEpoch(),
 			"workloads":       snap.Workloads(),
 			"catalog_version": snap.CatalogVersion(),
 			"read_only":       s.cfg.ReadOnly,
+		}
+		if v := s.StagedVersion(); v != "" {
+			health["staged_version"] = v
+		}
+		s.stageMu.Lock()
+		repl := s.replStats
+		s.stageMu.Unlock()
+		if repl != nil {
+			// Follower sync counters (transient fetch failures, frames
+			// applied, pauses) ride on the probe surface too, so a router's
+			// probe log shows replication health without a second request.
+			health["replication"] = repl()
 		}
 		if ws, ok := s.cfg.WAL.(interface{ Stats() wal.Stats }); ok {
 			// Durable-state health: the last acked epoch, the live log size,
@@ -242,5 +284,80 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	if s.cfg.RolloutControl {
+		s.mountRollout(mux)
+	}
 	return mux
+}
+
+// rolloutRequest is the body of the POST /rollout/* control endpoints.
+// Snapshot (stage only) is the candidate's serialized form, base64 in JSON
+// per encoding/json's []byte convention.
+type rolloutRequest struct {
+	Version  string `json:"version"`
+	Snapshot []byte `json:"snapshot,omitempty"`
+}
+
+// rolloutStatus answers every successful rollout call and GET
+// /rollout/status: the node's position in the two-phase switch.
+type rolloutStatus struct {
+	StagedVersion    string `json:"staged_version"`
+	CommittedVersion string `json:"committed_version"`
+	Epoch            uint64 `json:"epoch"`
+	CommittedEpoch   uint64 `json:"committed_epoch"`
+}
+
+func (s *Server) currentRolloutStatus() rolloutStatus {
+	return rolloutStatus{
+		StagedVersion:    s.StagedVersion(),
+		CommittedVersion: s.CommittedVersion(),
+		Epoch:            s.Snapshot().Epoch(),
+		CommittedEpoch:   s.committedEpoch(),
+	}
+}
+
+// mountRollout adds the staged-upgrade control plane (DESIGN.md §16):
+//
+//	POST /rollout/stage   {"version": "...", "snapshot": "<base64>"}
+//	POST /rollout/commit  {"version": "..."}
+//	POST /rollout/revert  {"version": "..."}
+//	GET  /rollout/status
+//
+// Stage publishes the candidate uncommitted (mutations freeze, ErrStaged);
+// commit makes it durable; revert restores the incumbent bit-for-bit. All
+// three are idempotent by version — the coordinator replays them after a
+// crash — and version mismatches answer 409.
+func (s *Server) mountRollout(mux *http.ServeMux) {
+	handle := func(path string, fn func(rolloutRequest) error) {
+		mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
+			var req rolloutRequest
+			if err := decodeBodyLimit(r, &req, maxStageBodyBytes); err != nil {
+				writeError(w, err)
+				return
+			}
+			if err := fn(req); err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, s.currentRolloutStatus())
+		})
+	}
+	handle("/rollout/stage", func(req rolloutRequest) error {
+		return s.StageEncoded(req.Version, req.Snapshot)
+	})
+	handle("/rollout/commit", func(req rolloutRequest) error {
+		if len(req.Snapshot) != 0 {
+			return fmt.Errorf("%w: commit takes no snapshot", ErrBadRequest)
+		}
+		return s.CommitStaged(req.Version)
+	})
+	handle("/rollout/revert", func(req rolloutRequest) error {
+		if len(req.Snapshot) != 0 {
+			return fmt.Errorf("%w: revert takes no snapshot", ErrBadRequest)
+		}
+		return s.RevertStaged(req.Version)
+	})
+	mux.HandleFunc("GET /rollout/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.currentRolloutStatus())
+	})
 }

@@ -41,6 +41,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -85,6 +86,11 @@ var (
 	// ErrConflict is returned when an absorb names a workload already in the
 	// knowledge graph (HTTP 409).
 	ErrConflict = errors.New("serve: workload already absorbed")
+	// ErrStaged is returned for mutations (absorb, catalog update) while an
+	// upgrade candidate is staged but not yet committed: the fleet is mid-
+	// rollout and every node must hold still so the health gate compares like
+	// with like. Commit or revert the staged version to unfreeze.
+	ErrStaged = errors.New("serve: upgrade staged; mutations frozen")
 )
 
 // WriteAheadLog is the durability hook of the absorb path (implemented by
@@ -102,6 +108,15 @@ type WriteAheadLog interface {
 	// record. An error here is operational (failed compaction), never a
 	// reason to unpublish: the record itself is already durable.
 	Committed(snap *core.Snapshot) error
+}
+
+// CheckpointInstaller is the optional durability hook of the staged-upgrade
+// commit (implemented by wal.Manager.Install): when the configured WAL also
+// implements it, CommitStaged installs the candidate snapshot as the durable
+// state — checkpoint written, log trimmed, acknowledged epoch advanced — so
+// a crash after commit recovers the new version, never the incumbent.
+type CheckpointInstaller interface {
+	Install(snap *core.Snapshot) error
 }
 
 // Config tunes the server. Zero values take the defaults noted per field.
@@ -168,6 +183,18 @@ type Config struct {
 	// exclusively through the leader's stream (Absorb/Publish stay available
 	// to the in-process replication loop).
 	ReadOnly bool
+	// RolloutControl mounts the staged-upgrade control plane (POST
+	// /rollout/{stage,commit,revert}, GET /rollout/status) on Handler. Off by
+	// default: only fleets run by a rollout coordinator should accept remote
+	// version pushes.
+	RolloutControl bool
+	// DecodeBase, when non-nil, is the decode basis for candidate snapshots
+	// arriving via POST /rollout/stage: its Config and version-0 catalog are
+	// passed to core.DecodeSnapshot exactly as a replication follower passes
+	// its epoch-0 base. Nil uses the construction snapshot (correct unless the
+	// server was constructed from recovered state whose catalog had already
+	// evolved past version 0).
+	DecodeBase *core.Snapshot
 }
 
 func (c *Config) fillDefaults() {
@@ -301,6 +328,15 @@ type Stats struct {
 	ProfileLen    int   `json:"profile_len"`
 	// ReadOnly mirrors Config.ReadOnly (follower replicas).
 	ReadOnly bool `json:"read_only"`
+	// StagedVersion is the pending rollout version while a candidate is
+	// staged uncommitted (DESIGN.md §16); CommittedVersion is the last
+	// version this node committed. Both empty outside rollouts.
+	StagedVersion    string `json:"staged_version,omitempty"`
+	CommittedVersion string `json:"committed_version,omitempty"`
+	// Replication carries the follower sync counters registered via
+	// SetReplicationStats (transient fetch failures, frames applied, replays,
+	// pauses); nil on leaders and standalone servers.
+	Replication any `json:"replication,omitempty"`
 	// WAL is the durable log's own health view (last acked epoch, log size,
 	// quarantined checkpoints) when the configured WriteAheadLog exposes one;
 	// nil for in-memory servers and opaque WAL implementations.
@@ -339,6 +375,18 @@ type Server struct {
 
 	updateMu sync.Mutex // serializes Update/Absorb copy-on-write chains
 
+	// base is the decode basis for staged candidates (Config.DecodeBase or
+	// the construction snapshot). Immutable after New.
+	base *core.Snapshot
+
+	// stageMu guards the staged-upgrade state. Lock order: updateMu before
+	// stageMu — mutators hold updateMu and peek at the stage; readers
+	// (Stats, StagedVersion, health probes) take stageMu alone.
+	stageMu       sync.Mutex
+	staged        *stagedUpgrade
+	lastCommitted string
+	replStats     func() any
+
 	cacheMu sync.Mutex
 	cache   *lruCache
 	// flights tracks in-progress miss computations by cache key (guarded by
@@ -361,6 +409,15 @@ type flight struct {
 	done chan struct{}
 	body []byte
 	err  error
+}
+
+// stagedUpgrade is the in-flight half of a two-phase version switch: the
+// candidate is published (served, replayable by the gate) but the incumbent
+// is retained so RevertStaged can restore it bit-for-bit. Nothing durable
+// changes until CommitStaged.
+type stagedUpgrade struct {
+	version   string
+	incumbent *core.Snapshot
 }
 
 // New builds a server over an initial snapshot and starts its dispatcher.
@@ -402,6 +459,10 @@ func New(snap *core.Snapshot, cfg Config) (*Server, error) {
 		}
 	}
 	s.snap.Store(snap)
+	s.base = cfg.DecodeBase
+	if s.base == nil {
+		s.base = snap
+	}
 	if cfg.Tracer.Enabled() {
 		cfg.Tracer.Max("serve.epoch", int64(snap.Epoch()))
 	}
@@ -449,6 +510,9 @@ func (s *Server) Update(fn func(old *core.Snapshot) (*core.Snapshot, error)) err
 func (s *Server) Absorb(name string, labelWeights, prunedVec []float64) error {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
+	if err := s.frozenErr(); err != nil {
+		return err
+	}
 	old := s.snap.Load()
 	if old.HasWorkload(name) {
 		return fmt.Errorf("%w: %q", ErrConflict, name)
@@ -490,6 +554,9 @@ func (s *Server) Absorb(name string, labelWeights, prunedVec []float64) error {
 func (s *Server) AbsorbCatalog(up cloud.Update) error {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
+	if err := s.frozenErr(); err != nil {
+		return err
+	}
 	old := s.snap.Load()
 	next, err := old.AbsorbCatalog(up)
 	if err != nil {
@@ -520,6 +587,189 @@ func (s *Server) AbsorbCatalog(up cloud.Update) error {
 		}
 	}
 	return nil
+}
+
+// frozenErr reports ErrStaged while an upgrade is staged. Callers hold
+// updateMu (lock order: updateMu before stageMu).
+func (s *Server) frozenErr() error {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.staged != nil {
+		return fmt.Errorf("%w (version %q)", ErrStaged, s.staged.version)
+	}
+	return nil
+}
+
+// Stage begins a two-phase version switch (DESIGN.md §16): the candidate is
+// published — served, health-probed, golden-replayed — but boots uncommitted:
+// nothing durable changes, the incumbent is retained, and mutations freeze
+// (ErrStaged) until the coordinator resolves the stage with CommitStaged or
+// RevertStaged. The candidate's epoch must not rewind the incumbent's.
+//
+// Stage is idempotent by version, which is what makes a crashed coordinator's
+// replay safe: re-staging the staged version is a no-op, re-staging an
+// already-committed version is a no-op, and staging a *different* version
+// while one is pending answers ErrConflict.
+func (s *Server) Stage(version string, cand *core.Snapshot) error {
+	if version == "" {
+		return fmt.Errorf("%w: empty rollout version", ErrBadRequest)
+	}
+	if cand == nil {
+		return fmt.Errorf("%w: nil candidate snapshot", ErrBadRequest)
+	}
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.staged != nil {
+		if s.staged.version == version {
+			return nil
+		}
+		return fmt.Errorf("%w: version %q staged, refusing %q", ErrConflict, s.staged.version, version)
+	}
+	if s.lastCommitted == version {
+		return nil
+	}
+	incumbent := s.snap.Load()
+	if cand.Epoch() < incumbent.Epoch() {
+		return fmt.Errorf("%w: candidate epoch %d rewinds incumbent epoch %d",
+			ErrBadRequest, cand.Epoch(), incumbent.Epoch())
+	}
+	if !s.cfg.ColdStart {
+		if err := cand.PreparePlan(); err != nil {
+			return fmt.Errorf("serve: preparing candidate plan: %w", err)
+		}
+	}
+	s.staged = &stagedUpgrade{version: version, incumbent: incumbent}
+	if err := s.Publish(cand); err != nil {
+		s.staged = nil
+		return err
+	}
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Event("serve/rollout", fmt.Sprintf("staged version %s at epoch %d", version, cand.Epoch()))
+	}
+	return nil
+}
+
+// StageEncoded is Stage for a serialized candidate (the over-the-wire form of
+// POST /rollout/stage): the bytes are decoded against the server's decode
+// basis (Config.DecodeBase) exactly as a replication follower decodes a
+// bootstrap snapshot. Undecodable bytes answer ErrBadRequest.
+func (s *Server) StageEncoded(version string, encoded []byte) error {
+	if len(encoded) == 0 {
+		return fmt.Errorf("%w: empty candidate snapshot", ErrBadRequest)
+	}
+	cand, err := core.DecodeSnapshot(bytes.NewReader(encoded), s.base.Config(), s.base.Catalog())
+	if err != nil {
+		return fmt.Errorf("%w: candidate snapshot: %v", ErrBadRequest, err)
+	}
+	return s.Stage(version, cand)
+}
+
+// CommitStaged makes the staged candidate permanent: with a durable WAL that
+// supports installation (CheckpointInstaller) the candidate is checkpointed
+// and the log trimmed *before* the stage clears, so an error leaves the node
+// staged — retryable — rather than half-committed. Committing a version that
+// was never staged but matches the last commit is a no-op (coordinator crash
+// replay); anything else is ErrConflict.
+func (s *Server) CommitStaged(version string) error {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.staged == nil {
+		if s.lastCommitted == version {
+			return nil
+		}
+		return fmt.Errorf("%w: no staged upgrade to commit as %q", ErrConflict, version)
+	}
+	if s.staged.version != version {
+		return fmt.Errorf("%w: staged version %q, refusing commit of %q", ErrConflict, s.staged.version, version)
+	}
+	if inst, ok := s.cfg.WAL.(CheckpointInstaller); ok {
+		if err := inst.Install(s.snap.Load()); err != nil {
+			return fmt.Errorf("serve: installing staged version %s: %w", version, err)
+		}
+	}
+	s.lastCommitted = version
+	s.staged = nil
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Event("serve/rollout", "committed version "+version)
+	}
+	return nil
+}
+
+// RevertStaged rolls the staged candidate back: the incumbent snapshot is
+// republished bit-for-bit and the freeze lifts. Nothing durable was written
+// while staged, so rollback touches no disk state. Reverting a version that
+// is not staged is a no-op (idempotent crash replay) — unless that version
+// already committed, which is a hard ErrConflict: commit is the point of no
+// return, mender-style.
+func (s *Server) RevertStaged(version string) error {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.staged == nil {
+		if s.lastCommitted == version {
+			return fmt.Errorf("%w: version %q already committed; revert past commit is impossible", ErrConflict, version)
+		}
+		return nil
+	}
+	if s.staged.version != version {
+		return fmt.Errorf("%w: staged version %q, refusing revert of %q", ErrConflict, s.staged.version, version)
+	}
+	if err := s.Publish(s.staged.incumbent); err != nil {
+		return err
+	}
+	s.staged = nil
+	if s.cfg.Tracer.Enabled() {
+		s.cfg.Tracer.Event("serve/rollout", "reverted version "+version)
+	}
+	return nil
+}
+
+// StagedVersion returns the pending rollout version, or "" when none is
+// staged. Replication followers poll this to pause stream application while
+// the node serves an uncommitted candidate.
+func (s *Server) StagedVersion() string {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.staged == nil {
+		return ""
+	}
+	return s.staged.version
+}
+
+// CommittedVersion returns the last rollout version this node committed
+// ("" before any rollout).
+func (s *Server) CommittedVersion() string {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	return s.lastCommitted
+}
+
+// committedEpoch returns the epoch health probes should advertise: the
+// incumbent's while a candidate is staged (an uncommitted epoch must not
+// raise a router's staleness floor — rollback would then strand the whole
+// fleet below it), the published epoch otherwise.
+func (s *Server) committedEpoch() uint64 {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	if s.staged != nil {
+		return s.staged.incumbent.Epoch()
+	}
+	return s.snap.Load().Epoch()
+}
+
+// SetReplicationStats registers a callback whose value is embedded as the
+// "replication" block of Stats and GET /stats — how a follower's sync
+// counters (transient fetch failures, frames applied, pauses) surface on the
+// serving node's own diagnostics. Call before serving traffic.
+func (s *Server) SetReplicationStats(fn func() any) {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	s.replStats = fn
 }
 
 // CatalogResponse reports the post-update consistency token — the
@@ -744,6 +994,16 @@ func (s *Server) Stats() Stats {
 	if ws, ok := s.cfg.WAL.(interface{ Stats() wal.Stats }); ok {
 		w := ws.Stats()
 		st.WAL = &w
+	}
+	s.stageMu.Lock()
+	if s.staged != nil {
+		st.StagedVersion = s.staged.version
+	}
+	st.CommittedVersion = s.lastCommitted
+	repl := s.replStats
+	s.stageMu.Unlock()
+	if repl != nil {
+		st.Replication = repl()
 	}
 	if st.Requests > 0 {
 		st.HitRate = float64(st.CacheHits) / float64(st.Requests)

@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestManagerInstall proves the staged-commit contract: Install makes the
+// candidate the durable state wholesale — skipping intermediate epochs the
+// leader never appended — and the next recovery returns it byte-identically
+// with an empty log.
+func TestManagerInstall(t *testing.T) {
+	snaps, recs := fixture(t)
+	dir := t.TempDir()
+	m, _ := mustOpen(t, snaps[0], Config{Dir: dir})
+	appendRecs(t, m, recs[:1]) // acknowledged epoch 1
+
+	if err := m.Install(snaps[3]); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Epoch(); got != 3 {
+		t.Fatalf("epoch after install = %d, want 3", got)
+	}
+	if st := m.Stats(); st.LogBytes != 0 {
+		t.Fatalf("log not trimmed by install: %d bytes", st.LogBytes)
+	}
+	// The epoch-1 append is now stale; the next append must continue from 3.
+	if err := m.Append(recs[1].Name, recs[1].LabelWeights, recs[1].PrunedVec, recs[1].Epoch); err == nil {
+		t.Fatal("append below installed epoch succeeded")
+	}
+	m.Close()
+
+	m2, rec, err := Open(snaps[0], Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !bytes.Equal(encodeSnap(t, rec), encodeSnap(t, snaps[3])) {
+		t.Fatal("recovered state differs from installed candidate")
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, logName)); err != nil || len(data) != 0 {
+		t.Fatalf("log after install = %d bytes (err %v), want empty", len(data), err)
+	}
+}
+
+// TestManagerInstallRefusesRewind: a candidate below the acknowledged epoch
+// would forget durable state, so Install fails and the state is untouched.
+func TestManagerInstallRefusesRewind(t *testing.T) {
+	snaps, recs := fixture(t)
+	dir := t.TempDir()
+	m, _ := mustOpen(t, snaps[0], Config{Dir: dir})
+	appendRecs(t, m, recs) // acknowledged epoch 3
+
+	err := m.Install(snaps[1])
+	if err == nil || !strings.Contains(err.Error(), "rewind") {
+		t.Fatalf("install rewind = %v, want rewind refusal", err)
+	}
+	if got := m.Epoch(); got != 3 {
+		t.Fatalf("epoch after refused install = %d, want 3", got)
+	}
+	m.Close()
+
+	m2, rec, err := Open(snaps[0], Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !bytes.Equal(encodeSnap(t, rec), encodeSnap(t, snaps[3])) {
+		t.Fatal("refused install corrupted durable state")
+	}
+}

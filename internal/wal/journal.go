@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"path/filepath"
+	"sync"
+
+	"vesta/internal/chaos"
+)
+
+// Journal is an append-only, fsync-per-append log of opaque payloads framed
+// exactly like WAL records (uint32 LE length, uint32 LE CRC32C, payload).
+// The rollout coordinator journals its promotion decisions through one: each
+// Append is durable before the decision is acted on, so a crashed
+// coordinator re-reads the journal and resumes — or rolls back — from the
+// exact decision it had committed to, never from a guess.
+//
+// Recovery follows the WAL's torn-tail rule: OpenJournal returns every
+// CRC-valid prefix entry and truncates whatever a crash tore mid-append. A
+// torn decision was by construction never acted on (Append returns before
+// the action starts), so truncating it is the correct resume semantics.
+type Journal struct {
+	fs   chaos.FS
+	path string
+
+	mu      sync.Mutex
+	f       chaos.File
+	bytes   int64
+	entries int
+	broken  error
+}
+
+// OpenJournal opens (creating if absent) the journal at path and returns the
+// recovered entries in append order. A torn tail is truncated; a CRC-valid
+// frame is returned verbatim — payload interpretation belongs to the caller.
+func OpenJournal(path string, fsys chaos.FS) (*Journal, [][]byte, error) {
+	if path == "" {
+		return nil, nil, fmt.Errorf("wal: empty journal path")
+	}
+	if fsys == nil {
+		fsys = chaos.OSFS()
+	}
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := fsys.MkdirAll(dir); err != nil {
+			return nil, nil, fmt.Errorf("wal: creating journal dir: %w", err)
+		}
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: reading journal: %w", err)
+	}
+	entries, valid := scanJournal(data)
+	if valid < int64(len(data)) {
+		if err := fsys.Truncate(path, valid); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncating torn journal tail: %w", err)
+		}
+	}
+	f, err := fsys.Append(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening journal for append: %w", err)
+	}
+	j := &Journal{fs: fsys, path: path, f: f, bytes: valid, entries: len(entries)}
+	return j, entries, nil
+}
+
+// scanJournal parses a journal image into its payloads and the byte length
+// of the valid prefix (the torn-tail rule of scanLog, minus the JSON decode:
+// journal payloads are opaque here).
+func scanJournal(data []byte) ([][]byte, int64) {
+	var entries [][]byte
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			return entries, off
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		if n > maxRecordBytes || frameHeaderSize+n > int64(len(rest)) {
+			return entries, off
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return entries, off
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		entries = append(entries, cp)
+		off += frameHeaderSize + n
+	}
+}
+
+// Append durably journals one payload: when Append returns nil the entry
+// survives any crash. A failed write or fsync is rolled back by truncating
+// to the pre-append length; if the rollback fails too the journal is marked
+// broken and every further Append refuses with ErrLogBroken.
+func (j *Journal) Append(payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return fmt.Errorf("%w: %v", ErrLogBroken, j.broken)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: journal payload %d bytes exceeds %d", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return j.rollbackLocked(fmt.Errorf("wal: appending journal entry: %w", err))
+	}
+	if err := j.f.Sync(); err != nil {
+		return j.rollbackLocked(fmt.Errorf("wal: fsyncing journal entry: %w", err))
+	}
+	j.bytes += int64(len(frame))
+	j.entries++
+	return nil
+}
+
+func (j *Journal) rollbackLocked(cause error) error {
+	if err := j.fs.Truncate(j.path, j.bytes); err != nil {
+		j.broken = fmt.Errorf("%v; rollback truncate failed: %v", cause, err)
+		return j.broken
+	}
+	if err := j.f.Sync(); err != nil {
+		j.broken = fmt.Errorf("%v; rollback fsync failed: %v", cause, err)
+		return j.broken
+	}
+	return cause
+}
+
+// Entries returns how many durable entries the journal holds (recovered plus
+// appended this session).
+func (j *Journal) Entries() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.entries
+}
+
+// Close releases the journal handle. Appending after Close fails.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if j.broken == nil {
+		j.broken = fmt.Errorf("wal: journal closed")
+	}
+	return err
+}

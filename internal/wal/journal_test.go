@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vesta/internal/chaos"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rollout", "decisions.journal")
+	j, prior, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 0 {
+		t.Fatalf("fresh journal recovered %d entries", len(prior))
+	}
+	want := [][]byte{[]byte(`{"op":"begin"}`), []byte(`{"op":"stage","stage":1}`), []byte(``)}
+	for _, e := range want {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Entries() != 3 {
+		t.Fatalf("Entries = %d, want 3", j.Entries())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("entry %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if j2.Entries() != 3 {
+		t.Fatalf("reopened Entries = %d, want 3", j2.Entries())
+	}
+}
+
+// TestJournalTornTail crashes mid-append at every byte prefix of the last
+// frame: recovery must return the fully-written entries and truncate the torn
+// remainder, for every possible tear point.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "decisions.journal")
+	j, _, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("second-longer-entry")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen := int64(frameHeaderSize + len("first"))
+	for cut := firstLen; cut < int64(len(full)); cut++ {
+		torn := filepath.Join(dir, "torn.journal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jt, entries, err := OpenJournal(torn, nil)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		jt.Close()
+		if len(entries) != 1 || string(entries[0]) != "first" {
+			t.Fatalf("cut %d: recovered %q, want just [first]", cut, entries)
+		}
+		if n, err := os.Stat(torn); err != nil || n.Size() != firstLen {
+			t.Fatalf("cut %d: torn tail not truncated (size %d, want %d)", cut, n.Size(), firstLen)
+		}
+	}
+}
+
+// TestJournalAppendAfterFailedSync proves the rollback contract: an injected
+// fsync failure rolls the entry back, the journal stays usable, and the
+// failed entry never resurfaces at recovery.
+func TestJournalAppendAfterFailedSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "decisions.journal")
+	ffs := chaos.NewFaultFS(chaos.OSFS(), chaos.FSPlan{FailSync: 2})
+	j, _, err := OpenJournal(path, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("lost")); err == nil {
+		t.Fatal("append with failed fsync reported success")
+	}
+	if err := j.Append([]byte("after")); err != nil {
+		t.Fatalf("journal unusable after rolled-back append: %v", err)
+	}
+	j.Close()
+	_, entries, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || string(entries[0]) != "kept" || string(entries[1]) != "after" {
+		t.Fatalf("recovered %q, want [kept after]", entries)
+	}
+}
+
+func TestJournalClosedRefuses(t *testing.T) {
+	j, _, err := OpenJournal(filepath.Join(t.TempDir(), "j"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append([]byte("x")); !errors.Is(err, ErrLogBroken) {
+		t.Fatalf("append after close = %v, want ErrLogBroken", err)
+	}
+}

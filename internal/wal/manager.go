@@ -386,6 +386,41 @@ func (m *Manager) checkpointLocked(snap *core.Snapshot) error {
 		return fmt.Errorf("wal: checkpoint epoch %d does not cover acknowledged epoch %d",
 			snap.Epoch(), m.epoch)
 	}
+	return m.writeCheckpointLocked(snap)
+}
+
+// Install makes snap the durable state wholesale: checkpoint it and trim the
+// log, then adopt its epoch as the acknowledged epoch. This is the commit
+// half of a staged version upgrade (internal/rollout) — the candidate
+// snapshot replaces checkpoint ∪ log as the recovered state, exactly as if
+// every epoch between the old ack and the candidate had been appended and
+// compacted. Rewinding is refused: a candidate below the acknowledged epoch
+// would forget durably acknowledged state.
+func (m *Manager) Install(snap *core.Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken != nil {
+		return fmt.Errorf("%w: %v", ErrLogBroken, m.broken)
+	}
+	if snap == nil {
+		return fmt.Errorf("wal: install nil snapshot")
+	}
+	if snap.Epoch() < m.epoch {
+		return fmt.Errorf("wal: install epoch %d would rewind acknowledged epoch %d",
+			snap.Epoch(), m.epoch)
+	}
+	if err := m.writeCheckpointLocked(snap); err != nil {
+		return err
+	}
+	m.epoch = snap.Epoch()
+	return nil
+}
+
+// writeCheckpointLocked writes the checksummed checkpoint write-temp → fsync
+// → rename → fsync(dir) and trims the log. Caller holds m.mu and has already
+// established that trimming is safe (the checkpoint covers every record the
+// log will lose).
+func (m *Manager) writeCheckpointLocked(snap *core.Snapshot) error {
 	var buf bytes.Buffer
 	if err := snap.Encode(&buf); err != nil {
 		return fmt.Errorf("wal: encoding checkpoint: %w", err)
